@@ -1,0 +1,31 @@
+//! # storm-apps — application workload models
+//!
+//! The paper's experiments use a handful of applications:
+//!
+//! * a **do-nothing** program padded to 4/8/12 MB with a static array, used
+//!   to measure job-launch overhead (§3.1, following Brightwell et al.'s
+//!   Cplant methodology);
+//! * **SWEEP3D**, the ASCI wavefront particle-transport kernel — a
+//!   bulk-synchronous sequence of compute + neighbour-exchange iterations,
+//!   ≈ 49 s on 32 nodes / 64 PEs (§3.2);
+//! * a **synthetic CPU-intensive** job;
+//! * a **spin-loop CPU hog** and a **pairwise network-bandwidth hog** used
+//!   to load the system for the Fig. 3 experiments.
+//!
+//! A job's computational structure is a [`Workload`] — an ordered list of
+//! BSP-style [`Step`]s (compute span + exchanged bytes); the gang scheduler
+//! advances a [`WorkloadCursor`] through it during the job's active
+//! timeslices. [`AppSpec`] names which model (and binary size) a submitted
+//! job uses; [`AppSpec::workload`] instantiates the model for a concrete
+//! cluster shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spec;
+pub mod stream;
+pub mod workload;
+
+pub use spec::AppSpec;
+pub use stream::{stream_metrics, CompletedJob, StreamConfig, StreamJob, StreamMetrics};
+pub use workload::{Step, Workload, WorkloadCursor};

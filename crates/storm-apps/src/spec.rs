@@ -1,0 +1,263 @@
+//! Application specifications and their calibrated workload generators.
+
+use crate::workload::{Step, Workload};
+use storm_sim::{DeterministicRng, SimSpan};
+
+/// Which application a job runs, with its model parameters.
+///
+/// Each variant corresponds to a program the paper uses; `binary_bytes`
+/// (what the launch protocol must transfer) is a separate [`AppSpec`]
+/// accessor since every variant has a binary image.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSpec {
+    /// The §3.1 measurement program: a static array pads the binary to
+    /// `binary_bytes`; the program terminates immediately.
+    DoNothing {
+        /// Binary image size (4, 8 or 12 MB in the paper).
+        binary_bytes: u64,
+    },
+    /// SWEEP3D, the ASCI wavefront particle-transport kernel (§3.2).
+    Sweep3d {
+        /// Iteration count; with the default per-iteration cost this gives
+        /// the paper's ≈ 49 s runtime on 32 nodes / 64 PEs.
+        iterations: u32,
+        /// Per-iteration per-rank compute time before skew.
+        compute_per_iter: SimSpan,
+        /// Ghost-cell bytes exchanged with neighbours per iteration.
+        comm_bytes_per_iter: u64,
+    },
+    /// The synthetic CPU-intensive job of §3.2: pure computation, no
+    /// communication.
+    Synthetic {
+        /// Total single-rank compute time.
+        compute: SimSpan,
+    },
+    /// The Fig. 3 CPU hog: a tight spin loop that never exits.
+    SpinLoop,
+    /// The Fig. 3 network hog: pairs of processes exchanging point-to-point
+    /// messages forever.
+    NetLoad {
+        /// Message size per exchange.
+        msg_bytes: u64,
+    },
+}
+
+impl AppSpec {
+    /// A do-nothing program of `mb` *decimal* megabytes (the paper's 4, 8,
+    /// 12 MB binaries).
+    pub fn do_nothing_mb(mb: u64) -> Self {
+        AppSpec::DoNothing {
+            binary_bytes: mb * 1_000_000,
+        }
+    }
+
+    /// SWEEP3D with the calibration used throughout the reproduction:
+    /// 240 iterations × ≈ 200 ms ≈ 49 s on 32 nodes / 64 PEs (Fig. 4's
+    /// annotated point), exchanging 2 MB of ghost cells per iteration.
+    pub fn sweep3d_default() -> Self {
+        AppSpec::Sweep3d {
+            iterations: 240,
+            compute_per_iter: SimSpan::from_micros(192_000),
+            comm_bytes_per_iter: 2_000_000,
+        }
+    }
+
+    /// The synthetic computation calibrated to ≈ 60 s.
+    pub fn synthetic_default() -> Self {
+        AppSpec::Synthetic {
+            compute: SimSpan::from_secs(60),
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppSpec::DoNothing { .. } => "do-nothing",
+            AppSpec::Sweep3d { .. } => "SWEEP3D",
+            AppSpec::Synthetic { .. } => "synthetic",
+            AppSpec::SpinLoop => "spin-loop",
+            AppSpec::NetLoad { .. } => "net-load",
+        }
+    }
+
+    /// Size of the binary image the launcher must distribute.
+    pub fn binary_bytes(&self) -> u64 {
+        match self {
+            AppSpec::DoNothing { binary_bytes } => *binary_bytes,
+            // Real program binaries: SWEEP3D is a small Fortran code; the
+            // hogs are trivial C programs.
+            AppSpec::Sweep3d { .. } => 4_000_000,
+            AppSpec::Synthetic { .. } => 1_000_000,
+            AppSpec::SpinLoop => 1_000_000,
+            AppSpec::NetLoad { .. } => 1_000_000,
+        }
+    }
+
+    /// Instantiate the workload for a job on `nodes` nodes, `ranks` total
+    /// ranks. Per-step durations include a max-over-ranks skew drawn from
+    /// `rng` (growing slowly with the rank count, as the expected maximum of
+    /// i.i.d. per-rank noise does).
+    pub fn workload(&self, nodes: u32, ranks: u32, rng: &mut DeterministicRng) -> Workload {
+        match self {
+            AppSpec::DoNothing { .. } => Workload::empty(),
+            AppSpec::Sweep3d {
+                iterations,
+                compute_per_iter,
+                comm_bytes_per_iter,
+            } => {
+                let skew = skew_factor(ranks);
+                let steps = (0..*iterations)
+                    .map(|_| {
+                        // Small per-iteration jitter (±2%) around the
+                        // skew-inflated mean: SWEEP3D is very regular.
+                        let jitter = 1.0 + 0.02 * (rng.uniform() - 0.5);
+                        Step {
+                            compute: compute_per_iter.mul_f64(skew * jitter),
+                            // Wavefront exchanges grow mildly with the
+                            // process-grid perimeter.
+                            comm_bytes: comm_scale(*comm_bytes_per_iter, nodes),
+                        }
+                    })
+                    .collect();
+                Workload::new(steps)
+            }
+            AppSpec::Synthetic { compute } => {
+                // One long compute phase, chopped into 1 s steps so the
+                // cursor has a natural granularity; embarrassingly parallel,
+                // so no skew term.
+                let step = SimSpan::from_secs(1);
+                let full_steps = compute.as_nanos() / step.as_nanos();
+                let rem = SimSpan::from_nanos(compute.as_nanos() % step.as_nanos());
+                let mut steps: Vec<Step> = (0..full_steps)
+                    .map(|_| Step {
+                        compute: step,
+                        comm_bytes: 0,
+                    })
+                    .collect();
+                if !rem.is_zero() {
+                    steps.push(Step {
+                        compute: rem,
+                        comm_bytes: 0,
+                    });
+                }
+                Workload::new(steps)
+            }
+            AppSpec::SpinLoop => Workload::endless(vec![Step {
+                compute: SimSpan::from_millis(1),
+                comm_bytes: 0,
+            }]),
+            AppSpec::NetLoad { msg_bytes } => Workload::endless(vec![Step {
+                compute: SimSpan::from_micros(5),
+                comm_bytes: *msg_bytes,
+            }]),
+        }
+    }
+}
+
+/// Expected max-over-ranks inflation of a per-iteration time: the maximum of
+/// n i.i.d. noise terms grows ~ sqrt(ln n); calibrated so 64 ranks inflate
+/// by ≈ 2%.
+fn skew_factor(ranks: u32) -> f64 {
+    let n = f64::from(ranks.max(1));
+    1.0 + 0.01 * n.ln().max(0.0).sqrt()
+}
+
+/// Ghost-cell exchange volume grows mildly with node count (wavefront
+/// perimeter effects): +10% per doubling beyond one node.
+fn comm_scale(base: u64, nodes: u32) -> u64 {
+    let n = f64::from(nodes.max(1));
+    (base as f64 * (1.0 + 0.10 * n.log2().max(0.0))) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::new(5)
+    }
+
+    #[test]
+    fn do_nothing_sizes_match_paper() {
+        for mb in [4u64, 8, 12] {
+            let app = AppSpec::do_nothing_mb(mb);
+            assert_eq!(app.binary_bytes(), mb * 1_000_000);
+            assert!(app.workload(64, 256, &mut rng()).steps().is_empty());
+        }
+    }
+
+    #[test]
+    fn sweep3d_runtime_calibration() {
+        // On 32 nodes / 64 PEs the paper reports ≈ 49 s (Fig. 4 annotation).
+        let app = AppSpec::sweep3d_default();
+        let w = app.workload(32, 64, &mut rng());
+        // Comm at ~319 MB/s link bandwidth plus 4 µs latency.
+        let comm = |b: u64| SimSpan::from_secs_f64(4e-6 + b as f64 / 319.0e6);
+        let total = w.total_span(comm).unwrap().as_secs_f64();
+        assert!((total - 49.0).abs() < 2.0, "SWEEP3D runtime {total:.1} s");
+    }
+
+    #[test]
+    fn sweep3d_weak_scaling_is_flat() {
+        // Fig. 5: runtime barely changes from 1 to 64 nodes.
+        let app = AppSpec::sweep3d_default();
+        let comm = |b: u64| SimSpan::from_secs_f64(4e-6 + b as f64 / 319.0e6);
+        let t1 = app
+            .workload(1, 2, &mut rng())
+            .total_span(comm)
+            .unwrap()
+            .as_secs_f64();
+        let t64 = app
+            .workload(64, 128, &mut rng())
+            .total_span(comm)
+            .unwrap()
+            .as_secs_f64();
+        assert!(t64 > t1, "more nodes add (slight) skew and comm");
+        assert!(t64 / t1 < 1.10, "weak scaling within 10%: {t1:.1} → {t64:.1}");
+    }
+
+    #[test]
+    fn synthetic_total_matches_spec() {
+        let app = AppSpec::Synthetic {
+            compute: SimSpan::from_secs_f64(12.5),
+        };
+        let w = app.workload(8, 16, &mut rng());
+        assert_eq!(
+            w.total_span(|_| SimSpan::ZERO).unwrap(),
+            SimSpan::from_secs_f64(12.5)
+        );
+        assert_eq!(w.steps().len(), 13); // 12 × 1 s + 0.5 s
+    }
+
+    #[test]
+    fn hogs_are_endless() {
+        assert!(AppSpec::SpinLoop.workload(4, 8, &mut rng()).is_endless());
+        assert!(AppSpec::NetLoad { msg_bytes: 65536 }
+            .workload(4, 8, &mut rng())
+            .is_endless());
+    }
+
+    #[test]
+    fn skew_grows_slowly() {
+        assert!(skew_factor(1) >= 1.0);
+        assert!(skew_factor(64) > skew_factor(2));
+        assert!(skew_factor(4096) < 1.04);
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let app = AppSpec::sweep3d_default();
+        let w1 = app.workload(32, 64, &mut DeterministicRng::new(9));
+        let w2 = app.workload(32, 64, &mut DeterministicRng::new(9));
+        assert_eq!(w1.steps(), w2.steps());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AppSpec::do_nothing_mb(12).name(), "do-nothing");
+        assert_eq!(AppSpec::sweep3d_default().name(), "SWEEP3D");
+        assert_eq!(AppSpec::synthetic_default().name(), "synthetic");
+        assert_eq!(AppSpec::SpinLoop.name(), "spin-loop");
+        assert_eq!(AppSpec::NetLoad { msg_bytes: 1 }.name(), "net-load");
+    }
+}

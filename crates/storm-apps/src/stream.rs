@@ -1,0 +1,320 @@
+//! Synthetic job streams.
+//!
+//! §5.2 argues STORM's value as a testbed for comparing scheduling
+//! algorithms "on a common set of workloads". This module generates such
+//! workloads: Poisson arrivals, log-uniform power-of-two job widths and
+//! log-normal runtimes — the stylised facts of the parallel-workload
+//! archives (Feitelson et al.) that the gang-scheduling literature of the
+//! period used.
+
+use crate::spec::AppSpec;
+use crate::workload::Workload;
+use storm_sim::{DeterministicRng, SimSpan, SimTime};
+
+/// Parameters of a synthetic job stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean inter-arrival time (Poisson process).
+    pub mean_interarrival: SimSpan,
+    /// Smallest job width in ranks (inclusive, power of two).
+    pub min_ranks: u32,
+    /// Largest job width in ranks (inclusive, power of two).
+    pub max_ranks: u32,
+    /// Median job runtime.
+    pub median_runtime: SimSpan,
+    /// Log-normal sigma of the runtime distribution (≈1.0–2.5 in traces;
+    /// higher → heavier tail).
+    pub runtime_sigma: f64,
+    /// How far user estimates overshoot true runtimes (traces show 1–10×;
+    /// estimates are what backfilling schedules against).
+    pub estimate_factor: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            jobs: 50,
+            mean_interarrival: SimSpan::from_secs(2),
+            min_ranks: 4,
+            max_ranks: 256,
+            median_runtime: SimSpan::from_secs(8),
+            runtime_sigma: 1.0,
+            estimate_factor: 2.0,
+        }
+    }
+}
+
+/// One generated arrival.
+#[derive(Debug, Clone)]
+pub struct StreamJob {
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Width in ranks.
+    pub ranks: u32,
+    /// The application model (synthetic compute of the drawn runtime).
+    pub app: AppSpec,
+    /// The user's (inflated) runtime estimate.
+    pub estimate: SimSpan,
+    /// The true runtime drawn for this job.
+    pub runtime: SimSpan,
+}
+
+impl StreamConfig {
+    /// Validate the parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.jobs == 0 {
+            return Err("stream needs at least one job".into());
+        }
+        if !self.min_ranks.is_power_of_two() || !self.max_ranks.is_power_of_two() {
+            return Err("rank bounds must be powers of two".into());
+        }
+        if self.min_ranks > self.max_ranks {
+            return Err("min_ranks > max_ranks".into());
+        }
+        if self.mean_interarrival.is_zero() || self.median_runtime.is_zero() {
+            return Err("times must be positive".into());
+        }
+        if self.estimate_factor < 1.0 {
+            return Err("estimates cannot undershoot (factor >= 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Generate the stream deterministically from `rng`.
+    pub fn generate(&self, rng: &mut DeterministicRng) -> Vec<StreamJob> {
+        self.validate().expect("invalid stream config");
+        let mut arrivals = Vec::with_capacity(self.jobs);
+        let mut t = SimTime::ZERO;
+        let widths: Vec<u32> = {
+            let mut w = Vec::new();
+            let mut x = self.min_ranks;
+            while x <= self.max_ranks {
+                w.push(x);
+                x *= 2;
+            }
+            w
+        };
+        for _ in 0..self.jobs {
+            t += SimSpan::from_secs_f64(rng.exponential(self.mean_interarrival.as_secs_f64()));
+            // Log-uniform width: each power of two equally likely (the
+            // "favour small jobs" shape of real traces in log space).
+            let ranks = widths[rng.below(widths.len() as u64) as usize];
+            // Log-normal runtime around the median.
+            let runtime = self
+                .median_runtime
+                .mul_f64(rng.lognormal_jitter(self.runtime_sigma));
+            let estimate = runtime.mul_f64(1.0 + (self.estimate_factor - 1.0) * rng.uniform());
+            arrivals.push(StreamJob {
+                arrival: t,
+                ranks,
+                app: AppSpec::Synthetic { compute: runtime },
+                estimate,
+                runtime,
+            });
+        }
+        arrivals
+    }
+}
+
+/// Schedule-quality metrics over a completed stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamMetrics {
+    /// Last completion instant.
+    pub makespan: SimSpan,
+    /// Mean wait (arrival → start).
+    pub mean_wait: SimSpan,
+    /// Mean *bounded slowdown*: `max(1, (wait + run) / max(run, 10 s))` —
+    /// the standard metric of the job-scheduling literature.
+    pub mean_bounded_slowdown: f64,
+    /// Machine utilisation: Σ(ranks × runtime) / (PEs × makespan).
+    pub utilization: f64,
+}
+
+/// One completed job's observables, as fed to [`stream_metrics`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedJob {
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Start (all ranks running).
+    pub started: SimTime,
+    /// Completion.
+    pub completed: SimTime,
+    /// Width in ranks.
+    pub ranks: u32,
+    /// Pure computational demand per rank. Under timesharing a job's
+    /// wall-clock residence exceeds its work, so utilisation must be
+    /// computed from work, not wall time.
+    pub work: SimSpan,
+}
+
+/// Compute stream metrics for `total_pes` processors.
+pub fn stream_metrics(jobs: &[CompletedJob], total_pes: u32) -> StreamMetrics {
+    assert!(!jobs.is_empty() && total_pes > 0);
+    let bound = SimSpan::from_secs(10);
+    let mut makespan = SimSpan::ZERO;
+    let mut wait_total = SimSpan::ZERO;
+    let mut slowdown_total = 0.0;
+    let mut work = 0.0;
+    for j in jobs {
+        let wait = j.started.since(j.arrival);
+        let run = j.completed.since(j.started);
+        makespan = makespan.max(j.completed.since(SimTime::ZERO));
+        wait_total += wait;
+        let denom = run.max(bound).as_secs_f64();
+        slowdown_total += ((wait + run).as_secs_f64() / denom).max(1.0);
+        work += f64::from(j.ranks) * j.work.as_secs_f64();
+    }
+    let n = jobs.len() as f64;
+    StreamMetrics {
+        makespan,
+        mean_wait: SimSpan::from_secs_f64(wait_total.as_secs_f64() / n),
+        mean_bounded_slowdown: slowdown_total / n,
+        utilization: work / (f64::from(total_pes) * makespan.as_secs_f64()),
+    }
+}
+
+/// Convenience: a [`Workload`] totalling exactly `span` of compute.
+pub fn compute_workload(span: SimSpan) -> Workload {
+    AppSpec::Synthetic { compute: span }.workload(1, 1, &mut DeterministicRng::new(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::new(42)
+    }
+
+    #[test]
+    fn generates_requested_count_in_arrival_order() {
+        let cfg = StreamConfig::default();
+        let jobs = cfg.generate(&mut rng());
+        assert_eq!(jobs.len(), 50);
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn widths_are_powers_of_two_in_range() {
+        let cfg = StreamConfig {
+            min_ranks: 8,
+            max_ranks: 64,
+            ..Default::default()
+        };
+        for j in cfg.generate(&mut rng()) {
+            assert!(j.ranks.is_power_of_two());
+            assert!((8..=64).contains(&j.ranks));
+        }
+    }
+
+    #[test]
+    fn estimates_never_undershoot() {
+        let cfg = StreamConfig::default();
+        for j in cfg.generate(&mut rng()) {
+            assert!(j.estimate >= j.runtime, "{:?} < {:?}", j.estimate, j.runtime);
+        }
+    }
+
+    #[test]
+    fn interarrivals_have_roughly_the_right_mean() {
+        let cfg = StreamConfig {
+            jobs: 4000,
+            ..Default::default()
+        };
+        let jobs = cfg.generate(&mut rng());
+        let mean = jobs.last().unwrap().arrival.as_secs_f64() / 4000.0;
+        assert!((mean - 2.0).abs() < 0.15, "mean interarrival {mean:.2}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = StreamConfig::default();
+        let a = cfg.generate(&mut DeterministicRng::new(7));
+        let b = cfg.generate(&mut DeterministicRng::new(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.ranks, y.ranks);
+            assert_eq!(x.runtime, y.runtime);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let ok = StreamConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(StreamConfig { jobs: 0, ..ok.clone() }.validate().is_err());
+        assert!(StreamConfig { min_ranks: 3, ..ok.clone() }.validate().is_err());
+        assert!(StreamConfig { min_ranks: 64, max_ranks: 8, ..ok.clone() }
+            .validate()
+            .is_err());
+        assert!(StreamConfig { estimate_factor: 0.5, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn metrics_of_a_perfect_schedule() {
+        // Two jobs, no waiting, half the machine each.
+        let jobs = [
+            CompletedJob {
+                arrival: SimTime::ZERO,
+                started: SimTime::ZERO,
+                completed: SimTime::from_secs(100),
+                ranks: 32,
+                work: SimSpan::from_secs(100),
+            },
+            CompletedJob {
+                arrival: SimTime::ZERO,
+                started: SimTime::ZERO,
+                completed: SimTime::from_secs(100),
+                ranks: 32,
+                work: SimSpan::from_secs(100),
+            },
+        ];
+        let m = stream_metrics(&jobs, 64);
+        assert_eq!(m.makespan, SimSpan::from_secs(100));
+        assert_eq!(m.mean_wait, SimSpan::ZERO);
+        assert!((m.mean_bounded_slowdown - 1.0).abs() < 1e-9);
+        assert!((m.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waiting_raises_slowdown_and_lowers_utilization() {
+        let jobs = [CompletedJob {
+            arrival: SimTime::ZERO,
+            started: SimTime::from_secs(100),
+            completed: SimTime::from_secs(200),
+            ranks: 64,
+            work: SimSpan::from_secs(100),
+        }];
+        let m = stream_metrics(&jobs, 64);
+        assert_eq!(m.mean_wait, SimSpan::from_secs(100));
+        assert!((m.mean_bounded_slowdown - 2.0).abs() < 1e-9);
+        assert!((m.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_slowdown_clamps_tiny_jobs() {
+        // A 1 s job that waited 1 s: raw slowdown 2, but bounded by the
+        // 10 s floor: (1+1)/10 = 0.2 → clamped to 1.
+        let jobs = [CompletedJob {
+            arrival: SimTime::ZERO,
+            started: SimTime::from_secs(1),
+            completed: SimTime::from_secs(2),
+            ranks: 4,
+            work: SimSpan::from_secs(1),
+        }];
+        let m = stream_metrics(&jobs, 64);
+        assert!((m.mean_bounded_slowdown - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_workload_totals() {
+        let w = compute_workload(SimSpan::from_secs_f64(3.5));
+        assert_eq!(
+            w.total_span(|_| SimSpan::ZERO).unwrap(),
+            SimSpan::from_secs_f64(3.5)
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the workload cursor: the progress accounting
+//! every scheduling experiment rests on.
+
+use proptest::prelude::*;
+use storm_apps::{AppSpec, Step, Workload};
+use storm_sim::{DeterministicRng, SimSpan};
+
+fn steps_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (1u64..500_000, 0u64..2_000_000).prop_map(|(us, bytes)| Step {
+            compute: SimSpan::from_micros(us),
+            comm_bytes: bytes,
+        }),
+        1..40,
+    )
+}
+
+fn comm(bytes: u64) -> SimSpan {
+    SimSpan::from_secs_f64(4e-6 + bytes as f64 / 319.0e6)
+}
+
+proptest! {
+    /// Work is conserved: any sequence of grants consumes exactly the
+    /// workload's total span, no more, no less — regardless of how the
+    /// grants are sliced.
+    #[test]
+    fn grant_slicing_conserves_work(
+        steps in steps_strategy(),
+        grants in prop::collection::vec(1u64..200_000, 1..500),
+    ) {
+        let w = Workload::new(steps);
+        let total = w.total_span(comm).unwrap();
+        let mut cursor = w.cursor();
+        let mut consumed = SimSpan::ZERO;
+        for g in grants.iter().cycle() {
+            if cursor.finished(&w) {
+                break;
+            }
+            consumed += cursor.advance(&w, SimSpan::from_micros(*g), comm);
+            // Never over-consume.
+            prop_assert!(consumed <= total);
+        }
+        // The cycle above always terminates: each grant is ≥ 1 µs.
+        prop_assert!(cursor.finished(&w));
+        prop_assert_eq!(consumed, total);
+        prop_assert_eq!(cursor.total_consumed(), total);
+        // Further grants are no-ops.
+        prop_assert_eq!(cursor.advance(&w, SimSpan::from_secs(1), comm), SimSpan::ZERO);
+    }
+
+    /// Two cursors fed identical grants stay identical — the lock-step
+    /// property the per-NM replica scheme depends on.
+    #[test]
+    fn replicated_cursors_stay_in_lockstep(
+        steps in steps_strategy(),
+        grants in prop::collection::vec(1u64..100_000, 1..200),
+    ) {
+        let w = Workload::new(steps);
+        let mut a = w.cursor();
+        let mut b = w.cursor();
+        for g in &grants {
+            let ga = a.advance(&w, SimSpan::from_micros(*g), comm);
+            let gb = b.advance(&w, SimSpan::from_micros(*g), comm);
+            prop_assert_eq!(ga, gb);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Endless workloads accept any grant fully and never finish.
+    #[test]
+    fn endless_consumes_everything(grants in prop::collection::vec(1u64..1_000_000, 1..100)) {
+        let w = Workload::endless(vec![Step {
+            compute: SimSpan::from_micros(700),
+            comm_bytes: 123,
+        }]);
+        let mut c = w.cursor();
+        for g in &grants {
+            let used = c.advance(&w, SimSpan::from_micros(*g), comm);
+            prop_assert_eq!(used, SimSpan::from_micros(*g));
+            prop_assert!(!c.finished(&w));
+        }
+    }
+
+    /// Workload generation is a pure function of (spec, shape, seed).
+    #[test]
+    fn generation_is_pure(
+        nodes in 1u32..128,
+        ranks_per_node in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let ranks = nodes * ranks_per_node;
+        for app in [
+            AppSpec::sweep3d_default(),
+            AppSpec::synthetic_default(),
+            AppSpec::do_nothing_mb(4),
+        ] {
+            let a = app.workload(nodes, ranks, &mut DeterministicRng::new(seed));
+            let b = app.workload(nodes, ranks, &mut DeterministicRng::new(seed));
+            prop_assert_eq!(a.steps(), b.steps());
+            prop_assert_eq!(a.is_endless(), b.is_endless());
+        }
+    }
+
+    /// Synthetic workloads total exactly their specified compute time for
+    /// any duration.
+    #[test]
+    fn synthetic_total_is_exact(ms in 1u64..100_000) {
+        let app = AppSpec::Synthetic { compute: SimSpan::from_millis(ms) };
+        let w = app.workload(8, 16, &mut DeterministicRng::new(0));
+        prop_assert_eq!(
+            w.total_span(|_| SimSpan::ZERO).unwrap(),
+            SimSpan::from_millis(ms)
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Baseline job launchers: fitted curves, measured points, and structural
+//! simulations.
+//!
+//! Table 6 collects launch times from the literature; Table 7 extrapolates
+//! each to 4 096 nodes with the fitted expressions reproduced verbatim
+//! below (times in seconds, `lg` = log₂):
+//!
+//! | system | fit | measured anchor |
+//! |---|---|---|
+//! | rsh    | `0.934·n + 1.266`      | 90 s for a minimal job on 95 nodes |
+//! | RMS    | `0.077·n + 1.092`      | 5.9 s for 12 MB on 64 nodes |
+//! | GLUnix | `0.012·n + 0.228`      | 1.3 s minimal on 95 nodes |
+//! | Cplant | `1.379·lg n + 6.177`   | 20 s for 12 MB on 1 010 nodes |
+//! | BProc  | `0.413·lg n − 0.084`   | 2.7 s for 12 MB on 100 nodes |
+//! | STORM  | Eq. 3 (storm-model)    | 0.11 s for 12 MB on 64 nodes |
+
+use storm_fs::NfsServer;
+use storm_sim::{DeterministicRng, SimSpan};
+
+/// A baseline (or STORM itself) with a published launch-time curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Launcher {
+    /// Iterated remote shell (`rsh` in a loop).
+    Rsh,
+    /// Quadrics RMS.
+    Rms,
+    /// GLUnix global-layer Unix.
+    GLUnix,
+    /// Sandia Cplant (tree-based launch over Myrinet).
+    Cplant,
+    /// BProc, the Beowulf distributed process space.
+    BProc,
+    /// STORM (this paper).
+    Storm,
+}
+
+/// A measured data point from the literature (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPoint {
+    /// Which system.
+    pub launcher: Launcher,
+    /// Cluster size of the measurement.
+    pub nodes: u32,
+    /// Binary size (0 for "minimal job").
+    pub binary_mb: u32,
+    /// Reported launch time.
+    pub time: SimSpan,
+}
+
+impl Launcher {
+    /// All six systems in Table 6/7 order.
+    pub const ALL: [Launcher; 6] = [
+        Launcher::Rsh,
+        Launcher::Rms,
+        Launcher::GLUnix,
+        Launcher::Cplant,
+        Launcher::BProc,
+        Launcher::Storm,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Launcher::Rsh => "rsh",
+            Launcher::Rms => "RMS",
+            Launcher::GLUnix => "GLUnix",
+            Launcher::Cplant => "Cplant",
+            Launcher::BProc => "BProc",
+            Launcher::Storm => "STORM",
+        }
+    }
+
+    /// The fitted extrapolation curve (Table 7), in seconds for `nodes`.
+    pub fn fitted_time_secs(&self, nodes: u32) -> f64 {
+        let n = f64::from(nodes.max(1));
+        let lg = n.log2();
+        match self {
+            Launcher::Rsh => 0.934 * n + 1.266,
+            Launcher::Rms => 0.077 * n + 1.092,
+            Launcher::GLUnix => 0.012 * n + 0.228,
+            Launcher::Cplant => 1.379 * lg + 6.177,
+            Launcher::BProc => (0.413 * lg - 0.084).max(0.0),
+            Launcher::Storm => storm_model::t_launch_es40(nodes).as_secs_f64(),
+        }
+    }
+
+    /// Whether the fitted curve grows logarithmically (Cplant, BProc,
+    /// STORM) rather than linearly.
+    pub fn scales_logarithmically(&self) -> bool {
+        matches!(self, Launcher::Cplant | Launcher::BProc | Launcher::Storm)
+    }
+
+    /// The measured anchor point from the literature (Table 6).
+    pub fn measured(&self) -> MeasuredPoint {
+        let (nodes, binary_mb, secs) = match self {
+            Launcher::Rsh => (95, 0, 90.0),
+            Launcher::Rms => (64, 12, 5.9),
+            Launcher::GLUnix => (95, 0, 1.3),
+            Launcher::Cplant => (1_010, 12, 20.0),
+            Launcher::BProc => (100, 12, 2.7),
+            Launcher::Storm => (64, 12, 0.11),
+        };
+        MeasuredPoint {
+            launcher: *self,
+            nodes,
+            binary_mb,
+            time: SimSpan::from_secs_f64(secs),
+        }
+    }
+}
+
+/// Structural simulations of the launcher families over the same substrate
+/// models STORM runs on — not just curve fits, but the actual serial /
+/// shared-server / tree distribution mechanics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimulatedLauncher {
+    /// A shell script running `rsh node program &` node by node: per-node
+    /// connection setup serialises on the master.
+    SerialRsh,
+    /// All nodes demand-page the binary from one NFS server at once — the
+    /// traditional approach §5.1 calls "inherently nonscalable".
+    NfsDemandPaging,
+    /// A log-depth binary-distribution tree (the Cplant/BProc family):
+    /// each level forwards the whole image to `fanout` children.
+    DistributionTree {
+        /// Tree fan-out.
+        fanout: u32,
+    },
+}
+
+impl SimulatedLauncher {
+    /// Simulate a launch of a `binary_bytes` image on `nodes` nodes.
+    /// Returns `None` when the launch *fails* (NFS server timeout — the
+    /// failure mode the paper attributes to loaded file servers).
+    pub fn launch_time(
+        &self,
+        nodes: u32,
+        binary_bytes: u64,
+        rng: &mut DeterministicRng,
+    ) -> Option<SimSpan> {
+        assert!(nodes > 0);
+        match self {
+            SimulatedLauncher::SerialRsh => {
+                // Connection setup + authentication + spawn, ~0.9 s each,
+                // strictly sequential from the master; the binary comes from
+                // a shared filesystem page cache so size barely matters.
+                let mut total = SimSpan::from_millis(1266 / 2);
+                for _ in 0..nodes {
+                    let setup = 0.934 * rng.lognormal_jitter(0.05);
+                    total += SimSpan::from_secs_f64(setup);
+                }
+                Some(total)
+            }
+            SimulatedLauncher::NfsDemandPaging => {
+                let server = NfsServer::default();
+                let span = server.concurrent_read_span(nodes, binary_bytes)?;
+                // Plus the fork/exec tail once pages are resident.
+                Some(span + SimSpan::from_millis(300))
+            }
+            SimulatedLauncher::DistributionTree { fanout } => {
+                assert!(*fanout >= 2);
+                // Depth of the tree over `nodes` leaves.
+                let mut depth = 0u32;
+                let mut covered = 1u64;
+                while covered < u64::from(nodes) {
+                    covered *= u64::from(*fanout);
+                    depth += 1;
+                }
+                // Each level: store-and-forward of the whole image over
+                // ~50 MB/s effective per-link (Myrinet-era), plus per-level
+                // control cost.
+                let per_level = SimSpan::for_bytes(binary_bytes, 50.0e6)
+                    + SimSpan::from_millis(150);
+                let spawn_tail = SimSpan::from_millis(500);
+                Some(per_level * u64::from(depth.max(1)) + spawn_tail)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_extrapolations_at_4096_nodes() {
+        // Table 7's stated values at 4 096 nodes.
+        let cases = [
+            (Launcher::Rsh, 3_827.10),
+            (Launcher::Rms, 316.48), // 0.077·4096 + 1.092 (paper prints 317.67)
+            (Launcher::GLUnix, 49.38),
+            (Launcher::Cplant, 22.73),
+            (Launcher::BProc, 4.87),
+        ];
+        for (l, want) in cases {
+            let got = l.fitted_time_secs(4096);
+            assert!(
+                (got - want).abs() / want < 0.01,
+                "{}: {got:.2} vs table {want:.2}",
+                l.name()
+            );
+        }
+        // STORM: 0.11 s, essentially flat.
+        let storm = Launcher::Storm.fitted_time_secs(4096);
+        assert!(storm < 0.15, "STORM at 4 096 nodes: {storm:.3} s");
+    }
+
+    #[test]
+    fn fitted_curves_match_measured_anchors_roughly() {
+        // The fits were derived from the measured points, so they should
+        // pass near them (within ~35% — they are straight-line fits over
+        // few points).
+        for l in Launcher::ALL {
+            let m = l.measured();
+            let fit = l.fitted_time_secs(m.nodes);
+            let meas = m.time.as_secs_f64();
+            assert!(
+                (fit - meas).abs() / meas < 0.35,
+                "{}: fit {fit:.2} vs measured {meas:.2}",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn storm_dominates_everything_at_every_scale(){
+        let mut n = 1u32;
+        while n <= 16_384 {
+            let storm = Launcher::Storm.fitted_time_secs(n);
+            for l in Launcher::ALL {
+                if l != Launcher::Storm && n >= 4 {
+                    assert!(
+                        l.fitted_time_secs(n) > storm,
+                        "{} beats STORM at {n} nodes?!",
+                        l.name()
+                    );
+                }
+            }
+            n *= 2;
+        }
+    }
+
+    #[test]
+    fn fig12_renormalisation_factors() {
+        // Fig. 12: Cplant and BProc renormalised to STORM = 1.0; at 4 096
+        // nodes Cplant ≈ 200× and BProc ≈ 40× slower.
+        let storm = Launcher::Storm.fitted_time_secs(4096);
+        let cplant = Launcher::Cplant.fitted_time_secs(4096) / storm;
+        let bproc = Launcher::BProc.fitted_time_secs(4096) / storm;
+        assert!(cplant > 150.0 && cplant < 250.0, "Cplant factor {cplant:.0}");
+        assert!(bproc > 30.0 && bproc < 60.0, "BProc factor {bproc:.0}");
+    }
+
+    #[test]
+    fn serial_rsh_is_linear() {
+        let mut rng = DeterministicRng::new(1);
+        let t64 = SimulatedLauncher::SerialRsh
+            .launch_time(64, 0, &mut rng)
+            .unwrap();
+        let t128 = SimulatedLauncher::SerialRsh
+            .launch_time(128, 0, &mut rng)
+            .unwrap();
+        let ratio = t128.as_secs_f64() / t64.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.2, "rsh doubling ratio {ratio:.2}");
+        // Matches the GLUnix paper's observation: ~90 s on 95 nodes.
+        let mut rng = DeterministicRng::new(2);
+        let t95 = SimulatedLauncher::SerialRsh
+            .launch_time(95, 0, &mut rng)
+            .unwrap();
+        assert!((t95.as_secs_f64() - 90.0).abs() < 5.0, "{t95}");
+    }
+
+    #[test]
+    fn nfs_demand_paging_collapses_and_fails() {
+        let mut rng = DeterministicRng::new(3);
+        let small = SimulatedLauncher::NfsDemandPaging
+            .launch_time(4, 12_000_000, &mut rng)
+            .unwrap();
+        let big = SimulatedLauncher::NfsDemandPaging
+            .launch_time(256, 12_000_000, &mut rng)
+            .unwrap();
+        assert!(big.as_secs_f64() > 30.0 * small.as_secs_f64());
+        // "File servers … tend to fail with timeout errors."
+        assert!(SimulatedLauncher::NfsDemandPaging
+            .launch_time(2048, 12_000_000, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn distribution_tree_is_logarithmic() {
+        let mut rng = DeterministicRng::new(4);
+        let tree = SimulatedLauncher::DistributionTree { fanout: 2 };
+        let t64 = tree.launch_time(64, 12_000_000, &mut rng).unwrap();
+        let t4096 = tree.launch_time(4096, 12_000_000, &mut rng).unwrap();
+        // 6 levels vs 12 levels: ratio ≈ 2, not 64.
+        let ratio = t4096.as_secs_f64() / t64.as_secs_f64();
+        assert!(ratio < 2.2, "tree ratio {ratio:.2}");
+        // BProc's measured 2.7 s on 100 nodes is in this regime.
+        let t100 = tree.launch_time(100, 12_000_000, &mut rng).unwrap();
+        assert!(t100.as_secs_f64() > 1.5 && t100.as_secs_f64() < 4.5, "{t100}");
+    }
+
+    #[test]
+    fn measured_points_table6() {
+        assert_eq!(Launcher::Rsh.measured().nodes, 95);
+        assert_eq!(Launcher::Cplant.measured().nodes, 1_010);
+        assert_eq!(
+            Launcher::Storm.measured().time,
+            SimSpan::from_secs_f64(0.11)
+        );
+        assert!(Launcher::Cplant.scales_logarithmically());
+        assert!(!Launcher::Rms.scales_logarithmically());
+    }
+}

@@ -1,0 +1,22 @@
+//! # storm-baselines — the systems STORM is compared against
+//!
+//! §5 compares STORM against published job-launch results (Table 6),
+//! extrapolates them to 4 096 nodes with fitted curves (Table 7, Fig. 11,
+//! Fig. 12), and against gang-scheduler quanta (Table 8). This crate
+//! provides:
+//!
+//! * [`launch`] — the fitted launch-time curves and the measured data
+//!   points, plus *structural* simulations of the three launcher families
+//!   (serial remote shell, shared-filesystem demand paging, binary
+//!   distribution trees) over the same substrate models STORM uses.
+//! * [`sched`] — minimal-feasible-quantum models for RMS and SCore-D
+//!   (Table 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod launch;
+pub mod sched;
+
+pub use launch::{Launcher, MeasuredPoint, SimulatedLauncher};
+pub use sched::{min_feasible_quantum, slowdown, SchedulerModel};

@@ -1,0 +1,89 @@
+//! Coscheduling-algorithm comparison — the experiment §5.2 motivates:
+//! "STORM's flexibility positions STORM as a suitable vessel for in vivo
+//! experimentation with alternate scheduling algorithms."
+//!
+//! Gang scheduling vs implicit coscheduling (both plugged into the same MM
+//! / NM / mechanism substrate) on two MPL-2 workloads:
+//!
+//! * a **coarse-grained** application (SWEEP3D-like, ~200 ms between
+//!   exchanges) — ICS should be nearly as good as gang scheduling;
+//! * a **fine-grained** application (~2 ms between exchanges) — without
+//!   coordinated switches every exchange risks a descheduled peer, and ICS
+//!   should fall badly behind.
+
+use storm_bench::{check, parallel_sweep};
+use storm_core::prelude::*;
+
+fn app(grain_ms: u64, total_secs: u64) -> AppSpec {
+    let iters = (total_secs * 1000 / grain_ms) as u32;
+    AppSpec::Sweep3d {
+        iterations: iters,
+        compute_per_iter: SimSpan::from_millis(grain_ms),
+        comm_bytes_per_iter: 200_000,
+    }
+}
+
+fn normalised(app: AppSpec, scheduler: SchedulerKind) -> f64 {
+    let cfg = ClusterConfig::gang_cluster()
+        .with_timeslice(SimSpan::from_millis(10))
+        .with_scheduler(scheduler)
+        .with_seed(99);
+    let mut c = Cluster::new(cfg);
+    let a = c.submit(JobSpec::new(app.clone(), 64).with_ranks_per_node(2));
+    let b = c.submit(JobSpec::new(app, 64).with_ranks_per_node(2));
+    c.run_until_idle();
+    let done = c
+        .job(a)
+        .metrics
+        .completed
+        .unwrap()
+        .max(c.job(b).metrics.completed.unwrap());
+    done.as_secs_f64() / 2.0
+}
+
+fn main() {
+    println!("Gang scheduling vs implicit coscheduling, MPL = 2, 32 nodes / 64 PEs");
+    let workloads = [
+        ("coarse (200 ms grain)", app(200, 20)),
+        ("medium (20 ms grain)", app(20, 20)),
+        ("fine (2 ms grain)", app(2, 20)),
+    ];
+    let configs: Vec<(usize, SchedulerKind)> = (0..workloads.len())
+        .flat_map(|i| {
+            [SchedulerKind::Gang, SchedulerKind::ImplicitCosched]
+                .into_iter()
+                .map(move |s| (i, s))
+        })
+        .collect();
+    let results = parallel_sweep(configs.clone(), |&(i, s)| normalised(workloads[i].1.clone(), s));
+    let mut table = std::collections::HashMap::new();
+    for (cfg, r) in configs.iter().zip(&results) {
+        table.insert(*cfg, *r);
+    }
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "workload", "gang", "ICS", "ICS/gang"
+    );
+    let mut ratios = Vec::new();
+    for (i, (name, _)) in workloads.iter().enumerate() {
+        let g = table[&(i, SchedulerKind::Gang)];
+        let ics = table[&(i, SchedulerKind::ImplicitCosched)];
+        println!("{:<24} {:>10.2} s {:>10.2} s {:>11.2}x", name, g, ics, ics / g);
+        ratios.push(ics / g);
+    }
+
+    check(
+        ratios[0] < 1.10,
+        "coarse-grained: ICS within 10% of gang scheduling",
+    );
+    check(
+        ratios.windows(2).all(|w| w[1] > w[0]),
+        "the ICS penalty grows as the communication grain shrinks",
+    );
+    check(
+        ratios[2] > 1.5,
+        "fine-grained: implicit coscheduling falls far behind gang scheduling",
+    );
+    println!("coscheduling_comparison: all shape checks passed");
+}

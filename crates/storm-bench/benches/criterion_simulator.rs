@@ -1,0 +1,117 @@
+//! Criterion microbenches of the simulator itself — the "is the substrate
+//! fast enough to run the paper's experiments" question. Wall-clock
+//! measurements of: the event loop, the mechanism layer, the buddy
+//! allocator, and a complete 12 MB / 64-node launch simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use storm_core::prelude::*;
+use storm_core::BuddyAllocator;
+use storm_mech::{CmpOp, Mechanisms, NodeId, NodeSet};
+use storm_sim::{Component, Context, Simulation};
+
+#[derive(Clone, Debug)]
+enum Msg {
+    Tick(u32),
+}
+
+struct Ticker;
+
+impl Component<(), Msg> for Ticker {
+    fn handle(&mut self, Msg::Tick(n): Msg, ctx: &mut Context<'_, (), Msg>) {
+        if n > 0 {
+            ctx.send_self(storm_sim::SimSpan::from_nanos(10), Msg::Tick(n - 1));
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine: deliver 100k self-messages", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new((), 1);
+            let t = sim.add_component(Ticker);
+            sim.post(storm_sim::SimTime::ZERO, t, Msg::Tick(100_000));
+            sim.run_to_completion();
+            black_box(sim.events_delivered())
+        })
+    });
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    c.bench_function("mechanisms: CAW over 1024 nodes", |b| {
+        let mut mech = Mechanisms::qsnet(1024);
+        let var = mech.memory.alloc_var(0);
+        let all = NodeSet::All(1024);
+        b.iter(|| {
+            black_box(mech.compare_and_write(
+                storm_sim::SimTime::ZERO,
+                &all,
+                var,
+                CmpOp::Ge,
+                0,
+                None,
+                BackgroundLoad::NONE,
+            ))
+        })
+    });
+    c.bench_function("mechanisms: X&S multicast to 1024 nodes", |b| {
+        let mut mech = Mechanisms::qsnet(1024);
+        let all = NodeSet::All(1024);
+        let mut rng = storm_sim::DeterministicRng::new(3);
+        b.iter(|| {
+            black_box(
+                mech.xfer_and_signal(
+                    storm_sim::SimTime::ZERO,
+                    NodeId(0),
+                    &all,
+                    4096,
+                    BufferPlacement::MainMemory,
+                    None,
+                    None,
+                    BackgroundLoad::NONE,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy: alloc/free cycle on 1024 nodes", |b| {
+        b.iter_batched(
+            || BuddyAllocator::new(1024),
+            |mut buddy| {
+                let mut starts = Vec::new();
+                for _ in 0..64 {
+                    if let Some(r) = buddy.alloc(16) {
+                        starts.push(r.start);
+                    }
+                }
+                for s in starts {
+                    buddy.free(s);
+                }
+                black_box(buddy.free_nodes())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_launch(c: &mut Criterion) {
+    c.bench_function("end-to-end: simulate 12 MB launch on 64 nodes", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+            let j = cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+            cluster.run_until_idle();
+            black_box(cluster.job(j).metrics.total_launch_span())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine, bench_mechanisms, bench_buddy, bench_full_launch
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 10 — "Measured and estimated launch times": 12 MB launches
+//! measured up to 64 nodes, and the Eq. 3 model out to 16 384 nodes for
+//! both the real ES40 (131 MB/s I/O-bus-limited) and an ideal-I/O-bus
+//! machine.
+
+use storm_bench::{check, parallel_sweep, pow2_range, render_comparisons, repeat, Comparison};
+use storm_core::prelude::*;
+
+const REPS: u64 = 3;
+
+fn measured_launch_ms(nodes: u32, seed: u64) -> f64 {
+    let cfg = ClusterConfig::paper_cluster().with_nodes(nodes).with_seed(seed);
+    let mut c = Cluster::new(cfg);
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), nodes * 4));
+    c.run_until_idle();
+    c.job(j)
+        .metrics
+        .total_launch_span()
+        .expect("total")
+        .as_millis_f64()
+}
+
+fn main() {
+    println!("Figure 10: measured and modelled 12 MB launch times (ms)");
+    let measured_axis = pow2_range(1, 64);
+    let measured = parallel_sweep(measured_axis.clone(), |&n| {
+        repeat(REPS, u64::from(n) * 1009, |seed| measured_launch_ms(n, seed)).mean()
+    });
+
+    println!("{:>8} {:>12} {:>14} {:>14}", "nodes", "measured", "model ES40", "model ideal");
+    let model_axis = pow2_range(1, 16_384);
+    for &n in &model_axis {
+        let meas = measured_axis
+            .iter()
+            .position(|&m| m == n)
+            .map(|i| format!("{:.1}", measured[i]))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>8} {:>12} {:>14.1} {:>14.1}",
+            n,
+            meas,
+            storm_model::t_launch_es40(n).as_millis_f64(),
+            storm_model::t_launch_ideal(n).as_millis_f64()
+        );
+    }
+
+    let m64 = measured[measured_axis.iter().position(|&n| n == 64).unwrap()];
+    let rows = vec![
+        Comparison::new("measured 12 MB launch, 64 nodes", Some(110.0), m64, "ms"),
+        Comparison::new(
+            "modelled launch at 16 384 nodes (ES40)",
+            Some(135.0),
+            storm_model::t_launch_es40(16_384).as_millis_f64(),
+            "ms",
+        ),
+    ];
+    println!("\n{}", render_comparisons("Fig. 10 anchors", &rows));
+
+    // Measured tracks the model at overlapping sizes.
+    for (i, &n) in measured_axis.iter().enumerate() {
+        let model = storm_model::t_launch_es40(n).as_millis_f64();
+        let err = (measured[i] - model).abs() / model;
+        check(
+            err < 0.15,
+            &format!("measured vs model at {n} nodes within 15% ({err:.1}% off)"),
+        );
+    }
+    // The model's scalability claims.
+    let t16k = storm_model::t_launch_es40(16_384).as_millis_f64();
+    check(t16k < 140.0, "a 12 MB binary launches in ~135 ms on 16 384 nodes");
+    let ideal64 = storm_model::t_launch_ideal(64).as_millis_f64();
+    let es40_64 = storm_model::t_launch_es40(64).as_millis_f64();
+    check(ideal64 < es40_64, "the ideal-I/O-bus machine is faster at small scale");
+    let gap16k = (storm_model::t_launch_es40(16_384).as_millis_f64()
+        - storm_model::t_launch_ideal(16_384).as_millis_f64())
+        .abs();
+    check(
+        gap16k < 12.0,
+        "both models converge beyond ~4 096 nodes (network-broadcast-bound)",
+    );
+    println!("fig10: all shape checks passed");
+}

@@ -1,0 +1,99 @@
+//! Figure 11 — "Measured and predicted performance of various job
+//! launchers": rsh, RMS, GLUnix, Cplant, BProc and STORM, measured anchors
+//! plus fitted curves extrapolated to 16 384 nodes (log-log in the paper).
+//!
+//! In addition to the fitted curves (Table 7), this bench runs the
+//! *structural* launcher simulations (serial rsh, NFS demand paging, a
+//! binary-distribution tree) over the same substrate, confirming the
+//! linear / collapsing / logarithmic behaviours the fits encode.
+
+use storm_baselines::{Launcher, SimulatedLauncher};
+use storm_bench::{check, pow2_range, render_comparisons, Comparison};
+use storm_sim::DeterministicRng;
+
+fn main() {
+    println!("Figure 11: job-launch time vs cluster size, all systems (seconds)");
+    let axis = pow2_range(1, 16_384);
+    print!("{:>8}", "nodes");
+    for l in Launcher::ALL {
+        print!(" {:>10}", l.name());
+    }
+    println!();
+    for &n in &axis {
+        print!("{n:>8}");
+        for l in Launcher::ALL {
+            print!(" {:>10.3}", l.fitted_time_secs(n));
+        }
+        println!();
+    }
+
+    println!("\nMeasured anchors from the literature (Table 6):");
+    let mut rows = Vec::new();
+    for l in Launcher::ALL {
+        let m = l.measured();
+        rows.push(Comparison::new(
+            format!("{} ({} nodes, {} MB)", l.name(), m.nodes, m.binary_mb),
+            Some(m.time.as_secs_f64()),
+            l.fitted_time_secs(m.nodes),
+            "s",
+        ));
+    }
+    println!("{}", render_comparisons("fit vs measured anchor", &rows));
+
+    // Structural simulations over the substrate.
+    println!("Structural launcher simulations (12 MB):");
+    let mut rng = DeterministicRng::new(11);
+    println!("{:>8} {:>12} {:>12} {:>12}", "nodes", "serial rsh", "NFS paging", "tree (f=2)");
+    let mut tree_prev = 0.0;
+    for &n in &[16u32, 64, 256, 1024, 4096] {
+        let rsh = SimulatedLauncher::SerialRsh
+            .launch_time(n, 0, &mut rng)
+            .unwrap()
+            .as_secs_f64();
+        let nfs = SimulatedLauncher::NfsDemandPaging
+            .launch_time(n, 12_000_000, &mut rng)
+            .map(|t| format!("{:.1}", t.as_secs_f64()))
+            .unwrap_or_else(|| "TIMEOUT".to_string());
+        let tree = SimulatedLauncher::DistributionTree { fanout: 2 }
+            .launch_time(n, 12_000_000, &mut rng)
+            .unwrap()
+            .as_secs_f64();
+        println!("{n:>8} {rsh:>12.1} {nfs:>12} {tree:>12.2}");
+        tree_prev = tree;
+    }
+
+    // Shape checks straight from the paper's argument.
+    for &n in &axis[3..] {
+        let storm = Launcher::Storm.fitted_time_secs(n);
+        for l in Launcher::ALL {
+            if l != Launcher::Storm {
+                check(
+                    l.fitted_time_secs(n) > storm,
+                    &format!("STORM beats {} at {n} nodes", l.name()),
+                );
+            }
+        }
+    }
+    let storm64 = Launcher::Storm.fitted_time_secs(64);
+    let rms64 = Launcher::Rms.fitted_time_secs(64);
+    check(
+        rms64 / storm64 > 30.0,
+        "an order of magnitude (and more) faster than RMS on the same hardware",
+    );
+    check(
+        Launcher::Rsh.fitted_time_secs(4096) > 3_000.0,
+        "iterated rsh extrapolates to about an hour at 4 096 nodes",
+    );
+    check(
+        tree_prev < 10.0,
+        "log-scaling tree launchers stay within seconds at 4 096 nodes",
+    );
+    let mut rng2 = DeterministicRng::new(12);
+    check(
+        SimulatedLauncher::NfsDemandPaging
+            .launch_time(2048, 12_000_000, &mut rng2)
+            .is_none(),
+        "shared-filesystem demand paging fails outright under extreme load",
+    );
+    println!("fig11: all shape checks passed");
+}

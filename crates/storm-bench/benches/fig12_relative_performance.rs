@@ -1,0 +1,51 @@
+//! Figure 12 — "Relative performance of Cplant, BProc, and STORM": the two
+//! launchers that, like STORM, scale logarithmically, renormalised to the
+//! extrapolated STORM launch time (STORM ≡ 1.0), out to 4 096 nodes.
+
+use storm_baselines::Launcher;
+use storm_bench::{check, pow2_range};
+
+fn main() {
+    println!("Figure 12: launch time as a factor of STORM's (12 MB binary)");
+    let axis = pow2_range(1, 4096);
+    println!("{:>8} {:>10} {:>10} {:>8}", "nodes", "Cplant", "BProc", "STORM");
+    let mut cplant_factors = Vec::new();
+    let mut bproc_factors = Vec::new();
+    for &n in &axis {
+        let storm = Launcher::Storm.fitted_time_secs(n);
+        let cplant = Launcher::Cplant.fitted_time_secs(n) / storm;
+        let bproc = Launcher::BProc.fitted_time_secs(n) / storm;
+        println!("{n:>8} {cplant:>10.1} {bproc:>10.1} {:>8.1}", 1.0);
+        cplant_factors.push(cplant);
+        bproc_factors.push(bproc);
+    }
+
+    let cplant_4k = *cplant_factors.last().unwrap();
+    let bproc_4k = *bproc_factors.last().unwrap();
+    println!("\nAt 4 096 nodes: Cplant = {cplant_4k:.0}x STORM, BProc = {bproc_4k:.0}x STORM");
+
+    check(
+        (150.0..=250.0).contains(&cplant_4k),
+        "Cplant lands around 200x STORM at 4 096 nodes",
+    );
+    check(
+        (30.0..=60.0).contains(&bproc_4k),
+        "BProc lands around 45x STORM at 4 096 nodes",
+    );
+    check(
+        cplant_factors.windows(2).all(|w| w[1] >= w[0] * 0.98),
+        "the Cplant factor grows (or holds) with cluster size",
+    );
+    check(
+        bproc_factors.iter().zip(&cplant_factors).all(|(b, c)| b < c),
+        "BProc stays below Cplant at every size",
+    );
+    check(
+        axis.iter()
+            .zip(&bproc_factors)
+            .filter(|&(&n, _)| n >= 4)
+            .all(|(_, &b)| b > 1.0),
+        "STORM is the fastest at every non-trivial size",
+    );
+    println!("fig12: all shape checks passed");
+}

@@ -1,0 +1,101 @@
+//! Figure 2 — "Send and execute times for a 4 MB, 8 MB, and 12 MB file on
+//! an unloaded system", 1–256 processors.
+//!
+//! Methodology (§3.1): a do-nothing program padded to the given size is
+//! launched with a 1 ms timeslice; launch time is split into the *send*
+//! (read + broadcast + write + notify MM) and *execute* (launch command +
+//! fork + termination wait + report) components. We repeat each point with
+//! distinct seeds and report the mean, as the paper does.
+
+use storm_bench::{check, parallel_sweep, pow2_range, render_comparisons, repeat, Comparison};
+use storm_core::prelude::*;
+
+const REPS: u64 = 5;
+
+fn launch(pes: u32, mb: u64, seed: u64) -> (f64, f64) {
+    let mut c = Cluster::new(ClusterConfig::paper_cluster().with_seed(seed));
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(mb), pes));
+    c.run_until_idle();
+    let m = &c.job(j).metrics;
+    (
+        m.send_span().expect("send").as_millis_f64(),
+        m.execute_span().expect("execute").as_millis_f64(),
+    )
+}
+
+fn main() {
+    println!("Figure 2: send and execute times on an unloaded system (ms, mean of {REPS} runs)");
+    let pes_axis = pow2_range(1, 256);
+    let sizes = [4u64, 8, 12];
+
+    let configs: Vec<(u32, u64)> = pes_axis
+        .iter()
+        .flat_map(|&p| sizes.iter().map(move |&s| (p, s)))
+        .collect();
+    let results = parallel_sweep(configs.clone(), |&(pes, mb)| {
+        let send = repeat(REPS, ((pes as u64) << 8) | mb, |seed| launch(pes, mb, seed).0);
+        let exec = repeat(REPS, ((pes as u64) << 16) | mb, |seed| launch(pes, mb, seed).1);
+        (send.mean(), exec.mean())
+    });
+
+    println!(
+        "{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "PEs", "send4", "exec4", "send8", "exec8", "send12", "exec12"
+    );
+    let mut table = std::collections::HashMap::new();
+    for ((pes, mb), r) in configs.iter().zip(&results) {
+        table.insert((*pes, *mb), *r);
+    }
+    for &pes in &pes_axis {
+        let g = |mb: u64| table[&(pes, mb)];
+        println!(
+            "{:>6} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1}",
+            pes,
+            g(4).0,
+            g(4).1,
+            g(8).0,
+            g(8).1,
+            g(12).0,
+            g(12).1
+        );
+    }
+
+    // Paper-stated anchors.
+    let (send12_256, exec12_256) = table[&(256, 12)];
+    let total = send12_256 + exec12_256;
+    let rows = vec![
+        Comparison::new("send, 12 MB, 256 PEs", Some(96.0), send12_256, "ms"),
+        Comparison::new("total launch, 12 MB, 256 PEs", Some(110.0), total, "ms"),
+        Comparison::new(
+            "protocol bandwidth (12 MB / send)",
+            Some(131.0),
+            12_000.0 / send12_256,
+            "MB/s",
+        ),
+    ];
+    println!("\n{}", render_comparisons("Fig. 2 anchors", &rows));
+
+    // Shape checks.
+    let (s4, _) = table[&(256, 4)];
+    let (s8, _) = table[&(256, 8)];
+    check(s4 < s8 && s8 < send12_256, "send time proportional to binary size");
+    let ratio_sz = send12_256 / s4;
+    check(
+        (2.2..=3.8).contains(&ratio_sz),
+        "12 MB send ≈ 3× the 4 MB send",
+    );
+    let (s12_1, e12_1) = table[&(1, 12)];
+    check(
+        send12_256 / s12_1 < 1.25,
+        "send grows very slowly with node count",
+    );
+    check(
+        exec12_256 > e12_1,
+        "execute time grows with the number of PEs (OS skew)",
+    );
+    check(
+        (total - 110.0).abs() / 110.0 < 0.15,
+        "headline: 12 MB launched in ~110 ms on 256 PEs",
+    );
+    println!("fig2: all shape checks passed");
+}

@@ -1,0 +1,126 @@
+//! Figure 3 — "Send and execute times for a 12 MB file under various types
+//! of load", 1–256 processors.
+//!
+//! §3.1.2: the same launch experiment as Fig. 2, but with either a
+//! spin-loop program (CPU contention) or a pairwise message program
+//! (network contention) running on all 256 processors. The hog job is
+//! actually submitted and gang-scheduled alongside the launch; its
+//! contention effect on the protocol is applied through the calibrated
+//! [`BackgroundLoad`] factors (see DESIGN.md's substitution table).
+
+use storm_bench::{check, parallel_sweep, pow2_range, render_comparisons, repeat, Comparison};
+use storm_core::prelude::*;
+
+const REPS: u64 = 3;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    Unloaded,
+    CpuLoaded,
+    NetLoaded,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Unloaded => "unloaded",
+            Scenario::CpuLoaded => "CPU loaded",
+            Scenario::NetLoaded => "network loaded",
+        }
+    }
+    fn load(self) -> BackgroundLoad {
+        match self {
+            Scenario::Unloaded => BackgroundLoad::NONE,
+            Scenario::CpuLoaded => BackgroundLoad::cpu_loaded(),
+            Scenario::NetLoaded => BackgroundLoad::network_loaded(),
+        }
+    }
+    fn hog(self) -> Option<AppSpec> {
+        match self {
+            Scenario::Unloaded => None,
+            Scenario::CpuLoaded => Some(AppSpec::SpinLoop),
+            Scenario::NetLoaded => Some(AppSpec::NetLoad { msg_bytes: 65536 }),
+        }
+    }
+}
+
+fn launch(pes: u32, scenario: Scenario, seed: u64) -> (f64, f64) {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(seed)
+        .with_load(scenario.load());
+    let mut c = Cluster::new(cfg);
+    // The hog occupies one matrix slot on every PE of the machine.
+    let hog = scenario.hog().map(|app| c.submit(JobSpec::new(app, 256)));
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), pes));
+    let done = c.run_until_done(j);
+    if let Some(h) = hog {
+        c.kill_at(done, h);
+        c.run_until_idle();
+    }
+    let m = &c.job(j).metrics;
+    (
+        m.send_span().expect("send").as_millis_f64(),
+        m.execute_span().expect("execute").as_millis_f64(),
+    )
+}
+
+fn main() {
+    println!("Figure 3: 12 MB launch under load (ms, mean of {REPS} runs)");
+    let pes_axis = pow2_range(1, 256);
+    let scenarios = [Scenario::Unloaded, Scenario::CpuLoaded, Scenario::NetLoaded];
+
+    let configs: Vec<(u32, Scenario)> = pes_axis
+        .iter()
+        .flat_map(|&p| scenarios.iter().map(move |&s| (p, s)))
+        .collect();
+    let results = parallel_sweep(configs.clone(), |&(pes, sc)| {
+        let send = repeat(REPS, (pes as u64) * 31, |seed| launch(pes, sc, seed).0);
+        let exec = repeat(REPS, (pes as u64) * 37, |seed| launch(pes, sc, seed).1);
+        (send.mean(), exec.mean())
+    });
+    let mut table = std::collections::HashMap::new();
+    for ((pes, sc), r) in configs.iter().zip(&results) {
+        table.insert((*pes, sc.name()), *r);
+    }
+
+    println!(
+        "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+        "PEs", "sendU", "execU", "sendC", "execC", "sendN", "execN"
+    );
+    for &pes in &pes_axis {
+        let g = |s: Scenario| table[&(pes, s.name())];
+        let u = g(Scenario::Unloaded);
+        let c = g(Scenario::CpuLoaded);
+        let n = g(Scenario::NetLoaded);
+        println!(
+            "{:>6} | {:>10.1} {:>10.1} | {:>10.1} {:>10.1} | {:>10.1} {:>10.1}",
+            pes, u.0, u.1, c.0, c.1, n.0, n.1
+        );
+    }
+
+    let u = table[&(256, "unloaded")];
+    let c = table[&(256, "CPU loaded")];
+    let n = table[&(256, "network loaded")];
+    let rows = vec![
+        Comparison::new("unloaded total, 256 PEs", Some(110.0), u.0 + u.1, "ms"),
+        Comparison::new("network-loaded total, 256 PEs", Some(1500.0), n.0 + n.1, "ms"),
+    ];
+    println!("\n{}", render_comparisons("Fig. 3 anchors", &rows));
+
+    check(u.0 + u.1 < c.0 + c.1, "CPU load slows the launch");
+    check(c.0 + c.1 < n.0 + n.1, "network load is the worst case");
+    let worst = n.0 + n.1;
+    check(
+        (1000.0..=2000.0).contains(&worst),
+        "worst case ~1.5 s to launch 12 MB on 256 processors",
+    );
+    check(
+        n.0 / u.0 > 5.0,
+        "network contention hits the broadcast stage hardest",
+    );
+    check(
+        c.1 / u.1 > 1.5,
+        "CPU contention hits the execute (fork/daemon) stage",
+    );
+    println!("fig3: all shape checks passed");
+}

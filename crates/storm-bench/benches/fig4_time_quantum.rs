@@ -1,0 +1,121 @@
+//! Figure 4 — "Effect of time quantum with an MPL of 2, on 32 nodes".
+//!
+//! §3.2.1: SWEEP3D (MPL 1 and 2) and a synthetic computation (MPL 2) run on
+//! 32 nodes / 64 PEs while the gang-scheduling quantum sweeps from 300 µs
+//! to 8 s. MPL-2 results are normalised by dividing the makespan by 2. The
+//! paper's findings this bench must reproduce:
+//!
+//! * quanta below ≈ 300 µs are infeasible (NM control-message meltdown);
+//! * from 300 µs up, runtime is essentially flat — (2 ms, 49 s) is the
+//!   annotated point, i.e. no observable slowdown at a quantum an order of
+//!   magnitude below typical OS quanta;
+//! * a slight increase (< 1 s out of 50) toward multi-second quanta from
+//!   event-collection quantisation.
+
+use storm_bench::{check, parallel_sweep, render_comparisons, Comparison};
+use storm_core::prelude::*;
+
+fn run(app: &AppSpec, mpl: u32, quantum_us: u64, seed: u64) -> Option<f64> {
+    let cfg = ClusterConfig::gang_cluster()
+        .with_timeslice(SimSpan::from_micros(quantum_us))
+        .with_seed(seed);
+    if cfg.quantum_infeasible() {
+        return None; // §3.2.1: the NM cannot keep up below ~300 µs
+    }
+    let mut c = Cluster::new(cfg);
+    let jobs: Vec<_> = (0..mpl)
+        .map(|_| c.submit(JobSpec::new(app.clone(), 64).with_ranks_per_node(2)))
+        .collect();
+    c.run_until_idle();
+    let last_done = jobs
+        .iter()
+        .map(|&j| c.job(j).metrics.completed.expect("completed"))
+        .max()
+        .expect("jobs");
+    Some(last_done.as_secs_f64() / f64::from(mpl))
+}
+
+fn main() {
+    println!("Figure 4: total runtime / MPL vs gang-scheduling quantum (32 nodes / 64 PEs)");
+    let quanta_us: Vec<u64> = vec![
+        100, 200, 300, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+        500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000,
+    ];
+    let series: Vec<(&str, AppSpec, u32)> = vec![
+        ("SWEEP3D MPL=1", AppSpec::sweep3d_default(), 1),
+        ("SWEEP3D MPL=2", AppSpec::sweep3d_default(), 2),
+        ("synthetic MPL=2", AppSpec::synthetic_default(), 2),
+    ];
+
+    let configs: Vec<(usize, u64)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| quanta_us.iter().map(move |&q| (si, q)))
+        .collect();
+    let results = parallel_sweep(configs.clone(), |&(si, q)| {
+        let (_, app, mpl) = &series[si];
+        run(app, *mpl, q, 0xF164 ^ q)
+    });
+    let mut table = std::collections::HashMap::new();
+    for (cfg, r) in configs.iter().zip(&results) {
+        table.insert(*cfg, *r);
+    }
+
+    println!(
+        "{:>12} | {:>16} {:>16} {:>16}",
+        "quantum", series[0].0, series[1].0, series[2].0
+    );
+    for &q in &quanta_us {
+        let cell = |si: usize| match table[&(si, q)] {
+            Some(t) => format!("{t:.2} s"),
+            None => "infeasible".to_string(),
+        };
+        println!(
+            "{:>12} | {:>16} {:>16} {:>16}",
+            format!("{}", SimSpan::from_micros(q)),
+            cell(0),
+            cell(1),
+            cell(2)
+        );
+    }
+
+    // Anchors and shape checks.
+    let s2_at = |q: u64| table[&(1usize, q)].expect("feasible");
+    let rows = vec![
+        Comparison::new("SWEEP3D MPL=2 normalised @ 2 ms", Some(49.0), s2_at(2_000), "s"),
+        Comparison::new("SWEEP3D MPL=2 normalised @ 8 s", Some(50.0), s2_at(8_000_000), "s"),
+    ];
+    println!("\n{}", render_comparisons("Fig. 4 anchors", &rows));
+
+    check(
+        table[&(1usize, 100)].is_none() && table[&(1usize, 200)].is_none(),
+        "quanta below ~300 us are infeasible (NM meltdown)",
+    );
+    check(table[&(1usize, 300)].is_some(), "300 us is the smallest feasible quantum");
+    check(
+        (s2_at(2_000) - 49.0).abs() < 2.5,
+        "the paper's annotated point: (2 ms, 49 s)",
+    );
+    // Flatness across the feasible range.
+    let feasible: Vec<f64> = quanta_us
+        .iter()
+        .filter_map(|&q| table[&(1usize, q)])
+        .collect();
+    let lo = feasible.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = feasible.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    check(
+        hi / lo < 1.06,
+        "runtime practically unchanged by the choice of quantum",
+    );
+    check(
+        s2_at(8_000_000) >= s2_at(50_000) - 0.2 && s2_at(8_000_000) - s2_at(50_000) < 1.5,
+        "slight increase (<~1 s of 50) toward multi-second quanta",
+    );
+    // MPL=2 normalised tracks MPL=1 (no observable gang-scheduling overhead).
+    let m1 = table[&(0usize, 2_000)].unwrap();
+    check(
+        (s2_at(2_000) - m1).abs() / m1 < 0.05,
+        "MPL=2 normalised matches MPL=1 at a 2 ms quantum",
+    );
+    println!("fig4: all shape checks passed");
+}

@@ -1,0 +1,90 @@
+//! Figure 5 — "Effect of node scalability, varying the number of nodes in
+//! the range 1–64 for MPL values of 1 and 2".
+//!
+//! §3.2.2: SWEEP3D and the synthetic computation, 2 ranks per node, 50 ms
+//! quantum. The claim: "there is no increase in runtime or overhead with
+//! the increase in the number of nodes beyond that caused by the
+//! job-launch" — the gang scheduler coscheduled a 64-node machine as
+//! rapidly as a 1-node one.
+
+use storm_bench::{check, parallel_sweep, pow2_range};
+use storm_core::prelude::*;
+
+fn run(app: &AppSpec, nodes: u32, mpl: u32, seed: u64) -> f64 {
+    let cfg = ClusterConfig::gang_cluster()
+        .with_nodes(nodes)
+        .with_seed(seed);
+    let mut c = Cluster::new(cfg);
+    let jobs: Vec<_> = (0..mpl)
+        .map(|_| c.submit(JobSpec::new(app.clone(), nodes * 2).with_ranks_per_node(2)))
+        .collect();
+    c.run_until_idle();
+    let last = jobs
+        .iter()
+        .map(|&j| c.job(j).metrics.completed.expect("done"))
+        .max()
+        .expect("jobs");
+    last.as_secs_f64() / f64::from(mpl)
+}
+
+fn main() {
+    println!("Figure 5: total runtime / MPL vs node count (50 ms quantum, 2 ranks/node)");
+    let nodes_axis = pow2_range(1, 64);
+    let series: Vec<(&str, AppSpec, u32)> = vec![
+        ("SWEEP3D MPL=1", AppSpec::sweep3d_default(), 1),
+        ("SWEEP3D MPL=2", AppSpec::sweep3d_default(), 2),
+        ("synthetic MPL=1", AppSpec::synthetic_default(), 1),
+        ("synthetic MPL=2", AppSpec::synthetic_default(), 2),
+    ];
+    let configs: Vec<(usize, u32)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| nodes_axis.iter().map(move |&n| (si, n)))
+        .collect();
+    let results = parallel_sweep(configs.clone(), |&(si, n)| {
+        let (_, app, mpl) = &series[si];
+        run(app, n, *mpl, 0xF1_65 ^ u64::from(n))
+    });
+    let mut table = std::collections::HashMap::new();
+    for (cfg, r) in configs.iter().zip(&results) {
+        table.insert(*cfg, *r);
+    }
+
+    print!("{:>6}", "nodes");
+    for (name, _, _) in &series {
+        print!(" {name:>16}");
+    }
+    println!();
+    for &n in &nodes_axis {
+        print!("{n:>6}");
+        for si in 0..series.len() {
+            print!(" {:>14.2} s", table[&(si, n)]);
+        }
+        println!();
+    }
+
+    // Shape checks: each series is flat in node count (≤ 10% spread — the
+    // workload itself adds a few percent of skew/comm growth).
+    for (si, (name, _, _)) in series.iter().enumerate() {
+        let vals: Vec<f64> = nodes_axis.iter().map(|&n| table[&(si, n)]).collect();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        check(
+            hi / lo < 1.10,
+            &format!("{name}: runtime flat from 1 to 64 nodes ({lo:.1}-{hi:.1} s)"),
+        );
+    }
+    // MPL=2 normalised ≈ MPL=1 at every size.
+    for &n in &nodes_axis {
+        let r = (table[&(1usize, n)] - table[&(0usize, n)]).abs() / table[&(0usize, n)];
+        check(
+            r < 0.06,
+            &format!("SWEEP3D MPL=2/2 matches MPL=1 at {n} nodes ({:.1}% off)", r * 100.0),
+        );
+    }
+    check(
+        (table[&(0usize, 32)] - 49.0).abs() < 3.0,
+        "SWEEP3D at 32 nodes is the paper's ~49 s",
+    );
+    println!("fig5: all shape checks passed");
+}

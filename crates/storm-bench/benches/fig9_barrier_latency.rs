@@ -1,0 +1,45 @@
+//! Figure 9 — "Barrier synchronization latency as a function of the number
+//! of nodes, Terascale Computing System, Pittsburgh Supercomputing Center".
+//!
+//! The paper uses the TCS (768 nodes / 3 072 processors, QsNET like the
+//! LANL cluster) barrier data as evidence that COMPARE-AND-WRITE — built
+//! on the same hardware mechanism — scales: latency grows only ≈ 2 µs
+//! across a 384× increase in node count.
+
+use storm_bench::{check, pow2_range, render_comparisons, Comparison};
+use storm_net::QsNetModel;
+
+fn main() {
+    println!("Figure 9: hardware barrier latency vs node count (us)");
+    let nodes_axis = pow2_range(1, 1024);
+    let mut series = Vec::new();
+    println!("{:>8} {:>12}", "nodes", "latency");
+    for &n in &nodes_axis {
+        let lat = QsNetModel::for_nodes(n).barrier_latency().as_micros_f64();
+        println!("{n:>8} {lat:>12.2}");
+        series.push((n, lat));
+    }
+
+    let at = |n: u32| series.iter().find(|&&(x, _)| x == n).unwrap().1;
+    let rows = vec![
+        Comparison::new("barrier latency, small cluster", Some(4.5), at(2), "us"),
+        Comparison::new("growth 2 -> 768-class (1024) nodes", Some(2.0), at(1024) - at(2), "us"),
+    ];
+    println!("\n{}", render_comparisons("Fig. 9 anchors", &rows));
+
+    check(
+        series.windows(2).all(|w| w[1].1 >= w[0].1),
+        "latency is monotone in node count",
+    );
+    check((at(2) - 4.5).abs() < 0.5, "~4.5 us on a couple of nodes");
+    let growth = at(1024) - at(2);
+    check(
+        (1.0..=3.0).contains(&growth),
+        "~2 us growth across a 384x-or-larger node-count increase",
+    );
+    check(
+        QsNetModel::for_nodes(4096).barrier_latency().as_micros_f64() < 10.0,
+        "Table 5's bound: QsNET COMPARE-AND-WRITE < 10 us even at 4 096 nodes",
+    );
+    println!("fig9: all shape checks passed");
+}

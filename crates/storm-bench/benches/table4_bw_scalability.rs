@@ -1,0 +1,70 @@
+//! Table 4 — "Bandwidth scalability (MB/s)": asymptotic hardware-broadcast
+//! bandwidth for 4–4 096 nodes and 10–100 m cables, from the validated
+//! QsNET flow-control model (§3.3.2). The paper's own table entries are
+//! embedded for the comparison; the model must reproduce all 42 of them
+//! within 2%.
+
+use storm_bench::check;
+use storm_model::{table4, TABLE4_CABLE_LENGTHS};
+
+/// The paper's Table 4, row-major (MB/s).
+const PAPER: [[f64; 7]; 6] = [
+    [319.0, 319.0, 319.0, 319.0, 284.0, 249.0, 222.0],
+    [319.0, 319.0, 309.0, 287.0, 251.0, 224.0, 202.0],
+    [312.0, 290.0, 270.0, 254.0, 225.0, 203.0, 185.0],
+    [273.0, 256.0, 241.0, 227.0, 204.0, 186.0, 170.0],
+    [243.0, 229.0, 217.0, 206.0, 187.0, 171.0, 158.0],
+    [218.0, 207.0, 197.0, 188.0, 172.0, 159.0, 147.0],
+];
+
+fn main() {
+    println!("Table 4: broadcast bandwidth scalability (MB/s), model vs paper");
+    print!("{:>6} {:>6} {:>7} {:>9}", "nodes", "procs", "stages", "switches");
+    for d in TABLE4_CABLE_LENGTHS {
+        print!(" {:>11}", format!("{d:.0} m"));
+    }
+    println!();
+
+    let rows = table4();
+    let mut max_err: f64 = 0.0;
+    for (ri, row) in rows.iter().enumerate() {
+        print!(
+            "{:>6} {:>6} {:>7} {:>9}",
+            row.nodes, row.processors, row.stages, row.switches
+        );
+        for (ci, bw) in row.bw.iter().enumerate() {
+            let model = bw / 1e6;
+            let paper = PAPER[ri][ci];
+            let err = (model - paper).abs() / paper;
+            max_err = max_err.max(err);
+            print!(" {:>5.0}/{:<5.0}", model, paper);
+        }
+        println!();
+    }
+    println!("(each cell: model/paper; worst-case per row is the rightmost column)");
+    println!("max relative error across all 42 cells: {:.2}%", max_err * 100.0);
+
+    check(max_err < 0.02, "every Table 4 cell reproduced within 2%");
+    // Structural checks the paper calls out.
+    for row in &rows {
+        check(
+            row.bw.windows(2).all(|w| w[1] <= w[0]),
+            &format!("{} nodes: bandwidth falls with cable length", row.nodes),
+        );
+    }
+    for pair in rows.windows(2) {
+        check(
+            pair[1].bw[0] <= pair[0].bw[0],
+            &format!(
+                "bandwidth falls with machine size ({} -> {} nodes)",
+                pair[0].nodes, pair[1].nodes
+            ),
+        );
+    }
+    let worst = rows.last().unwrap().bw.last().unwrap() / 1e6;
+    check(
+        worst > 140.0,
+        "even 4 096 nodes x 100 m sustains >140 MB/s (launch stays fast)",
+    );
+    println!("table4: all shape checks passed");
+}

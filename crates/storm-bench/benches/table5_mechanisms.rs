@@ -1,0 +1,140 @@
+//! Table 5 — "Measured/expected performance of the STORM mechanisms" on
+//! Gigabit Ethernet, Myrinet, InfiniBand, QsNET and BlueGene/L:
+//! COMPARE-AND-WRITE latency and XFER-AND-SIGNAL aggregate bandwidth.
+//!
+//! Besides printing the modelled table, this bench *executes* both the
+//! hardware and the software-emulated mechanism implementations from
+//! `storm-mech` and checks the orders-of-magnitude gap the paper's
+//! portability argument rests on.
+
+use storm_bench::{check, render_comparisons, Comparison};
+use storm_mech::{CmpOp, MechanismImpl, Mechanisms, NodeId, NodeSet};
+use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
+use storm_sim::{DeterministicRng, SimTime};
+
+fn main() {
+    println!("Table 5: expected mechanism performance per network");
+    println!(
+        "{:<18} {:>24} {:>26}",
+        "network", "COMPARE-AND-WRITE (us)", "XFER-AND-SIGNAL (MB/s)"
+    );
+    let n = 4096u32;
+    for kind in NetworkKind::ALL {
+        let perf = kind.mechanism_perf(n);
+        let caw = format!("{:.1}", perf.caw_latency.as_micros_f64());
+        let xfer = perf
+            .xfer_aggregate_bw
+            .map(|b| format!("{:.0} (~{:.0}/node)", b / 1e6, b / 1e6 / f64::from(n)))
+            .unwrap_or_else(|| "not available".to_string());
+        println!("{:<18} {:>24} {:>26}", kind.name(), caw, xfer);
+    }
+
+    // Paper's formulas evaluated at n = 4 096 (lg n = 12).
+    let rows = vec![
+        Comparison::new(
+            "GigE CAW (46 lg n)",
+            Some(46.0 * 12.0),
+            NetworkKind::GigabitEthernet
+                .mechanism_perf(n)
+                .caw_latency
+                .as_micros_f64(),
+            "us",
+        ),
+        Comparison::new(
+            "Myrinet CAW (20 lg n)",
+            Some(20.0 * 12.0),
+            NetworkKind::Myrinet.mechanism_perf(n).caw_latency.as_micros_f64(),
+            "us",
+        ),
+        Comparison::new(
+            "QsNET CAW (<10)",
+            Some(10.0),
+            NetworkKind::QsNet.mechanism_perf(n).caw_latency.as_micros_f64(),
+            "us",
+        ),
+        Comparison::new(
+            "BlueGene/L CAW (<2)",
+            Some(2.0),
+            NetworkKind::BlueGeneL.mechanism_perf(n).caw_latency.as_micros_f64(),
+            "us",
+        ),
+        Comparison::new(
+            "Myrinet X&S (15n MB/s)",
+            Some(15.0 * f64::from(n)),
+            NetworkKind::Myrinet.mechanism_perf(n).xfer_aggregate_bw.unwrap() / 1e6,
+            "MB/s",
+        ),
+        Comparison::new(
+            "BlueGene/L X&S (700n MB/s)",
+            Some(700.0 * f64::from(n)),
+            NetworkKind::BlueGeneL.mechanism_perf(n).xfer_aggregate_bw.unwrap() / 1e6,
+            "MB/s",
+        ),
+    ];
+    println!("\n{}", render_comparisons("Table 5 vs paper formulas", &rows));
+
+    // Execute the mechanisms for real on 1 024 nodes.
+    println!("Executed mechanism timings on 1 024 nodes:");
+    let nodes = 1024u32;
+    let all = NodeSet::All(nodes);
+    let mut rng = DeterministicRng::new(55);
+    let mut executed = Vec::new();
+    for kind in NetworkKind::ALL {
+        let mut mech = match kind {
+            NetworkKind::QsNet => Mechanisms::qsnet(nodes),
+            other => Mechanisms::new(MechanismImpl::emulated(other), nodes),
+        };
+        let var = mech.memory.alloc_var(0);
+        let caw = mech.compare_and_write(
+            SimTime::ZERO,
+            &all,
+            var,
+            CmpOp::Ge,
+            0,
+            None,
+            BackgroundLoad::NONE,
+        );
+        let xfer = mech
+            .xfer_and_signal(
+                SimTime::ZERO,
+                NodeId(0),
+                &all,
+                1_000_000,
+                BufferPlacement::NicMemory,
+                None,
+                None,
+                BackgroundLoad::NONE,
+                &mut rng,
+            )
+            .unwrap();
+        let caw_us = caw.complete.as_micros_f64();
+        let xfer_ms = xfer.all_arrived().as_millis_f64();
+        println!(
+            "  {:<18} CAW {:>10.1} us   1 MB multicast delivered in {:>10.2} ms",
+            kind.name(),
+            caw_us,
+            xfer_ms
+        );
+        executed.push((kind, caw_us, xfer_ms));
+    }
+
+    let caw_of = |k: NetworkKind| executed.iter().find(|e| e.0 == k).unwrap().1;
+    let xfer_of = |k: NetworkKind| executed.iter().find(|e| e.0 == k).unwrap().2;
+    check(
+        caw_of(NetworkKind::QsNet) < 10.0,
+        "executed QsNET CAW stays under 10 us at 1 024 nodes",
+    );
+    check(
+        caw_of(NetworkKind::GigabitEthernet) / caw_of(NetworkKind::QsNet) > 50.0,
+        "hardware conditionals beat emulated trees by >50x",
+    );
+    check(
+        caw_of(NetworkKind::BlueGeneL) < caw_of(NetworkKind::QsNet),
+        "BlueGene/L's global tree is the fastest CAW",
+    );
+    check(
+        xfer_of(NetworkKind::QsNet) < xfer_of(NetworkKind::Myrinet),
+        "hardware multicast delivers faster than store-and-forward trees",
+    );
+    println!("table5: all shape checks passed");
+}

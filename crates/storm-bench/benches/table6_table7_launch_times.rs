@@ -1,0 +1,99 @@
+//! Tables 6 & 7 — "A selection of job-launch times found in the
+//! literature" and "Extrapolated job-launch times" (to 4 096 nodes).
+//!
+//! Table 6 lists the measured anchors; Table 7 applies each system's fitted
+//! curve at 4 096 nodes. STORM's own entry comes from our measured
+//! simulation at 64 nodes (Table 6) and the Eq. 3 model (Table 7).
+
+use storm_baselines::Launcher;
+use storm_bench::{check, render_comparisons, repeat, Comparison};
+use storm_core::prelude::*;
+
+fn storm_measured_secs(seed: u64) -> f64 {
+    let mut c = Cluster::new(ClusterConfig::paper_cluster().with_seed(seed));
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.run_until_idle();
+    c.job(j)
+        .metrics
+        .total_launch_span()
+        .expect("total")
+        .as_secs_f64()
+}
+
+fn main() {
+    println!("Table 6: job-launch times found in the literature");
+    println!("{:<10} {:>8} {:>10} {:>14}", "system", "nodes", "binary", "launch time");
+    for l in Launcher::ALL {
+        let m = l.measured();
+        let binary = if m.binary_mb == 0 {
+            "minimal".to_string()
+        } else {
+            format!("{} MB", m.binary_mb)
+        };
+        println!(
+            "{:<10} {:>8} {:>10} {:>12.2} s",
+            l.name(),
+            m.nodes,
+            binary,
+            m.time.as_secs_f64()
+        );
+    }
+
+    println!("\nTable 7: extrapolated to 4 096 nodes");
+    println!("{:<10} {:>16} {:<34}", "system", "time @ 4096", "fit");
+    let fits = [
+        (Launcher::Rsh, "t = 0.934 n + 1.266"),
+        (Launcher::Rms, "t = 0.077 n + 1.092"),
+        (Launcher::GLUnix, "t = 0.012 n + 0.228"),
+        (Launcher::Cplant, "t = 1.379 lg n + 6.177"),
+        (Launcher::BProc, "t = 0.413 lg n - 0.084"),
+        (Launcher::Storm, "Eq. 3 (see Section 3.3)"),
+    ];
+    for (l, fit) in fits {
+        println!(
+            "{:<10} {:>14.2} s {:<34}",
+            l.name(),
+            l.fitted_time_secs(4096),
+            fit
+        );
+    }
+
+    // Our own STORM measurement for the Table 6 row.
+    let ours = repeat(5, 2002, storm_measured_secs).mean();
+    let rows = vec![
+        Comparison::new("STORM: 12 MB on 64 nodes (measured here)", Some(0.11), ours, "s"),
+        Comparison::new(
+            "rsh extrapolated to 4 096 nodes",
+            Some(3_827.10),
+            Launcher::Rsh.fitted_time_secs(4096),
+            "s",
+        ),
+        Comparison::new(
+            "BProc extrapolated to 4 096 nodes",
+            Some(4.88),
+            Launcher::BProc.fitted_time_secs(4096),
+            "s",
+        ),
+    ];
+    println!("\n{}", render_comparisons("Tables 6/7 anchors", &rows));
+
+    check((ours - 0.11).abs() / 0.11 < 0.15, "our 64-node 12 MB launch lands on 0.11 s");
+    check(
+        Launcher::Storm.fitted_time_secs(4096) < 0.15,
+        "STORM stays ~0.11 s even extrapolated to 4 096 nodes",
+    );
+    // Ranking at 4 096 nodes: rsh > RMS > GLUnix > Cplant > BProc > STORM.
+    let order: Vec<f64> = Launcher::ALL
+        .iter()
+        .map(|l| l.fitted_time_secs(4096))
+        .collect();
+    check(
+        order.windows(2).all(|w| w[0] > w[1]),
+        "Table 7 preserves the paper's ranking (rsh slowest ... STORM fastest)",
+    );
+    check(
+        Launcher::BProc.fitted_time_secs(4096) / Launcher::Storm.fitted_time_secs(4096) > 30.0,
+        "STORM an order of magnitude (and more) below the best prior result",
+    );
+    println!("table6/7: all shape checks passed");
+}

@@ -1,0 +1,101 @@
+//! Table 8 — "A selection of scheduling quanta found in the literature":
+//! the minimal feasible scheduling quantum (slowdown ≤ 2%) for RMS,
+//! SCore-D and STORM.
+//!
+//! The RMS and SCore-D entries come from their published overhead models;
+//! STORM's is *measured* here by gang-scheduling two SWEEP3D instances and
+//! comparing against an effectively-unsliced baseline.
+
+use storm_baselines::{min_feasible_quantum, slowdown, SchedulerModel};
+use storm_bench::{check, parallel_sweep, render_comparisons, Comparison};
+use storm_core::prelude::*;
+
+fn sweep_runtime(quantum: SimSpan, seed: u64) -> Option<f64> {
+    let cfg = ClusterConfig::gang_cluster()
+        .with_timeslice(quantum)
+        .with_seed(seed);
+    if cfg.quantum_infeasible() {
+        return None;
+    }
+    let mut c = Cluster::new(cfg);
+    let a = c.submit(JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2));
+    let b = c.submit(JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2));
+    c.run_until_idle();
+    let done = c
+        .job(a)
+        .metrics
+        .completed
+        .unwrap()
+        .max(c.job(b).metrics.completed.unwrap());
+    Some(done.as_secs_f64() / 2.0)
+}
+
+fn main() {
+    println!("Table 8: minimal feasible scheduling quantum (slowdown <= 2%)");
+    println!("{:<10} {:>22} {:>10}", "system", "min feasible quantum", "nodes");
+    for m in SchedulerModel::ALL {
+        let q = min_feasible_quantum(m, 0.02);
+        println!("{:<10} {:>20} {:>10}", m.name(), format!("{q}"), m.reference_nodes());
+    }
+
+    // Published slowdowns at the published quanta.
+    let rows = vec![
+        Comparison::new(
+            "RMS slowdown @ 30 s",
+            Some(1.8),
+            slowdown(SchedulerModel::Rms, SimSpan::from_secs(30)).unwrap() * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "SCore-D slowdown @ 100 ms",
+            Some(2.0),
+            slowdown(SchedulerModel::ScoreD, SimSpan::from_millis(100)).unwrap() * 100.0,
+            "%",
+        ),
+    ];
+    println!("\n{}", render_comparisons("published anchors", &rows));
+
+    // Measure STORM's slowdown-vs-quantum curve in the simulator.
+    println!("STORM measured (gang-scheduled SWEEP3D x2, 32 nodes / 64 PEs):");
+    let quanta = vec![
+        SimSpan::from_micros(100),
+        SimSpan::from_micros(300),
+        SimSpan::from_millis(2),
+        SimSpan::from_millis(50),
+        SimSpan::from_secs(2),
+    ];
+    let results = parallel_sweep(quanta.clone(), |&q| sweep_runtime(q, 88));
+    let baseline = results.last().unwrap().expect("2 s quantum baseline");
+    let mut at_2ms = f64::NAN;
+    for (q, r) in quanta.iter().zip(&results) {
+        match r {
+            Some(t) => {
+                let slow = (t - baseline) / baseline * 100.0;
+                println!("  quantum {:>10}: {:.2} s ({:+.2}% vs 2 s quantum)", format!("{q}"), t, slow);
+                if *q == SimSpan::from_millis(2) {
+                    at_2ms = slow;
+                }
+            }
+            None => println!("  quantum {:>10}: infeasible (NM control-message meltdown)", format!("{q}")),
+        }
+    }
+
+    check(results[0].is_none(), "100 us quantum is below STORM's hard floor");
+    check(results[1].is_some(), "300 us quantum is feasible");
+    check(
+        at_2ms.abs() < 2.0,
+        "no observable slowdown (<2%) at a 2 ms quantum — the Table 8 row",
+    );
+    let storm_q = min_feasible_quantum(SchedulerModel::Storm, 0.02);
+    let scored_q = min_feasible_quantum(SchedulerModel::ScoreD, 0.02);
+    let rms_q = min_feasible_quantum(SchedulerModel::Rms, 0.02);
+    check(
+        scored_q.as_nanos() >= 50 * storm_q.as_nanos(),
+        "STORM is about two orders of magnitude below SCore-D",
+    );
+    check(
+        rms_q.as_nanos() > 100 * scored_q.as_nanos(),
+        "SCore-D in turn sits far below RMS",
+    );
+    println!("table8: all shape checks passed");
+}

@@ -1,0 +1,188 @@
+//! # storm-bench — the experiment harness
+//!
+//! One bench target per table and figure of the paper's evaluation (run
+//! with `cargo bench -p storm-bench`, or a single one with e.g.
+//! `cargo bench -p storm-bench --bench fig2_launch_unloaded`). Each target
+//! prints the same rows/series the paper reports, next to the paper's own
+//! numbers where the paper states them, and exits non-zero if the
+//! reproduced *shape* deviates (who wins, by roughly what factor, where
+//! crossovers fall).
+//!
+//! This crate's library half holds the shared harness: repetition/statistic
+//! helpers matching the paper's methodology (mean of 3–20 repetitions;
+//! minimum for the §3.2 application runs), a parallel sweep driver, and
+//! paper-vs-measured comparison rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use storm_sim::stats::Summary;
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Row label (e.g. "12 MB, 256 PEs, send").
+    pub label: String,
+    /// The paper's reported value (None when the paper gives no number).
+    pub paper: Option<f64>,
+    /// Our measured/modelled value.
+    pub measured: f64,
+    /// Unit for display.
+    pub unit: &'static str,
+}
+
+impl Comparison {
+    /// Build a comparison row.
+    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: f64, unit: &'static str) -> Self {
+        Comparison {
+            label: label.into(),
+            paper,
+            measured,
+            unit,
+        }
+    }
+
+    /// measured / paper, when the paper states a value.
+    pub fn ratio(&self) -> Option<f64> {
+        self.paper.map(|p| self.measured / p)
+    }
+}
+
+/// Render a block of comparisons as an aligned table.
+pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title}");
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>8}",
+        "quantity", "paper", "measured", "ratio"
+    );
+    for r in rows {
+        let paper = match r.paper {
+            Some(p) => format!("{p:.3} {}", r.unit),
+            None => "-".to_string(),
+        };
+        let ratio = match r.ratio() {
+            Some(x) => format!("{x:.2}x"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>8}",
+            r.label,
+            paper,
+            format!("{:.3} {}", r.measured, r.unit),
+            ratio
+        );
+    }
+    out
+}
+
+/// Run `reps` repetitions of an experiment with distinct seeds, returning
+/// the summary (the paper runs each experiment 3–20 times, §3).
+pub fn repeat(reps: u64, base_seed: u64, mut f: impl FnMut(u64) -> f64) -> Summary {
+    let mut s = Summary::new();
+    for i in 0..reps {
+        s.push(f(base_seed.wrapping_add(i).wrapping_mul(0x9E37_79B9)));
+    }
+    s
+}
+
+/// Run independent experiment configurations in parallel across threads
+/// (each simulation is single-threaded and deterministic; the sweep across
+/// configurations is embarrassingly parallel).
+pub fn parallel_sweep<C, R>(configs: Vec<C>, f: impl Fn(&C) -> R + Sync) -> Vec<R>
+where
+    C: Send + Sync,
+    R: Send,
+{
+    let n = configs.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&configs[i]);
+                done.lock().expect("sweep lock").push((i, r));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut pairs = done.into_inner().expect("sweep lock");
+    pairs.sort_by_key(|&(i, _)| i);
+    assert_eq!(pairs.len(), n, "every config produced a result");
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Assert a shape property, printing a clear message and failing the bench
+/// process (exit code) when violated.
+pub fn check(ok: bool, what: &str) {
+    if ok {
+        println!("   [shape ok] {what}");
+    } else {
+        println!("   [SHAPE VIOLATION] {what}");
+        std::process::exit(1);
+    }
+}
+
+/// Geometric x-axis helper: powers of two from `lo` to `hi` inclusive.
+pub fn pow2_range(lo: u32, hi: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut x = lo.max(1);
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_ratio() {
+        let c = Comparison::new("x", Some(100.0), 110.0, "ms");
+        assert!((c.ratio().unwrap() - 1.1).abs() < 1e-12);
+        assert!(Comparison::new("y", None, 5.0, "s").ratio().is_none());
+        let text = render_comparisons("t", &[c]);
+        assert!(text.contains("1.10x"));
+    }
+
+    #[test]
+    fn repeat_uses_distinct_seeds() {
+        let mut seeds = Vec::new();
+        let s = repeat(5, 7, |seed| {
+            seeds.push(seed);
+            seed as f64
+        });
+        assert_eq!(s.count(), 5);
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let configs: Vec<u64> = (0..50).collect();
+        let results = parallel_sweep(configs, |&c| c * 2);
+        assert_eq!(results, (0..50).map(|c| c * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pow2_range_inclusive() {
+        assert_eq!(pow2_range(1, 8), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_range(4, 5), vec![4]);
+        assert_eq!(pow2_range(3, 24), vec![3, 6, 12, 24]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Cluster assembly and the user-facing API.
+//!
+//! [`Cluster`] wires a complete simulated machine — one Machine Manager,
+//! one Node Manager per node, and `cpus × mpl` Program Launchers per node —
+//! around a [`World`], then exposes submit/run/inspect operations. This is
+//! the entry point all examples, integration tests and benches use.
+
+use crate::config::ClusterConfig;
+use crate::job::{JobId, JobRecord, JobSpec, JobState};
+use crate::mm::MachineManager;
+use crate::msg::Msg;
+use crate::nm::NodeManager;
+use crate::pl::ProgramLauncher;
+use crate::world::World;
+use storm_sim::{SimTime, Simulation};
+
+/// A fully-wired simulated STORM cluster.
+pub struct Cluster {
+    sim: Simulation<World, Msg>,
+    next_job: u32,
+}
+
+impl Cluster {
+    /// Build a cluster for `cfg` (validated).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let seed = cfg.seed;
+        let world = World::new(cfg);
+        let cfg = world.cfg.clone();
+        let mut sim = Simulation::new(world, seed);
+        let mm = sim.add_component(MachineManager::new());
+        let mut nms = Vec::with_capacity(cfg.nodes as usize);
+        let mut pls = Vec::with_capacity(cfg.nodes as usize);
+        for node in 0..cfg.nodes {
+            nms.push(sim.add_component(NodeManager::new(node)));
+            let per_node = cfg.cpus_per_node * u32::try_from(cfg.mpl_max).expect("mpl");
+            let mut node_pls = Vec::with_capacity(per_node as usize);
+            for i in 0..per_node {
+                node_pls.push(sim.add_component(ProgramLauncher::new(node, i)));
+            }
+            pls.push(node_pls);
+        }
+        {
+            let w = sim.world_mut();
+            w.wiring.mm = Some(mm);
+            w.wiring.nms = nms;
+            w.wiring.pls = pls;
+        }
+        // Fault detection needs the MM heartbeat loop running from t = 0.
+        if cfg.fault_detection {
+            sim.post(SimTime::ZERO, mm, Msg::Tick);
+        }
+        Cluster { sim, next_job: 0 }
+    }
+
+    /// Enable trace recording (renderable via [`Cluster::trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.sim.enable_tracing();
+    }
+
+    /// The rendered event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> String {
+        self.sim.tracer().render()
+    }
+
+    fn mm(&self) -> storm_sim::ComponentId {
+        self.sim.world().wiring.mm.expect("MM wired at build")
+    }
+
+    /// Submit a job at the current simulated time.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let now = self.sim.now();
+        self.submit_at(now, spec)
+    }
+
+    /// Submit a job at a future instant.
+    pub fn submit_at(&mut self, at: SimTime, spec: JobSpec) -> JobId {
+        assert!(
+            spec.nodes_needed(self.sim.world().cfg.cpus_per_node) <= self.sim.world().cfg.nodes,
+            "job needs more nodes than the cluster has"
+        );
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.sim.world_mut().register_job(JobRecord::new(id, spec));
+        let mm = self.mm();
+        self.sim.post(at, mm, Msg::Submit(id));
+        id
+    }
+
+    /// Kill a job at `at` (how the endless hog programs are stopped).
+    pub fn kill_at(&mut self, at: SimTime, job: JobId) {
+        let mm = self.mm();
+        self.sim.post(at, mm, Msg::Kill(job));
+    }
+
+    /// Inject a node failure at `at`: the node's NM stops responding to
+    /// everything (fragments, strobes, heartbeats).
+    pub fn fail_node_at(&mut self, at: SimTime, node: u32) {
+        let nm = self.sim.world().wiring.nms[node as usize];
+        self.sim.post(at, nm, Msg::FailNode);
+    }
+
+    /// Run until all submitted jobs are terminal and the event queue
+    /// drains. Panics if the cluster cannot go idle (e.g. endless hog jobs
+    /// that were never killed, or fault detection enabled — use
+    /// [`Cluster::run_until`] for those).
+    pub fn run_until_idle(&mut self) -> SimTime {
+        assert!(
+            !self.sim.world().cfg.fault_detection,
+            "fault-detection clusters tick forever; use run_until"
+        );
+        let t = self.sim.run_to_completion();
+        assert!(
+            self.sim.world().is_idle(),
+            "simulation drained but jobs are not terminal (endless job without a kill?)"
+        );
+        t
+    }
+
+    /// Run until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.sim.run_until(deadline)
+    }
+
+    /// Run until `job` reaches a terminal state (or the queue drains).
+    /// Returns the completion instant.
+    pub fn run_until_done(&mut self, job: JobId) -> SimTime {
+        while !self.sim.world().job(job).state.is_terminal() {
+            if !self.sim.step() {
+                panic!("simulation drained before {job} completed");
+            }
+        }
+        self.sim.now()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// A job's record.
+    pub fn job(&self, id: JobId) -> &JobRecord {
+        self.sim.world().job(id)
+    }
+
+    /// The shared world (configuration, stats, matrix, mechanisms).
+    pub fn world(&self) -> &World {
+        self.sim.world()
+    }
+
+    /// Mutable world access between runs — used by experiments and tests to
+    /// install fault plans (`world.mech.fault`) or tweak device state
+    /// before submitting work.
+    pub fn with_world_mut<R>(&mut self, f: impl FnOnce(&mut World) -> R) -> R {
+        f(self.sim.world_mut())
+    }
+
+    /// Total simulation events delivered (simulator-performance metric).
+    pub fn events_delivered(&self) -> u64 {
+        self.sim.events_delivered()
+    }
+
+    /// Summarise all jobs.
+    pub fn report(&self) -> Report {
+        let w = self.sim.world();
+        Report {
+            jobs: w
+                .jobs
+                .iter()
+                .map(|r| JobSummary {
+                    id: r.id,
+                    name: r.spec.name.clone(),
+                    ranks: r.spec.ranks,
+                    state: r.state,
+                    metrics: r.metrics.clone(),
+                })
+                .collect(),
+            strobes: w.stats.strobes,
+            fragments: w.stats.fragments,
+            reports: w.stats.reports,
+            completed_jobs: w.stats.completed_jobs,
+        }
+    }
+}
+
+/// One job's summary in a [`Report`].
+#[derive(Debug, Clone)]
+pub struct JobSummary {
+    /// Job id.
+    pub id: JobId,
+    /// Job name.
+    pub name: String,
+    /// Rank count.
+    pub ranks: u32,
+    /// Final (or current) state.
+    pub state: JobState,
+    /// Timestamps.
+    pub metrics: crate::job::JobMetrics,
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All jobs, in submission order.
+    pub jobs: Vec<JobSummary>,
+    /// Strobe multicasts issued.
+    pub strobes: u64,
+    /// Fragments broadcast.
+    pub fragments: u64,
+    /// NM reports collected.
+    pub reports: u64,
+    /// Jobs completed.
+    pub completed_jobs: u64,
+}
+
+impl Report {
+    /// Render a human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<12} {:>6} {:<12} {:>12} {:>12} {:>12}",
+            "id", "name", "ranks", "state", "send", "execute", "total"
+        );
+        for j in &self.jobs {
+            let fmt_span = |s: Option<storm_sim::SimSpan>| match s {
+                Some(s) => format!("{s}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<6} {:<12} {:>6} {:<12} {:>12} {:>12} {:>12}",
+                format!("{}", j.id),
+                j.name,
+                j.ranks,
+                format!("{:?}", j.state),
+                fmt_span(j.metrics.send_span()),
+                fmt_span(j.metrics.execute_span()),
+                fmt_span(j.metrics.total_launch_span()),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "strobes={} fragments={} reports={} completed={}",
+            self.strobes, self.fragments, self.reports, self.completed_jobs
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_apps::AppSpec;
+    use storm_sim::SimSpan;
+
+    #[test]
+    fn do_nothing_job_launches_and_completes() {
+        let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+        let job = cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+        cluster.run_until_idle();
+        let rec = cluster.job(job);
+        assert_eq!(rec.state, JobState::Completed);
+        let m = &rec.metrics;
+        assert!(m.send_span().is_some());
+        assert!(m.execute_span().is_some());
+        // Fig. 2 headline: ≈110 ms to launch 12 MB on 256 PEs; send ≈96 ms.
+        let send = m.send_span().unwrap().as_millis_f64();
+        let total = m.total_launch_span().unwrap().as_millis_f64();
+        assert!((send - 96.0).abs() < 8.0, "send = {send:.1} ms");
+        assert!((total - 110.0).abs() < 15.0, "total = {total:.1} ms");
+    }
+
+    #[test]
+    fn launch_scales_with_binary_size() {
+        let mut sends = Vec::new();
+        for mb in [4u64, 8, 12] {
+            let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+            let job = cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(mb), 256));
+            cluster.run_until_idle();
+            sends.push(cluster.job(job).metrics.send_span().unwrap().as_millis_f64());
+        }
+        // Send time proportional to binary size (Fig. 2).
+        assert!(sends[0] < sends[1] && sends[1] < sends[2]);
+        let ratio = sends[2] / sends[0];
+        assert!(ratio > 2.3 && ratio < 3.7, "12 MB ≈ 3× the 4 MB send, got {ratio:.2}");
+    }
+
+    #[test]
+    fn execute_grows_with_pe_count() {
+        let exec_at = |pes: u32| {
+            let mut c = Cluster::new(ClusterConfig::paper_cluster().with_seed(42));
+            let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(4), pes));
+            c.run_until_idle();
+            c.job(j).metrics.execute_span().unwrap().as_millis_f64()
+        };
+        let small = exec_at(1);
+        let large = exec_at(256);
+        assert!(large > small, "execute skew grows with PEs: {small:.2} vs {large:.2}");
+        assert!(large < 30.0, "execute stays in the ms range: {large:.2}");
+    }
+
+    #[test]
+    fn sweep3d_runs_under_gang_scheduling() {
+        let cfg = ClusterConfig::gang_cluster().with_timeslice(SimSpan::from_millis(50));
+        let mut cluster = Cluster::new(cfg);
+        let job = cluster.submit(
+            JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2),
+        );
+        cluster.run_until_idle();
+        let rec = cluster.job(job);
+        assert_eq!(rec.state, JobState::Completed);
+        let runtime = rec.metrics.turnaround().unwrap().as_secs_f64();
+        assert!((runtime - 49.0).abs() < 3.0, "SWEEP3D runtime {runtime:.1} s");
+    }
+
+    #[test]
+    fn mpl2_normalised_runtime_matches_mpl1() {
+        // Two SWEEP3D instances gang-scheduled with a 50 ms quantum finish
+        // in ≈ 2× the single-instance time (Fig. 4's key claim at 2 ms;
+        // 50 ms is the paper's default production quantum).
+        let cfg = ClusterConfig::gang_cluster();
+        let mut c1 = Cluster::new(cfg.clone());
+        let j = c1.submit(JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2));
+        c1.run_until_idle();
+        let t1 = c1.job(j).metrics.turnaround().unwrap().as_secs_f64();
+
+        let mut c2 = Cluster::new(cfg);
+        let a = c2.submit(JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2));
+        let b = c2.submit(JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2));
+        c2.run_until_idle();
+        let done_a = c2.job(a).metrics.completed.unwrap();
+        let done_b = c2.job(b).metrics.completed.unwrap();
+        let t2 = done_a.max(done_b).as_secs_f64() / 2.0;
+        assert!(
+            (t2 - t1).abs() / t1 < 0.05,
+            "MPL=2 normalised {t2:.1} s vs MPL=1 {t1:.1} s"
+        );
+    }
+
+    #[test]
+    fn hog_jobs_run_until_killed() {
+        let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+        let hog = cluster.submit(JobSpec::new(AppSpec::SpinLoop, 256));
+        cluster.kill_at(SimTime::from_secs(2), hog);
+        cluster.run_until_idle();
+        assert_eq!(cluster.job(hog).state, JobState::Killed);
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+        cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(4), 16).named("probe"));
+        cluster.run_until_idle();
+        let report = cluster.report();
+        assert_eq!(report.completed_jobs, 1);
+        let text = report.render();
+        assert!(text.contains("probe"));
+        assert!(report.fragments >= 8, "4 MB / 512 KB ≥ 8 fragments");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut c = Cluster::new(ClusterConfig::paper_cluster().with_seed(777));
+            let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(8), 64));
+            c.run_until_idle();
+            (
+                c.job(j).metrics.clone(),
+                c.events_delivered(),
+                c.world().stats.fragments,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_detection_isolates_a_dead_node() {
+        let mut cfg = ClusterConfig::paper_cluster();
+        cfg.fault_detection = true;
+        cfg.heartbeat_every = 4; // fault round every 4 ms
+        let mut cluster = Cluster::new(cfg);
+        cluster.fail_node_at(SimTime::from_millis(20), 13);
+        cluster.run_until(SimTime::from_millis(80));
+        let detected = &cluster.world().stats.failures_detected;
+        assert_eq!(detected.len(), 1, "exactly one failure: {detected:?}");
+        let (node, at) = detected[0];
+        assert_eq!(node, 13);
+        // Detected within two fault rounds (≤ ~2 × 4 ms) of the failure.
+        let latency = at.since(SimTime::from_millis(20));
+        assert!(latency <= SimSpan::from_millis(10), "detection took {latency}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than the cluster")]
+    fn oversized_job_rejected_at_submit() {
+        let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+        cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(4), 10_000));
+    }
+}

@@ -1,0 +1,293 @@
+//! The Ousterhout gang-scheduling matrix.
+//!
+//! Gang scheduling (§3.2) assigns each job's processes to distinct PEs with
+//! a one-to-one mapping, groups jobs into *time slots*, and time-slices
+//! whole slots with a coordinated multi-context-switch each quantum. We
+//! model the matrix at node granularity: each slot owns a [`BuddyAllocator`]
+//! over the cluster's nodes, and a job occupies a contiguous node range
+//! within exactly one slot. The multiprogramming level (MPL) is the number
+//! of occupied slots.
+
+use crate::buddy::BuddyAllocator;
+use crate::job::JobId;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One time slot of the matrix.
+#[derive(Debug, Clone)]
+struct Slot {
+    buddy: BuddyAllocator,
+    jobs: HashMap<JobId, Range<u32>>,
+}
+
+impl Slot {
+    fn new(nodes: u32) -> Self {
+        Slot {
+            buddy: BuddyAllocator::new(nodes),
+            jobs: HashMap::new(),
+        }
+    }
+}
+
+/// The gang matrix: `mpl_max` time slots × `nodes` nodes.
+#[derive(Debug, Clone)]
+pub struct GangMatrix {
+    nodes: u32,
+    mpl_max: usize,
+    slots: Vec<Slot>,
+}
+
+impl GangMatrix {
+    /// An empty matrix over `nodes` nodes with at most `mpl_max` slots.
+    pub fn new(nodes: u32, mpl_max: usize) -> Self {
+        assert!(nodes > 0 && mpl_max > 0);
+        GangMatrix {
+            nodes,
+            mpl_max,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Cluster width.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Maximum multiprogramming level.
+    pub fn mpl_max(&self) -> usize {
+        self.mpl_max
+    }
+
+    /// Current number of slots (occupied or created).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current multiprogramming level (number of non-empty slots).
+    pub fn mpl(&self) -> usize {
+        self.slots.iter().filter(|s| !s.jobs.is_empty()).count()
+    }
+
+    /// Total jobs placed.
+    pub fn job_count(&self) -> usize {
+        self.slots.iter().map(|s| s.jobs.len()).sum()
+    }
+
+    /// Try to place a job needing `nodes_needed` nodes: first slot with a
+    /// free aligned block wins; a new slot is opened if all existing slots
+    /// are full and fewer than `mpl_max` exist. Returns `(slot, node range)`.
+    pub fn place(&mut self, job: JobId, nodes_needed: u32) -> Option<(usize, Range<u32>)> {
+        if nodes_needed == 0 || nodes_needed > self.nodes {
+            return None;
+        }
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(range) = slot.buddy.alloc(nodes_needed) {
+                slot.jobs.insert(job, range.clone());
+                return Some((idx, range));
+            }
+        }
+        if self.slots.len() < self.mpl_max {
+            let mut slot = Slot::new(self.nodes);
+            let range = slot
+                .buddy
+                .alloc(nodes_needed)
+                .expect("fresh slot must fit a feasible job");
+            slot.jobs.insert(job, range.clone());
+            self.slots.push(slot);
+            return Some((self.slots.len() - 1, range));
+        }
+        None
+    }
+
+    /// Remove a job, freeing its block. Returns its former `(slot, range)`.
+    pub fn remove(&mut self, job: JobId) -> Option<(usize, Range<u32>)> {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(range) = slot.jobs.remove(&job) {
+                slot.buddy.free(range.start);
+                return Some((idx, range));
+            }
+        }
+        None
+    }
+
+    /// Jobs in a slot, sorted by id for determinism.
+    pub fn jobs_in_slot(&self, slot: usize) -> Vec<(JobId, Range<u32>)> {
+        let mut v: Vec<(JobId, Range<u32>)> = self.slots[slot]
+            .jobs
+            .iter()
+            .map(|(&j, r)| (j, r.clone()))
+            .collect();
+        v.sort_by_key(|(j, _)| *j);
+        v
+    }
+
+    /// The slot a job lives in, if placed.
+    pub fn slot_of(&self, job: JobId) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.jobs.contains_key(&job))
+    }
+
+    /// The node range of a placed job.
+    pub fn range_of(&self, job: JobId) -> Option<Range<u32>> {
+        self.slots
+            .iter()
+            .find_map(|s| s.jobs.get(&job).cloned())
+    }
+
+    /// The next non-empty slot after `current` in round-robin order — the
+    /// slot the MM activates at the next quantum boundary. `None` when the
+    /// matrix is empty.
+    pub fn next_active_slot(&self, current: usize) -> Option<usize> {
+        let n = self.slots.len();
+        if n == 0 {
+            return None;
+        }
+        for step in 1..=n {
+            let idx = (current + step) % n;
+            if !self.slots[idx].jobs.is_empty() {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Largest free aligned block available in any slot — used by
+    /// schedulers to decide whether a queued job could start now.
+    pub fn can_place(&self, nodes_needed: u32) -> bool {
+        if nodes_needed == 0 || nodes_needed > self.nodes {
+            return false;
+        }
+        let want = nodes_needed.next_power_of_two();
+        self.slots
+            .iter()
+            .any(|s| s.buddy.free_nodes() >= want && s.buddy.clone().alloc(nodes_needed).is_some())
+            || self.slots.len() < self.mpl_max
+    }
+
+    /// Check the one-to-one mapping invariant: within every slot, no two
+    /// jobs overlap. (Debug/testing aid.)
+    pub fn check_invariants(&self) {
+        for slot in &self.slots {
+            let mut ranges: Vec<&Range<u32>> = slot.jobs.values().collect();
+            ranges.sort_by_key(|r| r.start);
+            for w in ranges.windows(2) {
+                assert!(
+                    w[0].end <= w[1].start,
+                    "overlapping placements: {:?} vs {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(n: u64) -> JobId {
+        JobId(n as u32)
+    }
+
+    #[test]
+    fn fills_one_slot_before_opening_another() {
+        let mut m = GangMatrix::new(8, 2);
+        let (s1, _) = m.place(j(1), 8).unwrap();
+        assert_eq!(s1, 0);
+        assert_eq!(m.mpl(), 1);
+        // Second full-machine job opens slot 1 (MPL 2).
+        let (s2, _) = m.place(j(2), 8).unwrap();
+        assert_eq!(s2, 1);
+        assert_eq!(m.mpl(), 2);
+        // Third cannot be placed (MPL cap).
+        assert!(m.place(j(3), 1).is_none());
+    }
+
+    #[test]
+    fn space_shares_within_a_slot() {
+        let mut m = GangMatrix::new(8, 1);
+        let (s1, r1) = m.place(j(1), 4).unwrap();
+        let (s2, r2) = m.place(j(2), 4).unwrap();
+        assert_eq!((s1, s2), (0, 0));
+        assert!(r1.end <= r2.start || r2.end <= r1.start);
+        m.check_invariants();
+        assert_eq!(m.mpl(), 1);
+        assert_eq!(m.job_count(), 2);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut m = GangMatrix::new(4, 1);
+        m.place(j(1), 4).unwrap();
+        assert!(m.place(j(2), 1).is_none());
+        let (slot, range) = m.remove(j(1)).unwrap();
+        assert_eq!((slot, range), (0, 0..4));
+        assert!(m.place(j(2), 4).is_some());
+        assert!(m.remove(j(99)).is_none());
+    }
+
+    #[test]
+    fn round_robin_skips_empty_slots() {
+        let mut m = GangMatrix::new(4, 3);
+        m.place(j(1), 4).unwrap(); // slot 0
+        m.place(j(2), 4).unwrap(); // slot 1
+        m.place(j(3), 4).unwrap(); // slot 2
+        assert_eq!(m.next_active_slot(0), Some(1));
+        assert_eq!(m.next_active_slot(2), Some(0));
+        m.remove(j(2)).unwrap();
+        assert_eq!(m.next_active_slot(0), Some(2), "skips now-empty slot 1");
+        m.remove(j(1)).unwrap();
+        m.remove(j(3)).unwrap();
+        assert_eq!(m.next_active_slot(0), None);
+    }
+
+    #[test]
+    fn lookups() {
+        let mut m = GangMatrix::new(8, 2);
+        m.place(j(5), 2).unwrap();
+        assert_eq!(m.slot_of(j(5)), Some(0));
+        assert_eq!(m.range_of(j(5)).unwrap().len(), 2);
+        assert_eq!(m.slot_of(j(6)), None);
+        let in_slot = m.jobs_in_slot(0);
+        assert_eq!(in_slot.len(), 1);
+        assert_eq!(in_slot[0].0, j(5));
+    }
+
+    #[test]
+    fn can_place_is_consistent_with_place() {
+        let mut m = GangMatrix::new(8, 1);
+        assert!(m.can_place(8));
+        m.place(j(1), 5).unwrap(); // rounds to 8
+        assert!(!m.can_place(1));
+        assert!(!m.can_place(9), "larger than machine");
+        assert!(!m.can_place(0));
+    }
+
+    #[test]
+    fn random_place_remove_maintains_invariants() {
+        use storm_sim::DeterministicRng;
+        let mut rng = DeterministicRng::new(3);
+        let mut m = GangMatrix::new(32, 3);
+        let mut live: Vec<JobId> = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..1500 {
+            if rng.uniform() < 0.6 || live.is_empty() {
+                let want = 1 << rng.below(5);
+                let id = j(next);
+                next += 1;
+                if m.place(id, want).is_some() {
+                    live.push(id);
+                }
+            } else {
+                let idx = rng.below(live.len() as u64) as usize;
+                let id = live.swap_remove(idx);
+                assert!(m.remove(id).is_some());
+            }
+            m.check_invariants();
+            assert!(m.mpl() <= 3);
+            assert_eq!(m.job_count(), live.len());
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! The Machine Manager (MM).
+//!
+//! One per cluster, on the management node (§2.1): it owns the job queue,
+//! allocates processors through the buddy-tree matrix, drives the chunked
+//! broadcast file-transfer protocol (§2.3/§3.3.1), rotates the gang matrix
+//! and enacts coordinated context switches with a single XFER-AND-SIGNAL
+//! multicast, collects NM event reports, and runs the heartbeat
+//! fault-detection protocol of §4.
+//!
+//! In keeping with the paper, the MM "can issue commands and receive the
+//! notification of events only at the beginning of a timeslice": scheduling
+//! decisions and launch commands happen on `Tick` (every timeslice), report
+//! processing on `Collect` boundaries (every `min(timeslice,
+//! max_event_collect)`). The transfer pipeline's intermediate events
+//! (`ReadDone`, `BcastFreed`, `FlowPoll`) are serviced immediately — they
+//! are handled by the NIC and its lightweight helper process, not by the
+//! MM host process.
+
+use crate::job::{Allocation, JobId, JobState};
+use crate::msg::{Msg, ReportKind};
+use crate::policy::{self, QueuedJob, RunningJob};
+use crate::world::World;
+use std::collections::HashSet;
+use storm_mech::{CmpOp, NodeId, NodeSet};
+use storm_sim::{Component, Context, SimSpan, SimTime};
+
+/// Size of a control multicast (strobe, launch command, heartbeat) in
+/// bytes.
+const CONTROL_MSG_BYTES: u64 = 64;
+
+/// The Machine Manager dæmon.
+#[derive(Debug, Default)]
+pub struct MachineManager {
+    tick_scheduled: bool,
+    collect_scheduled: bool,
+    pending_reports: Vec<(u32, JobId, ReportKind)>,
+    ticks: u64,
+    /// Nodes whose failure has been detected by the heartbeat protocol.
+    detected_failed: HashSet<u32>,
+}
+
+impl MachineManager {
+    /// A fresh MM.
+    pub fn new() -> Self {
+        MachineManager::default()
+    }
+
+    /// Ticks issued so far.
+    pub fn tick_count(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Ticks are the MM's *heartbeat*: they fire every
+    /// `collect_period = min(timeslice, max_event_collect)`. Commands and
+    /// event collection happen on every heartbeat; the gang matrix rotates
+    /// to the next slot only on *timeslice* boundaries (every
+    /// `ticks_per_quantum` heartbeats). With the launch experiments' 1 ms
+    /// timeslice the two cadences coincide, exactly as in §3.1.
+    fn ensure_tick(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        if !self.tick_scheduled {
+            let period = ctx.world_ref().cfg.collect_period();
+            let at = ctx.now().next_boundary(period);
+            ctx.send_self_at(at, Msg::Tick);
+            self.tick_scheduled = true;
+        }
+    }
+
+    fn ensure_collect(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        self.ensure_tick(ctx);
+    }
+
+    /// Heartbeats per scheduling quantum (≥ 1).
+    fn ticks_per_quantum(cfg: &crate::config::ClusterConfig) -> u64 {
+        let q = cfg.timeslice.as_nanos();
+        let c = cfg.collect_period().as_nanos().max(1);
+        q.div_ceil(c).max(1)
+    }
+
+    /// The destination set of a job's allocation.
+    fn alloc_set(alloc: &Allocation) -> NodeSet {
+        NodeSet::Range {
+            start: alloc.nodes.start,
+            len: alloc.nodes.end - alloc.nodes.start,
+        }
+    }
+
+    // ------------------------------------------------------------ policy —
+
+    fn run_policy(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let (kind, cpus) = {
+            let w = ctx.world_ref();
+            (w.cfg.scheduler, w.cfg.cpus_per_node)
+        };
+        let starts = {
+            let w = ctx.world_ref();
+            if w.queue.is_empty() {
+                Vec::new()
+            } else {
+                let queued: Vec<QueuedJob> = w
+                    .queue
+                    .iter()
+                    .map(|&id| {
+                        let rec = w.job(id);
+                        QueuedJob {
+                            id,
+                            nodes_needed: rec.spec.nodes_needed(cpus),
+                            estimate: rec.spec.runtime_estimate,
+                        }
+                    })
+                    .collect();
+                let running: Vec<RunningJob> = w
+                    .jobs
+                    .iter()
+                    .filter(|r| !r.state.is_terminal() && r.allocation.is_some())
+                    .map(|r| RunningJob {
+                        nodes_held: r.alloc().node_count(),
+                        // A job still transferring/launching is treated as
+                        // starting "now" — slightly conservative, and it
+                        // keeps reservations computable during the ~100 ms
+                        // launch window.
+                        est_end: r
+                            .spec
+                            .runtime_estimate
+                            .map(|e| r.metrics.started.unwrap_or(now) + e),
+                    })
+                    .collect();
+                policy::select_starts(kind, now, &queued, &running, &w.matrix)
+            }
+        };
+        for id in starts {
+            let w = ctx.world();
+            w.queue.retain(|&q| q != id);
+            self.start_transfer(id, ctx);
+        }
+    }
+
+    // ---------------------------------------------------------- transfer —
+
+    fn start_transfer(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let cpus = ctx.world_ref().cfg.cpus_per_node;
+        let chunk = ctx.world_ref().cfg.chunk_bytes;
+        // Place in the matrix.
+        let (nodes_needed, rpn, ranks, binary) = {
+            let rec = ctx.world_ref().job(job);
+            (
+                rec.spec.nodes_needed(cpus),
+                rec.spec.ranks_per_node(cpus),
+                rec.spec.ranks,
+                rec.spec.app.binary_bytes(),
+            )
+        };
+        let placed = ctx.world().matrix.place(job, nodes_needed);
+        let Some((slot, range)) = placed else {
+            // Raced with another placement this tick; requeue at the front.
+            ctx.world().queue.push_front(job);
+            return;
+        };
+        ctx.world().slot_jobs_add(slot, job);
+        let node_count = range.end - range.start;
+        // Instantiate the workload and the flow-control counter.
+        let (world, rng) = ctx.world_and_rng();
+        let workload = world.job(job).spec.app.workload(node_count, ranks, rng);
+        let written_var = world.mech.memory.alloc_var(0);
+        let rec = world.job_mut(job);
+        rec.allocation = Some(Allocation {
+            slot,
+            nodes: range,
+            ranks_per_node: rpn,
+            ranks,
+        });
+        rec.cursor = workload.cursor();
+        rec.workload = workload;
+        rec.state = JobState::Transferring;
+        rec.metrics.transfer_start = Some(now);
+        let total_chunks = u32::try_from(binary.div_ceil(chunk)).expect("binary too large");
+        rec.transfer.total_chunks = total_chunks;
+        rec.transfer.last_chunk_bytes = binary % chunk;
+        rec.transfer.written_var = Some(written_var);
+        ctx.trace("mm.transfer_start", || {
+            format!("{job}: {binary} B in {total_chunks} chunks")
+        });
+        self.try_start_read(job, ctx);
+    }
+
+    fn try_start_read(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let (fs, placement, load, slots, chunk_size) = {
+            let w = ctx.world_ref();
+            (
+                w.cfg.fs,
+                w.cfg.placement,
+                w.cfg.load,
+                w.cfg.queue_slots,
+                w.cfg.chunk_bytes,
+            )
+        };
+        let (idx, bytes) = {
+            let t = &ctx.world_ref().job(job).transfer;
+            if t.read_busy
+                || t.next_read >= t.total_chunks
+                || t.next_read >= t.next_bcast + slots
+            {
+                return;
+            }
+            (t.next_read, t.chunk_bytes(t.next_read, chunk_size))
+        };
+        let span = load.inflate(fs.read_span(bytes, placement));
+        let (_, done) = ctx.world().read_dev.transmit(now, span);
+        {
+            let t = &mut ctx.world().job_mut(job).transfer;
+            t.read_busy = true;
+            t.next_read += 1;
+        }
+        let mm = ctx.self_id();
+        ctx.send_at(mm, done, Msg::ReadDone { job, chunk: idx });
+    }
+
+    fn try_broadcast(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        if ctx.world_ref().job(job).state.is_terminal() {
+            return;
+        }
+        let (load, slots, chunk_size, costs, placement) = {
+            let w = ctx.world_ref();
+            (
+                w.cfg.load,
+                w.cfg.queue_slots,
+                w.cfg.chunk_bytes,
+                w.cfg.daemon,
+                w.cfg.placement,
+            )
+        };
+        let (k, total, bytes, written_var, set) = {
+            let rec = ctx.world_ref().job(job);
+            let t = &rec.transfer;
+            if t.bcast_busy {
+                return;
+            }
+            if t.next_bcast >= t.total_chunks {
+                self.check_final(job, ctx);
+                return;
+            }
+            if t.next_bcast >= t.chunks_read {
+                return; // waiting on the read stage
+            }
+            (
+                t.next_bcast,
+                t.total_chunks,
+                t.chunk_bytes(t.next_bcast, chunk_size),
+                t.written_var.expect("flow-control var"),
+                Self::alloc_set(rec.alloc()),
+            )
+        };
+        let _ = total;
+        // Flow control: at most `slots` fragments may be in the remote
+        // receive queue (broadcast but not yet written everywhere).
+        let mut ready_at = now;
+        if k >= slots {
+            let threshold = i64::from(k - slots + 1);
+            let caw = ctx.world().mech.compare_and_write(
+                now,
+                &set,
+                written_var,
+                CmpOp::Ge,
+                threshold,
+                None,
+                load,
+            );
+            if !caw.satisfied {
+                ctx.world().stats.flow_stalls += 1;
+                self.schedule_poll(job, ctx);
+                return;
+            }
+            ready_at = caw.complete;
+        }
+        // Source-side cost: the lightweight helper process services NIC TLB
+        // misses and file accesses (serialising with the broadcast — the
+        // 131 vs 175 MB/s gap of §3.3.1), plus fixed per-fragment protocol
+        // cost and the NIC-TLB penalty of deep receive queues.
+        let helper = load.inflate(SimSpan::for_bytes(bytes, costs.helper_bw))
+            + costs.chunk_fixed
+            + costs.tlb_per_extra_slot * u64::from(slots.saturating_sub(4));
+        let start = ready_at.max(ctx.world_ref().bcast_dev.next_free());
+        let issue_at = start + helper;
+        let src_node = NodeId(0); // management node doubles as node 0's host
+        let result = {
+            let (world, rng) = ctx.world_and_rng();
+            world.mech.xfer_and_signal(
+                issue_at, src_node, &set, bytes, placement, None, None, load, rng,
+            )
+        };
+        match result {
+            Ok(timing) => {
+                let arrival = timing.all_arrived();
+                ctx.world().bcast_dev.transmit(start, arrival.since(start));
+                ctx.world().stats.fragments += 1;
+                {
+                    let t = &mut ctx.world().job_mut(job).transfer;
+                    t.next_bcast += 1;
+                    t.bcast_busy = true;
+                }
+                let nms: Vec<storm_sim::ComponentId> = set
+                    .iter()
+                    .map(|n| ctx.world_ref().wiring.nms[n.index()])
+                    .collect();
+                for nm in nms {
+                    ctx.send_at(nm, arrival, Msg::Fragment { job, chunk: k });
+                }
+                let mm = ctx.self_id();
+                ctx.send_at(mm, arrival, Msg::BcastFreed { job, chunk: k });
+            }
+            Err(_) => {
+                // Atomic abort: nothing was delivered; retry the same chunk.
+                ctx.world().stats.xfer_retries += 1;
+                self.schedule_poll(job, ctx);
+            }
+        }
+    }
+
+    fn schedule_poll(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
+        let poll = ctx.world_ref().cfg.daemon.caw_poll;
+        let pending = {
+            let t = &mut ctx.world().job_mut(job).transfer;
+            std::mem::replace(&mut t.poll_pending, true)
+        };
+        if !pending {
+            ctx.send_self(poll, Msg::FlowPoll { job });
+        }
+    }
+
+    /// All fragments broadcast: confirm (via COMPARE-AND-WRITE) that every
+    /// node has written every fragment, then notify the MM host process at
+    /// the next collection boundary.
+    fn check_final(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let load = ctx.world_ref().cfg.load;
+        let (total, written_var, set, already) = {
+            let rec = ctx.world_ref().job(job);
+            (
+                i64::from(rec.transfer.total_chunks),
+                rec.transfer.written_var.expect("flow-control var"),
+                Self::alloc_set(rec.alloc()),
+                rec.transfer_confirmed.is_some(),
+            )
+        };
+        if already {
+            return;
+        }
+        let caw =
+            ctx.world()
+                .mech
+                .compare_and_write(now, &set, written_var, CmpOp::Ge, total, None, load);
+        if caw.satisfied {
+            ctx.world().job_mut(job).transfer_confirmed = Some(caw.complete);
+            ctx.trace("mm.transfer_confirmed", || format!("{job}"));
+            self.ensure_collect(ctx);
+        } else {
+            self.schedule_poll(job, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------ launch —
+
+    fn launch_ready_jobs(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let ready: Vec<JobId> = ctx
+            .world_ref()
+            .jobs
+            .iter()
+            .filter(|r| r.state == JobState::Transferring && r.metrics.transfer_done.is_some())
+            .map(|r| r.id)
+            .collect();
+        for job in ready {
+            let (set, load, placement) = {
+                let w = ctx.world_ref();
+                (
+                    Self::alloc_set(w.job(job).alloc()),
+                    w.cfg.load,
+                    w.cfg.placement,
+                )
+            };
+            let result = {
+                let (world, rng) = ctx.world_and_rng();
+                world.mech.xfer_and_signal(
+                    now,
+                    NodeId(0),
+                    &set,
+                    CONTROL_MSG_BYTES,
+                    placement,
+                    None,
+                    None,
+                    load,
+                    rng,
+                )
+            };
+            let Ok(timing) = result else {
+                ctx.world().stats.xfer_retries += 1;
+                continue; // retried at the next tick
+            };
+            {
+                let rec = ctx.world().job_mut(job);
+                rec.state = JobState::Launching;
+                rec.metrics.launch_cmd = Some(now);
+            }
+            ctx.trace("mm.launch_cmd", || format!("{job}"));
+            let arrivals: Vec<(usize, SimTime)> = timing
+                .arrivals
+                .iter()
+                .map(|&(n, t)| (n.index(), t))
+                .collect();
+            for (node, at) in arrivals {
+                let nm = ctx.world_ref().wiring.nms[node];
+                ctx.send_at(nm, at, Msg::LaunchCmd(job));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ strobe —
+
+    fn strobe(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        if ctx.world_ref().matrix.job_count() == 0 {
+            return;
+        }
+        // Rotate the active slot on quantum boundaries — or immediately
+        // when the active slot just emptied (its job completed mid-quantum
+        // and the machine would otherwise idle until the boundary).
+        let current = ctx.world_ref().active_slot;
+        let quantum_boundary =
+            self.ticks.is_multiple_of(Self::ticks_per_quantum(&ctx.world_ref().cfg));
+        let current_empty = ctx.world_ref().jobs_in_slot(current).is_empty();
+        let next = if quantum_boundary || current_empty {
+            ctx.world_ref()
+                .matrix
+                .next_active_slot(current)
+                .unwrap_or(current)
+        } else {
+            current
+        };
+        ctx.world().active_slot = next;
+        let (nodes, load, placement) = {
+            let w = ctx.world_ref();
+            (w.cfg.nodes, w.cfg.load, w.cfg.placement)
+        };
+        let set = NodeSet::All(nodes);
+        let result = {
+            let (world, rng) = ctx.world_and_rng();
+            world.mech.xfer_and_signal(
+                now,
+                NodeId(0),
+                &set,
+                CONTROL_MSG_BYTES,
+                placement,
+                None,
+                None,
+                load,
+                rng,
+            )
+        };
+        let Ok(timing) = result else {
+            ctx.world().stats.xfer_retries += 1;
+            return;
+        };
+        ctx.world().stats.strobes += 1;
+        let arrival = timing.all_arrived();
+        let nms: Vec<storm_sim::ComponentId> = ctx.world_ref().wiring.nms.clone();
+        let slot = u32::try_from(next).expect("slot index");
+        for nm in nms {
+            ctx.send_at(nm, arrival, Msg::Strobe { slot });
+        }
+    }
+
+    // ----------------------------------------------------------- reports —
+
+    fn process_events(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        // Transfer-completion notifications land at collection boundaries.
+        let confirmed: Vec<JobId> = ctx
+            .world_ref()
+            .jobs
+            .iter()
+            .filter(|r| {
+                r.state == JobState::Transferring
+                    && r.metrics.transfer_done.is_none()
+                    && r.transfer_confirmed.is_some_and(|t| t <= now)
+            })
+            .map(|r| r.id)
+            .collect();
+        for job in confirmed {
+            ctx.world().job_mut(job).metrics.transfer_done = Some(now);
+            self.ensure_tick(ctx); // a Tick must follow to issue the launch
+        }
+        // NM reports.
+        let reports = std::mem::take(&mut self.pending_reports);
+        for (_node, job, kind) in reports {
+            ctx.world().stats.reports += 1;
+            if ctx.world_ref().job(job).state.is_terminal() {
+                continue;
+            }
+            match kind {
+                ReportKind::Started => {
+                    let node_count = ctx.world_ref().job(job).alloc().active_node_count();
+                    let rec = ctx.world().job_mut(job);
+                    rec.start_reports += 1;
+                    if rec.start_reports == node_count {
+                        rec.state = JobState::Running;
+                        rec.metrics.started = Some(now);
+                    }
+                }
+                ReportKind::Done { app_done } => {
+                    let node_count = ctx.world_ref().job(job).alloc().active_node_count();
+                    let finished = {
+                        let rec = ctx.world().job_mut(job);
+                        rec.done_reports += 1;
+                        rec.app_done_max = Some(match rec.app_done_max {
+                            Some(prev) => prev.max(app_done),
+                            None => app_done,
+                        });
+                        rec.done_reports == node_count
+                    };
+                    if finished {
+                        self.complete_job(job, now, JobState::Completed, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_job(
+        &mut self,
+        job: JobId,
+        now: SimTime,
+        state: JobState,
+        ctx: &mut Context<'_, World, Msg>,
+    ) {
+        let w = ctx.world();
+        {
+            let rec = w.job_mut(job);
+            rec.state = state;
+            rec.metrics.completed = Some(now);
+            if rec.metrics.app_done.is_none() {
+                rec.metrics.app_done = rec.app_done_max;
+            }
+        }
+        if let Some((slot, _)) = w.matrix.remove(job) {
+            w.slot_jobs_remove(slot, job);
+        }
+        w.stats.completed_jobs += 1;
+        ctx.trace("mm.job_done", || format!("{job} -> {state:?}"));
+        // Freed space may unblock queued jobs.
+        self.ensure_tick(ctx);
+    }
+
+    // ---------------------------------------------------- fault detection —
+
+    fn fault_round(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let (nodes, load, placement) = {
+            let w = ctx.world_ref();
+            (w.cfg.nodes, w.cfg.load, w.cfg.placement)
+        };
+        if ctx.world_ref().hb_var.is_none() {
+            let var = ctx.world().mech.memory.alloc_var(0);
+            ctx.world().hb_var = Some(var);
+        }
+        let hb_var = ctx.world_ref().hb_var.expect("just set");
+        let alive: Vec<NodeId> = (0..nodes)
+            .filter(|n| !self.detected_failed.contains(n))
+            .map(NodeId)
+            .collect();
+        if alive.is_empty() {
+            return;
+        }
+        let alive_set = NodeSet::from_list(alive);
+        let round = ctx.world_ref().hb_round;
+        if round > 0 {
+            // Query receipt of the previous round's heartbeat with
+            // COMPARE-AND-WRITE (§4 "Fault detection").
+            let caw = ctx
+                .world()
+                .mech
+                .compare_and_write(now, &alive_set, hb_var, CmpOp::Ge, round, None, load);
+            if !caw.satisfied {
+                // Gather status to isolate the failed slave(s).
+                let values = ctx.world_ref().mech.memory.gather(&alive_set, hb_var);
+                let lagging: Vec<u32> = alive_set
+                    .iter()
+                    .zip(values)
+                    .filter(|&(_, v)| v < round)
+                    .map(|(n, _)| n.0)
+                    .collect();
+                for node in lagging {
+                    if self.detected_failed.insert(node) {
+                        ctx.world().stats.failures_detected.push((node, now));
+                        ctx.trace("mm.fault_detected", || format!("node {node}"));
+                        self.fail_jobs_on(node, now, ctx);
+                    }
+                }
+            }
+        }
+        // Issue the next heartbeat.
+        ctx.world().hb_round += 1;
+        let new_round = ctx.world_ref().hb_round;
+        let alive2: Vec<NodeId> = (0..nodes)
+            .filter(|n| !self.detected_failed.contains(n))
+            .map(NodeId)
+            .collect();
+        let set = NodeSet::from_list(alive2);
+        if set.is_empty() {
+            return;
+        }
+        let result = {
+            let (world, rng) = ctx.world_and_rng();
+            world.mech.xfer_and_signal(
+                now,
+                NodeId(0),
+                &set,
+                CONTROL_MSG_BYTES,
+                placement,
+                None,
+                None,
+                load,
+                rng,
+            )
+        };
+        if let Ok(timing) = result {
+            let arrivals: Vec<(usize, SimTime)> = timing
+                .arrivals
+                .iter()
+                .map(|&(n, t)| (n.index(), t))
+                .collect();
+            for (node, at) in arrivals {
+                let nm = ctx.world_ref().wiring.nms[node];
+                ctx.send_at(nm, at, Msg::Heartbeat { round: new_round });
+            }
+        } else {
+            ctx.world().stats.xfer_retries += 1;
+        }
+    }
+
+    fn fail_jobs_on(&mut self, node: u32, now: SimTime, ctx: &mut Context<'_, World, Msg>) {
+        let victims: Vec<JobId> = ctx
+            .world_ref()
+            .jobs
+            .iter()
+            .filter(|r| {
+                !r.state.is_terminal()
+                    && r.allocation
+                        .as_ref()
+                        .is_some_and(|a| a.nodes.contains(&node))
+            })
+            .map(|r| r.id)
+            .collect();
+        for job in victims {
+            self.complete_job(job, now, JobState::Failed, ctx);
+        }
+    }
+}
+
+impl Component<World, Msg> for MachineManager {
+    fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+        match msg {
+            Msg::Submit(job) => {
+                let now = ctx.now();
+                {
+                    let rec = ctx.world().job_mut(job);
+                    if rec.metrics.submitted.is_none() {
+                        rec.metrics.submitted = Some(now);
+                    }
+                }
+                ctx.world().queue.push_back(job);
+                ctx.trace("mm.submit", || format!("{job}"));
+                self.ensure_tick(ctx);
+            }
+            Msg::Tick => {
+                self.tick_scheduled = false;
+                self.ticks += 1;
+                // A tick is also a collection boundary.
+                self.process_events(ctx);
+                let fault = {
+                    let w = ctx.world_ref();
+                    w.cfg.fault_detection
+                        && (self.ticks - 1).is_multiple_of(u64::from(w.cfg.heartbeat_every))
+                };
+                if fault {
+                    self.fault_round(ctx);
+                }
+                self.run_policy(ctx);
+                self.launch_ready_jobs(ctx);
+                self.strobe(ctx);
+                let keep_going =
+                    !ctx.world_ref().is_idle() || ctx.world_ref().cfg.fault_detection;
+                if keep_going {
+                    self.ensure_tick(ctx);
+                }
+            }
+            Msg::Collect => {
+                self.collect_scheduled = false;
+                self.process_events(ctx);
+            }
+            Msg::ReadDone { job, .. } => {
+                {
+                    let t = &mut ctx.world().job_mut(job).transfer;
+                    t.read_busy = false;
+                    t.chunks_read += 1;
+                }
+                self.try_broadcast(job, ctx);
+                self.try_start_read(job, ctx);
+            }
+            Msg::BcastFreed { job, .. } => {
+                ctx.world().job_mut(job).transfer.bcast_busy = false;
+                self.try_broadcast(job, ctx);
+                self.try_start_read(job, ctx);
+            }
+            Msg::FlowPoll { job } => {
+                ctx.world().job_mut(job).transfer.poll_pending = false;
+                self.try_broadcast(job, ctx);
+            }
+            Msg::NmReport { node, job, kind } => {
+                self.pending_reports.push((node, job, kind));
+                self.ensure_collect(ctx);
+            }
+            Msg::Kill(job) => {
+                let now = ctx.now();
+                if !ctx.world_ref().job(job).state.is_terminal() {
+                    ctx.world().queue.retain(|&q| q != job);
+                    self.complete_job(job, now, JobState::Killed, ctx);
+                }
+            }
+            other => panic!("MM received unexpected message {other:?}"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "MM"
+    }
+}

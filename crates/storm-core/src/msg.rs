@@ -1,0 +1,123 @@
+//! The message vocabulary exchanged by the STORM dæmons inside the
+//! simulation.
+//!
+//! Every arrow in the paper's protocol diagrams is one of these variants:
+//! the MM's timeslice tick, the chunked-transfer events, the strobe that
+//! enacts a coordinated context switch, launch commands, fork/exit
+//! notifications, and the heartbeat used for fault detection.
+
+use crate::job::JobId;
+use storm_sim::SimTime;
+
+/// What a Node Manager reports to the Machine Manager (buffered locally and
+/// flushed at event-collection boundaries — "the MM can … receive the
+/// notification of events only at the beginning of a timeslice").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// All local ranks of the job have been forked and are running.
+    Started,
+    /// All local ranks of the job have exited; payload is the instant the
+    /// last local rank exited.
+    Done {
+        /// When the last local rank exited on this node.
+        app_done: SimTime,
+    },
+}
+
+/// All simulation messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ---------------------------------------------------------------- MM —
+    /// A job (pre-registered in the world) has been submitted.
+    Submit(JobId),
+    /// Timeslice boundary: rotate the gang matrix, run the scheduling
+    /// policy, issue launch commands, run fault-detection rounds.
+    Tick,
+    /// Event-collection boundary: process buffered NM reports (scheduled on
+    /// demand when reports arrive between ticks and the collect period is
+    /// shorter than the timeslice).
+    Collect,
+    /// The filesystem finished reading one chunk of a job's binary.
+    ReadDone {
+        /// Which job's transfer.
+        job: JobId,
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// The source NIC/helper finished broadcasting a chunk (source buffer
+    /// freed; next broadcast/read may proceed).
+    BcastFreed {
+        /// Which job's transfer.
+        job: JobId,
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// Retry the COMPARE-AND-WRITE flow-control check for a transfer that
+    /// was blocked on a full remote receive queue.
+    FlowPoll {
+        /// Which job's transfer.
+        job: JobId,
+    },
+    /// A Node Manager's buffered report, flushed at a collection boundary.
+    NmReport {
+        /// Reporting node.
+        node: u32,
+        /// Subject job.
+        job: JobId,
+        /// What happened.
+        kind: ReportKind,
+    },
+    /// Kill a job (used to stop the endless hog programs).
+    Kill(JobId),
+
+    // ---------------------------------------------------------------- NM —
+    /// One broadcast fragment of a job's binary arrived on this node.
+    Fragment {
+        /// Which job's transfer.
+        job: JobId,
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// The local RAM-disk write of a fragment completed.
+    WriteDone {
+        /// Which job's transfer.
+        job: JobId,
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// Launch command: fork this job's local ranks.
+    LaunchCmd(JobId),
+    /// The coordinated context-switch strobe: slot `slot` becomes active.
+    Strobe {
+        /// Newly active matrix time slot.
+        slot: u32,
+    },
+    /// Fault-detection heartbeat (round counter).
+    Heartbeat {
+        /// Monotonic round number.
+        round: i64,
+    },
+    /// A Program Launcher finished forking a rank.
+    ForkDone {
+        /// Subject job.
+        job: JobId,
+        /// PL index on this node.
+        pl: u32,
+    },
+    /// A Program Launcher's application process exited (do-nothing jobs).
+    PlExited {
+        /// Subject job.
+        job: JobId,
+        /// PL index on this node.
+        pl: u32,
+    },
+    /// Injected node failure: this NM stops responding to everything.
+    FailNode,
+    /// Flush buffered reports to the MM (self-message at a collection
+    /// boundary).
+    FlushReports,
+
+    // ---------------------------------------------------------------- PL —
+    /// Fork one rank of this job.
+    Fork(JobId),
+}

@@ -1,0 +1,428 @@
+//! The Node Manager (NM).
+//!
+//! One per compute node (§2.1): receives the broadcast binary fragments and
+//! writes them to the local RAM disk (incrementing the per-node
+//! flow-control counter the MM's COMPARE-AND-WRITE checks), forks ranks via
+//! the node's Program Launchers when a launch command arrives, enacts the
+//! coordinated context switch when the MM's strobe lands, advances its
+//! local ranks through their workload, detects termination, and reports
+//! events back to the MM — buffered, and flushed only at event-collection
+//! boundaries ("the MM can … receive the notification of events only at the
+//! beginning of a timeslice").
+//!
+//! ## Scheduling model
+//!
+//! Under gang scheduling every rank of a job is co-scheduled, so all of a
+//! job's ranks march through the same BSP step sequence in lock-step. Each
+//! NM keeps a *local cursor* per hosted job and advances it by the CPU time
+//! the job's slot received between strobes; since strobes arrive at all
+//! nodes simultaneously (hardware multicast) and the step timeline is
+//! shared, the per-node cursors stay mutually consistent — exactly the
+//! lock-step the real gang scheduler enforces. Per-node skew enters through
+//! the report path (OS noise), which is where the paper locates it too.
+
+use crate::msg::{Msg, ReportKind};
+use crate::world::World;
+use std::collections::HashMap;
+use storm_apps::WorkloadCursor;
+use storm_mech::NodeId;
+use storm_sim::{Component, Context, SimSpan, SimTime};
+
+/// Per-job local state on one node.
+#[derive(Debug)]
+struct LocalJob {
+    ranks: u32,
+    forked: u32,
+    exited: u32,
+    started_at: Option<SimTime>,
+    cursor: WorkloadCursor,
+    done: bool,
+}
+
+/// One Node Manager dæmon.
+#[derive(Debug)]
+pub struct NodeManager {
+    node: u32,
+    failed: bool,
+    /// Management-CPU queue (strobe/command processing).
+    busy_until: SimTime,
+    /// Local filesystem write device.
+    write_free: SimTime,
+    current_slot: usize,
+    last_strobe: SimTime,
+    /// True when the interval beginning at `last_strobe` started with a
+    /// context switch (its overhead is charged to that interval).
+    switch_pending: bool,
+    local: HashMap<crate::job::JobId, LocalJob>,
+    pending_reports: Vec<(crate::job::JobId, ReportKind)>,
+    flush_scheduled: bool,
+}
+
+impl NodeManager {
+    /// The NM for `node`.
+    pub fn new(node: u32) -> Self {
+        NodeManager {
+            node,
+            failed: false,
+            busy_until: SimTime::ZERO,
+            write_free: SimTime::ZERO,
+            current_slot: 0,
+            last_strobe: SimTime::ZERO,
+            switch_pending: false,
+            local: HashMap::new(),
+            pending_reports: Vec::new(),
+            flush_scheduled: false,
+        }
+    }
+
+    fn node_id(&self) -> NodeId {
+        NodeId(self.node)
+    }
+
+    fn buffer_report(
+        &mut self,
+        job: crate::job::JobId,
+        kind: ReportKind,
+        ctx: &mut Context<'_, World, Msg>,
+    ) {
+        self.pending_reports.push((job, kind));
+        if !self.flush_scheduled {
+            let period = ctx.world_ref().cfg.collect_period();
+            let at = ctx.now().next_boundary(period);
+            ctx.send_self_at(at, Msg::FlushReports);
+            self.flush_scheduled = true;
+        }
+    }
+
+    /// Advance every started local job under the *implicit coscheduling*
+    /// model: the local OS timeshares the `m` resident ranks without any
+    /// global coordination, so each job receives `elapsed / m` of CPU, and
+    /// every exchange whose peer may be descheduled pays a spin-block
+    /// penalty of `(m-1)/m × q_local/2` — the miss probability times the
+    /// expected wait for the peer's next local quantum. Coarse-grained applications barely
+    /// notice; fine-grained ones crawl, which is exactly the trade-off that
+    /// motivates gang scheduling (§5.2).
+    fn advance_ics(&mut self, now: SimTime, ctx: &mut Context<'_, World, Msg>) {
+        let interval = now.saturating_since(self.last_strobe);
+        if interval.is_zero() {
+            return;
+        }
+        let jobs: Vec<crate::job::JobId> = self
+            .local
+            .iter()
+            .filter(|(_, l)| l.started_at.is_some() && !l.done)
+            .map(|(&j, _)| j)
+            .collect();
+        let m = jobs
+            .iter()
+            .filter(|&&j| !ctx.world_ref().job(j).state.is_terminal())
+            .count() as u64;
+        if m == 0 {
+            return;
+        }
+        let qsnet = ctx.world_ref().qsnet;
+        let load = ctx.world_ref().cfg.load;
+        let q_local = ctx.world_ref().cfg.daemon.ics_local_quantum;
+        let miss = (m as f64 - 1.0) / m as f64;
+        let penalty = q_local.mul_f64(0.5 * miss);
+        let comm = move |bytes: u64| -> SimSpan {
+            if bytes == 0 {
+                SimSpan::ZERO
+            } else {
+                let base = qsnet.ptp_span(bytes);
+                let stretched = if load.network > 0.0 {
+                    let data = SimSpan::for_bytes(bytes, qsnet.params.link_bw);
+                    base.saturating_sub(data)
+                        + SimSpan::for_bytes(bytes, load.effective_bw(qsnet.params.link_bw).max(1.0))
+                } else {
+                    base
+                };
+                stretched + penalty
+            }
+        };
+        let mut sorted = jobs;
+        sorted.sort_unstable();
+        for job in sorted {
+            if ctx.world_ref().job(job).state.is_terminal() {
+                continue;
+            }
+            let finished_at = {
+                let Some(local) = self.local.get_mut(&job) else { continue };
+                let Some(started) = local.started_at else { continue };
+                if local.done {
+                    continue;
+                }
+                let from = self.last_strobe.max(started);
+                // Fair local share of the interval.
+                let grant = now.saturating_since(from) / m;
+                if grant.is_zero() {
+                    continue;
+                }
+                let workload = &ctx.world_ref().job(job).workload;
+                if workload.steps().is_empty() && !workload.is_endless() {
+                    continue;
+                }
+                let used = local.cursor.advance(workload, grant, comm);
+                if local.cursor.finished(workload) {
+                    local.done = true;
+                    // The fair-share grant maps back onto wall time ×m.
+                    Some(from + used * m)
+                } else {
+                    None
+                }
+            };
+            if let Some(exit_at) = finished_at {
+                self.buffer_report(job, ReportKind::Done { app_done: exit_at.min(now) }, ctx);
+            }
+        }
+    }
+
+    /// Advance the cursors of every started job in `slot` over the interval
+    /// `[self.last_strobe, now]`, detecting completions.
+    fn advance_slot(&mut self, slot: usize, now: SimTime, ctx: &mut Context<'_, World, Msg>) {
+        let interval = now.saturating_since(self.last_strobe);
+        if interval.is_zero() {
+            return;
+        }
+        let overhead = if self.switch_pending {
+            ctx.world_ref().cfg.daemon.switch_overhead
+        } else {
+            SimSpan::ZERO
+        };
+        let jobs: Vec<crate::job::JobId> = ctx.world_ref().jobs_in_slot(slot).to_vec();
+        // Copy what the comm closure needs before borrowing jobs mutably.
+        let qsnet = ctx.world_ref().qsnet;
+        let load = ctx.world_ref().cfg.load;
+        let comm = move |bytes: u64| -> SimSpan {
+            if bytes == 0 {
+                SimSpan::ZERO
+            } else {
+                let base = qsnet.ptp_span(bytes);
+                if load.network > 0.0 {
+                    let data = SimSpan::for_bytes(bytes, qsnet.params.link_bw);
+                    base.saturating_sub(data)
+                        + SimSpan::for_bytes(bytes, load.effective_bw(qsnet.params.link_bw).max(1.0))
+                } else {
+                    base
+                }
+            }
+        };
+        for job in jobs {
+            if ctx.world_ref().job(job).state.is_terminal() {
+                continue;
+            }
+            let finished_at = {
+                let Some(local) = self.local.get_mut(&job) else {
+                    continue;
+                };
+                let Some(started) = local.started_at else {
+                    continue;
+                };
+                if local.done {
+                    continue;
+                }
+                let from = self.last_strobe.max(started);
+                let grant = now.saturating_since(from).saturating_sub(overhead);
+                if grant.is_zero() {
+                    continue;
+                }
+                let workload = &ctx.world_ref().job(job).workload;
+                if workload.steps().is_empty() && !workload.is_endless() {
+                    continue; // do-nothing jobs terminate through the PL path
+                }
+                let used = local.cursor.advance(workload, grant, comm);
+                if local.cursor.finished(workload) {
+                    local.done = true;
+                    Some(from + overhead + used)
+                } else {
+                    None
+                }
+            };
+            if let Some(exit_at) = finished_at {
+                self.buffer_report(job, ReportKind::Done { app_done: exit_at }, ctx);
+            }
+        }
+    }
+}
+
+impl Component<World, Msg> for NodeManager {
+    fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+        if self.failed && !matches!(msg, Msg::FailNode) {
+            return; // a dead node answers nothing
+        }
+        match msg {
+            Msg::Fragment { job, chunk } => {
+                let now = ctx.now();
+                let (fs, placement, load, write_sigma) = {
+                    let w = ctx.world_ref();
+                    (w.cfg.fs, w.cfg.placement, w.cfg.load, w.cfg.daemon.write_sigma)
+                };
+                let bytes = {
+                    let w = ctx.world_ref();
+                    let t = &w.job(job).transfer;
+                    t.chunk_bytes(chunk, w.cfg.chunk_bytes)
+                };
+                // Write to the local (RAM-disk) filesystem, serialised on the
+                // node's write device, with per-node log-normal noise — the
+                // variability the multi-buffering exists to absorb (§2.3).
+                let noise = ctx.rng().lognormal_jitter(write_sigma);
+                let span = load.inflate(fs.write_span(bytes, placement).mul_f64(noise));
+                let start = now.max(self.write_free);
+                let done = start + span;
+                self.write_free = done;
+                ctx.send_self_at(done, Msg::WriteDone { job, chunk });
+            }
+            Msg::WriteDone { job, .. } => {
+                // Bump the per-node fragment counter the MM's
+                // COMPARE-AND-WRITE flow control watches.
+                let node = self.node_id();
+                let var = ctx
+                    .world_ref()
+                    .job(job)
+                    .transfer
+                    .written_var
+                    .expect("transfer without flow-control var");
+                ctx.world().mech.memory.add(node, var, 1);
+            }
+            Msg::LaunchCmd(job) => {
+                let now = ctx.now();
+                let (costs, load) = {
+                    let w = ctx.world_ref();
+                    (w.cfg.daemon, w.cfg.load)
+                };
+                let ranks_here = ctx.world_ref().job(job).alloc().ranks_on(self.node);
+                if ranks_here == 0 {
+                    return;
+                }
+                self.local.insert(
+                    job,
+                    LocalJob {
+                        ranks: ranks_here,
+                        forked: 0,
+                        exited: 0,
+                        started_at: None,
+                        cursor: ctx.world_ref().job(job).workload.cursor(),
+                        done: false,
+                    },
+                );
+                // Command processing on the management CPU, plus the
+                // exponential OS wake-up delay that drives Fig. 2's
+                // execute-time growth with PE count.
+                let os = SimSpan::from_secs_f64(
+                    ctx.rng().exponential(costs.os_delay_mean.as_secs_f64()),
+                );
+                let service = load.inflate(costs.nm_msg_service + os);
+                let start = now.max(self.busy_until);
+                self.busy_until = start + service;
+                let ready = self.busy_until;
+                // Fork each rank through its own Program Launcher, staggered
+                // by the sequential dispatch loop.
+                for r in 0..ranks_here {
+                    let pl = ctx.world_ref().wiring.pls[self.node as usize][r as usize];
+                    let dispatch = SimSpan::from_micros(30) * u64::from(r);
+                    ctx.send_at(pl, ready + dispatch, Msg::Fork(job));
+                }
+            }
+            Msg::ForkDone { job, .. } => {
+                let Some(local) = self.local.get_mut(&job) else {
+                    return;
+                };
+                local.forked += 1;
+                if local.forked == local.ranks {
+                    local.started_at = Some(ctx.now());
+                    self.buffer_report(job, ReportKind::Started, ctx);
+                }
+            }
+            Msg::PlExited { job, .. } => {
+                let now = ctx.now();
+                let Some(local) = self.local.get_mut(&job) else {
+                    return;
+                };
+                local.exited += 1;
+                if local.exited == local.ranks && !local.done {
+                    local.done = true;
+                    self.buffer_report(job, ReportKind::Done { app_done: now }, ctx);
+                }
+            }
+            Msg::Strobe { slot } => {
+                let now = ctx.now();
+                // NM strobe processing occupies the management CPU; quanta
+                // shorter than the service time melt the NM down (§3.2.1's
+                // ≈ 300 µs floor). We track overruns for the stats.
+                let (service, timeslice) = {
+                    let w = ctx.world_ref();
+                    (
+                        w.cfg.load.inflate(w.cfg.daemon.nm_strobe_service),
+                        w.cfg.timeslice,
+                    )
+                };
+                let start = now.max(self.busy_until);
+                self.busy_until = start + service;
+                if self.busy_until.saturating_since(now) > timeslice * 4 {
+                    ctx.world().stats.nm_overruns += 1;
+                }
+                // Close the interval that ran under the previous slot (or,
+                // under implicit coscheduling, the locally-timeshared mix).
+                if ctx.world_ref().cfg.scheduler == crate::config::SchedulerKind::ImplicitCosched {
+                    self.advance_ics(now, ctx);
+                    self.current_slot = slot as usize;
+                    self.last_strobe = now;
+                    self.switch_pending = false;
+                } else {
+                    self.advance_slot(self.current_slot, now, ctx);
+                    let switched = self.current_slot != slot as usize;
+                    self.current_slot = slot as usize;
+                    self.last_strobe = now;
+                    self.switch_pending = switched;
+                }
+            }
+            Msg::Heartbeat { .. } => {
+                let node = self.node_id();
+                if let Some(var) = ctx.world_ref().hb_var {
+                    ctx.world().mech.memory.add(node, var, 1);
+                }
+            }
+            Msg::FlushReports => {
+                self.flush_scheduled = false;
+                if self.pending_reports.is_empty() {
+                    return;
+                }
+                let (mm, qsnet, load, os_mean) = {
+                    let w = ctx.world_ref();
+                    (
+                        w.wiring.mm.expect("MM not wired"),
+                        w.qsnet,
+                        w.cfg.load,
+                        w.cfg.daemon.os_delay_mean,
+                    )
+                };
+                let reports = std::mem::take(&mut self.pending_reports);
+                for (job, kind) in reports {
+                    // Small point-to-point message to the MM plus OS noise.
+                    let os =
+                        SimSpan::from_secs_f64(ctx.rng().exponential(os_mean.as_secs_f64() / 4.0));
+                    let span = qsnet.ptp_span(128) + load.inflate(os);
+                    ctx.send(
+                        mm,
+                        span,
+                        Msg::NmReport {
+                            node: self.node,
+                            job,
+                            kind,
+                        },
+                    );
+                }
+            }
+            Msg::FailNode => {
+                self.failed = true;
+                let idx = self.node as usize;
+                ctx.world().failed[idx] = true;
+            }
+            other => panic!("NM received unexpected message {other:?}"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "NM"
+    }
+}

@@ -1,0 +1,239 @@
+//! The shared world: everything the dæmons can observe and mutate besides
+//! their own private state — job records, the gang matrix, the mechanism
+//! layer (global memory), the network/filesystem devices, and counters.
+
+use crate::config::ClusterConfig;
+use crate::job::{JobId, JobRecord};
+use crate::matrix::GangMatrix;
+use std::collections::VecDeque;
+use storm_mech::Mechanisms;
+use storm_net::{Nic, QsNetModel};
+use storm_sim::{ComponentId, SimSpan, SimTime};
+
+/// Component wiring: where each dæmon lives in the simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Wiring {
+    /// The Machine Manager.
+    pub mm: Option<ComponentId>,
+    /// One Node Manager per node.
+    pub nms: Vec<ComponentId>,
+    /// Program Launchers per node (`cpus_per_node × mpl_max` each).
+    pub pls: Vec<Vec<ComponentId>>,
+}
+
+/// Cluster-wide counters, for tests, reports and the benches.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Strobe multicasts issued by the MM.
+    pub strobes: u64,
+    /// Fragments broadcast (per chunk, not per destination).
+    pub fragments: u64,
+    /// Flow-control COMPARE-AND-WRITE polls that found the queue full.
+    pub flow_stalls: u64,
+    /// NM reports collected by the MM.
+    pub reports: u64,
+    /// Jobs completed.
+    pub completed_jobs: u64,
+    /// Node failures detected, with detection instant.
+    pub failures_detected: Vec<(u32, SimTime)>,
+    /// Transfers that suffered (and retried after) an injected network
+    /// error.
+    pub xfer_retries: u64,
+    /// Strobes whose NM-side processing backlog exceeded 4 quanta — the
+    /// §3.2.1 meltdown indicator.
+    pub nm_overruns: u64,
+}
+
+/// The shared world type for the STORM simulation.
+#[derive(Debug)]
+pub struct World {
+    /// Configuration (immutable during a run).
+    pub cfg: ClusterConfig,
+    /// QsNET timing model for this cluster size.
+    pub qsnet: QsNetModel,
+    /// The STORM mechanisms (global memory, fault plan, counters).
+    pub mech: Mechanisms,
+    /// All jobs ever submitted, indexed by `JobId`.
+    pub jobs: Vec<JobRecord>,
+    /// Queued job ids awaiting allocation, FCFS order.
+    pub queue: VecDeque<JobId>,
+    /// The gang matrix.
+    pub matrix: GangMatrix,
+    /// Jobs per slot (mirror of the matrix, cheap for NMs to scan).
+    pub slot_jobs: Vec<Vec<JobId>>,
+    /// Currently active time slot.
+    pub active_slot: usize,
+    /// Per-node failure flags (set by injected failures).
+    pub failed: Vec<bool>,
+    /// The management node's filesystem read device (serialises reads).
+    pub read_dev: Nic,
+    /// The source NIC + helper process (serialises broadcasts).
+    pub bcast_dev: Nic,
+    /// Fault-detection heartbeat counter variable, when enabled.
+    pub hb_var: Option<storm_mech::VarId>,
+    /// Current heartbeat round.
+    pub hb_round: i64,
+    /// Component wiring.
+    pub wiring: Wiring,
+    /// Counters.
+    pub stats: ClusterStats,
+}
+
+impl World {
+    /// Build the world for a validated configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid cluster configuration");
+        let qsnet = QsNetModel::for_nodes(cfg.nodes);
+        let mech = match cfg.network {
+            storm_net::NetworkKind::QsNet => Mechanisms::qsnet(cfg.nodes),
+            other => Mechanisms::new(storm_mech::MechanismImpl::emulated(other), cfg.nodes),
+        };
+        let matrix = GangMatrix::new(cfg.nodes, cfg.mpl_max);
+        World {
+            qsnet,
+            mech,
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            slot_jobs: Vec::new(),
+            matrix,
+            active_slot: 0,
+            failed: vec![false; cfg.nodes as usize],
+            read_dev: Nic::new(),
+            bcast_dev: Nic::new(),
+            hb_var: None,
+            hb_round: 0,
+            wiring: Wiring::default(),
+            stats: ClusterStats::default(),
+            cfg,
+        }
+    }
+
+    /// Register a new job record; returns its id.
+    pub fn register_job(&mut self, rec: JobRecord) -> JobId {
+        let id = rec.id;
+        assert_eq!(id.index(), self.jobs.len(), "job ids must be dense");
+        self.jobs.push(rec);
+        id
+    }
+
+    /// Job by id.
+    pub fn job(&self, id: JobId) -> &JobRecord {
+        &self.jobs[id.index()]
+    }
+
+    /// Mutable job by id.
+    pub fn job_mut(&mut self, id: JobId) -> &mut JobRecord {
+        &mut self.jobs[id.index()]
+    }
+
+    /// The point-to-point span an application message of `bytes` takes,
+    /// including background-load stretching — used to cost the workloads'
+    /// exchange phases.
+    pub fn comm_span(&self, bytes: u64) -> SimSpan {
+        if bytes == 0 {
+            return SimSpan::ZERO;
+        }
+        let base = self.qsnet.ptp_span(bytes);
+        if self.cfg.load.network > 0.0 {
+            // Stretch only the bandwidth-proportional part.
+            let data = SimSpan::for_bytes(bytes, self.qsnet.params.link_bw);
+            let fixed = base.saturating_sub(data);
+            fixed
+                + SimSpan::for_bytes(
+                    bytes,
+                    self.cfg.load.effective_bw(self.qsnet.params.link_bw).max(1.0),
+                )
+        } else {
+            base
+        }
+    }
+
+    /// Are all jobs terminal and the queue empty (cluster idle)?
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.jobs.iter().all(|j| j.state.is_terminal())
+    }
+
+    /// Add a job to a slot's scan list.
+    pub fn slot_jobs_add(&mut self, slot: usize, job: JobId) {
+        if self.slot_jobs.len() <= slot {
+            self.slot_jobs.resize(slot + 1, Vec::new());
+        }
+        self.slot_jobs[slot].push(job);
+    }
+
+    /// Remove a job from a slot's scan list.
+    pub fn slot_jobs_remove(&mut self, slot: usize, job: JobId) {
+        if let Some(v) = self.slot_jobs.get_mut(slot) {
+            v.retain(|&j| j != job);
+        }
+    }
+
+    /// Jobs currently assigned to a slot (empty for out-of-range slots).
+    pub fn jobs_in_slot(&self, slot: usize) -> &[JobId] {
+        self.slot_jobs.get(slot).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use storm_apps::AppSpec;
+
+    #[test]
+    fn world_builds_for_paper_cluster() {
+        let w = World::new(ClusterConfig::paper_cluster());
+        assert_eq!(w.failed.len(), 64);
+        assert_eq!(w.mech.memory.nodes(), 64);
+        assert!(w.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster configuration")]
+    fn invalid_config_rejected() {
+        World::new(ClusterConfig::paper_cluster().with_nodes(0));
+    }
+
+    #[test]
+    fn job_registration_is_dense() {
+        let mut w = World::new(ClusterConfig::paper_cluster());
+        let a = w.register_job(JobRecord::new(
+            JobId(0),
+            JobSpec::new(AppSpec::do_nothing_mb(4), 4),
+        ));
+        let b = w.register_job(JobRecord::new(
+            JobId(1),
+            JobSpec::new(AppSpec::do_nothing_mb(8), 8),
+        ));
+        assert_eq!(a, JobId(0));
+        assert_eq!(b, JobId(1));
+        assert_eq!(w.job(b).spec.ranks, 8);
+        w.job_mut(a).start_reports = 3;
+        assert_eq!(w.job(a).start_reports, 3);
+        assert!(!w.is_idle());
+    }
+
+    #[test]
+    fn comm_span_stretches_under_network_load() {
+        let quiet = World::new(ClusterConfig::paper_cluster());
+        let loaded = World::new(
+            ClusterConfig::paper_cluster().with_load(storm_net::BackgroundLoad::network_loaded()),
+        );
+        let b = 1_000_000;
+        assert!(loaded.comm_span(b) > quiet.comm_span(b).mul_f64(5.0));
+        assert_eq!(quiet.comm_span(0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn slot_job_lists() {
+        let mut w = World::new(ClusterConfig::paper_cluster());
+        assert!(w.jobs_in_slot(0).is_empty());
+        w.slot_jobs_add(1, JobId(4));
+        w.slot_jobs_add(1, JobId(5));
+        assert_eq!(w.jobs_in_slot(1), &[JobId(4), JobId(5)]);
+        w.slot_jobs_remove(1, JobId(4));
+        assert_eq!(w.jobs_in_slot(1), &[JobId(5)]);
+        assert!(w.jobs_in_slot(7).is_empty());
+        w.slot_jobs_remove(7, JobId(1)); // no-op, no panic
+    }
+}

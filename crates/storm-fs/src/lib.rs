@@ -1,0 +1,233 @@
+//! # storm-fs — filesystem models
+//!
+//! The launch pipeline's first and last stages read the application binary
+//! on the management node and write it on every compute node. The paper
+//! measures three filesystems (Fig. 6) and shows the pipeline bandwidth
+//! bound `BW_launch ≤ min(BW_read, BW_broadcast, BW_write)` (Eq. 1), with
+//! the write stage never the bottleneck on the paper's cluster.
+//!
+//! * [`FsKind::RamDisk`] — STORM's choice: DRAM configured as a filesystem,
+//!   read at 218 MB/s into main memory (120 MB/s into NIC memory).
+//! * [`FsKind::LocalExt2`] — a local mechanical disk, ≈ 31 MB/s.
+//! * [`FsKind::Nfs`] — the traditional shared filesystem, ≈ 11 MB/s to a
+//!   *single* client, collapsing (and eventually timing out) when many
+//!   clients demand-page the same binary — the non-scalable baseline of §5.1.
+//!
+//! [`NfsServer`] models that collapse for the baseline launchers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use storm_net::BufferPlacement;
+use storm_sim::{SimSpan, SimTime};
+
+/// Which filesystem holds the application binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FsKind {
+    /// RAM-disk (ext2 on a DRAM block device) — STORM's configuration.
+    #[default]
+    RamDisk,
+    /// Local mechanical disk with ext2.
+    LocalExt2,
+    /// NFS over the cluster's service network.
+    Nfs,
+}
+
+impl FsKind {
+    /// All kinds, in Fig. 6 order.
+    pub const ALL: [FsKind; 3] = [FsKind::Nfs, FsKind::LocalExt2, FsKind::RamDisk];
+
+    /// Display name matching Fig. 6.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsKind::Nfs => "NFS",
+            FsKind::LocalExt2 => "Local (ext2)",
+            FsKind::RamDisk => "RAM (ext2)",
+        }
+    }
+
+    /// Sequential read bandwidth in bytes/s when the NIC (with help from a
+    /// lightweight host process) reads a file into buffers at `placement` —
+    /// the six bars of Fig. 6.
+    pub fn read_bw(&self, placement: BufferPlacement) -> f64 {
+        match (self, placement) {
+            (FsKind::Nfs, BufferPlacement::NicMemory) => 11.4e6,
+            (FsKind::Nfs, BufferPlacement::MainMemory) => 11.2e6,
+            (FsKind::LocalExt2, BufferPlacement::NicMemory) => 31.5e6,
+            (FsKind::LocalExt2, BufferPlacement::MainMemory) => 30.5e6,
+            (FsKind::RamDisk, BufferPlacement::NicMemory) => 120.0e6,
+            (FsKind::RamDisk, BufferPlacement::MainMemory) => 218.0e6,
+        }
+    }
+
+    /// Write bandwidth in bytes/s. §3.3.1: "the read bandwidth is
+    /// consistently lower than the write bandwidth. Thus the write bandwidth
+    /// is not the bottleneck of the file-transfer protocol." We model writes
+    /// at 1.4× the corresponding read bandwidth (the destination write may
+    /// also land in the buffer cache, which only makes it faster).
+    pub fn write_bw(&self, placement: BufferPlacement) -> f64 {
+        1.4 * self.read_bw(placement)
+    }
+
+    /// Time to read `bytes` sequentially.
+    pub fn read_span(&self, bytes: u64, placement: BufferPlacement) -> SimSpan {
+        SimSpan::for_bytes(bytes, self.read_bw(placement))
+    }
+
+    /// Time to write `bytes` sequentially.
+    pub fn write_span(&self, bytes: u64, placement: BufferPlacement) -> SimSpan {
+        SimSpan::for_bytes(bytes, self.write_bw(placement))
+    }
+}
+
+/// Outcome of one client's demand-paged read against a shared [`NfsServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NfsOutcome {
+    /// The read completed at the given instant.
+    Done(SimTime),
+    /// The server was overloaded past its timeout and the client failed —
+    /// the launch failure mode §5.1 attributes to shared-filesystem
+    /// distribution.
+    TimedOut,
+}
+
+/// A single shared NFS server being demand-paged by many clients at once.
+///
+/// The server delivers an aggregate `server_bw`, split evenly among
+/// concurrently-active clients; per-client protocol overhead also grows
+/// with the client count (request queueing, retransmissions). When a
+/// client's projected completion exceeds `timeout`, the mount times out —
+/// the paper: file servers "are frequently unable to handle extreme loads
+/// and tend to fail with timeout errors".
+#[derive(Debug, Clone)]
+pub struct NfsServer {
+    /// Aggregate server bandwidth, bytes/s (a single client sees ≈ 11 MB/s,
+    /// and a handful of clients saturate the server's disk + wire).
+    pub server_bw: f64,
+    /// Per-client fixed protocol overhead per concurrent client (lookup,
+    /// queueing, retransmission) — makes the collapse super-linear.
+    pub per_client_overhead: SimSpan,
+    /// Client-side mount timeout.
+    pub timeout: SimSpan,
+}
+
+impl Default for NfsServer {
+    fn default() -> Self {
+        NfsServer {
+            server_bw: 33.0e6, // ~3 clients' worth before it saturates
+            per_client_overhead: SimSpan::from_millis(15),
+            timeout: SimSpan::from_secs(120),
+        }
+    }
+}
+
+impl NfsServer {
+    /// Time for each of `clients` nodes, all starting at `now`, to
+    /// demand-page a `bytes`-byte binary simultaneously.
+    pub fn concurrent_read(&self, now: SimTime, clients: u32, bytes: u64) -> Vec<NfsOutcome> {
+        assert!(clients > 0);
+        let single_client_bw = FsKind::Nfs.read_bw(BufferPlacement::MainMemory);
+        let per_client_bw = (self.server_bw / f64::from(clients)).min(single_client_bw);
+        let transfer = SimSpan::for_bytes(bytes, per_client_bw);
+        let overhead = self.per_client_overhead * u64::from(clients);
+        let total = transfer + overhead;
+        let outcome = if total > self.timeout {
+            NfsOutcome::TimedOut
+        } else {
+            NfsOutcome::Done(now + total)
+        };
+        vec![outcome; clients as usize]
+    }
+
+    /// The span a *successful* concurrent read takes (panics on timeout) —
+    /// convenience for the baseline launcher models.
+    pub fn concurrent_read_span(&self, clients: u32, bytes: u64) -> Option<SimSpan> {
+        match self.concurrent_read(SimTime::ZERO, clients, bytes)[0] {
+            NfsOutcome::Done(t) => Some(t - SimTime::ZERO),
+            NfsOutcome::TimedOut => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_read_bandwidths() {
+        // The six bars of Fig. 6, MB/s.
+        let cases = [
+            (FsKind::Nfs, BufferPlacement::NicMemory, 11.4),
+            (FsKind::Nfs, BufferPlacement::MainMemory, 11.2),
+            (FsKind::LocalExt2, BufferPlacement::NicMemory, 31.5),
+            (FsKind::LocalExt2, BufferPlacement::MainMemory, 30.5),
+            (FsKind::RamDisk, BufferPlacement::NicMemory, 120.0),
+            (FsKind::RamDisk, BufferPlacement::MainMemory, 218.0),
+        ];
+        for (fs, place, want) in cases {
+            assert_eq!(fs.read_bw(place) / 1e6, want, "{} {:?}", fs.name(), place);
+        }
+    }
+
+    #[test]
+    fn ram_disk_prefers_main_memory_nfs_does_not_care() {
+        // Fig. 6's key observation: only for the fast RAM disk does buffer
+        // placement matter much.
+        let ram_ratio = FsKind::RamDisk.read_bw(BufferPlacement::MainMemory)
+            / FsKind::RamDisk.read_bw(BufferPlacement::NicMemory);
+        let nfs_ratio = FsKind::Nfs.read_bw(BufferPlacement::MainMemory)
+            / FsKind::Nfs.read_bw(BufferPlacement::NicMemory);
+        assert!(ram_ratio > 1.5);
+        assert!((nfs_ratio - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn writes_never_bottleneck_reads() {
+        for fs in FsKind::ALL {
+            for p in [BufferPlacement::MainMemory, BufferPlacement::NicMemory] {
+                assert!(fs.write_bw(p) > fs.read_bw(p), "{}", fs.name());
+            }
+        }
+    }
+
+    #[test]
+    fn read_span_of_12mb_ram_disk() {
+        // 12 MB at 218 MB/s ≈ 55 ms — the read stage of the launch pipeline.
+        let s = FsKind::RamDisk.read_span(12_000_000, BufferPlacement::MainMemory);
+        assert!((s.as_millis_f64() - 55.0).abs() < 1.0, "{s}");
+    }
+
+    #[test]
+    fn nfs_single_client_is_fine() {
+        let srv = NfsServer::default();
+        let span = srv.concurrent_read_span(1, 12_000_000).unwrap();
+        // ~1.07 s transfer + 15 ms overhead.
+        assert!(span.as_secs_f64() > 1.0 && span.as_secs_f64() < 1.2, "{span}");
+    }
+
+    #[test]
+    fn nfs_collapses_under_many_clients() {
+        let srv = NfsServer::default();
+        let few = srv.concurrent_read_span(4, 12_000_000).unwrap();
+        let many = srv.concurrent_read_span(256, 12_000_000).unwrap();
+        // Sub-linear per-client bandwidth → super-linear completion time.
+        assert!(many.as_secs_f64() > 40.0 * few.as_secs_f64());
+        // And at some point it times out entirely.
+        assert!(srv.concurrent_read_span(2048, 12_000_000).is_none());
+        let outcomes = srv.concurrent_read(SimTime::ZERO, 2048, 12_000_000);
+        assert!(outcomes.iter().all(|o| *o == NfsOutcome::TimedOut));
+    }
+
+    #[test]
+    fn nfs_outcomes_share_completion_time() {
+        let srv = NfsServer::default();
+        let outcomes = srv.concurrent_read(SimTime::from_secs(1), 16, 1_000_000);
+        assert_eq!(outcomes.len(), 16);
+        let first = outcomes[0];
+        assert!(outcomes.iter().all(|o| *o == first));
+        match first {
+            NfsOutcome::Done(t) => assert!(t > SimTime::from_secs(1)),
+            NfsOutcome::TimedOut => panic!("should not time out with 16 clients"),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # storm-mech — the STORM mechanisms
+//!
+//! §2.2 of the paper defines the *entire* middle layer of STORM as three
+//! operations, chosen to "encapsulate all of the communication and
+//! synchronization mechanisms required by a resource-management system":
+//!
+//! * **XFER-AND-SIGNAL** — transfer (PUT) a block of data from local memory
+//!   to the global memory of a set of nodes; optionally signal a local
+//!   and/or remote event on completion. Non-blocking; atomic (all nodes or,
+//!   on a network error, none).
+//! * **TEST-EVENT** — poll a local event, optionally blocking.
+//! * **COMPARE-AND-WRITE** — compare a global variable on a set of nodes
+//!   against a local value with one of {≥, <, =, ≠}; if the condition holds
+//!   on *all* nodes, optionally write a new value to a (possibly different)
+//!   global variable. Sequentially consistent.
+//!
+//! *Global data* means data at the same virtual address on every node —
+//! modelled here by [`GlobalMemory`], where a [`VarId`]/[`EventId`] indexes
+//! the same slot in every node's table.
+//!
+//! On QsNET the mechanisms map directly onto hardware multicast, network
+//! conditionals and remotely-signalled events; on Ethernet/Myrinet/
+//! InfiniBand they are emulated by a thin software layer using
+//! logarithmic-depth trees ([`MechanismImpl::EmulatedTree`]). The timing
+//! difference between those two implementations is exactly what Table 5
+//! quantifies and what the `ablation_hw_vs_emulated` bench measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod mech;
+pub mod types;
+
+pub use memory::GlobalMemory;
+pub use mech::{CawResult, FaultPlan, MechanismImpl, Mechanisms, XferError, XferTiming};
+pub use types::{CmpOp, EventId, NodeId, NodeSet, VarId};

@@ -1,0 +1,226 @@
+//! Global memory: per-node variable and event tables.
+//!
+//! "Global data refers to data at the same virtual address on all nodes"
+//! (§2.2, point 1). We model an allocation as an index that is valid on
+//! every node simultaneously; depending on the implementation the paper
+//! notes this data may live in main memory or NIC memory — for timing that
+//! distinction is captured by the network model, not here.
+//!
+//! Events are *timestamped*: XFER-AND-SIGNAL is non-blocking and its remote
+//! signal only becomes visible when the transfer lands, so an event carries
+//! the simulated instant at which it was signalled and
+//! [`GlobalMemory::event_signalled`] takes the observer's current time. This
+//! keeps TEST-EVENT causally correct inside the discrete-event simulation.
+
+use crate::types::{EventId, NodeId, NodeSet, VarId};
+use storm_sim::SimTime;
+
+/// Per-node global variables and events for a whole cluster.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    nodes: u32,
+    /// `vars[node][var]`
+    vars: Vec<Vec<i64>>,
+    /// `events[node][event]` — the instant the event was signalled, if any.
+    events: Vec<Vec<Option<SimTime>>>,
+}
+
+impl GlobalMemory {
+    /// Memory for a cluster of `nodes` nodes with no allocations yet.
+    pub fn new(nodes: u32) -> Self {
+        assert!(nodes > 0);
+        GlobalMemory {
+            nodes,
+            vars: vec![Vec::new(); nodes as usize],
+            events: vec![Vec::new(); nodes as usize],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Allocate a global variable (same id on all nodes), initialised to
+    /// `init` everywhere.
+    pub fn alloc_var(&mut self, init: i64) -> VarId {
+        let id = VarId(u32::try_from(self.vars[0].len()).expect("too many vars"));
+        for v in &mut self.vars {
+            v.push(init);
+        }
+        id
+    }
+
+    /// Allocate a global event (same id on all nodes), unsignalled.
+    pub fn alloc_event(&mut self) -> EventId {
+        let id = EventId(u32::try_from(self.events[0].len()).expect("too many events"));
+        for e in &mut self.events {
+            e.push(None);
+        }
+        id
+    }
+
+    /// Read a variable on one node.
+    pub fn read(&self, node: NodeId, var: VarId) -> i64 {
+        self.vars[node.index()][var.0 as usize]
+    }
+
+    /// Write a variable on one node.
+    pub fn write(&mut self, node: NodeId, var: VarId, value: i64) {
+        self.vars[node.index()][var.0 as usize] = value;
+    }
+
+    /// Write a variable on a set of nodes (the COMPARE-AND-WRITE write half;
+    /// sequentially consistent because the simulation applies it as one
+    /// indivisible action).
+    pub fn write_set(&mut self, set: &NodeSet, var: VarId, value: i64) {
+        for node in set.iter() {
+            self.write(node, var, value);
+        }
+    }
+
+    /// Add `delta` to a variable on one node, returning the new value.
+    pub fn add(&mut self, node: NodeId, var: VarId, delta: i64) -> i64 {
+        let slot = &mut self.vars[node.index()][var.0 as usize];
+        *slot += delta;
+        *slot
+    }
+
+    /// Is `event` visible as signalled to an observer on `node` at `now`?
+    pub fn event_signalled(&self, node: NodeId, event: EventId, now: SimTime) -> bool {
+        match self.events[node.index()][event.0 as usize] {
+            Some(at) => at <= now,
+            None => false,
+        }
+    }
+
+    /// When `event` was (or will be) signalled on `node`, if at all.
+    pub fn signalled_at(&self, node: NodeId, event: EventId) -> Option<SimTime> {
+        self.events[node.index()][event.0 as usize]
+    }
+
+    /// Signal `event` on `node`, visible from instant `at`. An event that is
+    /// already signalled keeps its *earlier* timestamp (signals are sticky
+    /// until cleared).
+    pub fn signal(&mut self, node: NodeId, event: EventId, at: SimTime) {
+        let slot = &mut self.events[node.index()][event.0 as usize];
+        *slot = Some(match *slot {
+            Some(prev) => prev.min(at),
+            None => at,
+        });
+    }
+
+    /// Signal `event` on every node of `set` at instant `at`.
+    pub fn signal_set(&mut self, set: &NodeSet, event: EventId, at: SimTime) {
+        for node in set.iter() {
+            self.signal(node, event, at);
+        }
+    }
+
+    /// Clear `event` on `node` (consume the signal).
+    pub fn clear_event(&mut self, node: NodeId, event: EventId) {
+        self.events[node.index()][event.0 as usize] = None;
+    }
+
+    /// Values of `var` across a node set, in ascending node order — used by
+    /// monitoring/gather examples.
+    pub fn gather(&self, set: &NodeSet, var: VarId) -> Vec<i64> {
+        set.iter().map(|n| self.read(n, var)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CmpOp;
+
+    #[test]
+    fn allocation_is_global() {
+        let mut m = GlobalMemory::new(4);
+        let v = m.alloc_var(7);
+        for n in 0..4 {
+            assert_eq!(m.read(NodeId(n), v), 7);
+        }
+        let e = m.alloc_event();
+        for n in 0..4 {
+            assert!(!m.event_signalled(NodeId(n), e, SimTime::MAX));
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_nodes() {
+        let mut m = GlobalMemory::new(3);
+        let a = m.alloc_var(1);
+        let b = m.alloc_var(2);
+        assert_ne!(a, b);
+        m.write(NodeId(2), b, 99);
+        assert_eq!(m.read(NodeId(2), b), 99);
+        assert_eq!(m.read(NodeId(0), b), 2);
+        assert_eq!(m.read(NodeId(2), a), 1);
+    }
+
+    #[test]
+    fn set_writes_and_gather() {
+        let mut m = GlobalMemory::new(8);
+        let v = m.alloc_var(0);
+        let set = NodeSet::Range { start: 2, len: 3 };
+        m.write_set(&set, v, 5);
+        assert_eq!(m.gather(&NodeSet::All(8), v), vec![0, 0, 5, 5, 5, 0, 0, 0]);
+        assert_eq!(m.gather(&set, v), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn events_become_visible_at_their_timestamp() {
+        let mut m = GlobalMemory::new(4);
+        let e = m.alloc_event();
+        let at = SimTime::from_millis(10);
+        m.signal_set(&NodeSet::All(4), e, at);
+        // Not yet visible before the signal instant…
+        assert!(!m.event_signalled(NodeId(3), e, SimTime::from_millis(9)));
+        // …visible at and after it.
+        assert!(m.event_signalled(NodeId(3), e, at));
+        assert!(m.event_signalled(NodeId(3), e, SimTime::from_millis(11)));
+        assert_eq!(m.signalled_at(NodeId(3), e), Some(at));
+        m.clear_event(NodeId(3), e);
+        assert!(!m.event_signalled(NodeId(3), e, SimTime::from_secs(1)));
+        assert!(m.event_signalled(NodeId(2), e, at));
+    }
+
+    #[test]
+    fn re_signalling_keeps_earliest_timestamp() {
+        let mut m = GlobalMemory::new(1);
+        let e = m.alloc_event();
+        m.signal(NodeId(0), e, SimTime::from_millis(5));
+        m.signal(NodeId(0), e, SimTime::from_millis(3));
+        assert_eq!(m.signalled_at(NodeId(0), e), Some(SimTime::from_millis(3)));
+        m.signal(NodeId(0), e, SimTime::from_millis(8));
+        assert_eq!(m.signalled_at(NodeId(0), e), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = GlobalMemory::new(2);
+        let v = m.alloc_var(10);
+        assert_eq!(m.add(NodeId(1), v, 5), 15);
+        assert_eq!(m.add(NodeId(1), v, -3), 12);
+        assert_eq!(m.read(NodeId(0), v), 10);
+    }
+
+    #[test]
+    fn heartbeat_counter_pattern() {
+        // The fault-detection idiom: slaves increment a counter, the master
+        // checks `counter ≥ round` on all nodes.
+        let mut m = GlobalMemory::new(4);
+        let hb = m.alloc_var(0);
+        let all = NodeSet::All(4);
+        for n in 0..4 {
+            m.add(NodeId(n), hb, 1);
+        }
+        assert!(m.gather(&all, hb).iter().all(|&v| CmpOp::Ge.eval(v, 1)));
+        // One node misses a beat.
+        for n in [0u32, 1, 3] {
+            m.add(NodeId(n), hb, 1);
+        }
+        assert!(!m.gather(&all, hb).iter().all(|&v| CmpOp::Ge.eval(v, 2)));
+    }
+}

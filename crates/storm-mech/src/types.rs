@@ -1,0 +1,181 @@
+//! Core identifier and destination-set types for the mechanisms.
+
+use std::fmt;
+
+/// A compute node's index within the cluster (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a global variable — the same slot on every node ("data at the
+/// same virtual address on all nodes", §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub u32);
+
+/// Index of a global event — the same slot on every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub u32);
+
+/// The comparison operators COMPARE-AND-WRITE supports (§2.2: ≥, <, =, ≠).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `global ≥ local`
+    Ge,
+    /// `global < local`
+    Lt,
+    /// `global = local`
+    Eq,
+    /// `global ≠ local`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluate `global ⊕ local`.
+    pub fn eval(self, global: i64, local: i64) -> bool {
+        match self {
+            CmpOp::Ge => global >= local,
+            CmpOp::Lt => global < local,
+            CmpOp::Eq => global == local,
+            CmpOp::Ne => global != local,
+        }
+    }
+}
+
+/// A destination set of nodes. The mechanisms operate on *sets* of nodes
+/// (possibly a single node) — §2.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSet {
+    /// All `n` nodes of the cluster: `0..n`.
+    All(u32),
+    /// A contiguous range `[start, start+len)` — what the buddy allocator
+    /// hands out.
+    Range {
+        /// First node in the set.
+        start: u32,
+        /// Number of nodes.
+        len: u32,
+    },
+    /// An explicit list (sorted, deduplicated on construction).
+    List(Vec<NodeId>),
+}
+
+impl NodeSet {
+    /// The single-node set.
+    pub fn single(node: NodeId) -> Self {
+        NodeSet::Range {
+            start: node.0,
+            len: 1,
+        }
+    }
+
+    /// Build a list set (sorts and deduplicates).
+    pub fn from_list(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        NodeSet::List(nodes)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> u32 {
+        match self {
+            NodeSet::All(n) => *n,
+            NodeSet::Range { len, .. } => *len,
+            NodeSet::List(v) => u32::try_from(v.len()).expect("node set too large"),
+        }
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `node` belongs to the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        match self {
+            NodeSet::All(n) => node.0 < *n,
+            NodeSet::Range { start, len } => node.0 >= *start && node.0 < start + len,
+            NodeSet::List(v) => v.binary_search(&node).is_ok(),
+        }
+    }
+
+    /// Iterate over member nodes in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match self {
+            NodeSet::All(n) => Box::new((0..*n).map(NodeId)),
+            NodeSet::Range { start, len } => Box::new((*start..start + len).map(NodeId)),
+            NodeSet::List(v) => Box::new(v.iter().copied()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_cover_paper_semantics() {
+        assert!(CmpOp::Ge.eval(5, 5));
+        assert!(CmpOp::Ge.eval(6, 5));
+        assert!(!CmpOp::Ge.eval(4, 5));
+        assert!(CmpOp::Lt.eval(4, 5));
+        assert!(!CmpOp::Lt.eval(5, 5));
+        assert!(CmpOp::Eq.eval(7, 7));
+        assert!(!CmpOp::Eq.eval(7, 8));
+        assert!(CmpOp::Ne.eval(7, 8));
+        assert!(!CmpOp::Ne.eval(7, 7));
+    }
+
+    #[test]
+    fn node_set_membership_and_iteration() {
+        let all = NodeSet::All(4);
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(NodeId(3)));
+        assert!(!all.contains(NodeId(4)));
+        assert_eq!(all.iter().count(), 4);
+
+        let range = NodeSet::Range { start: 8, len: 4 };
+        assert!(range.contains(NodeId(8)));
+        assert!(range.contains(NodeId(11)));
+        assert!(!range.contains(NodeId(12)));
+        assert!(!range.contains(NodeId(7)));
+        assert_eq!(
+            range.iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![8, 9, 10, 11]
+        );
+
+        let list = NodeSet::from_list(vec![NodeId(5), NodeId(1), NodeId(5), NodeId(3)]);
+        assert_eq!(list.len(), 3);
+        assert!(list.contains(NodeId(3)));
+        assert!(!list.contains(NodeId(2)));
+        assert_eq!(list.iter().map(|n| n.0).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn single_and_empty_sets() {
+        let s = NodeSet::single(NodeId(9));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(NodeId(9)));
+        assert!(!s.is_empty());
+        let e = NodeSet::from_list(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.iter().count(), 0);
+    }
+}

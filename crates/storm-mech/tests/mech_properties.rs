@@ -1,0 +1,145 @@
+//! Property-based tests of the mechanism semantics (§2.2).
+
+use proptest::prelude::*;
+use storm_mech::{CmpOp, MechanismImpl, Mechanisms, NodeId, NodeSet};
+use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
+use storm_sim::{DeterministicRng, SimTime};
+
+fn ops() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![CmpOp::Ge, CmpOp::Lt, CmpOp::Eq, CmpOp::Ne])
+}
+
+proptest! {
+    /// COMPARE-AND-WRITE's condition is exactly the conjunction over the
+    /// node set, for arbitrary per-node values and operators.
+    #[test]
+    fn caw_is_conjunction(
+        values in prop::collection::vec(-100i64..100, 1..64),
+        local in -100i64..100,
+        op in ops(),
+    ) {
+        let n = values.len() as u32;
+        let mut m = Mechanisms::qsnet(n);
+        let var = m.memory.alloc_var(0);
+        for (i, &v) in values.iter().enumerate() {
+            m.memory.write(NodeId(i as u32), var, v);
+        }
+        let set = NodeSet::All(n);
+        let r = m.compare_and_write(SimTime::ZERO, &set, var, op, local, None, BackgroundLoad::NONE);
+        let expect = values.iter().all(|&v| op.eval(v, local));
+        prop_assert_eq!(r.satisfied, expect);
+    }
+
+    /// The conditional write happens iff the condition held, applies to
+    /// exactly the target set, and overwrites uniformly.
+    #[test]
+    fn caw_write_exactness(
+        n in 2u32..64,
+        start in 0u32..32,
+        len in 1u32..32,
+        cond_holds in any::<bool>(),
+        new_value in -1000i64..1000,
+    ) {
+        let start = start % n;
+        let len = len.min(n - start).max(1);
+        let mut m = Mechanisms::qsnet(n);
+        let cond = m.memory.alloc_var(if cond_holds { 1 } else { 0 });
+        let target = m.memory.alloc_var(-7);
+        let set = NodeSet::Range { start, len };
+        m.compare_and_write(
+            SimTime::ZERO, &set, cond, CmpOp::Eq, 1,
+            Some((target, new_value)), BackgroundLoad::NONE,
+        );
+        for node in 0..n {
+            let v = m.memory.read(NodeId(node), target);
+            let in_set = node >= start && node < start + len;
+            if in_set && cond_holds {
+                prop_assert_eq!(v, new_value);
+            } else {
+                prop_assert_eq!(v, -7);
+            }
+        }
+    }
+
+    /// XFER-AND-SIGNAL: hardware arrivals are uniform; emulated-tree
+    /// arrivals are non-decreasing in rank and the first hop is the
+    /// earliest.
+    #[test]
+    fn xfer_arrival_structure(
+        n in 2u32..256,
+        bytes in 1u64..10_000_000,
+        kind in prop::sample::select(vec![
+            NetworkKind::QsNet, NetworkKind::Myrinet, NetworkKind::GigabitEthernet,
+        ]),
+    ) {
+        let mut m = match kind {
+            NetworkKind::QsNet => Mechanisms::qsnet(n),
+            other => Mechanisms::new(MechanismImpl::emulated(other), n),
+        };
+        let mut rng = DeterministicRng::new(1);
+        let t = m.xfer_and_signal(
+            SimTime::from_millis(1), NodeId(0), &NodeSet::All(n), bytes,
+            BufferPlacement::MainMemory, None, None, BackgroundLoad::NONE, &mut rng,
+        ).unwrap();
+        prop_assert_eq!(t.arrivals.len(), n as usize);
+        prop_assert!(t.arrivals.iter().all(|&(_, a)| a > SimTime::from_millis(1)));
+        match kind {
+            NetworkKind::QsNet => {
+                let first = t.arrivals[0].1;
+                prop_assert!(t.arrivals.iter().all(|&(_, a)| a == first));
+            }
+            _ => {
+                prop_assert!(t.arrivals.windows(2).all(|w| w[1].1 >= w[0].1));
+                prop_assert_eq!(t.all_arrived(), t.arrivals.last().unwrap().1);
+            }
+        }
+    }
+
+    /// Atomicity: under an injected error nothing is observable; under
+    /// success the remote event is visible exactly from the arrival.
+    #[test]
+    fn xfer_event_visibility(n in 2u32..64, bytes in 1u64..1_000_000, fail in any::<bool>()) {
+        let mut m = Mechanisms::qsnet(n);
+        m.fault.xfer_error_prob = if fail { 1.0 } else { 0.0 };
+        let ev = m.memory.alloc_event();
+        let mut rng = DeterministicRng::new(9);
+        let r = m.xfer_and_signal(
+            SimTime::ZERO, NodeId(0), &NodeSet::All(n), bytes,
+            BufferPlacement::NicMemory, None, Some(ev), BackgroundLoad::NONE, &mut rng,
+        );
+        match r {
+            Err(_) => {
+                prop_assert!(fail);
+                for i in 0..n {
+                    prop_assert!(!m.test_event(NodeId(i), ev, SimTime::MAX));
+                }
+            }
+            Ok(t) => {
+                prop_assert!(!fail);
+                let arrival = t.all_arrived();
+                for i in 0..n {
+                    prop_assert!(!m.test_event(NodeId(i), ev, SimTime::ZERO));
+                    prop_assert!(m.test_event(NodeId(i), ev, arrival));
+                }
+            }
+        }
+    }
+
+    /// Sequential consistency: any interleaving of CAW writes leaves every
+    /// node with the same value — the last write in total order.
+    #[test]
+    fn caw_sequentially_consistent(writes in prop::collection::vec(-50i64..50, 1..30)) {
+        let mut m = Mechanisms::qsnet(16);
+        let cond = m.memory.alloc_var(0);
+        let target = m.memory.alloc_var(i64::MIN);
+        let all = NodeSet::All(16);
+        for &w in &writes {
+            m.compare_and_write(
+                SimTime::ZERO, &all, cond, CmpOp::Eq, 0,
+                Some((target, w)), BackgroundLoad::NONE,
+            );
+        }
+        let vals = m.memory.gather(&all, target);
+        prop_assert!(vals.iter().all(|&v| v == *writes.last().unwrap()));
+    }
+}

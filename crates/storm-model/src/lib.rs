@@ -1,0 +1,215 @@
+//! # storm-model — the paper's analytic scalability models
+//!
+//! §3.3.2 of the paper derives closed-form models used to argue that STORM
+//! scales to thousands of nodes; this crate implements them exactly:
+//!
+//! * **Eq. 2** — the floor-plan diameter: `⌊sqrt(2 × nodes)⌋` metres.
+//! * **Table 4** — asymptotic hardware-broadcast bandwidth as a function of
+//!   fat-tree stage count and cable length (the circuit-switched ACK-token
+//!   bubble model, implemented in `storm-net` and surfaced here).
+//! * **Eq. 1** — the pipeline bound
+//!   `BW_launch ≤ min(BW_read, BW_broadcast, BW_write)`.
+//! * **Eq. 3–5** — the launch-time model
+//!   `T_launch(n) = 12 MB / BW_transfer(n) + T_exec`, with the ES40
+//!   (131 MB/s I/O-bus-limited) and ideal-I/O-bus variants, out to 16 384
+//!   nodes (Fig. 10).
+//! * The **barrier-latency** curve of Fig. 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use storm_net::{BufferPlacement, QsNetModel, Topology};
+use storm_sim::SimSpan;
+
+/// The observed end-to-end file-transfer-protocol bandwidth on the ES40
+/// cluster: 131 MB/s (§3.3.1 — the host helper process keeps the pipeline
+/// below its 175 MB/s bound).
+pub const ES40_PROTOCOL_BW: f64 = 131.0e6;
+
+/// The binary size the launch model is stated for (12 MB).
+pub const MODEL_BINARY_BYTES: u64 = 12_000_000;
+
+/// Eq. 2: conservative machine diameter in metres for `nodes` nodes.
+pub fn diameter_m(nodes: u32) -> f64 {
+    Topology::new(nodes.max(1)).diameter_m()
+}
+
+/// Table 4 cell: asymptotic broadcast bandwidth (bytes/s) for an explicit
+/// `(nodes, cable length)` pair, NIC-resident buffers.
+pub fn broadcast_bw_at(nodes: u32, cable_m: f64) -> f64 {
+    QsNetModel::for_nodes(nodes.max(1)).broadcast_bw_at(nodes.max(1), cable_m)
+}
+
+/// The broadcast bandwidth at the Eq. 2 diameter for `nodes` — the
+/// "worst-case bandwidth … shown in boldface" diagonal of Table 4.
+pub fn broadcast_bw(nodes: u32) -> f64 {
+    broadcast_bw_at(nodes, diameter_m(nodes))
+}
+
+/// Eq. 1: the pipeline bound for a given read bandwidth and node count
+/// (writes are never the bottleneck, §3.3.1).
+pub fn pipeline_bound(read_bw: f64, nodes: u32, placement: BufferPlacement) -> f64 {
+    let model = QsNetModel::for_nodes(nodes.max(1));
+    read_bw.min(model.broadcast_bw(placement))
+}
+
+/// Eq. 4: transfer bandwidth of the real ES40 cluster — the I/O bus and
+/// helper process cap it at 131 MB/s regardless of network size.
+pub fn bw_transfer_es40(nodes: u32) -> f64 {
+    ES40_PROTOCOL_BW.min(broadcast_bw(nodes))
+}
+
+/// Eq. 5: transfer bandwidth of an idealised machine whose I/O bus is
+/// faster than the network broadcast.
+pub fn bw_transfer_ideal(nodes: u32) -> f64 {
+    broadcast_bw(nodes)
+}
+
+/// The execute-time tail of the launch model: local execution, termination
+/// notification and timeslice waits. The paper's measurements put this at
+/// ≈ 14 ms on 256 PEs; it grows only with OS skew, which we fold into the
+/// constant as the model does.
+pub const MODEL_T_EXEC: SimSpan = SimSpan::from_millis(14);
+
+/// Eq. 3: modelled launch time for a 12 MB binary on `nodes` nodes of the
+/// ES40 cluster.
+pub fn t_launch_es40(nodes: u32) -> SimSpan {
+    SimSpan::for_bytes(MODEL_BINARY_BYTES, bw_transfer_es40(nodes)) + MODEL_T_EXEC
+}
+
+/// Eq. 3 on the ideal-I/O-bus machine.
+pub fn t_launch_ideal(nodes: u32) -> SimSpan {
+    SimSpan::for_bytes(MODEL_BINARY_BYTES, bw_transfer_ideal(nodes)) + MODEL_T_EXEC
+}
+
+/// Fig. 9: hardware barrier-synchronisation latency for `nodes` nodes.
+pub fn barrier_latency(nodes: u32) -> SimSpan {
+    QsNetModel::for_nodes(nodes.max(1)).barrier_latency()
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Node count.
+    pub nodes: u32,
+    /// Processors (4 per node).
+    pub processors: u32,
+    /// Fat-tree stages.
+    pub stages: u32,
+    /// Worst-case switches crossed.
+    pub switches: u32,
+    /// Bandwidth (bytes/s) at each cable length of
+    /// [`TABLE4_CABLE_LENGTHS`].
+    pub bw: Vec<f64>,
+}
+
+/// The cable lengths (metres) of Table 4's columns.
+pub const TABLE4_CABLE_LENGTHS: [f64; 7] = [10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0];
+
+/// The node counts of Table 4's rows.
+pub const TABLE4_NODES: [u32; 6] = [4, 16, 64, 256, 1024, 4096];
+
+/// Regenerate Table 4.
+pub fn table4() -> Vec<Table4Row> {
+    TABLE4_NODES
+        .iter()
+        .map(|&nodes| {
+            let t = Topology::new(nodes);
+            Table4Row {
+                nodes,
+                processors: nodes * 4,
+                stages: t.stages(),
+                switches: t.switches_crossed(),
+                bw: TABLE4_CABLE_LENGTHS
+                    .iter()
+                    .map(|&d| broadcast_bw_at(nodes, d))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_values() {
+        assert_eq!(diameter_m(64), 11.0);
+        assert_eq!(diameter_m(16_384), 181.0);
+    }
+
+    #[test]
+    fn es40_transfer_bw_is_io_bus_limited_until_huge_machines() {
+        // Eq. 4: 131 MB/s until the network broadcast itself drops below
+        // that, which Table 4 says does not happen even at 4 096 nodes /
+        // 100 m (147 MB/s).
+        for n in [4u32, 64, 1024, 4096] {
+            assert!(
+                (bw_transfer_es40(n) - ES40_PROTOCOL_BW).abs() < 1.0,
+                "ES40 bw at {n}"
+            );
+        }
+        // The ideal machine sees the full broadcast bandwidth.
+        assert!(bw_transfer_ideal(64) > 250.0e6);
+    }
+
+    #[test]
+    fn launch_model_matches_fig10() {
+        // Fig. 10: a 12 MB binary launches in ≈ 105 ms on small clusters and
+        // ≈ 135 ms even on 16 384 nodes (ES40 model).
+        let small = t_launch_es40(64).as_millis_f64();
+        assert!((small - 105.6).abs() < 3.0, "64-node model {small:.1} ms");
+        let huge = t_launch_es40(16_384).as_millis_f64();
+        assert!(huge < 140.0, "16 384-node model {huge:.1} ms");
+        assert!(huge >= small);
+        // The ideal machine is faster while the network outruns the bus…
+        assert!(t_launch_ideal(64) < t_launch_es40(64));
+        // …and both models converge beyond ≈ 4 096 nodes (§3.3.2).
+        let gap = t_launch_es40(16_384).as_millis_f64() - t_launch_ideal(16_384).as_millis_f64();
+        assert!(gap.abs() < 12.0, "models converge, gap {gap:.1} ms");
+    }
+
+    #[test]
+    fn launch_model_is_monotone_in_nodes() {
+        let mut last = SimSpan::ZERO;
+        let mut n = 1u32;
+        while n <= 16_384 {
+            let t = t_launch_es40(n);
+            assert!(t >= last);
+            last = t;
+            n *= 2;
+        }
+    }
+
+    #[test]
+    fn table4_structure() {
+        let rows = table4();
+        assert_eq!(rows.len(), 6);
+        let r64 = &rows[2];
+        assert_eq!((r64.nodes, r64.processors, r64.stages, r64.switches), (64, 256, 3, 5));
+        assert_eq!(r64.bw.len(), 7);
+        // Worst case of the 4 096-node row: 147 MB/s at 100 m.
+        let worst = rows[5].bw[6] / 1e6;
+        assert!((worst - 147.0).abs() < 3.0, "worst-case bw {worst:.0}");
+    }
+
+    #[test]
+    fn pipeline_bound_picks_main_memory() {
+        // §3.3.1's arithmetic: main memory min(218, 175) = 175 beats
+        // NIC memory min(120, 312) = 120.
+        let main = pipeline_bound(218.0e6, 64, BufferPlacement::MainMemory);
+        let nic = pipeline_bound(120.0e6, 64, BufferPlacement::NicMemory);
+        assert!((main / 1e6 - 175.0).abs() < 1.0);
+        assert!((nic / 1e6 - 120.0).abs() < 1.0);
+        assert!(main > nic);
+    }
+
+    #[test]
+    fn barrier_latency_scales_like_fig9() {
+        let l1 = barrier_latency(1).as_micros_f64();
+        let l1024 = barrier_latency(1024).as_micros_f64();
+        assert!(l1 > 4.0 && l1 < 5.0);
+        assert!(l1024 - l1 > 1.0 && l1024 - l1 < 3.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # storm-net — network substrate models
+//!
+//! The paper's initial STORM implementation sits on the Quadrics QsNET
+//! (Elan3), whose hardware primitives — ordered reliable multicast, network
+//! conditionals, remotely-signalled events, remote DMA — are what make the
+//! three STORM mechanisms fast. This crate models that network (and, for
+//! Table 5, Gigabit Ethernet, Myrinet, InfiniBand and BlueGene/L) at the
+//! granularity the paper's own scalability analysis (§3.3.2) uses:
+//!
+//! * [`topology`] — the quaternary fat tree: stage counts, switches crossed,
+//!   and the floor-plan diameter model of Eq. 2.
+//! * [`qsnet`] — the QsNET timing model: 320-byte MTU, circuit-switched
+//!   ACK-token flow control (whose propagation bubbles produce the
+//!   bandwidth-vs-cable-length degradation of Table 4), hardware broadcast
+//!   bandwidth from NIC- vs. main-memory buffers (Fig. 7), and hardware
+//!   barrier/network-conditional latency (Fig. 9).
+//! * [`networks`] — the comparison networks of Table 5 with their
+//!   COMPARE-AND-WRITE latency and XFER-AND-SIGNAL bandwidth models.
+//! * [`contention`] — per-NIC serialization and background-load scaling used
+//!   for the loaded-launch experiments (Fig. 3).
+//!
+//! All constants are calibrated to the measurements reported in the paper;
+//! each constant's provenance is documented where it is defined.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod networks;
+pub mod qsnet;
+pub mod topology;
+
+pub use contention::{BackgroundLoad, Nic};
+pub use networks::{MechanismPerf, NetworkKind};
+pub use qsnet::{BufferPlacement, QsNetModel, QsNetParams};
+pub use topology::Topology;

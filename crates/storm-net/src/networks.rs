@@ -1,0 +1,186 @@
+//! The comparison networks of Table 5.
+//!
+//! §4 ("Portability of the STORM Mechanisms") tabulates the measured or
+//! expected performance of COMPARE-AND-WRITE (latency to check a global
+//! condition and write one word everywhere) and XFER-AND-SIGNAL (aggregate
+//! delivered bandwidth) on five networks. On Ethernet, Myrinet and
+//! InfiniBand the mechanisms must be *emulated* by a thin software layer
+//! using logarithmic-depth trees; on QsNET and BlueGene/L they map directly
+//! onto hardware (network conditionals / the global tree network).
+
+use crate::qsnet::QsNetModel;
+use storm_sim::SimSpan;
+
+/// A high-performance cluster interconnect, as characterised in Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NetworkKind {
+    /// Quadrics QsNET (Elan3) — the paper's implementation platform.
+    #[default]
+    QsNet,
+    /// Gigabit Ethernet with an EMP-style OS-bypass layer.
+    GigabitEthernet,
+    /// Myrinet with NIC-assisted multidestination messages.
+    Myrinet,
+    /// InfiniBand (Mellanox, early 4x).
+    Infiniband,
+    /// BlueGene/L with its dedicated global tree network.
+    BlueGeneL,
+}
+
+/// The expected/measured mechanism performance for one network and node
+/// count — one cell pair of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanismPerf {
+    /// COMPARE-AND-WRITE latency.
+    pub caw_latency: SimSpan,
+    /// Aggregate XFER-AND-SIGNAL bandwidth in bytes/s delivered to all
+    /// nodes, when a figure is available (the paper lists "Not available"
+    /// for Gigabit Ethernet and InfiniBand).
+    pub xfer_aggregate_bw: Option<f64>,
+    /// Whether the mechanisms map onto hardware primitives (QsNET,
+    /// BlueGene/L) or require software tree emulation.
+    pub hardware_collectives: bool,
+}
+
+impl NetworkKind {
+    /// All five networks in Table 5 order.
+    pub const ALL: [NetworkKind; 5] = [
+        NetworkKind::GigabitEthernet,
+        NetworkKind::Myrinet,
+        NetworkKind::Infiniband,
+        NetworkKind::QsNet,
+        NetworkKind::BlueGeneL,
+    ];
+
+    /// Display name matching the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkKind::QsNet => "QsNET",
+            NetworkKind::GigabitEthernet => "Gigabit Ethernet",
+            NetworkKind::Myrinet => "Myrinet",
+            NetworkKind::Infiniband => "Infiniband",
+            NetworkKind::BlueGeneL => "BlueGene/L",
+        }
+    }
+
+    /// Whether the STORM mechanisms map one-to-one onto hardware.
+    pub fn has_hardware_collectives(&self) -> bool {
+        matches!(self, NetworkKind::QsNet | NetworkKind::BlueGeneL)
+    }
+
+    /// Expected mechanism performance on `nodes` nodes (Table 5 formulas;
+    /// `log` is log₂, matching the tree-depth of the software emulations).
+    pub fn mechanism_perf(&self, nodes: u32) -> MechanismPerf {
+        let n = f64::from(nodes.max(2));
+        let lg = n.log2();
+        match self {
+            NetworkKind::GigabitEthernet => MechanismPerf {
+                caw_latency: SimSpan::from_micros_f64(46.0 * lg),
+                xfer_aggregate_bw: None,
+                hardware_collectives: false,
+            },
+            NetworkKind::Myrinet => MechanismPerf {
+                caw_latency: SimSpan::from_micros_f64(20.0 * lg),
+                xfer_aggregate_bw: Some(15.0e6 * n),
+                hardware_collectives: false,
+            },
+            NetworkKind::Infiniband => MechanismPerf {
+                caw_latency: SimSpan::from_micros_f64(20.0 * lg),
+                xfer_aggregate_bw: None,
+                hardware_collectives: false,
+            },
+            NetworkKind::QsNet => {
+                let model = QsNetModel::for_nodes(nodes.max(1));
+                MechanismPerf {
+                    caw_latency: model.barrier_latency(),
+                    // ">150n": the hardware broadcast delivers the full
+                    // per-node broadcast bandwidth to every node at once.
+                    xfer_aggregate_bw: Some(
+                        model.broadcast_bw(crate::qsnet::BufferPlacement::NicMemory) * n,
+                    ),
+                    hardware_collectives: true,
+                }
+            }
+            NetworkKind::BlueGeneL => MechanismPerf {
+                caw_latency: SimSpan::from_micros_f64(1.5),
+                xfer_aggregate_bw: Some(700.0e6 * n),
+                hardware_collectives: true,
+            },
+        }
+    }
+
+    /// Per-packet/message software-emulation cost on the host CPU — what the
+    /// emulated-tree mechanisms (storm-mech) charge per hop. Zero on
+    /// networks with hardware collectives.
+    pub fn emulation_hop_cost(&self) -> SimSpan {
+        match self {
+            NetworkKind::GigabitEthernet => SimSpan::from_micros(46),
+            NetworkKind::Myrinet | NetworkKind::Infiniband => SimSpan::from_micros(20),
+            NetworkKind::QsNet | NetworkKind::BlueGeneL => SimSpan::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_caw_latencies() {
+        // The paper's formulas, evaluated at n = 64 (lg n = 6):
+        let n = 64;
+        let ge = NetworkKind::GigabitEthernet.mechanism_perf(n);
+        assert!((ge.caw_latency.as_micros_f64() - 276.0).abs() < 1.0);
+        let my = NetworkKind::Myrinet.mechanism_perf(n);
+        assert!((my.caw_latency.as_micros_f64() - 120.0).abs() < 1.0);
+        let ib = NetworkKind::Infiniband.mechanism_perf(n);
+        assert_eq!(ib.caw_latency, my.caw_latency);
+        // QsNET < 10 µs, BlueGene/L < 2 µs — also at 4096 nodes.
+        for nodes in [64, 4096] {
+            assert!(NetworkKind::QsNet.mechanism_perf(nodes).caw_latency.as_micros_f64() < 10.0);
+            assert!(NetworkKind::BlueGeneL.mechanism_perf(nodes).caw_latency.as_micros_f64() < 2.0);
+        }
+    }
+
+    #[test]
+    fn table5_xfer_bandwidths() {
+        let n = 64;
+        assert!(NetworkKind::GigabitEthernet.mechanism_perf(n).xfer_aggregate_bw.is_none());
+        assert!(NetworkKind::Infiniband.mechanism_perf(n).xfer_aggregate_bw.is_none());
+        let my = NetworkKind::Myrinet.mechanism_perf(n).xfer_aggregate_bw.unwrap();
+        assert!((my - 15.0e6 * 64.0).abs() < 1.0);
+        // QsNET delivers > 150 MB/s × n.
+        let qs = NetworkKind::QsNet.mechanism_perf(n).xfer_aggregate_bw.unwrap();
+        assert!(qs > 150.0e6 * 64.0);
+        let bg = NetworkKind::BlueGeneL.mechanism_perf(n).xfer_aggregate_bw.unwrap();
+        assert!((bg - 700.0e6 * 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hardware_collective_flags() {
+        assert!(NetworkKind::QsNet.has_hardware_collectives());
+        assert!(NetworkKind::BlueGeneL.has_hardware_collectives());
+        assert!(!NetworkKind::Myrinet.has_hardware_collectives());
+        assert!(!NetworkKind::GigabitEthernet.has_hardware_collectives());
+        assert!(!NetworkKind::Infiniband.has_hardware_collectives());
+        for k in NetworkKind::ALL {
+            assert_eq!(
+                k.emulation_hop_cost().is_zero(),
+                k.has_hardware_collectives()
+            );
+        }
+    }
+
+    #[test]
+    fn caw_latency_grows_logarithmically_on_emulated_networks() {
+        let at = |n| {
+            NetworkKind::Myrinet
+                .mechanism_perf(n)
+                .caw_latency
+                .as_micros_f64()
+        };
+        // Doubling node count adds one tree level: +20 µs.
+        assert!((at(128) - at(64) - 20.0).abs() < 0.5);
+        assert!((at(1024) - at(64) - 80.0).abs() < 0.5);
+    }
+}

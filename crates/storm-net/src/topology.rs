@@ -1,0 +1,125 @@
+//! Fat-tree topology and machine floor-plan geometry.
+//!
+//! QsNET is a quaternary fat tree built from 8-port (4 up / 4 down) switch
+//! elements packaged into up-to-128-port switch chassis. What matters for
+//! the timing models is (a) how many *stages* the tree has for a given node
+//! count and (b) the worst-case number of switch elements a packet crosses —
+//! both taken directly from Table 4 of the paper (4 nodes → 1 stage/1
+//! switch, …, 4096 nodes → 6 stages/11 switches).
+//!
+//! The floor-plan diameter model is Eq. 2: assuming four ES40 nodes per
+//! square metre of machine-room footprint arranged in a square,
+//! `diameter(nodes) = ⌊sqrt(2 × nodes)⌋` metres — a conservative estimate of
+//! the longest cable between two nodes.
+
+/// A quaternary fat-tree cluster topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nodes: u32,
+}
+
+impl Topology {
+    /// The tree radix (QsNET switch elements have 4 down links).
+    pub const RADIX: u32 = 4;
+
+    /// A topology for `nodes` compute nodes. Panics on zero.
+    pub fn new(nodes: u32) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Topology { nodes }
+    }
+
+    /// Number of compute nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of fat-tree stages: ⌈log₄ nodes⌉, minimum 1.
+    ///
+    /// Matches the "Stages" column of Table 4 (4 → 1, 16 → 2, 64 → 3,
+    /// 256 → 4, 1024 → 5, 4096 → 6).
+    pub fn stages(&self) -> u32 {
+        if self.nodes <= Self::RADIX {
+            return 1;
+        }
+        let mut stages = 0u32;
+        let mut capacity = 1u64;
+        while capacity < u64::from(self.nodes) {
+            capacity *= u64::from(Self::RADIX);
+            stages += 1;
+        }
+        stages
+    }
+
+    /// Worst-case number of switch elements a packet crosses on an up-down
+    /// route: `2 × stages − 1` (the "Switches" column of Table 4).
+    pub fn switches_crossed(&self) -> u32 {
+        2 * self.stages() - 1
+    }
+
+    /// Conservative machine floor-plan diameter in metres (Eq. 2):
+    /// `⌊sqrt(2 × nodes)⌋`, with a 1 m minimum for trivial clusters.
+    pub fn diameter_m(&self) -> f64 {
+        let d = (2.0 * f64::from(self.nodes)).sqrt().floor();
+        d.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts_match_table4() {
+        // (nodes, stages, switches) rows of Table 4.
+        let rows = [
+            (4u32, 1u32, 1u32),
+            (16, 2, 3),
+            (64, 3, 5),
+            (256, 4, 7),
+            (1024, 5, 9),
+            (4096, 6, 11),
+        ];
+        for (n, s, sw) in rows {
+            let t = Topology::new(n);
+            assert_eq!(t.stages(), s, "stages for {n} nodes");
+            assert_eq!(t.switches_crossed(), sw, "switches for {n} nodes");
+        }
+    }
+
+    #[test]
+    fn non_power_of_four_rounds_up() {
+        assert_eq!(Topology::new(5).stages(), 2);
+        assert_eq!(Topology::new(17).stages(), 3);
+        assert_eq!(Topology::new(100).stages(), 4);
+        assert_eq!(Topology::new(1).stages(), 1);
+        assert_eq!(Topology::new(2).stages(), 1);
+    }
+
+    #[test]
+    fn diameter_matches_eq2() {
+        // Examples from §3.3.2: 4 nodes occupy ~4 m² → diameter ~2–3 m;
+        // Table 4 tops out at 4096 nodes / ~90 m.
+        assert_eq!(Topology::new(4).diameter_m(), 2.0);
+        assert_eq!(Topology::new(64).diameter_m(), 11.0);
+        assert_eq!(Topology::new(1024).diameter_m(), 45.0);
+        assert_eq!(Topology::new(4096).diameter_m(), 90.0);
+        // Minimum clamp.
+        assert_eq!(Topology::new(1).diameter_m(), 1.0);
+    }
+
+    #[test]
+    fn stages_monotone_in_nodes() {
+        let mut last = 0;
+        for n in 1..=5000 {
+            let s = Topology::new(n).stages();
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        Topology::new(0);
+    }
+}

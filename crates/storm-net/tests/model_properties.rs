@@ -1,0 +1,108 @@
+//! Property-based tests of the network models: the monotonicities and
+//! bounds the paper's scalability argument (§3.3.2) depends on.
+
+use proptest::prelude::*;
+use storm_net::{BackgroundLoad, BufferPlacement, Nic, QsNetModel, Topology};
+use storm_sim::{SimSpan, SimTime};
+
+proptest! {
+    /// Broadcast bandwidth never increases with node count or cable length,
+    /// and never exceeds the link rate.
+    #[test]
+    fn broadcast_bw_monotone(nodes in 1u32..8192, cable in 1.0f64..150.0) {
+        let m = QsNetModel::for_nodes(64);
+        let bw = m.broadcast_bw_at(nodes, cable);
+        prop_assert!(bw > 0.0);
+        prop_assert!(bw <= m.params.link_bw * 1.001);
+        prop_assert!(m.broadcast_bw_at(nodes * 2, cable) <= bw);
+        prop_assert!(m.broadcast_bw_at(nodes, cable + 10.0) <= bw);
+    }
+
+    /// Packet service time is bounded below by the injection time.
+    #[test]
+    fn packet_time_at_least_injection(stages in 1u32..8, cable in 0.0f64..200.0) {
+        let m = QsNetModel::for_nodes(64);
+        let inject_ns = m.params.mtu_bytes as f64 / m.params.link_bw * 1e9;
+        prop_assert!(m.packet_time_ns(stages, cable) >= inject_ns - 1e-9);
+    }
+
+    /// Barrier latency grows with node count but stays under Table 5's
+    /// 10 µs bound through 4 096 nodes.
+    #[test]
+    fn barrier_monotone_and_bounded(n in 1u32..4096) {
+        let small = QsNetModel::for_nodes(n).barrier_latency();
+        let bigger = QsNetModel::for_nodes(n + 64).barrier_latency();
+        prop_assert!(bigger >= small);
+        prop_assert!(small.as_micros_f64() < 10.0);
+    }
+
+    /// Point-to-point span is strictly monotone in message size and has the
+    /// fixed latency as a floor.
+    #[test]
+    fn ptp_monotone(bytes in 0u64..100_000_000) {
+        let m = QsNetModel::for_nodes(64);
+        let s = m.ptp_span(bytes);
+        prop_assert!(s >= SimSpan::from_nanos(m.params.ptp_latency_ns as u64));
+        prop_assert!(m.ptp_span(bytes + 1_000_000) > s);
+    }
+
+    /// Broadcast span decomposition: time for 2×bytes is less than double
+    /// (fixed setup amortises) but at least the data-proportional part.
+    #[test]
+    fn broadcast_span_subadditive(bytes in 1_000u64..50_000_000) {
+        let m = QsNetModel::for_nodes(64);
+        for placement in [BufferPlacement::MainMemory, BufferPlacement::NicMemory] {
+            let one = m.broadcast_span(bytes, placement);
+            let two = m.broadcast_span(2 * bytes, placement);
+            prop_assert!(two < one * 2, "setup must amortise");
+            prop_assert!(two > one, "more data takes longer");
+        }
+    }
+
+    /// NIC reservations never overlap and never start before requested.
+    #[test]
+    fn nic_serialisation(requests in prop::collection::vec((0u64..1_000_000, 1u64..100_000), 1..100)) {
+        let mut nic = Nic::new();
+        let mut last_done = SimTime::ZERO;
+        let mut last_req = 0u64;
+        for (at_raw, span) in requests {
+            // Issue times are non-decreasing (callers live on the event loop).
+            let at = SimTime::from_nanos(last_req.max(at_raw));
+            last_req = at.as_nanos();
+            let (start, done) = nic.transmit(at, SimSpan::from_nanos(span));
+            prop_assert!(start >= at);
+            prop_assert!(start >= last_done, "overlapping reservation");
+            prop_assert_eq!(done, start + SimSpan::from_nanos(span));
+            last_done = done;
+        }
+    }
+
+    /// Background load: effective bandwidth scales down, CPU inflation
+    /// scales up, and the unloaded case is the identity.
+    #[test]
+    fn load_scaling(cpu in 0.0f64..0.95, net in 0.0f64..0.95, bw in 1.0f64..1e9) {
+        let l = BackgroundLoad { cpu, network: net };
+        prop_assert!(l.validate().is_ok());
+        prop_assert!(l.effective_bw(bw) <= bw);
+        let span = SimSpan::from_micros(100);
+        prop_assert!(l.inflate(span) >= span);
+        let none = BackgroundLoad::NONE;
+        prop_assert_eq!(none.effective_bw(bw), bw);
+        prop_assert_eq!(none.inflate(span), span);
+    }
+
+    /// Topology: stages fit the radix-4 tree and the diameter follows Eq. 2.
+    #[test]
+    fn topology_consistency(nodes in 1u32..100_000) {
+        let t = Topology::new(nodes);
+        let s = t.stages();
+        prop_assert!(4u64.pow(s) >= u64::from(nodes), "tree must cover all nodes");
+        if s > 1 {
+            prop_assert!(4u64.pow(s - 1) < u64::from(nodes), "no wasted stage");
+        }
+        prop_assert_eq!(t.switches_crossed(), 2 * s - 1);
+        let d = t.diameter_m();
+        prop_assert!(d >= 1.0);
+        prop_assert!((d - (2.0 * f64::from(nodes)).sqrt().floor().max(1.0)).abs() < 1e-9);
+    }
+}

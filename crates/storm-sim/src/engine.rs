@@ -1,0 +1,449 @@
+//! The actor-style simulation engine.
+//!
+//! A [`Simulation`] owns a set of [`Component`]s (in STORM: the Machine
+//! Manager, one Node Manager per node, Program Launchers, application
+//! processes, baseline launchers, …), a deterministic [`EventQueue`] of
+//! `(time, target, message)` deliveries, a shared mutable *world* `W`
+//! (network occupancy, global variables, filesystem state, metrics), and a
+//! deterministic RNG.
+//!
+//! Components communicate exclusively through timestamped messages; the
+//! engine delivers them in `(time, insertion-sequence)` order, so any two
+//! runs with the same inputs and seed produce identical traces.
+
+use crate::queue::EventQueue;
+use crate::rng::DeterministicRng;
+use crate::time::{SimSpan, SimTime};
+use crate::trace::Tracer;
+use std::fmt;
+
+/// Identifies a component within one [`Simulation`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The raw index (stable for the lifetime of the simulation).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A simulated actor. `W` is the shared world type, `M` the message type.
+pub trait Component<W, M> {
+    /// Handle one message delivered at `ctx.now()`.
+    fn handle(&mut self, msg: M, ctx: &mut Context<'_, W, M>);
+
+    /// A short name used in traces; defaults to the type name.
+    fn name(&self) -> &str {
+        std::any::type_name::<Self>()
+    }
+}
+
+/// Everything a component may touch while handling a message.
+pub struct Context<'a, W, M> {
+    now: SimTime,
+    self_id: ComponentId,
+    world: &'a mut W,
+    queue: &'a mut EventQueue<(ComponentId, M)>,
+    rng: &'a mut DeterministicRng,
+    tracer: &'a mut Tracer,
+    halt: &'a mut bool,
+}
+
+impl<W, M> Context<'_, W, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component handling this message.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Shared world state.
+    pub fn world(&mut self) -> &mut W {
+        self.world
+    }
+
+    /// Immutable view of the world.
+    pub fn world_ref(&self) -> &W {
+        self.world
+    }
+
+    /// Deliver `msg` to `target` at absolute instant `at`. Instants in the
+    /// past are clamped to *now* (delivery still happens, never time travel).
+    pub fn send_at(&mut self, target: ComponentId, at: SimTime, msg: M) {
+        let at = at.max(self.now);
+        self.queue.push(at, (target, msg));
+    }
+
+    /// Deliver `msg` to `target` after `delay`.
+    pub fn send(&mut self, target: ComponentId, delay: SimSpan, msg: M) {
+        self.queue.push(self.now + delay, (target, msg));
+    }
+
+    /// Deliver `msg` to self after `delay` (a timer).
+    pub fn send_self(&mut self, delay: SimSpan, msg: M) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
+    }
+
+    /// Deliver `msg` to self at absolute instant `at`.
+    pub fn send_self_at(&mut self, at: SimTime, msg: M) {
+        let id = self.self_id;
+        self.send_at(id, at, msg);
+    }
+
+    /// The deterministic RNG (shared by all components; still deterministic
+    /// because the engine is single-threaded with a total delivery order).
+    pub fn rng(&mut self) -> &mut DeterministicRng {
+        self.rng
+    }
+
+    /// Simultaneous access to the world and the RNG — for world-resident
+    /// subsystems whose operations draw randomness (e.g. fault-injected
+    /// mechanism calls).
+    pub fn world_and_rng(&mut self) -> (&mut W, &mut DeterministicRng) {
+        (self.world, self.rng)
+    }
+
+    /// Record a trace event (no-op unless tracing is enabled).
+    pub fn trace(&mut self, label: &'static str, detail: impl FnOnce() -> String) {
+        let now = self.now;
+        let id = self.self_id;
+        self.tracer.record(now, id, label, detail);
+    }
+
+    /// Stop the simulation after this message completes.
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+/// A discrete-event simulation over world `W` and message type `M`.
+pub struct Simulation<W, M> {
+    now: SimTime,
+    world: W,
+    components: Vec<Option<Box<dyn Component<W, M>>>>,
+    queue: EventQueue<(ComponentId, M)>,
+    rng: DeterministicRng,
+    tracer: Tracer,
+    halt: bool,
+    delivered: u64,
+    /// Hard cap on deliveries; guards against accidental event storms.
+    max_events: u64,
+}
+
+impl<W, M> Simulation<W, M> {
+    /// Create a simulation with the given world and seed.
+    pub fn new(world: W, seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            world,
+            components: Vec::new(),
+            queue: EventQueue::new(),
+            rng: DeterministicRng::new(seed),
+            tracer: Tracer::disabled(),
+            halt: false,
+            delivered: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Enable trace recording (see [`Tracer`]).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+    }
+
+    /// Set a hard cap on the number of delivered events.
+    pub fn set_max_events(&mut self, cap: u64) {
+        self.max_events = cap;
+    }
+
+    /// Register a component, returning its id.
+    pub fn add_component(&mut self, c: impl Component<W, M> + 'static) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(Some(Box::new(c)));
+        id
+    }
+
+    /// Register a boxed component.
+    pub fn add_boxed(&mut self, c: Box<dyn Component<W, M>>) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(Some(c));
+        id
+    }
+
+    /// Schedule an initial message delivery.
+    pub fn post(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        self.queue.push(at, (target, msg));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared world (immutable).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Shared world (mutable) — for experiment setup/teardown between runs.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Total messages delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Borrow a component back out (e.g. to read final state after a run).
+    ///
+    /// Panics if the id is stale or the component is mid-delivery (cannot
+    /// happen between `run_*` calls).
+    pub fn component(&self, id: ComponentId) -> &dyn Component<W, M> {
+        self.components[id.index()]
+            .as_deref()
+            .expect("component checked out")
+    }
+
+    /// Mutable access to a component between runs.
+    pub fn component_mut(&mut self, id: ComponentId) -> &mut (dyn Component<W, M> + 'static) {
+        self.components[id.index()]
+            .as_deref_mut()
+            .expect("component checked out")
+    }
+
+    /// Deliver the next event, if any. Returns `false` when the queue is
+    /// empty or the simulation has been halted.
+    pub fn step(&mut self) -> bool {
+        if self.halt {
+            return false;
+        }
+        let Some((time, (target, msg))) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue violated time order");
+        self.now = time;
+        self.deliver(target, msg);
+        true
+    }
+
+    fn deliver(&mut self, target: ComponentId, msg: M) {
+        self.delivered += 1;
+        assert!(
+            self.delivered <= self.max_events,
+            "event cap exceeded ({} events): runaway simulation?",
+            self.max_events
+        );
+        let mut comp = self.components[target.index()]
+            .take()
+            .unwrap_or_else(|| panic!("message to unknown/checked-out component {target}"));
+        {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: target,
+                world: &mut self.world,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                tracer: &mut self.tracer,
+                halt: &mut self.halt,
+            };
+            comp.handle(msg, &mut ctx);
+        }
+        self.components[target.index()] = Some(comp);
+    }
+
+    /// Run until the queue drains or the simulation halts. Returns the final
+    /// simulated time.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until simulated time reaches `deadline` (events at exactly the
+    /// deadline are delivered), the queue drains, or the simulation halts.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline && !self.halt => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline && !self.halt {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// True once [`Context::halt`] has been called.
+    pub fn halted(&self) -> bool {
+        self.halt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Tick(u32),
+        Echo(ComponentId),
+        Reply,
+        Stop,
+    }
+
+    #[derive(Default)]
+    struct Counter {
+        ticks: u32,
+        replies: u32,
+    }
+
+    type World = Vec<(SimTime, u32)>;
+
+    impl Component<World, Msg> for Counter {
+        fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+            match msg {
+                Msg::Tick(n) => {
+                    self.ticks += 1;
+                    let now = ctx.now();
+                    ctx.world().push((now, n));
+                    if n > 0 {
+                        ctx.send_self(SimSpan::from_millis(1), Msg::Tick(n - 1));
+                    }
+                }
+                Msg::Echo(from) => ctx.send(from, SimSpan::from_micros(5), Msg::Reply),
+                Msg::Reply => self.replies += 1,
+                Msg::Stop => ctx.halt(),
+            }
+        }
+    }
+
+    #[test]
+    fn timers_advance_time() {
+        let mut sim = Simulation::new(World::new(), 1);
+        let c = sim.add_component(Counter::default());
+        sim.post(SimTime::ZERO, c, Msg::Tick(5));
+        sim.run_to_completion();
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert_eq!(sim.world().len(), 6);
+        assert_eq!(sim.world()[3], (SimTime::from_millis(3), 2));
+    }
+
+    #[test]
+    fn request_reply_between_components() {
+        let mut sim = Simulation::new(World::new(), 1);
+        let a = sim.add_component(Counter::default());
+        let b = sim.add_component(Counter::default());
+        sim.post(SimTime::ZERO, b, Msg::Echo(a));
+        sim.run_to_completion();
+        assert_eq!(sim.now(), SimTime::from_micros(5));
+        // Downcast-free check: re-handle to observe state via world is
+        // overkill here; instead check delivery count.
+        assert_eq!(sim.events_delivered(), 2);
+    }
+
+    #[test]
+    fn halt_stops_early() {
+        let mut sim = Simulation::new(World::new(), 1);
+        let c = sim.add_component(Counter::default());
+        sim.post(SimTime::ZERO, c, Msg::Tick(1000));
+        sim.post(SimTime::from_millis(3), c, Msg::Stop);
+        sim.run_to_completion();
+        assert!(sim.halted());
+        assert!(sim.now() <= SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn run_until_deadline() {
+        let mut sim = Simulation::new(World::new(), 1);
+        let c = sim.add_component(Counter::default());
+        sim.post(SimTime::ZERO, c, Msg::Tick(100));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        assert_eq!(sim.world().len(), 11); // ticks at 0..=10 ms
+        assert!(sim.pending_events() > 0);
+        sim.run_to_completion();
+        assert_eq!(sim.world().len(), 101);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| -> World {
+            let mut sim = Simulation::new(World::new(), seed);
+            let c = sim.add_component(Counter::default());
+            let d = sim.add_component(Counter::default());
+            sim.post(SimTime::ZERO, c, Msg::Tick(50));
+            sim.post(SimTime::ZERO, d, Msg::Tick(50));
+            sim.post(SimTime::from_micros(1), c, Msg::Echo(d));
+            sim.run_to_completion();
+            sim.into_world()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap exceeded")]
+    fn event_cap_guards_runaway() {
+        let mut sim = Simulation::new(World::new(), 1);
+        sim.set_max_events(10);
+        let c = sim.add_component(Counter::default());
+        sim.post(SimTime::ZERO, c, Msg::Tick(1000));
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn past_sends_are_clamped_to_now() {
+        struct PastSender;
+        impl Component<World, Msg> for PastSender {
+            fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+                // On the initial tick, try to send into the past; the engine
+                // must clamp delivery to now (and the Reply itself must not
+                // re-trigger a send, or we'd loop at a frozen timestamp).
+                if matches!(msg, Msg::Tick(_)) {
+                    let id = ctx.self_id();
+                    ctx.send_at(id, SimTime::ZERO, Msg::Reply);
+                }
+            }
+        }
+        let mut sim = Simulation::new(World::new(), 1);
+        let c = sim.add_component(PastSender);
+        sim.post(SimTime::from_millis(5), c, Msg::Tick(0));
+        sim.run_to_completion();
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert_eq!(sim.events_delivered(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic random-number streams.
+//!
+//! The simulation needs stochastic noise (OS scheduling skew, fork latency,
+//! NFS jitter) but bit-for-bit reproducibility across runs. We wrap
+//! [`rand::rngs::SmallRng`] seeded through a SplitMix64 mix of a global seed
+//! and a stream identifier, so independent subsystems (each dæmon, each
+//! experiment repetition) get decorrelated but reproducible streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step — used only to derive seeds, never as the main generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG with named sub-streams.
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl DeterministicRng {
+    /// Create the root stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let derived = splitmix64(&mut s);
+        DeterministicRng {
+            seed,
+            rng: SmallRng::seed_from_u64(derived),
+        }
+    }
+
+    /// The seed this stream hierarchy was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent stream for `stream_id`. Streams with different
+    /// ids are decorrelated; the same `(seed, stream_id)` always yields an
+    /// identical stream.
+    pub fn stream(&self, stream_id: u64) -> DeterministicRng {
+        let mut s = self.seed ^ stream_id.rotate_left(17).wrapping_mul(0xA24B_AED4_963E_E407);
+        let derived = splitmix64(&mut s);
+        DeterministicRng {
+            seed: self.seed,
+            rng: SmallRng::seed_from_u64(derived),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.rng.random_range(0..n)
+    }
+
+    /// Exponentially distributed with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = 1.0 - self.uniform(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the pair's second
+    /// half is deliberately discarded to keep state simple).
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        let u1: f64 = 1.0 - self.uniform();
+        let u2: f64 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + stddev * z
+    }
+
+    /// Log-normal noise: multiplicative jitter with median 1.0 and the given
+    /// sigma in log space. Used for OS scheduling skew where the paper
+    /// reports rare slow outliers that bias the mean.
+    pub fn lognormal_jitter(&mut self, sigma: f64) -> f64 {
+        let n = self.normal(0.0, sigma);
+        n.exp()
+    }
+
+    /// Access the underlying [`SmallRng`] for APIs that want `impl Rng`.
+    pub fn inner(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DeterministicRng::new(1234);
+        let mut b = DeterministicRng::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.below(1_000_000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.below(1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_decorrelated() {
+        let root = DeterministicRng::new(99);
+        let mut s1a = root.stream(1);
+        let mut s1b = root.stream(1);
+        let mut s2 = root.stream(2);
+        let a: Vec<u64> = (0..8).map(|_| s1a.below(u64::MAX)).collect();
+        let b: Vec<u64> = (0..8).map(|_| s1b.below(u64::MAX)).collect();
+        let c: Vec<u64> = (0..8).map(|_| s2.below(u64::MAX)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exponential_has_roughly_right_mean() {
+        let mut r = DeterministicRng::new(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut r = DeterministicRng::new(8);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_jitter_is_positive_with_median_near_one() {
+        let mut r = DeterministicRng::new(9);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| r.lognormal_jitter(0.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.1, "median = {median}");
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut r = DeterministicRng::new(10);
+        for _ in 0..1000 {
+            let x = r.uniform_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Statistics helpers for the experiment harness.
+//!
+//! The paper (§3) runs each experiment 3–20 times and reports the mean — or
+//! the minimum for the application experiments in §3.2, where rare slow runs
+//! biased the mean. [`Summary`] supports both conventions; [`OnlineStats`]
+//! is a Welford accumulator for streaming use; [`Series`] collects `(x, y)`
+//! points for figure reproduction.
+
+use crate::time::SimSpan;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 for < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A batch of repeated measurements of one quantity.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary { values: Vec::new() }
+    }
+
+    /// Build from raw values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        Summary {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Build from simulated spans, stored as seconds.
+    pub fn from_spans(spans: impl IntoIterator<Item = SimSpan>) -> Self {
+        Summary {
+            values: spans.into_iter().map(|s| s.as_secs_f64()).collect(),
+        }
+    }
+
+    /// Add one value.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean (paper's default statistic).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum (paper's statistic for the §3.2 application runs).
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Median (average-of-middle-two for even counts).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let w = rank - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        let mut s = OnlineStats::new();
+        for &v in &self.values {
+            s.push(v);
+        }
+        s.stddev()
+    }
+
+    /// The raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// An `(x, y)` series for reproducing a figure.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Series name as shown in the figure legend.
+    pub name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The collected points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The y value at a given x (exact match), if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// True if y never decreases as x increases (series must be pushed in
+    /// ascending x order).
+    pub fn is_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-12)
+    }
+
+    /// True if y never increases as x increases.
+    pub fn is_non_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-12)
+    }
+
+    /// Render as a simple aligned two-column table.
+    pub fn render(&self, x_label: &str, y_label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.name);
+        let _ = writeln!(out, "{x_label:>12}  {y_label:>14}");
+        for (x, y) in &self.points {
+            let _ = writeln!(out, "{x:>12.3}  {y:>14.4}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for x in xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let sum = Summary::new();
+        assert_eq!(sum.mean(), 0.0);
+        assert_eq!(sum.median(), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::from_values([5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.percentile(25.0), 2.0);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        let s = Summary::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn summary_from_spans_is_in_seconds() {
+        let s = Summary::from_spans([SimSpan::from_millis(100), SimSpan::from_millis(300)]);
+        assert!((s.mean() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_monotonicity_checks() {
+        let mut up = Series::new("up");
+        let mut down = Series::new("down");
+        for i in 0..10 {
+            up.push(i as f64, (i * i) as f64);
+            down.push(i as f64, 1.0 / (1.0 + i as f64));
+        }
+        assert!(up.is_non_decreasing());
+        assert!(!up.is_non_increasing());
+        assert!(down.is_non_increasing());
+        assert_eq!(up.y_at(3.0), Some(9.0));
+        assert_eq!(up.y_at(3.5), None);
+        let r = up.render("n", "t");
+        assert!(r.contains("# up"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Simulated time: nanosecond-resolution instants ([`SimTime`]) and
+//! durations ([`SimSpan`]).
+//!
+//! Two distinct newtypes are used so the type system catches the classic
+//! simulation bug of adding two instants. All arithmetic is saturating-free
+//! and will panic on overflow in debug builds; the u64 nanosecond range
+//! (~584 years) is far beyond any experiment in this repository.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in nanoseconds from the start of
+/// the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A length of simulated time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from integral nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from integral microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from integral milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from integral seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds (rounds to the nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative instant");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Fractional microseconds since the epoch.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Fractional milliseconds since the epoch.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Fractional seconds since the epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Span since an earlier instant; panics (debug) if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimSpan {
+        debug_assert!(self >= earlier, "time went backwards");
+        SimSpan(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `earlier` is actually later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The next boundary of a repeating period of length `period` that is
+    /// strictly after `self`. Used for "the MM only acts at timeslice
+    /// boundaries" quantisation in the paper's launch protocol.
+    #[inline]
+    pub fn next_boundary(self, period: SimSpan) -> SimTime {
+        assert!(period.0 > 0, "period must be positive");
+        let q = self.0 / period.0 + 1;
+        SimTime(q * period.0)
+    }
+
+    /// The most recent boundary of `period` at or before `self`.
+    #[inline]
+    pub fn prev_boundary(self, period: SimSpan) -> SimTime {
+        assert!(period.0 > 0, "period must be positive");
+        SimTime(self.0 / period.0 * period.0)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimSpan {
+    /// The empty span.
+    pub const ZERO: SimSpan = SimSpan(0);
+    /// The maximum representable span.
+    pub const MAX: SimSpan = SimSpan(u64::MAX);
+
+    /// Construct from integral nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimSpan(ns)
+    }
+    /// Construct from integral microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+    /// Construct from integral milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+    /// Construct from integral seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimSpan(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds (rounds to the nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative span: {s}");
+        SimSpan((s * 1e9).round() as u64)
+    }
+    /// Construct from fractional milliseconds.
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+    /// Construct from fractional microseconds.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us / 1e6)
+    }
+
+    /// The time to move `bytes` bytes at `bytes_per_sec`; zero-bandwidth
+    /// panics.
+    #[inline]
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        Self::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// Nanoseconds in this span.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// True if the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, other: SimSpan) -> SimSpan {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The shorter of two spans.
+    #[inline]
+    pub fn min(self, other: SimSpan) -> SimSpan {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_sub(other.0))
+    }
+    /// Multiply by a non-negative scalar.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> SimSpan {
+        debug_assert!(k >= 0.0, "negative scale");
+        SimSpan((self.0 as f64 * k).round() as u64)
+    }
+    /// Integer division rounding up: how many `chunk`-long pieces cover this
+    /// span.
+    #[inline]
+    pub fn div_ceil(self, chunk: SimSpan) -> u64 {
+        assert!(chunk.0 > 0, "chunk must be positive");
+        self.0.div_ceil(chunk.0)
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimSpan {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimSpan {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimSpan) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl Sum for SimSpan {
+    fn sum<I: Iterator<Item = SimSpan>>(iter: I) -> SimSpan {
+        iter.fold(SimSpan::ZERO, Add::add)
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns == 0 {
+        write!(f, "0s")
+    } else if ns < 1_000 {
+        write!(f, "{ns}ns")
+    } else if ns < 1_000_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_secs(5).as_nanos(), 5_000_000_000);
+        assert_eq!(SimSpan::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimSpan::from_millis_f64(0.5).as_micros_f64(), 500.0);
+    }
+
+    #[test]
+    fn instant_plus_span() {
+        let t = SimTime::from_millis(10) + SimSpan::from_micros(500);
+        assert_eq!(t.as_nanos(), 10_500_000);
+        assert_eq!(t - SimTime::from_millis(10), SimSpan::from_micros(500));
+    }
+
+    #[test]
+    fn since_and_saturating() {
+        let a = SimTime::from_millis(3);
+        let b = SimTime::from_millis(7);
+        assert_eq!(b.since(a), SimSpan::from_millis(4));
+        assert_eq!(a.saturating_since(b), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn boundaries_quantise_correctly() {
+        let q = SimSpan::from_millis(1);
+        assert_eq!(SimTime::ZERO.next_boundary(q), SimTime::from_millis(1));
+        assert_eq!(
+            SimTime::from_micros(1500).next_boundary(q),
+            SimTime::from_millis(2)
+        );
+        // An instant exactly on a boundary advances to the next one.
+        assert_eq!(
+            SimTime::from_millis(2).next_boundary(q),
+            SimTime::from_millis(3)
+        );
+        assert_eq!(
+            SimTime::from_micros(2500).prev_boundary(q),
+            SimTime::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn bandwidth_span() {
+        // 1 MiB at 1 MiB/s is one second.
+        let s = SimSpan::for_bytes(1 << 20, (1 << 20) as f64);
+        assert_eq!(s, SimSpan::from_secs(1));
+        // 12 MB at 131 MB/s is the paper's ~92 ms send time.
+        let send = SimSpan::for_bytes(12_000_000, 131e6);
+        assert!((send.as_millis_f64() - 91.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let a = SimSpan::from_millis(10);
+        assert_eq!(a * 3, SimSpan::from_millis(30));
+        assert_eq!(a / 4, SimSpan::from_micros(2500));
+        assert_eq!(a.mul_f64(0.5), SimSpan::from_millis(5));
+        assert_eq!(a.saturating_sub(SimSpan::from_secs(1)), SimSpan::ZERO);
+        assert_eq!(SimSpan::from_millis(10).div_ceil(SimSpan::from_millis(3)), 4);
+        let total: SimSpan = vec![a, a, a].into_iter().sum();
+        assert_eq!(total, SimSpan::from_millis(30));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimSpan::from_millis(1).max(SimSpan::from_millis(2)),
+            SimSpan::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimSpan::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimSpan::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimSpan::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimSpan::from_secs(12)), "12.000s");
+        assert_eq!(format!("{}", SimTime::ZERO), "0s");
+    }
+}

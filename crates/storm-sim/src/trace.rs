@@ -1,0 +1,147 @@
+//! Lightweight event tracing.
+//!
+//! Disabled by default (zero cost beyond a branch); when enabled, each
+//! [`crate::Context::trace`] call appends a [`TraceRecord`]. Tests compare
+//! traces between runs to assert determinism, and examples print them as
+//! timelines.
+
+use crate::engine::ComponentId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Which component recorded it.
+    pub component: ComponentId,
+    /// A static label, e.g. `"launch.fragment"`.
+    pub label: &'static str,
+    /// Free-form detail (only built when tracing is on).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>14}] {:>5} {:<28} {}",
+            format!("{}", self.time),
+            format!("{}", self.component),
+            self.label,
+            self.detail
+        )
+    }
+}
+
+/// A trace sink. Construct with [`Tracer::enabled`] or [`Tracer::disabled`].
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// A tracer that records everything.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event. `detail` is only evaluated when enabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        component: ComponentId,
+        label: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                component,
+                label,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records with a given label.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.label == label)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records were kept.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Render the whole trace, one record per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "{r}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_skips_detail_closure() {
+        let mut t = Tracer::disabled();
+        let mut called = false;
+        t.record(SimTime::ZERO, ComponentId(0), "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records() {
+        let mut t = Tracer::enabled();
+        t.record(SimTime::from_millis(1), ComponentId(3), "launch.start", || {
+            "job 7".to_string()
+        });
+        t.record(SimTime::from_millis(2), ComponentId(3), "launch.done", || {
+            "job 7".to_string()
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.with_label("launch.done").count(), 1);
+        let rendered = t.render();
+        assert!(rendered.contains("launch.start"));
+        assert!(rendered.contains("job 7"));
+    }
+}

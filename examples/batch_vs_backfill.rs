@@ -1,0 +1,113 @@
+//! Scheduling-policy comparison: batch FCFS vs EASY backfilling vs gang
+//! scheduling on the same job stream.
+//!
+//! §4: "Currently, STORM supports batch scheduling with and without
+//! backfilling, gang scheduling, and implicit coscheduling" — the policies
+//! plug into the same MM, matrix and mechanisms. This example submits a
+//! queue with a classic backfilling opportunity (a wide job blocked behind
+//! a long one, with short narrow jobs behind it) and compares turnaround.
+//!
+//! Run with: `cargo run --release --example batch_vs_backfill`
+
+use storm::core::prelude::*;
+
+fn workload(cluster: &mut Cluster) -> Vec<(JobId, &'static str)> {
+    let mut jobs = Vec::new();
+    // A long job holding half the machine.
+    jobs.push((
+        cluster.submit(
+            JobSpec::new(
+                AppSpec::Synthetic { compute: SimSpan::from_secs(60) },
+                32 * 4,
+            )
+            .named("long-half")
+            .with_estimate(SimSpan::from_secs(62)),
+        ),
+        "long-half",
+    ));
+    // A full-machine job that must wait for it.
+    jobs.push((
+        cluster.submit(
+            JobSpec::new(
+                AppSpec::Synthetic { compute: SimSpan::from_secs(20) },
+                64 * 4,
+            )
+            .named("wide")
+            .with_estimate(SimSpan::from_secs(22)),
+        ),
+        "wide",
+    ));
+    // Four short narrow jobs that *could* run in the spare half right now.
+    for i in 0..4 {
+        jobs.push((
+            cluster.submit(
+                JobSpec::new(
+                    AppSpec::Synthetic { compute: SimSpan::from_secs(10) },
+                    8 * 4,
+                )
+                .named("short")
+                .with_estimate(SimSpan::from_secs(12)),
+            ),
+            ["short-a", "short-b", "short-c", "short-d"][i],
+        ));
+    }
+    jobs
+}
+
+fn run(policy: SchedulerKind) -> (f64, Vec<(String, f64)>) {
+    let mut cfg = ClusterConfig::paper_cluster().with_scheduler(policy);
+    cfg.mpl_max = if policy == SchedulerKind::Gang { 2 } else { 1 };
+    cfg.timeslice = SimSpan::from_millis(50);
+    let mut cluster = Cluster::new(cfg);
+    let jobs = workload(&mut cluster);
+    cluster.run_until_idle();
+    let mut turnarounds = Vec::new();
+    let mut makespan: f64 = 0.0;
+    for (id, name) in jobs {
+        let m = &cluster.job(id).metrics;
+        let t = m.turnaround().expect("turnaround").as_secs_f64();
+        makespan = makespan.max(m.completed.unwrap().as_secs_f64());
+        turnarounds.push((name.to_string(), t));
+    }
+    (makespan, turnarounds)
+}
+
+fn main() {
+    println!("=== One job stream, three scheduling policies ===\n");
+    println!("queue: long-half(60 s, 32 nodes) -> wide(20 s, 64 nodes) -> 4x short(10 s, 8 nodes)\n");
+    let mut summary = Vec::new();
+    for policy in [SchedulerKind::Batch, SchedulerKind::Backfill, SchedulerKind::Gang] {
+        let (makespan, turnarounds) = run(policy);
+        println!("--- {policy:?} (makespan {makespan:.1} s)");
+        for (name, t) in &turnarounds {
+            println!("    {name:<10} turnaround {t:>7.1} s");
+        }
+        let mean: f64 =
+            turnarounds.iter().map(|(_, t)| t).sum::<f64>() / turnarounds.len() as f64;
+        println!("    mean turnaround {mean:.1} s\n");
+        summary.push((policy, makespan, mean));
+    }
+
+    println!("=== Summary ===");
+    println!("{:<10} {:>10} {:>18}", "policy", "makespan", "mean turnaround");
+    for (p, mk, mean) in &summary {
+        println!("{:<10} {:>8.1} s {:>16.1} s", format!("{p:?}"), mk, mean);
+    }
+    let batch_mean = summary[0].2;
+    let backfill_mean = summary[1].2;
+    let gang_mean = summary[2].2;
+    assert!(
+        backfill_mean < batch_mean,
+        "backfilling lets the short jobs jump the blocked wide job"
+    );
+    assert!(
+        gang_mean < batch_mean,
+        "gang scheduling timeshares everything immediately"
+    );
+    println!(
+        "\nBackfilling cuts mean turnaround {:.0}% vs strict FCFS; gang scheduling \
+         (MPL 2) cuts it {:.0}% by timesharing instead of queueing.",
+        (1.0 - backfill_mean / batch_mean) * 100.0,
+        (1.0 - gang_mean / batch_mean) * 100.0
+    );
+}

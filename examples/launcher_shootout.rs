@@ -1,0 +1,64 @@
+//! Launcher shootout — §5.1's comparison, live.
+//!
+//! Launches the same 12 MB binary with four mechanisms at growing cluster
+//! sizes: STORM's broadcast protocol (simulated end-to-end, dæmons and
+//! all), a serial `rsh` script, NFS demand paging, and a Cplant/BProc-style
+//! binary-distribution tree.
+//!
+//! Run with: `cargo run --release --example launcher_shootout`
+
+use storm::baselines::SimulatedLauncher;
+use storm::core::prelude::*;
+use storm::sim::DeterministicRng;
+
+fn storm_launch(nodes: u32) -> f64 {
+    let cfg = ClusterConfig::paper_cluster().with_nodes(nodes);
+    let mut c = Cluster::new(cfg);
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), nodes * 4));
+    c.run_until_idle();
+    c.job(j)
+        .metrics
+        .total_launch_span()
+        .expect("launch")
+        .as_secs_f64()
+}
+
+fn main() {
+    println!("=== Launcher shootout: 12 MB binary, seconds ===");
+    println!(
+        "{:>6}  {:>10}  {:>12}  {:>12}  {:>12}",
+        "nodes", "STORM", "serial rsh", "NFS paging", "tree (f=4)"
+    );
+    let mut rng = DeterministicRng::new(2002);
+    for nodes in [4u32, 16, 64, 256, 1024] {
+        let storm = storm_launch(nodes.min(64)); // sim up to the paper's 64;
+        let storm_txt = if nodes <= 64 {
+            format!("{storm:.3}")
+        } else {
+            // beyond the testbed, Eq. 3's model (Fig. 10)
+            format!("{:.3}*", storm::model::t_launch_es40(nodes).as_secs_f64())
+        };
+        let rsh = SimulatedLauncher::SerialRsh
+            .launch_time(nodes, 0, &mut rng)
+            .unwrap()
+            .as_secs_f64();
+        let nfs = SimulatedLauncher::NfsDemandPaging
+            .launch_time(nodes, 12_000_000, &mut rng)
+            .map(|t| format!("{:.1}", t.as_secs_f64()))
+            .unwrap_or_else(|| "TIMEOUT".into());
+        let tree = SimulatedLauncher::DistributionTree { fanout: 4 }
+            .launch_time(nodes, 12_000_000, &mut rng)
+            .unwrap()
+            .as_secs_f64();
+        println!(
+            "{nodes:>6}  {storm_txt:>10}  {rsh:>12.1}  {nfs:>12}  {tree:>12.2}"
+        );
+    }
+    println!("(*) modelled with Eq. 3 beyond the 64-node testbed");
+    println!(
+        "\nShapes to notice: rsh is linear (a minute at 64 nodes), NFS collapses \n\
+         super-linearly and eventually times out, trees are logarithmic but pay \n\
+         a full store-and-forward of the image per level — STORM's hardware \n\
+         multicast launches in ~0.1 s at every scale."
+    );
+}

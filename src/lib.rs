@@ -1,0 +1,38 @@
+//! # storm — STORM: Lightning-Fast Resource Management (SC 2002), reproduced in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`core`] — the STORM resource manager itself (MM/NM/PL dæmons, buddy
+//!   allocation, gang matrix, launch protocol, schedulers, fault
+//!   detection). Start at [`core::Cluster`].
+//! * [`mech`] — the three STORM mechanisms (XFER-AND-SIGNAL, TEST-EVENT,
+//!   COMPARE-AND-WRITE) over hardware or emulated collectives.
+//! * [`net`] — the QsNET (Elan3) timing model and the Table 5 comparison
+//!   networks; [`fs`] — RAM-disk/ext2/NFS models; [`sim`] — the
+//!   deterministic discrete-event engine underneath everything.
+//! * [`apps`] — workload models (SWEEP3D, synthetic, hogs, job streams);
+//!   [`baselines`] — rsh/RMS/GLUnix/Cplant/BProc and the Table 8 scheduler
+//!   models; [`model`] — the paper's closed-form scalability models.
+//!
+//! See the README for the architecture, `DESIGN.md` for the paper-to-module
+//! map, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use storm::core::prelude::*;
+//!
+//! // The paper's headline experiment: 12 MB on 256 PEs in ~110 ms.
+//! let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
+//! let job = cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+//! cluster.run_until_idle();
+//! let total = cluster.job(job).metrics.total_launch_span().unwrap();
+//! assert!(total.as_millis_f64() < 130.0);
+//! ```
+
+pub use storm_apps as apps;
+pub use storm_baselines as baselines;
+pub use storm_core as core;
+pub use storm_fs as fs;
+pub use storm_mech as mech;
+pub use storm_model as model;
+pub use storm_net as net;
+pub use storm_sim as sim;

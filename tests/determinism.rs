@@ -1,0 +1,113 @@
+//! Cross-crate determinism: any experiment, re-run with the same seed, must
+//! reproduce its results bit-for-bit — the property every calibration and
+//! regression claim in this repository rests on.
+
+use storm::core::prelude::*;
+
+fn full_run(seed: u64) -> (Vec<(JobState, Option<SimTime>)>, u64, u64, String) {
+    let mut cfg = ClusterConfig::paper_cluster().with_seed(seed);
+    cfg.mpl_max = 2;
+    let mut c = Cluster::new(cfg);
+    c.enable_tracing();
+    let _a = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    let _b = c.submit_at(
+        SimTime::from_millis(30),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(500),
+            },
+            64,
+        ),
+    );
+    c.run_until_idle();
+    let jobs = c
+        .report()
+        .jobs
+        .iter()
+        .map(|j| (j.state, j.metrics.completed))
+        .collect();
+    (
+        jobs,
+        c.events_delivered(),
+        c.world().stats.fragments,
+        c.trace(),
+    )
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = full_run(123);
+    let b = full_run(123);
+    assert_eq!(a.0, b.0, "job outcomes");
+    assert_eq!(a.1, b.1, "event counts");
+    assert_eq!(a.2, b.2, "fragment counts");
+    assert_eq!(a.3, b.3, "full event traces");
+}
+
+#[test]
+fn different_seeds_differ_in_noise_not_outcome() {
+    let a = full_run(1);
+    let b = full_run(2);
+    // Same logical outcome…
+    assert_eq!(
+        a.0.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        b.0.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+    );
+    // …but the stochastic timings differ.
+    assert_ne!(a.0, b.0, "different seeds must perturb the timings");
+}
+
+#[test]
+fn loaded_runs_are_deterministic_too() {
+    let run = || {
+        let mut c = Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_load(BackgroundLoad::network_loaded())
+                .with_seed(77),
+        );
+        let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+        c.run_until_idle();
+        c.job(j).metrics.clone()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn fault_detection_is_deterministic() {
+    let run = || {
+        let mut cfg = ClusterConfig::paper_cluster().with_seed(5);
+        cfg.fault_detection = true;
+        cfg.heartbeat_every = 4;
+        let mut c = Cluster::new(cfg);
+        c.fail_node_at(SimTime::from_millis(33), 7);
+        c.fail_node_at(SimTime::from_millis(66), 13);
+        c.run_until(SimTime::from_millis(200));
+        c.world().stats.failures_detected.clone()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gang_runs_are_deterministic() {
+    let run = || {
+        let mut c = Cluster::new(ClusterConfig::gang_cluster().with_seed(31));
+        let a = c.submit(
+            JobSpec::new(
+                AppSpec::Sweep3d {
+                    iterations: 20,
+                    compute_per_iter: SimSpan::from_millis(50),
+                    comm_bytes_per_iter: 500_000,
+                },
+                64,
+            )
+            .with_ranks_per_node(2),
+        );
+        c.run_until_idle();
+        (
+            c.job(a).metrics.clone(),
+            c.world().stats.strobes,
+            c.events_delivered(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,115 @@
+//! Fault-detection and failure-injection integration tests (§4).
+
+use storm::core::prelude::*;
+
+fn fault_cluster(heartbeat_every: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_cluster();
+    cfg.fault_detection = true;
+    cfg.heartbeat_every = heartbeat_every;
+    cfg
+}
+
+#[test]
+fn failed_node_is_detected_within_two_rounds() {
+    let mut c = Cluster::new(fault_cluster(8)); // round every 8 ms
+    c.fail_node_at(SimTime::from_millis(100), 42);
+    c.run_until(SimTime::from_millis(200));
+    let detected = &c.world().stats.failures_detected;
+    assert_eq!(detected.len(), 1);
+    let (node, at) = detected[0];
+    assert_eq!(node, 42);
+    let latency = at.since(SimTime::from_millis(100));
+    assert!(
+        latency <= SimSpan::from_millis(17),
+        "detection within ~2 rounds: {latency}"
+    );
+}
+
+#[test]
+fn healthy_cluster_raises_no_alarms() {
+    let mut c = Cluster::new(fault_cluster(4));
+    c.run_until(SimTime::from_secs(1));
+    assert!(c.world().stats.failures_detected.is_empty());
+    // Heartbeats flowed the whole time.
+    assert!(c.world().hb_round > 200, "rounds: {}", c.world().hb_round);
+}
+
+#[test]
+fn multiple_failures_are_isolated_individually() {
+    let mut c = Cluster::new(fault_cluster(8));
+    for (i, node) in [3u32, 9, 31, 63].iter().enumerate() {
+        c.fail_node_at(SimTime::from_millis(50 + 40 * i as u64), *node);
+    }
+    c.run_until(SimTime::from_millis(500));
+    let mut detected: Vec<u32> = c
+        .world()
+        .stats
+        .failures_detected
+        .iter()
+        .map(|&(n, _)| n)
+        .collect();
+    detected.sort_unstable();
+    assert_eq!(detected, vec![3, 9, 31, 63]);
+}
+
+#[test]
+fn jobs_on_failed_nodes_are_failed_over() {
+    let mut c = Cluster::new(fault_cluster(8));
+    // Two jobs: one on the failing node's half, one elsewhere.
+    let doomed = c.submit(
+        JobSpec::new(AppSpec::Synthetic { compute: SimSpan::from_secs(10) }, 32 * 4)
+            .named("doomed"),
+    );
+    c.run_until(SimTime::from_millis(300)); // let it start
+    let nodes = c.job(doomed).alloc().nodes.clone();
+    c.fail_node_at(SimTime::from_millis(350), nodes.start);
+    c.run_until(SimTime::from_millis(700));
+    assert_eq!(c.job(doomed).state, JobState::Failed);
+}
+
+#[test]
+fn survivors_keep_running_after_a_failure() {
+    let mut c = Cluster::new(fault_cluster(8));
+    let survivor = c.submit(
+        JobSpec::new(AppSpec::Synthetic { compute: SimSpan::from_secs(2) }, 16 * 4)
+            .named("survivor"),
+    );
+    c.run_until(SimTime::from_millis(200));
+    // Fail a node outside the survivor's allocation.
+    let alloc = c.job(survivor).alloc().nodes.clone();
+    let outside = (0..64).find(|n| !alloc.contains(n)).unwrap();
+    c.fail_node_at(SimTime::from_millis(250), outside);
+    c.run_until(SimTime::from_secs(5));
+    assert_eq!(c.job(survivor).state, JobState::Completed);
+    assert_eq!(c.world().stats.failures_detected.len(), 1);
+}
+
+#[test]
+fn xfer_network_errors_are_retried_atomically() {
+    // Inject a 10% XFER-AND-SIGNAL error rate; the transfer protocol must
+    // retry aborted fragments and still deliver the exact binary.
+    let mut c = Cluster::new(ClusterConfig::paper_cluster().with_seed(9));
+    // (fault plan lives in the mechanisms; reach in through the cluster)
+    // Note: set before any transfer begins.
+    let job_spec = JobSpec::new(AppSpec::do_nothing_mb(8), 64);
+    // Build a fresh cluster with the fault plan threaded through a custom
+    // config instead: simplest is to mutate after construction via a
+    // submit-time hook — for the test we rebuild the world directly.
+    let j = {
+        // Safety valve: cluster exposes the world read-only; use the
+        // documented test hook below.
+        c.with_world_mut(|w| w.mech.fault.xfer_error_prob = 0.10);
+        c.submit(job_spec)
+    };
+    c.run_until_idle();
+    assert_eq!(c.job(j).state, JobState::Completed);
+    assert!(
+        c.world().stats.xfer_retries > 0,
+        "errors were actually injected and retried"
+    );
+    assert_eq!(
+        c.world().stats.fragments,
+        u64::from(c.job(j).transfer.total_chunks),
+        "every fragment eventually delivered exactly once"
+    );
+}

@@ -1,0 +1,153 @@
+//! Gang-scheduling integration tests: the §3.2 experiments in miniature.
+//! (Short synthetic workloads keep debug-mode runtimes reasonable; the full
+//! 49 s SWEEP3D sweeps live in the release-mode benches.)
+
+use storm::core::prelude::*;
+
+/// A quick BSP app: `secs` of compute in 100 ms steps with light
+/// communication.
+fn quick_app(secs: u64) -> AppSpec {
+    AppSpec::Sweep3d {
+        iterations: (secs * 10) as u32,
+        compute_per_iter: SimSpan::from_millis(100),
+        comm_bytes_per_iter: 500_000,
+    }
+}
+
+fn normalised_runtime(app: AppSpec, mpl: u32, quantum: SimSpan, nodes: u32) -> Option<f64> {
+    let cfg = ClusterConfig::gang_cluster()
+        .with_nodes(nodes)
+        .with_timeslice(quantum);
+    if cfg.quantum_infeasible() {
+        return None;
+    }
+    let mut c = Cluster::new(cfg);
+    let jobs: Vec<JobId> = (0..mpl)
+        .map(|_| c.submit(JobSpec::new(app.clone(), nodes * 2).with_ranks_per_node(2)))
+        .collect();
+    c.run_until_idle();
+    let last = jobs
+        .iter()
+        .map(|&j| c.job(j).metrics.completed.unwrap())
+        .max()
+        .unwrap();
+    Some(last.as_secs_f64() / f64::from(mpl))
+}
+
+#[test]
+fn quanta_below_the_nm_floor_are_infeasible() {
+    assert!(normalised_runtime(quick_app(2), 1, SimSpan::from_micros(100), 8).is_none());
+    assert!(normalised_runtime(quick_app(2), 1, SimSpan::from_micros(279), 8).is_none());
+    assert!(normalised_runtime(quick_app(2), 1, SimSpan::from_micros(300), 8).is_some());
+}
+
+#[test]
+fn runtime_is_flat_across_quanta() {
+    let app = quick_app(5);
+    let runtimes: Vec<f64> = [1u64, 5, 20, 50, 200]
+        .iter()
+        .map(|&ms| normalised_runtime(app.clone(), 2, SimSpan::from_millis(ms), 8).unwrap())
+        .collect();
+    let lo = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = runtimes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi / lo < 1.06, "quantum sweep {runtimes:?}");
+}
+
+#[test]
+fn mpl2_normalised_equals_mpl1() {
+    let app = quick_app(5);
+    let q = SimSpan::from_millis(2);
+    let one = normalised_runtime(app.clone(), 1, q, 8).unwrap();
+    let two = normalised_runtime(app, 2, q, 8).unwrap();
+    assert!(
+        (two - one).abs() / one < 0.05,
+        "MPL=1 {one:.2} s vs MPL=2/2 {two:.2} s"
+    );
+}
+
+#[test]
+fn runtime_is_flat_in_node_count() {
+    let app = quick_app(5);
+    let q = SimSpan::from_millis(50);
+    let runtimes: Vec<f64> = [1u32, 4, 16, 32]
+        .iter()
+        .map(|&n| normalised_runtime(app.clone(), 1, q, n).unwrap())
+        .collect();
+    let lo = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = runtimes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi / lo < 1.10, "node sweep {runtimes:?}");
+}
+
+#[test]
+fn three_jobs_round_robin_with_mpl3() {
+    let mut cfg = ClusterConfig::gang_cluster().with_nodes(8);
+    cfg.mpl_max = 3;
+    let mut c = Cluster::new(cfg);
+    let jobs: Vec<JobId> = (0..3)
+        .map(|_| c.submit(JobSpec::new(quick_app(2), 16).with_ranks_per_node(2)))
+        .collect();
+    c.run_until_idle();
+    for &j in &jobs {
+        assert_eq!(c.job(j).state, JobState::Completed);
+    }
+    // Fair-share: ~3× the solo runtime each, so completions cluster.
+    let times: Vec<f64> = jobs
+        .iter()
+        .map(|&j| c.job(j).metrics.completed.unwrap().as_secs_f64())
+        .collect();
+    let spread = (times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - times.iter().cloned().fold(f64::INFINITY, f64::min))
+        .abs();
+    assert!(spread < 1.0, "MPL-3 completions cluster: {times:?}");
+}
+
+#[test]
+fn space_sharing_runs_disjoint_jobs_concurrently() {
+    // Two 4-node jobs on an 8-node machine share slot 0 and run at full
+    // speed simultaneously.
+    let mut c = Cluster::new(ClusterConfig::gang_cluster().with_nodes(8));
+    let a = c.submit(JobSpec::new(quick_app(4), 8).with_ranks_per_node(2));
+    let b = c.submit(JobSpec::new(quick_app(4), 8).with_ranks_per_node(2));
+    c.run_until_idle();
+    let ta = c.job(a).metrics.turnaround().unwrap().as_secs_f64();
+    let tb = c.job(b).metrics.turnaround().unwrap().as_secs_f64();
+    // Neither pays a timesharing penalty: both ≈ solo runtime (~4.3 s).
+    assert!(ta < 5.5 && tb < 5.5, "space-shared: {ta:.1} s / {tb:.1} s");
+    assert_eq!(c.world().matrix.mpl(), 0, "matrix drained");
+}
+
+#[test]
+fn strobes_are_issued_at_quantum_cadence() {
+    let q = SimSpan::from_millis(10);
+    let mut c = Cluster::new(ClusterConfig::gang_cluster().with_nodes(4).with_timeslice(q));
+    let j = c.submit(JobSpec::new(quick_app(2), 8).with_ranks_per_node(2));
+    c.run_until_idle();
+    let runtime = c.job(j).metrics.completed.unwrap().as_secs_f64();
+    let strobes = c.world().stats.strobes as f64;
+    let expected = runtime / q.as_secs_f64();
+    assert!(
+        (strobes - expected).abs() / expected < 0.15,
+        "strobes {strobes} vs expected ~{expected:.0}"
+    );
+}
+
+#[test]
+fn interactive_job_beside_production_job() {
+    let mut c = Cluster::new(ClusterConfig::gang_cluster().with_timeslice(SimSpan::from_millis(2)));
+    let prod = c.submit(JobSpec::new(quick_app(20), 64).with_ranks_per_node(2));
+    let probe = c.submit_at(
+        SimTime::from_secs(5),
+        JobSpec::new(
+            AppSpec::Synthetic { compute: SimSpan::from_secs(1) },
+            64,
+        )
+        .with_ranks_per_node(2),
+    );
+    c.run_until_idle();
+    let probe_turnaround = c.job(probe).metrics.turnaround().unwrap().as_secs_f64();
+    assert!(
+        probe_turnaround < 3.0,
+        "1 s interactive job turns around in {probe_turnaround:.1} s while a 20 s job runs"
+    );
+    assert_eq!(c.job(prod).state, JobState::Completed);
+}

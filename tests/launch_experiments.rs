@@ -1,0 +1,140 @@
+//! End-to-end launch-protocol integration tests: the §3.1 experiments in
+//! miniature, checked against the paper's stated anchors.
+
+use storm::core::prelude::*;
+
+fn launch(cfg: ClusterConfig, pes: u32, mb: u64) -> (f64, f64, f64) {
+    let mut c = Cluster::new(cfg);
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(mb), pes));
+    c.run_until_idle();
+    let m = &c.job(j).metrics;
+    (
+        m.send_span().unwrap().as_millis_f64(),
+        m.execute_span().unwrap().as_millis_f64(),
+        m.total_launch_span().unwrap().as_millis_f64(),
+    )
+}
+
+#[test]
+fn headline_110ms_launch() {
+    let (send, _exec, total) = launch(ClusterConfig::paper_cluster(), 256, 12);
+    assert!((send - 96.0).abs() < 8.0, "send {send:.1} ms vs paper 96 ms");
+    assert!((total - 110.0).abs() < 12.0, "total {total:.1} ms vs paper 110 ms");
+}
+
+#[test]
+fn protocol_bandwidth_is_about_131_mb_s() {
+    let (send, _, _) = launch(ClusterConfig::paper_cluster(), 256, 12);
+    let bw = 12_000.0 / send; // MB/s
+    assert!((bw - 131.0).abs() < 12.0, "protocol bandwidth {bw:.1} MB/s");
+}
+
+#[test]
+fn send_time_scales_with_binary_size_not_node_count() {
+    let mut by_size = Vec::new();
+    for mb in [4u64, 8, 12] {
+        by_size.push(launch(ClusterConfig::paper_cluster(), 256, mb).0);
+    }
+    assert!(by_size[0] < by_size[1] && by_size[1] < by_size[2]);
+    let r = by_size[2] / by_size[0];
+    assert!((2.2..3.8).contains(&r), "12/4 MB send ratio {r:.2}");
+
+    let small_cluster = launch(ClusterConfig::paper_cluster().with_nodes(2), 8, 12).0;
+    let big_cluster = launch(ClusterConfig::paper_cluster(), 256, 12).0;
+    assert!(
+        big_cluster / small_cluster < 1.25,
+        "send nearly node-count independent: {small_cluster:.1} -> {big_cluster:.1}"
+    );
+}
+
+#[test]
+fn loaded_launch_ordering_matches_fig3() {
+    let unloaded = launch(ClusterConfig::paper_cluster(), 256, 12).2;
+    let cpu = launch(
+        ClusterConfig::paper_cluster().with_load(BackgroundLoad::cpu_loaded()),
+        256,
+        12,
+    )
+    .2;
+    let net = launch(
+        ClusterConfig::paper_cluster().with_load(BackgroundLoad::network_loaded()),
+        256,
+        12,
+    )
+    .2;
+    assert!(unloaded < cpu, "{unloaded:.0} < {cpu:.0}");
+    assert!(cpu < net, "{cpu:.0} < {net:.0}");
+    assert!(
+        (1000.0..2000.0).contains(&net),
+        "worst case ~1.5 s: {net:.0} ms"
+    );
+}
+
+#[test]
+fn best_transfer_protocol_is_512kb_4slots() {
+    let send_for = |chunk_kb: u64, slots: u32| {
+        launch(
+            ClusterConfig::paper_cluster().with_transfer_protocol(chunk_kb * 1024, slots),
+            256,
+            12,
+        )
+        .0
+    };
+    let best = send_for(512, 4);
+    assert!(send_for(32, 4) > best * 1.2, "32 KB chunks pay overhead");
+    assert!(send_for(512, 16) >= best, "16 slots pay NIC TLB misses");
+    assert!(send_for(1024, 4) >= best * 0.99, "1 MB chunks no better");
+}
+
+#[test]
+fn fragments_cover_binary_exactly() {
+    let mut c = Cluster::new(ClusterConfig::paper_cluster());
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 64));
+    c.run_until_idle();
+    let t = &c.job(j).transfer;
+    let chunk = c.world().cfg.chunk_bytes;
+    let total_bytes =
+        u64::from(t.total_chunks - 1) * chunk + t.chunk_bytes(t.total_chunks - 1, chunk);
+    assert_eq!(total_bytes, 12_000_000);
+    assert_eq!(c.world().stats.fragments, u64::from(t.total_chunks));
+}
+
+#[test]
+fn flow_control_never_overruns_the_receive_queue() {
+    // With only 2 slots and very noisy writes, the transfer still
+    // completes and the per-node written counters reach the chunk count.
+    let mut cfg = ClusterConfig::paper_cluster().with_transfer_protocol(256 * 1024, 2);
+    cfg.daemon.write_sigma = 0.6;
+    let mut c = Cluster::new(cfg);
+    let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(8), 256));
+    c.run_until_idle();
+    assert_eq!(c.job(j).state, JobState::Completed);
+    assert!(
+        c.world().stats.flow_stalls > 0,
+        "noisy writes must actually exercise the COMPARE-AND-WRITE stalls"
+    );
+}
+
+#[test]
+fn nfs_source_slows_launch_like_fig6_predicts() {
+    let mut nfs_cfg = ClusterConfig::paper_cluster();
+    nfs_cfg.fs = storm::fs::FsKind::Nfs;
+    let ram = launch(ClusterConfig::paper_cluster(), 64, 12).0;
+    let nfs = launch(nfs_cfg, 64, 12).0;
+    // Read stage at 11.2 MB/s becomes the pipeline bottleneck:
+    // 12 MB / 11.2 MB/s ≈ 1.07 s.
+    assert!(nfs > 5.0 * ram, "NFS {nfs:.0} ms vs RAM disk {ram:.0} ms");
+    assert!((nfs - 1070.0).abs() < 200.0, "NFS-bound send {nfs:.0} ms");
+}
+
+#[test]
+fn launch_works_on_every_cluster_size() {
+    for nodes in [1u32, 2, 3, 5, 8, 17, 48, 64] {
+        let (send, _, total) = launch(
+            ClusterConfig::paper_cluster().with_nodes(nodes),
+            nodes, // 1 rank per node
+            4,
+        );
+        assert!(send > 0.0 && total > send, "{nodes} nodes: send {send}, total {total}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *arbitrary* configurations and job streams, not just the paper's.
+
+use proptest::prelude::*;
+use storm::core::prelude::*;
+use storm::core::BuddyAllocator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any launchable job completes, its fragments cover the binary
+    /// exactly, and the metric timeline is ordered.
+    #[test]
+    fn launch_completes_with_ordered_timeline(
+        nodes in 1u32..=64,
+        mb in 1u64..=16,
+        seed in 0u64..1_000,
+        chunk_kb in prop::sample::select(vec![64u64, 128, 256, 512, 1024]),
+        slots in 2u32..=8,
+    ) {
+        let ranks = nodes; // 1 rank/node keeps every size feasible
+        let cfg = ClusterConfig::paper_cluster()
+            .with_nodes(nodes)
+            .with_transfer_protocol(chunk_kb * 1024, slots)
+            .with_seed(seed);
+        let mut c = Cluster::new(cfg);
+        let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(mb), ranks));
+        c.run_until_idle();
+        let rec = c.job(j);
+        prop_assert_eq!(rec.state, JobState::Completed);
+        let m = &rec.metrics;
+        let seq = [
+            m.submitted.unwrap(),
+            m.transfer_start.unwrap(),
+            m.transfer_done.unwrap(),
+            m.launch_cmd.unwrap(),
+            m.completed.unwrap(),
+        ];
+        prop_assert!(seq.windows(2).all(|w| w[0] <= w[1]), "timeline {seq:?}");
+        // Byte conservation across the chunking.
+        let t = &rec.transfer;
+        let chunk = c.world().cfg.chunk_bytes;
+        let covered = u64::from(t.total_chunks - 1) * chunk
+            + t.chunk_bytes(t.total_chunks - 1, chunk);
+        prop_assert_eq!(covered, mb * 1_000_000);
+        prop_assert_eq!(c.world().stats.fragments, u64::from(t.total_chunks));
+    }
+
+    /// The buddy allocator never double-allocates, never loses nodes, and
+    /// its free count is exact under arbitrary alloc/free interleavings.
+    #[test]
+    fn buddy_is_exact_under_arbitrary_interleavings(
+        total_log in 1u32..=8,
+        ops in prop::collection::vec((0u8..=1, 0u32..=8), 1..200),
+    ) {
+        let total = 1u32 << total_log;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<std::ops::Range<u32>> = Vec::new();
+        for (op, arg) in ops {
+            if op == 0 {
+                let want = (1u32 << (arg % 6)).min(total);
+                if let Some(r) = buddy.alloc(want) {
+                    for l in &live {
+                        prop_assert!(r.end <= l.start || l.end <= r.start,
+                            "overlap {r:?} vs {l:?}");
+                    }
+                    prop_assert!(r.end <= total);
+                    live.push(r);
+                }
+            } else if !live.is_empty() {
+                let idx = (arg as usize) % live.len();
+                let r = live.swap_remove(idx);
+                buddy.free(r.start);
+            }
+            let live_total: u32 = live.iter().map(|r| r.len() as u32).sum();
+            prop_assert_eq!(buddy.free_nodes(), total - live_total);
+        }
+    }
+
+    /// Send time is monotone (within noise) in binary size for any cluster
+    /// size — the Fig. 2 proportionality, generalised.
+    #[test]
+    fn send_time_monotone_in_binary_size(
+        nodes in prop::sample::select(vec![2u32, 8, 32, 64]),
+        seed in 0u64..100,
+    ) {
+        let send = |mb: u64| {
+            let mut c = Cluster::new(
+                ClusterConfig::paper_cluster().with_nodes(nodes).with_seed(seed),
+            );
+            let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(mb), nodes));
+            c.run_until_idle();
+            c.job(j).metrics.send_span().unwrap().as_millis_f64()
+        };
+        let (a, b, c_) = (send(2), send(6), send(12));
+        prop_assert!(a < b && b < c_, "sends {a:.1} {b:.1} {c_:.1}");
+    }
+
+    /// Under any feasible quantum, a gang-scheduled job's measured runtime
+    /// never beats its intrinsic workload span, and overhead stays small.
+    #[test]
+    fn gang_overhead_is_bounded(
+        quantum_ms in prop::sample::select(vec![1u64, 2, 10, 50, 200]),
+        secs in 1u64..=6,
+        nodes in prop::sample::select(vec![2u32, 8, 16]),
+        seed in 0u64..100,
+    ) {
+        let cfg = ClusterConfig::gang_cluster()
+            .with_nodes(nodes)
+            .with_timeslice(SimSpan::from_millis(quantum_ms))
+            .with_seed(seed);
+        let mut c = Cluster::new(cfg);
+        let j = c.submit(
+            JobSpec::new(
+                AppSpec::Synthetic { compute: SimSpan::from_secs(secs) },
+                nodes * 2,
+            )
+            .with_ranks_per_node(2),
+        );
+        c.run_until_idle();
+        let turnaround = c.job(j).metrics.turnaround().unwrap().as_secs_f64();
+        let work = secs as f64;
+        prop_assert!(turnaround >= work, "cannot finish faster than the work");
+        prop_assert!(
+            turnaround < work * 1.15 + 1.0,
+            "overhead bounded: {turnaround:.2} s for {work} s of work"
+        );
+    }
+
+    /// Killing a job at an arbitrary instant always terminates the cluster
+    /// cleanly with the job in the Killed (or already Completed) state.
+    #[test]
+    fn kill_is_always_clean(
+        kill_ms in 1u64..3_000,
+        seed in 0u64..100,
+    ) {
+        let mut c = Cluster::new(ClusterConfig::paper_cluster().with_seed(seed));
+        let hog = c.submit(JobSpec::new(AppSpec::SpinLoop, 64));
+        c.kill_at(SimTime::from_millis(kill_ms), hog);
+        c.run_until_idle();
+        let st = c.job(hog).state;
+        prop_assert!(st == JobState::Killed, "state {st:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Policy integration tests: batch FCFS, EASY backfilling and gang
+//! scheduling driving the same cluster end-to-end.
+
+use storm::core::prelude::*;
+
+fn synth(secs: u64, pes: u32, est: u64) -> JobSpec {
+    JobSpec::new(
+        AppSpec::Synthetic {
+            compute: SimSpan::from_secs(secs),
+        },
+        pes,
+    )
+    .with_estimate(SimSpan::from_secs(est))
+}
+
+fn cluster(policy: SchedulerKind, mpl: usize) -> Cluster {
+    let mut cfg = ClusterConfig::paper_cluster()
+        .with_scheduler(policy)
+        .with_timeslice(SimSpan::from_millis(50));
+    cfg.mpl_max = mpl;
+    Cluster::new(cfg)
+}
+
+#[test]
+fn batch_runs_strictly_in_order() {
+    let mut c = cluster(SchedulerKind::Batch, 1);
+    // Three full-machine jobs: must run back-to-back.
+    let jobs: Vec<JobId> = (0..3).map(|_| c.submit(synth(2, 256, 3))).collect();
+    c.run_until_idle();
+    let starts: Vec<f64> = jobs
+        .iter()
+        .map(|&j| c.job(j).metrics.started.unwrap().as_secs_f64())
+        .collect();
+    assert!(starts[0] < starts[1] && starts[1] < starts[2]);
+    assert!(starts[1] >= 2.0, "second job waits for the first: {starts:?}");
+    assert!(starts[2] >= 4.0, "third job waits for both: {starts:?}");
+}
+
+#[test]
+fn backfill_jumps_short_jobs_without_delaying_the_head() {
+    // 64-node machine. long(32 nodes, 30 s) runs; wide(64 nodes) is queued
+    // behind it; short(8 nodes, 2 s) backfills into the idle half.
+    let mut c = cluster(SchedulerKind::Backfill, 1);
+    let long = c.submit(synth(30, 32 * 4, 31));
+    let wide = c.submit(synth(2, 64 * 4, 3));
+    let short = c.submit(synth(2, 8 * 4, 3));
+    c.run_until_idle();
+    let start = |j: JobId| c.job(j).metrics.started.unwrap().as_secs_f64();
+    assert!(start(short) < 2.0, "short backfilled immediately: {}", start(short));
+    assert!(start(wide) >= 30.0, "wide waited for the long job: {}", start(wide));
+    // EASY property: the wide job started essentially when the long job
+    // ended — the backfilled job did not delay it.
+    let long_done = c.job(long).metrics.completed.unwrap().as_secs_f64();
+    assert!(
+        start(wide) - long_done < 0.5,
+        "reservation honoured: wide at {} vs long done {long_done}",
+        start(wide)
+    );
+}
+
+#[test]
+fn backfill_blocks_jobs_that_would_delay_the_head() {
+    let mut c = cluster(SchedulerKind::Backfill, 1);
+    let _long = c.submit(synth(10, 32 * 4, 11));
+    let wide = c.submit(synth(2, 64 * 4, 3));
+    // This one fits in the idle half but its estimate (30 s) crosses the
+    // wide job's reservation (~10 s): it must NOT start before the wide job.
+    let greedy = c.submit(synth(30, 8 * 4, 31));
+    c.run_until_idle();
+    let start = |j: JobId| c.job(j).metrics.started.unwrap().as_secs_f64();
+    assert!(
+        start(greedy) > start(wide),
+        "greedy ({}) must not overtake the reservation holder ({})",
+        start(greedy),
+        start(wide)
+    );
+}
+
+#[test]
+fn gang_timeshares_what_batch_serialises() {
+    // Two full-machine jobs.
+    let run = |policy, mpl| {
+        let mut c = cluster(policy, mpl);
+        let a = c.submit(synth(5, 256, 6));
+        let b = c.submit(synth(5, 256, 6));
+        c.run_until_idle();
+        (
+            c.job(a).metrics.started.unwrap().as_secs_f64(),
+            c.job(b).metrics.started.unwrap().as_secs_f64(),
+            c.job(b).metrics.completed.unwrap().as_secs_f64(),
+        )
+    };
+    let (_, batch_b_start, batch_done) = run(SchedulerKind::Batch, 1);
+    let (_, gang_b_start, gang_done) = run(SchedulerKind::Gang, 2);
+    assert!(batch_b_start >= 5.0, "batch: B waits for A");
+    assert!(gang_b_start < 1.0, "gang: B starts immediately");
+    // Total makespan is ~the same (same total work).
+    assert!((batch_done - gang_done).abs() / batch_done < 0.1);
+}
+
+#[test]
+fn queue_drains_in_bounded_time() {
+    // A stream of 12 mixed jobs must all complete under each policy.
+    for policy in [SchedulerKind::Gang, SchedulerKind::Batch, SchedulerKind::Backfill] {
+        let mut c = cluster(policy, 2);
+        let jobs: Vec<JobId> = (0..12)
+            .map(|i| {
+                let pes = [16u32, 64, 256][i % 3];
+                c.submit(synth(1 + (i as u64 % 3), pes, 5))
+            })
+            .collect();
+        c.run_until_idle();
+        for &j in &jobs {
+            assert_eq!(c.job(j).state, JobState::Completed, "{policy:?}: {j}");
+        }
+    }
+}
+
+#[test]
+fn gang_scheduler_reuses_freed_slots() {
+    let mut c = cluster(SchedulerKind::Gang, 2);
+    // Fill both slots, then submit a third job; it must start once a slot
+    // frees.
+    let a = c.submit(synth(2, 256, 3));
+    let b = c.submit(synth(2, 256, 3));
+    let late = c.submit(synth(1, 256, 2));
+    c.run_until_idle();
+    let done_first = c
+        .job(a)
+        .metrics
+        .completed
+        .unwrap()
+        .min(c.job(b).metrics.completed.unwrap());
+    let late_start = c.job(late).metrics.started.unwrap();
+    assert!(late_start >= done_first, "third job waited for a free slot");
+    assert_eq!(c.job(late).state, JobState::Completed);
+}
