@@ -213,7 +213,10 @@ mod tests {
             .unwrap()
             .as_secs_f64();
         assert!(t64 > t1, "more nodes add (slight) skew and comm");
-        assert!(t64 / t1 < 1.10, "weak scaling within 10%: {t1:.1} → {t64:.1}");
+        assert!(
+            t64 / t1 < 1.10,
+            "weak scaling within 10%: {t1:.1} → {t64:.1}"
+        );
     }
 
     #[test]

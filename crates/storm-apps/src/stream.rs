@@ -213,7 +213,12 @@ mod tests {
     fn estimates_never_undershoot() {
         let cfg = StreamConfig::default();
         for j in cfg.generate(&mut rng()) {
-            assert!(j.estimate >= j.runtime, "{:?} < {:?}", j.estimate, j.runtime);
+            assert!(
+                j.estimate >= j.runtime,
+                "{:?} < {:?}",
+                j.estimate,
+                j.runtime
+            );
         }
     }
 
@@ -245,12 +250,31 @@ mod tests {
     fn validation_rejects_nonsense() {
         let ok = StreamConfig::default();
         assert!(ok.validate().is_ok());
-        assert!(StreamConfig { jobs: 0, ..ok.clone() }.validate().is_err());
-        assert!(StreamConfig { min_ranks: 3, ..ok.clone() }.validate().is_err());
-        assert!(StreamConfig { min_ranks: 64, max_ranks: 8, ..ok.clone() }
-            .validate()
-            .is_err());
-        assert!(StreamConfig { estimate_factor: 0.5, ..ok }.validate().is_err());
+        assert!(StreamConfig {
+            jobs: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(StreamConfig {
+            min_ranks: 3,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(StreamConfig {
+            min_ranks: 64,
+            max_ranks: 8,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(StreamConfig {
+            estimate_factor: 0.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

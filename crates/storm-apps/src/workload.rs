@@ -49,7 +49,10 @@ impl Workload {
     /// An endless workload (spin loop / network loader): cycles through
     /// `steps` until the job is killed.
     pub fn endless(steps: Vec<Step>) -> Self {
-        assert!(!steps.is_empty(), "an endless workload needs at least one step");
+        assert!(
+            !steps.is_empty(),
+            "an endless workload needs at least one step"
+        );
         Workload {
             steps,
             endless: true,

@@ -169,8 +169,8 @@ impl SimulatedLauncher {
                 // Each level: store-and-forward of the whole image over
                 // ~50 MB/s effective per-link (Myrinet-era), plus per-level
                 // control cost.
-                let per_level = SimSpan::for_bytes(binary_bytes, 50.0e6)
-                    + SimSpan::from_millis(150);
+                let per_level =
+                    SimSpan::for_bytes(binary_bytes, 50.0e6) + SimSpan::from_millis(150);
                 let spawn_tail = SimSpan::from_millis(500);
                 Some(per_level * u64::from(depth.max(1)) + spawn_tail)
             }
@@ -223,7 +223,7 @@ mod tests {
     }
 
     #[test]
-    fn storm_dominates_everything_at_every_scale(){
+    fn storm_dominates_everything_at_every_scale() {
         let mut n = 1u32;
         while n <= 16_384 {
             let storm = Launcher::Storm.fitted_time_secs(n);
@@ -247,7 +247,10 @@ mod tests {
         let storm = Launcher::Storm.fitted_time_secs(4096);
         let cplant = Launcher::Cplant.fitted_time_secs(4096) / storm;
         let bproc = Launcher::BProc.fitted_time_secs(4096) / storm;
-        assert!(cplant > 150.0 && cplant < 250.0, "Cplant factor {cplant:.0}");
+        assert!(
+            cplant > 150.0 && cplant < 250.0,
+            "Cplant factor {cplant:.0}"
+        );
         assert!(bproc > 30.0 && bproc < 60.0, "BProc factor {bproc:.0}");
     }
 
@@ -297,7 +300,10 @@ mod tests {
         assert!(ratio < 2.2, "tree ratio {ratio:.2}");
         // BProc's measured 2.7 s on 100 nodes is in this regime.
         let t100 = tree.launch_time(100, 12_000_000, &mut rng).unwrap();
-        assert!(t100.as_secs_f64() > 1.5 && t100.as_secs_f64() < 4.5, "{t100}");
+        assert!(
+            t100.as_secs_f64() > 1.5 && t100.as_secs_f64() < 4.5,
+            "{t100}"
+        );
     }
 
     #[test]

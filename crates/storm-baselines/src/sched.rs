@@ -32,8 +32,11 @@ pub enum SchedulerModel {
 
 impl SchedulerModel {
     /// All three, Table 8 order.
-    pub const ALL: [SchedulerModel; 3] =
-        [SchedulerModel::Rms, SchedulerModel::ScoreD, SchedulerModel::Storm];
+    pub const ALL: [SchedulerModel; 3] = [
+        SchedulerModel::Rms,
+        SchedulerModel::ScoreD,
+        SchedulerModel::Storm,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -89,8 +92,7 @@ pub fn slowdown(model: SchedulerModel, quantum: SimSpan) -> Option<f64> {
 /// The minimal feasible quantum: the shortest quantum with slowdown ≤
 /// `max_slowdown` (Table 8 uses 2%).
 pub fn min_feasible_quantum(model: SchedulerModel, max_slowdown: f64) -> SimSpan {
-    let by_overhead =
-        SimSpan::from_secs_f64(model.switch_overhead().as_secs_f64() / max_slowdown);
+    let by_overhead = SimSpan::from_secs_f64(model.switch_overhead().as_secs_f64() / max_slowdown);
     by_overhead.max(model.quantum_floor())
 }
 
@@ -105,7 +107,10 @@ mod tests {
         assert!((rms - 0.018).abs() < 0.001, "RMS slowdown {rms:.4}");
         // SCore-D: 2% at 100 ms.
         let scored = slowdown(SchedulerModel::ScoreD, SimSpan::from_millis(100)).unwrap();
-        assert!((scored - 0.02).abs() < 0.001, "SCore-D slowdown {scored:.4}");
+        assert!(
+            (scored - 0.02).abs() < 0.001,
+            "SCore-D slowdown {scored:.4}"
+        );
         // STORM: no observable slowdown at 2 ms (0.25%).
         let storm = slowdown(SchedulerModel::Storm, SimSpan::from_millis(2)).unwrap();
         assert!(storm < 0.005, "STORM slowdown {storm:.4}");

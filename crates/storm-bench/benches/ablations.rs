@@ -57,10 +57,18 @@ fn main() {
     for slots in [2u32, 4, 8] {
         let mut cfg = ClusterConfig::paper_cluster().with_transfer_protocol(512 * 1024, slots);
         cfg.daemon.write_sigma = 0.5; // very noisy RAM-disk writes
-        let t = repeat(3, u64::from(slots), |s| send_time(cfg.clone().with_seed(s), 12)).mean();
+        let t = repeat(3, u64::from(slots), |s| {
+            send_time(cfg.clone().with_seed(s), 12)
+        })
+        .mean();
         println!("  {slots} slots: send {t:>8.1} ms");
         noisy_results.push((slots, t));
-        rows.push(Comparison::new(format!("noisy send, {slots} slots"), None, t, "ms"));
+        rows.push(Comparison::new(
+            format!("noisy send, {slots} slots"),
+            None,
+            t,
+            "ms",
+        ));
     }
     let two = noisy_results[0].1;
     let four = noisy_results[1].1;

@@ -1,0 +1,174 @@
+//! Chaos recovery — randomized fault schedules under each failure policy.
+//!
+//! Not a paper figure: this scenario exercises the robustness layer the
+//! paper leaves implicit. For a sweep of seeds we generate a randomized
+//! fault schedule (crashes, rejoins, dæmon stalls, error bursts), run a
+//! small job stream under each [`FailurePolicy`], and report per-policy
+//! survival, requeue traffic, and heartbeat detection latency. Shape
+//! checks: no job is ever silently lost, `Requeue` completes at least as
+//! many jobs as `Fail`, and detection latency stays within two heartbeat
+//! rounds whenever no error burst interfered.
+
+use storm_bench::{check, parallel_sweep};
+use storm_core::prelude::*;
+
+const SEEDS: u64 = 12;
+const HEARTBEAT_EVERY: u32 = 4;
+const HORIZON: SimSpan = SimSpan::from_millis(1_000);
+
+#[derive(Debug, Default, Clone)]
+struct PolicyRow {
+    completed: u64,
+    failed: u64,
+    stuck: u64,
+    requeues: u64,
+    detections: u64,
+    rejoins: u64,
+    latency_sum_ms: f64,
+    latency_checked: u64,
+}
+
+fn run_one(seed: u64, policy: FailurePolicy) -> PolicyRow {
+    let schedule = FaultSchedule::randomized(seed, 64, HORIZON);
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(seed)
+        .with_fault_detection(HEARTBEAT_EVERY)
+        .with_failure_policy(policy)
+        .with_faults(schedule.clone());
+    let mut c = Cluster::new(cfg);
+    let jobs: Vec<JobId> = (0..4u64)
+        .map(|i| {
+            c.submit_at(
+                SimTime::from_millis(50 * i),
+                JobSpec::new(
+                    AppSpec::Synthetic {
+                        compute: SimSpan::from_millis(400),
+                    },
+                    8 * 4,
+                ),
+            )
+        })
+        .collect();
+    c.run_until(SimTime::from_secs(3));
+    let w = c.world();
+    let mut row = PolicyRow {
+        requeues: w.stats.requeues,
+        detections: w.stats.failures_detected.len() as u64,
+        rejoins: w.stats.rejoins.len() as u64,
+        ..PolicyRow::default()
+    };
+    for &j in &jobs {
+        match c.job(j).state {
+            JobState::Completed => row.completed += 1,
+            JobState::Failed => row.failed += 1,
+            _ => row.stuck += 1,
+        }
+    }
+    // Detection latency vs the schedule's injection instants, excluding
+    // events whose detection window overlapped an error burst (the burst
+    // can abort the heartbeat multicast itself).
+    for ev in &schedule.events {
+        let start = match *ev {
+            FaultEvent::Crash { at, .. } => at,
+            FaultEvent::Stall { from, .. } => from,
+            FaultEvent::Rejoin { .. } => continue,
+        };
+        let node = ev.node();
+        let Some(&(_, detected)) = w.stats.failures_detected.iter().find(|&&(n, _)| n == node)
+        else {
+            continue;
+        };
+        if schedule
+            .bursts
+            .iter()
+            .any(|b| b.from <= detected && b.until >= start)
+        {
+            continue;
+        }
+        row.latency_sum_ms += detected.since(start).as_millis_f64();
+        row.latency_checked += 1;
+    }
+    row
+}
+
+fn main() {
+    println!(
+        "Chaos recovery: {SEEDS} randomized schedules x 4 jobs, heartbeat round every {HEARTBEAT_EVERY} ms"
+    );
+    let policies = [
+        ("Fail", FailurePolicy::Fail),
+        ("Requeue", FailurePolicy::requeue()),
+        ("Shrink", FailurePolicy::Shrink),
+    ];
+    let configs: Vec<(usize, u64)> = (0..policies.len())
+        .flat_map(|p| (0..SEEDS).map(move |s| (p, s)))
+        .collect();
+    let rows = parallel_sweep(configs.clone(), |&(p, seed)| run_one(seed, policies[p].1));
+
+    let mut totals = vec![PolicyRow::default(); policies.len()];
+    for (&(p, _), r) in configs.iter().zip(&rows) {
+        let t = &mut totals[p];
+        t.completed += r.completed;
+        t.failed += r.failed;
+        t.stuck += r.stuck;
+        t.requeues += r.requeues;
+        t.detections += r.detections;
+        t.rejoins += r.rejoins;
+        t.latency_sum_ms += r.latency_sum_ms;
+        t.latency_checked += r.latency_checked;
+    }
+
+    println!(
+        "{:<10} {:>10} {:>8} {:>7} {:>9} {:>11} {:>8} {:>14}",
+        "policy",
+        "completed",
+        "failed",
+        "stuck",
+        "requeues",
+        "detections",
+        "rejoins",
+        "latency (ms)"
+    );
+    for ((name, _), t) in policies.iter().zip(&totals) {
+        let lat = if t.latency_checked > 0 {
+            format!("{:.2}", t.latency_sum_ms / t.latency_checked as f64)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<10} {:>10} {:>8} {:>7} {:>9} {:>11} {:>8} {:>14}",
+            name, t.completed, t.failed, t.stuck, t.requeues, t.detections, t.rejoins, lat
+        );
+    }
+
+    let total_jobs = SEEDS * 4;
+    for ((name, _), t) in policies.iter().zip(&totals) {
+        check(
+            t.completed + t.failed == total_jobs && t.stuck == 0,
+            &format!("{name}: every job reached a terminal state"),
+        );
+    }
+    let (fail, requeue, shrink) = (&totals[0], &totals[1], &totals[2]);
+    check(
+        requeue.completed >= fail.completed,
+        "Requeue completes at least as many jobs as Fail",
+    );
+    check(shrink.failed == 0, "Shrink never fails a job outright");
+    check(
+        requeue.requeues > 0,
+        "the schedules actually displaced jobs",
+    );
+    check(
+        requeue.detections == fail.detections,
+        "detection count is policy-independent",
+    );
+    let bound_ms = 2.0 * f64::from(HEARTBEAT_EVERY) + 1.0;
+    for ((name, _), t) in policies.iter().zip(&totals) {
+        if t.latency_checked > 0 {
+            check(
+                t.latency_sum_ms / t.latency_checked as f64 <= bound_ms,
+                &format!("{name}: mean detection latency within two rounds"),
+            );
+        }
+    }
+}

@@ -55,7 +55,9 @@ fn main() {
                 .map(move |s| (i, s))
         })
         .collect();
-    let results = parallel_sweep(configs.clone(), |&(i, s)| normalised(workloads[i].1.clone(), s));
+    let results = parallel_sweep(configs.clone(), |&(i, s)| {
+        normalised(workloads[i].1.clone(), s)
+    });
     let mut table = std::collections::HashMap::new();
     for (cfg, r) in configs.iter().zip(&results) {
         table.insert(*cfg, *r);
@@ -69,7 +71,13 @@ fn main() {
     for (i, (name, _)) in workloads.iter().enumerate() {
         let g = table[&(i, SchedulerKind::Gang)];
         let ics = table[&(i, SchedulerKind::ImplicitCosched)];
-        println!("{:<24} {:>10.2} s {:>10.2} s {:>11.2}x", name, g, ics, ics / g);
+        println!(
+            "{:<24} {:>10.2} s {:>10.2} s {:>11.2}x",
+            name,
+            g,
+            ics,
+            ics / g
+        );
         ratios.push(ics / g);
     }
 

@@ -9,7 +9,9 @@ use storm_core::prelude::*;
 const REPS: u64 = 3;
 
 fn measured_launch_ms(nodes: u32, seed: u64) -> f64 {
-    let cfg = ClusterConfig::paper_cluster().with_nodes(nodes).with_seed(seed);
+    let cfg = ClusterConfig::paper_cluster()
+        .with_nodes(nodes)
+        .with_seed(seed);
     let mut c = Cluster::new(cfg);
     let j = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), nodes * 4));
     c.run_until_idle();
@@ -24,10 +26,16 @@ fn main() {
     println!("Figure 10: measured and modelled 12 MB launch times (ms)");
     let measured_axis = pow2_range(1, 64);
     let measured = parallel_sweep(measured_axis.clone(), |&n| {
-        repeat(REPS, u64::from(n) * 1009, |seed| measured_launch_ms(n, seed)).mean()
+        repeat(REPS, u64::from(n) * 1009, |seed| {
+            measured_launch_ms(n, seed)
+        })
+        .mean()
     });
 
-    println!("{:>8} {:>12} {:>14} {:>14}", "nodes", "measured", "model ES40", "model ideal");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "nodes", "measured", "model ES40", "model ideal"
+    );
     let model_axis = pow2_range(1, 16_384);
     for &n in &model_axis {
         let meas = measured_axis
@@ -67,13 +75,19 @@ fn main() {
     }
     // The model's scalability claims.
     let t16k = storm_model::t_launch_es40(16_384).as_millis_f64();
-    check(t16k < 140.0, "a 12 MB binary launches in ~135 ms on 16 384 nodes");
+    check(
+        t16k < 140.0,
+        "a 12 MB binary launches in ~135 ms on 16 384 nodes",
+    );
     let ideal64 = storm_model::t_launch_ideal(64).as_millis_f64();
     let es40_64 = storm_model::t_launch_es40(64).as_millis_f64();
-    check(ideal64 < es40_64, "the ideal-I/O-bus machine is faster at small scale");
+    check(
+        ideal64 < es40_64,
+        "the ideal-I/O-bus machine is faster at small scale",
+    );
     let gap16k = (storm_model::t_launch_es40(16_384).as_millis_f64()
         - storm_model::t_launch_ideal(16_384).as_millis_f64())
-        .abs();
+    .abs();
     check(
         gap16k < 12.0,
         "both models converge beyond ~4 096 nodes (network-broadcast-bound)",

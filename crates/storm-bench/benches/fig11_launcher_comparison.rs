@@ -43,7 +43,10 @@ fn main() {
     // Structural simulations over the substrate.
     println!("Structural launcher simulations (12 MB):");
     let mut rng = DeterministicRng::new(11);
-    println!("{:>8} {:>12} {:>12} {:>12}", "nodes", "serial rsh", "NFS paging", "tree (f=2)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "nodes", "serial rsh", "NFS paging", "tree (f=2)"
+    );
     let mut tree_prev = 0.0;
     for &n in &[16u32, 64, 256, 1024, 4096] {
         let rsh = SimulatedLauncher::SerialRsh

@@ -8,7 +8,10 @@ use storm_bench::{check, pow2_range};
 fn main() {
     println!("Figure 12: launch time as a factor of STORM's (12 MB binary)");
     let axis = pow2_range(1, 4096);
-    println!("{:>8} {:>10} {:>10} {:>8}", "nodes", "Cplant", "BProc", "STORM");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "nodes", "Cplant", "BProc", "STORM"
+    );
     let mut cplant_factors = Vec::new();
     let mut bproc_factors = Vec::new();
     for &n in &axis {
@@ -37,7 +40,10 @@ fn main() {
         "the Cplant factor grows (or holds) with cluster size",
     );
     check(
-        bproc_factors.iter().zip(&cplant_factors).all(|(b, c)| b < c),
+        bproc_factors
+            .iter()
+            .zip(&cplant_factors)
+            .all(|(b, c)| b < c),
         "BProc stays below Cplant at every size",
     );
     check(

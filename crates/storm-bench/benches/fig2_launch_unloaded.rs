@@ -33,8 +33,12 @@ fn main() {
         .flat_map(|&p| sizes.iter().map(move |&s| (p, s)))
         .collect();
     let results = parallel_sweep(configs.clone(), |&(pes, mb)| {
-        let send = repeat(REPS, ((pes as u64) << 8) | mb, |seed| launch(pes, mb, seed).0);
-        let exec = repeat(REPS, ((pes as u64) << 16) | mb, |seed| launch(pes, mb, seed).1);
+        let send = repeat(REPS, ((pes as u64) << 8) | mb, |seed| {
+            launch(pes, mb, seed).0
+        });
+        let exec = repeat(REPS, ((pes as u64) << 16) | mb, |seed| {
+            launch(pes, mb, seed).1
+        });
         (send.mean(), exec.mean())
     });
 
@@ -78,7 +82,10 @@ fn main() {
     // Shape checks.
     let (s4, _) = table[&(256, 4)];
     let (s8, _) = table[&(256, 8)];
-    check(s4 < s8 && s8 < send12_256, "send time proportional to binary size");
+    check(
+        s4 < s8 && s8 < send12_256,
+        "send time proportional to binary size",
+    );
     let ratio_sz = send12_256 / s4;
     check(
         (2.2..=3.8).contains(&ratio_sz),

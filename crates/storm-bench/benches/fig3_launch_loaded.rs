@@ -103,7 +103,12 @@ fn main() {
     let n = table[&(256, "network loaded")];
     let rows = vec![
         Comparison::new("unloaded total, 256 PEs", Some(110.0), u.0 + u.1, "ms"),
-        Comparison::new("network-loaded total, 256 PEs", Some(1500.0), n.0 + n.1, "ms"),
+        Comparison::new(
+            "network-loaded total, 256 PEs",
+            Some(1500.0),
+            n.0 + n.1,
+            "ms",
+        ),
     ];
     println!("\n{}", render_comparisons("Fig. 3 anchors", &rows));
 

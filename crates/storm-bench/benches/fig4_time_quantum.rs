@@ -38,8 +38,8 @@ fn run(app: &AppSpec, mpl: u32, quantum_us: u64, seed: u64) -> Option<f64> {
 fn main() {
     println!("Figure 4: total runtime / MPL vs gang-scheduling quantum (32 nodes / 64 PEs)");
     let quanta_us: Vec<u64> = vec![
-        100, 200, 300, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
-        500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000,
+        100, 200, 300, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+        1_000_000, 2_000_000, 4_000_000, 8_000_000,
     ];
     let series: Vec<(&str, AppSpec, u32)> = vec![
         ("SWEEP3D MPL=1", AppSpec::sweep3d_default(), 1),
@@ -82,8 +82,18 @@ fn main() {
     // Anchors and shape checks.
     let s2_at = |q: u64| table[&(1usize, q)].expect("feasible");
     let rows = vec![
-        Comparison::new("SWEEP3D MPL=2 normalised @ 2 ms", Some(49.0), s2_at(2_000), "s"),
-        Comparison::new("SWEEP3D MPL=2 normalised @ 8 s", Some(50.0), s2_at(8_000_000), "s"),
+        Comparison::new(
+            "SWEEP3D MPL=2 normalised @ 2 ms",
+            Some(49.0),
+            s2_at(2_000),
+            "s",
+        ),
+        Comparison::new(
+            "SWEEP3D MPL=2 normalised @ 8 s",
+            Some(50.0),
+            s2_at(8_000_000),
+            "s",
+        ),
     ];
     println!("\n{}", render_comparisons("Fig. 4 anchors", &rows));
 
@@ -91,7 +101,10 @@ fn main() {
         table[&(1usize, 100)].is_none() && table[&(1usize, 200)].is_none(),
         "quanta below ~300 us are infeasible (NM meltdown)",
     );
-    check(table[&(1usize, 300)].is_some(), "300 us is the smallest feasible quantum");
+    check(
+        table[&(1usize, 300)].is_some(),
+        "300 us is the smallest feasible quantum",
+    );
     check(
         (s2_at(2_000) - 49.0).abs() < 2.5,
         "the paper's annotated point: (2 ms, 49 s)",

@@ -79,7 +79,10 @@ fn main() {
         let r = (table[&(1usize, n)] - table[&(0usize, n)]).abs() / table[&(0usize, n)];
         check(
             r < 0.06,
-            &format!("SWEEP3D MPL=2/2 matches MPL=1 at {n} nodes ({:.1}% off)", r * 100.0),
+            &format!(
+                "SWEEP3D MPL=2/2 matches MPL=1 at {n} nodes ({:.1}% off)",
+                r * 100.0
+            ),
         );
     }
     check(

@@ -25,7 +25,10 @@ fn main() {
         (FsKind::RamDisk, 120.0, 218.0),
     ];
     let mut rows = Vec::new();
-    println!("{:>14} {:>14} {:>14}", "filesystem", "NIC memory", "main memory");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "filesystem", "NIC memory", "main memory"
+    );
     for &(fs, p_nic, p_main) in paper {
         let nic = measured_bw(fs, BufferPlacement::NicMemory);
         let main = measured_bw(fs, BufferPlacement::MainMemory);
@@ -58,7 +61,10 @@ fn main() {
         / measured_bw(FsKind::RamDisk, BufferPlacement::NicMemory);
     let nfs_gain = measured_bw(FsKind::Nfs, BufferPlacement::MainMemory)
         / measured_bw(FsKind::Nfs, BufferPlacement::NicMemory);
-    check(ram_gain > 1.5, "RAM disk reads much faster into main memory");
+    check(
+        ram_gain > 1.5,
+        "RAM disk reads much faster into main memory",
+    );
     check(
         (0.95..=1.05).contains(&nfs_gain),
         "for slow filesystems buffer placement makes little difference",

@@ -12,7 +12,10 @@ fn main() {
     println!("Figure 7: broadcast bandwidth on 64 nodes vs message size (MB/s)");
     let model = QsNetModel::for_nodes(64);
     let sizes_kb: Vec<u64> = (1..=10).map(|k| k * 100).collect();
-    println!("{:>10} {:>14} {:>14}", "size (KB)", "NIC memory", "main memory");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "size (KB)", "NIC memory", "main memory"
+    );
     let mut nic_series = Vec::new();
     let mut main_series = Vec::new();
     for &kb in &sizes_kb {
@@ -54,7 +57,10 @@ fn main() {
     let nic_asym = model.broadcast_bw(BufferPlacement::NicMemory) / 1e6;
     let main_asym = model.broadcast_bw(BufferPlacement::MainMemory) / 1e6;
     check((nic_asym - 312.0).abs() < 8.0, "NIC asymptote ~312 MB/s");
-    check((main_asym - 175.0).abs() < 2.0, "main-memory asymptote ~175 MB/s");
+    check(
+        (main_asym - 175.0).abs() < 2.0,
+        "main-memory asymptote ~175 MB/s",
+    );
     check(
         nic_series.last().unwrap() / nic_asym > 0.95,
         "1 MB messages reach >95% of the asymptote",

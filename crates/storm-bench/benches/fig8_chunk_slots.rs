@@ -63,7 +63,10 @@ fn main() {
         Comparison::new("worst (32 KB chunks)", Some(145.0), table[&(32, 2)], "ms"),
     ];
     println!("\n{}", render_comparisons("Fig. 8 anchors", &rows));
-    println!("best configuration measured: {} KB x {} slots = {best:.1} ms", best_cfg.0, best_cfg.1);
+    println!(
+        "best configuration measured: {} KB x {} slots = {best:.1} ms",
+        best_cfg.0, best_cfg.1
+    );
 
     check(
         paper_best <= best * 1.03,

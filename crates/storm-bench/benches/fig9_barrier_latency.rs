@@ -23,7 +23,12 @@ fn main() {
     let at = |n: u32| series.iter().find(|&&(x, _)| x == n).unwrap().1;
     let rows = vec![
         Comparison::new("barrier latency, small cluster", Some(4.5), at(2), "us"),
-        Comparison::new("growth 2 -> 768-class (1024) nodes", Some(2.0), at(1024) - at(2), "us"),
+        Comparison::new(
+            "growth 2 -> 768-class (1024) nodes",
+            Some(2.0),
+            at(1024) - at(2),
+            "us",
+        ),
     ];
     println!("\n{}", render_comparisons("Fig. 9 anchors", &rows));
 
@@ -38,7 +43,10 @@ fn main() {
         "~2 us growth across a 384x-or-larger node-count increase",
     );
     check(
-        QsNetModel::for_nodes(4096).barrier_latency().as_micros_f64() < 10.0,
+        QsNetModel::for_nodes(4096)
+            .barrier_latency()
+            .as_micros_f64()
+            < 10.0,
         "Table 5's bound: QsNET COMPARE-AND-WRITE < 10 us even at 4 096 nodes",
     );
     println!("fig9: all shape checks passed");

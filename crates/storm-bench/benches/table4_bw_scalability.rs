@@ -19,7 +19,10 @@ const PAPER: [[f64; 7]; 6] = [
 
 fn main() {
     println!("Table 4: broadcast bandwidth scalability (MB/s), model vs paper");
-    print!("{:>6} {:>6} {:>7} {:>9}", "nodes", "procs", "stages", "switches");
+    print!(
+        "{:>6} {:>6} {:>7} {:>9}",
+        "nodes", "procs", "stages", "switches"
+    );
     for d in TABLE4_CABLE_LENGTHS {
         print!(" {:>11}", format!("{d:.0} m"));
     }
@@ -42,7 +45,10 @@ fn main() {
         println!();
     }
     println!("(each cell: model/paper; worst-case per row is the rightmost column)");
-    println!("max relative error across all 42 cells: {:.2}%", max_err * 100.0);
+    println!(
+        "max relative error across all 42 cells: {:.2}%",
+        max_err * 100.0
+    );
 
     check(max_err < 0.02, "every Table 4 cell reproduced within 2%");
     // Structural checks the paper calls out.

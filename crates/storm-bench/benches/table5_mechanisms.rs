@@ -43,35 +43,55 @@ fn main() {
         Comparison::new(
             "Myrinet CAW (20 lg n)",
             Some(20.0 * 12.0),
-            NetworkKind::Myrinet.mechanism_perf(n).caw_latency.as_micros_f64(),
+            NetworkKind::Myrinet
+                .mechanism_perf(n)
+                .caw_latency
+                .as_micros_f64(),
             "us",
         ),
         Comparison::new(
             "QsNET CAW (<10)",
             Some(10.0),
-            NetworkKind::QsNet.mechanism_perf(n).caw_latency.as_micros_f64(),
+            NetworkKind::QsNet
+                .mechanism_perf(n)
+                .caw_latency
+                .as_micros_f64(),
             "us",
         ),
         Comparison::new(
             "BlueGene/L CAW (<2)",
             Some(2.0),
-            NetworkKind::BlueGeneL.mechanism_perf(n).caw_latency.as_micros_f64(),
+            NetworkKind::BlueGeneL
+                .mechanism_perf(n)
+                .caw_latency
+                .as_micros_f64(),
             "us",
         ),
         Comparison::new(
             "Myrinet X&S (15n MB/s)",
             Some(15.0 * f64::from(n)),
-            NetworkKind::Myrinet.mechanism_perf(n).xfer_aggregate_bw.unwrap() / 1e6,
+            NetworkKind::Myrinet
+                .mechanism_perf(n)
+                .xfer_aggregate_bw
+                .unwrap()
+                / 1e6,
             "MB/s",
         ),
         Comparison::new(
             "BlueGene/L X&S (700n MB/s)",
             Some(700.0 * f64::from(n)),
-            NetworkKind::BlueGeneL.mechanism_perf(n).xfer_aggregate_bw.unwrap() / 1e6,
+            NetworkKind::BlueGeneL
+                .mechanism_perf(n)
+                .xfer_aggregate_bw
+                .unwrap()
+                / 1e6,
             "MB/s",
         ),
     ];
-    println!("\n{}", render_comparisons("Table 5 vs paper formulas", &rows));
+    println!(
+        "\n{}",
+        render_comparisons("Table 5 vs paper formulas", &rows)
+    );
 
     // Execute the mechanisms for real on 1 024 nodes.
     println!("Executed mechanism timings on 1 024 nodes:");

@@ -22,7 +22,10 @@ fn storm_measured_secs(seed: u64) -> f64 {
 
 fn main() {
     println!("Table 6: job-launch times found in the literature");
-    println!("{:<10} {:>8} {:>10} {:>14}", "system", "nodes", "binary", "launch time");
+    println!(
+        "{:<10} {:>8} {:>10} {:>14}",
+        "system", "nodes", "binary", "launch time"
+    );
     for l in Launcher::ALL {
         let m = l.measured();
         let binary = if m.binary_mb == 0 {
@@ -61,7 +64,12 @@ fn main() {
     // Our own STORM measurement for the Table 6 row.
     let ours = repeat(5, 2002, storm_measured_secs).mean();
     let rows = vec![
-        Comparison::new("STORM: 12 MB on 64 nodes (measured here)", Some(0.11), ours, "s"),
+        Comparison::new(
+            "STORM: 12 MB on 64 nodes (measured here)",
+            Some(0.11),
+            ours,
+            "s",
+        ),
         Comparison::new(
             "rsh extrapolated to 4 096 nodes",
             Some(3_827.10),
@@ -77,7 +85,10 @@ fn main() {
     ];
     println!("\n{}", render_comparisons("Tables 6/7 anchors", &rows));
 
-    check((ours - 0.11).abs() / 0.11 < 0.15, "our 64-node 12 MB launch lands on 0.11 s");
+    check(
+        (ours - 0.11).abs() / 0.11 < 0.15,
+        "our 64-node 12 MB launch lands on 0.11 s",
+    );
     check(
         Launcher::Storm.fitted_time_secs(4096) < 0.15,
         "STORM stays ~0.11 s even extrapolated to 4 096 nodes",

@@ -32,10 +32,18 @@ fn sweep_runtime(quantum: SimSpan, seed: u64) -> Option<f64> {
 
 fn main() {
     println!("Table 8: minimal feasible scheduling quantum (slowdown <= 2%)");
-    println!("{:<10} {:>22} {:>10}", "system", "min feasible quantum", "nodes");
+    println!(
+        "{:<10} {:>22} {:>10}",
+        "system", "min feasible quantum", "nodes"
+    );
     for m in SchedulerModel::ALL {
         let q = min_feasible_quantum(m, 0.02);
-        println!("{:<10} {:>20} {:>10}", m.name(), format!("{q}"), m.reference_nodes());
+        println!(
+            "{:<10} {:>20} {:>10}",
+            m.name(),
+            format!("{q}"),
+            m.reference_nodes()
+        );
     }
 
     // Published slowdowns at the published quanta.
@@ -71,16 +79,27 @@ fn main() {
         match r {
             Some(t) => {
                 let slow = (t - baseline) / baseline * 100.0;
-                println!("  quantum {:>10}: {:.2} s ({:+.2}% vs 2 s quantum)", format!("{q}"), t, slow);
+                println!(
+                    "  quantum {:>10}: {:.2} s ({:+.2}% vs 2 s quantum)",
+                    format!("{q}"),
+                    t,
+                    slow
+                );
                 if *q == SimSpan::from_millis(2) {
                     at_2ms = slow;
                 }
             }
-            None => println!("  quantum {:>10}: infeasible (NM control-message meltdown)", format!("{q}")),
+            None => println!(
+                "  quantum {:>10}: infeasible (NM control-message meltdown)",
+                format!("{q}")
+            ),
         }
     }
 
-    check(results[0].is_none(), "100 us quantum is below STORM's hard floor");
+    check(
+        results[0].is_none(),
+        "100 us quantum is below STORM's hard floor",
+    );
     check(results[1].is_some(), "300 us quantum is feasible");
     check(
         at_2ms.abs() < 2.0,

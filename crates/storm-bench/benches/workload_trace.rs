@@ -22,7 +22,10 @@ fn replay(policy: SchedulerKind, mpl: usize) -> storm_apps::StreamMetrics {
         .with_scheduler(policy)
         .with_timeslice(SimSpan::from_millis(50))
         .with_seed(4242);
-    let mut cluster = Cluster::new(ClusterConfig { mpl_max: mpl, ..cfg });
+    let mut cluster = Cluster::new(ClusterConfig {
+        mpl_max: mpl,
+        ..cfg
+    });
     let stream = StreamConfig {
         jobs: 60,
         mean_interarrival: SimSpan::from_secs(1),

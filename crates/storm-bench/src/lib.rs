@@ -33,7 +33,12 @@ pub struct Comparison {
 
 impl Comparison {
     /// Build a comparison row.
-    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: f64, unit: &'static str) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+        unit: &'static str,
+    ) -> Self {
         Comparison {
             label: label.into(),
             paper,
@@ -104,9 +109,9 @@ where
         .min(n.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let done = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -115,8 +120,7 @@ where
                 done.lock().expect("sweep lock").push((i, r));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     let mut pairs = done.into_inner().expect("sweep lock");
     pairs.sort_by_key(|&(i, _)| i);
     assert_eq!(pairs.len(), n, "every config produced a result");

@@ -26,6 +26,9 @@ pub struct BuddyAllocator {
     free: Vec<BTreeSet<u32>>,
     /// start → order of live allocations.
     allocated: HashMap<u32, u32>,
+    /// Nodes carved out by [`BuddyAllocator::quarantine`] (not free, not
+    /// allocated, not counted usable until they rejoin).
+    quarantined: BTreeSet<u32>,
 }
 
 fn next_pow2(n: u32) -> u32 {
@@ -49,6 +52,7 @@ impl BuddyAllocator {
             usable: nodes,
             free,
             allocated: HashMap::new(),
+            quarantined: BTreeSet::new(),
         };
         // Reserve the non-existent tail [nodes, capacity) by allocating its
         // binary decomposition; those blocks are never freed.
@@ -58,7 +62,11 @@ impl BuddyAllocator {
             let align = 1u32 << start.trailing_zeros();
             let rest = capacity - start;
             let block = align.min(next_pow2(rest + 1) / 2).min(rest);
-            let block = if block.is_power_of_two() { block } else { 1 << (31 - block.leading_zeros()) };
+            let block = if block.is_power_of_two() {
+                block
+            } else {
+                1 << (31 - block.leading_zeros())
+            };
             a.carve(start, order_for(block));
             start += block;
         }
@@ -155,6 +163,53 @@ impl BuddyAllocator {
             }
             assert!(split_done, "carve({start}, {order}): block not free");
         }
+    }
+
+    /// Is `node` inside some currently-free block?
+    fn is_free(&self, node: u32) -> bool {
+        self.free.iter().enumerate().any(|(order, set)| {
+            let aligned = node & !((1u32 << order) - 1);
+            set.contains(&aligned)
+        })
+    }
+
+    /// Quarantine a node: carve it out of the free pool so no future
+    /// [`BuddyAllocator::alloc`] can return a block containing it. Returns
+    /// `false` (and does nothing) if the node is outside the usable range,
+    /// already quarantined, or currently inside an allocated block — the
+    /// caller must evict whatever holds it first.
+    pub fn quarantine(&mut self, node: u32) -> bool {
+        if node >= self.usable || self.quarantined.contains(&node) || !self.is_free(node) {
+            return false;
+        }
+        self.carve(node, 0);
+        // Track it as quarantined rather than allocated: it must neither
+        // show up in `allocations()` nor coalesce with freed neighbours.
+        self.allocated.remove(&node);
+        self.quarantined.insert(node);
+        true
+    }
+
+    /// Rejoin a quarantined node, returning its leaf to the free pool
+    /// (coalescing with free buddies). Returns `false` if the node was not
+    /// quarantined.
+    pub fn rejoin(&mut self, node: u32) -> bool {
+        if !self.quarantined.remove(&node) {
+            return false;
+        }
+        self.allocated.insert(node, 0);
+        self.free(node);
+        true
+    }
+
+    /// Nodes currently quarantined.
+    pub fn quarantined_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Is `node` quarantined?
+    pub fn is_quarantined(&self, node: u32) -> bool {
+        self.quarantined.contains(&node)
     }
 
     /// All live allocations as ranges (excluding the reserved tail).
@@ -276,6 +331,45 @@ mod tests {
         assert_eq!(allocs.len(), 2);
         assert!(allocs.windows(2).all(|w| w[0].start < w[1].start));
         assert!(allocs.iter().all(|r| r.end <= 24));
+    }
+
+    #[test]
+    fn quarantine_excludes_node_from_allocation() {
+        let mut b = BuddyAllocator::new(8);
+        assert!(b.quarantine(3));
+        assert!(b.is_quarantined(3));
+        assert_eq!(b.free_nodes(), 7);
+        // Every allocatable block avoids node 3.
+        let mut got = Vec::new();
+        while let Some(r) = b.alloc(1) {
+            assert!(!r.contains(&3));
+            got.push(r);
+        }
+        assert_eq!(got.len(), 7);
+        assert!(!b.quarantine(3), "already quarantined");
+        assert!(!b.quarantine(8), "outside usable range");
+    }
+
+    #[test]
+    fn quarantine_refuses_allocated_nodes() {
+        let mut b = BuddyAllocator::new(8);
+        let r = b.alloc(4).unwrap();
+        assert!(!b.quarantine(r.start), "node is inside a live allocation");
+        b.free(r.start);
+        assert!(b.quarantine(r.start), "free after eviction");
+    }
+
+    #[test]
+    fn rejoin_restores_full_capacity() {
+        let mut b = BuddyAllocator::new(16);
+        let before = b.free_nodes();
+        assert!(b.quarantine(5));
+        assert!(b.alloc(16).is_none(), "full-machine block unavailable");
+        assert!(b.rejoin(5));
+        assert_eq!(b.free_nodes(), before);
+        // Coalescing healed: the full machine is one block again.
+        assert_eq!(b.alloc(16).unwrap(), 0..16);
+        assert!(!b.rejoin(5), "not quarantined any more");
     }
 
     #[test]

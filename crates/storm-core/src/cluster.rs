@@ -6,13 +6,14 @@
 //! the entry point all examples, integration tests and benches use.
 
 use crate::config::ClusterConfig;
+use crate::fault::FaultEvent;
 use crate::job::{JobId, JobRecord, JobSpec, JobState};
 use crate::mm::MachineManager;
 use crate::msg::Msg;
 use crate::nm::NodeManager;
 use crate::pl::ProgramLauncher;
 use crate::world::World;
-use storm_sim::{SimTime, Simulation};
+use storm_sim::{ComponentId, SimTime, Simulation};
 
 /// A fully-wired simulated STORM cluster.
 pub struct Cluster {
@@ -48,6 +49,18 @@ impl Cluster {
         // Fault detection needs the MM heartbeat loop running from t = 0.
         if cfg.fault_detection {
             sim.post(SimTime::ZERO, mm, Msg::Tick);
+        }
+        // Post the fault schedule's timed events (the probabilistic faults
+        // were installed in the mechanism layer by `World::new`).
+        for ev in &cfg.faults.events {
+            let nm = sim.world().wiring.nms[ev.node() as usize];
+            match *ev {
+                FaultEvent::Crash { at, .. } => sim.post(at, nm, Msg::FailNode),
+                FaultEvent::Rejoin { at, .. } => sim.post(at, nm, Msg::RejoinNode),
+                FaultEvent::Stall { from, until, .. } => {
+                    sim.post(from, nm, Msg::StallNode { until })
+                }
+            }
         }
         Cluster { sim, next_job: 0 }
     }
@@ -92,11 +105,36 @@ impl Cluster {
         self.sim.post(at, mm, Msg::Kill(job));
     }
 
+    fn nm_of(&self, node: u32) -> ComponentId {
+        let nodes = self.sim.world().cfg.nodes;
+        assert!(
+            node < nodes,
+            "node {node} out of range (cluster has {nodes} nodes)"
+        );
+        self.sim.world().wiring.nms[node as usize]
+    }
+
     /// Inject a node failure at `at`: the node's NM stops responding to
     /// everything (fragments, strobes, heartbeats).
     pub fn fail_node_at(&mut self, at: SimTime, node: u32) {
-        let nm = self.sim.world().wiring.nms[node as usize];
+        let nm = self.nm_of(node);
         self.sim.post(at, nm, Msg::FailNode);
+    }
+
+    /// Revive a previously-failed node at `at`. The NM comes back with
+    /// empty local state; the MM re-admits the node to the allocator once
+    /// its heartbeats catch up.
+    pub fn rejoin_node_at(&mut self, at: SimTime, node: u32) {
+        let nm = self.nm_of(node);
+        self.sim.post(at, nm, Msg::RejoinNode);
+    }
+
+    /// Stall a node's dæmon over `[from, until)`: messages are deferred
+    /// (not lost) until the stall ends — the node looks dead to the
+    /// heartbeat protocol but recovers by itself.
+    pub fn stall_node(&mut self, node: u32, from: SimTime, until: SimTime) {
+        let nm = self.nm_of(node);
+        self.sim.post(from, nm, Msg::StallNode { until });
     }
 
     /// Run until all submitted jobs are terminal and the event queue
@@ -147,9 +185,15 @@ impl Cluster {
         self.sim.world()
     }
 
-    /// Mutable world access between runs — used by experiments and tests to
-    /// install fault plans (`world.mech.fault`) or tweak device state
-    /// before submitting work.
+    /// Mutable world access between runs — an escape hatch for experiments
+    /// that tweak device state mid-run.
+    ///
+    /// For fault injection, prefer
+    /// [`ClusterConfig::with_faults`](crate::config::ClusterConfig::with_faults):
+    /// a declarative [`FaultSchedule`](crate::fault::FaultSchedule) is
+    /// validated, reproducible from the config alone, and installs both the
+    /// probabilistic mechanism-layer faults and the timed crash/rejoin/stall
+    /// events — none of which this raw hook guarantees.
     pub fn with_world_mut<R>(&mut self, f: impl FnOnce(&mut World) -> R) -> R {
         f(self.sim.world_mut())
     }
@@ -278,12 +322,22 @@ mod tests {
             let mut cluster = Cluster::new(ClusterConfig::paper_cluster());
             let job = cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(mb), 256));
             cluster.run_until_idle();
-            sends.push(cluster.job(job).metrics.send_span().unwrap().as_millis_f64());
+            sends.push(
+                cluster
+                    .job(job)
+                    .metrics
+                    .send_span()
+                    .unwrap()
+                    .as_millis_f64(),
+            );
         }
         // Send time proportional to binary size (Fig. 2).
         assert!(sends[0] < sends[1] && sends[1] < sends[2]);
         let ratio = sends[2] / sends[0];
-        assert!(ratio > 2.3 && ratio < 3.7, "12 MB ≈ 3× the 4 MB send, got {ratio:.2}");
+        assert!(
+            ratio > 2.3 && ratio < 3.7,
+            "12 MB ≈ 3× the 4 MB send, got {ratio:.2}"
+        );
     }
 
     #[test]
@@ -296,7 +350,10 @@ mod tests {
         };
         let small = exec_at(1);
         let large = exec_at(256);
-        assert!(large > small, "execute skew grows with PEs: {small:.2} vs {large:.2}");
+        assert!(
+            large > small,
+            "execute skew grows with PEs: {small:.2} vs {large:.2}"
+        );
         assert!(large < 30.0, "execute stays in the ms range: {large:.2}");
     }
 
@@ -304,14 +361,16 @@ mod tests {
     fn sweep3d_runs_under_gang_scheduling() {
         let cfg = ClusterConfig::gang_cluster().with_timeslice(SimSpan::from_millis(50));
         let mut cluster = Cluster::new(cfg);
-        let job = cluster.submit(
-            JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2),
-        );
+        let job =
+            cluster.submit(JobSpec::new(AppSpec::sweep3d_default(), 64).with_ranks_per_node(2));
         cluster.run_until_idle();
         let rec = cluster.job(job);
         assert_eq!(rec.state, JobState::Completed);
         let runtime = rec.metrics.turnaround().unwrap().as_secs_f64();
-        assert!((runtime - 49.0).abs() < 3.0, "SWEEP3D runtime {runtime:.1} s");
+        assert!(
+            (runtime - 49.0).abs() < 3.0,
+            "SWEEP3D runtime {runtime:.1} s"
+        );
     }
 
     #[test]
@@ -388,7 +447,10 @@ mod tests {
         assert_eq!(node, 13);
         // Detected within two fault rounds (≤ ~2 × 4 ms) of the failure.
         let latency = at.since(SimTime::from_millis(20));
-        assert!(latency <= SimSpan::from_millis(10), "detection took {latency}");
+        assert!(
+            latency <= SimSpan::from_millis(10),
+            "detection took {latency}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! §3.3.1 (512 KB chunks × 4 receive-queue slots, 1 ms timeslice for the
 //! launch experiments).
 
+use crate::fault::{FailurePolicy, FaultSchedule};
 use storm_fs::FsKind;
 use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
 use storm_sim::SimSpan;
@@ -142,6 +143,11 @@ pub struct ClusterConfig {
     pub fault_detection: bool,
     /// Heartbeat period multiplier: fault round every `k` ticks.
     pub heartbeat_every: u32,
+    /// Deterministic fault schedule to inject into the run (crashes,
+    /// rejoins, stalls, error bursts). Empty by default.
+    pub faults: FaultSchedule,
+    /// What the MM does with jobs lost to a detected node failure.
+    pub failure_policy: FailurePolicy,
     /// Dæmon cost constants.
     pub daemon: DaemonCosts,
     /// RNG seed.
@@ -175,6 +181,8 @@ impl ClusterConfig {
             scheduler: SchedulerKind::Gang,
             fault_detection: false,
             heartbeat_every: 8,
+            faults: FaultSchedule::default(),
+            failure_policy: FailurePolicy::default(),
             daemon: DaemonCosts::default(),
             seed: 0x5702_2002,
         }
@@ -227,6 +235,33 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder: install a deterministic fault schedule. When the schedule
+    /// contains crash/rejoin/stall events, heartbeat fault detection is
+    /// enabled automatically (it is what notices and heals them); pure
+    /// error-probability schedules leave it as configured.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        if !faults.events.is_empty() {
+            self.fault_detection = true;
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: failure-recovery policy.
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Builder: enable heartbeat fault detection with a fault round every
+    /// `every` ticks.
+    pub fn with_fault_detection(mut self, every: u32) -> Self {
+        assert!(every > 0, "heartbeat_every must be ≥ 1");
+        self.fault_detection = true;
+        self.heartbeat_every = every;
+        self
+    }
+
     /// Total PEs.
     pub fn total_pes(&self) -> u32 {
         self.nodes * self.cpus_per_node
@@ -263,6 +298,10 @@ impl ClusterConfig {
         if self.mpl_max == 0 {
             return Err("mpl_max must be ≥ 1".into());
         }
+        if self.heartbeat_every == 0 {
+            return Err("heartbeat_every must be ≥ 1".into());
+        }
+        self.faults.validate(self.nodes)?;
         self.load.validate()?;
         Ok(())
     }
@@ -326,6 +365,37 @@ mod tests {
     }
 
     #[test]
+    fn with_faults_enables_detection_for_event_schedules() {
+        use storm_sim::SimTime;
+        let c = ClusterConfig::paper_cluster()
+            .with_faults(FaultSchedule::new().crash(SimTime::from_millis(20), 3));
+        assert!(c.fault_detection, "crash schedules need the heartbeat loop");
+        assert!(c.validate().is_ok());
+        let c =
+            ClusterConfig::paper_cluster().with_faults(FaultSchedule::new().with_xfer_errors(0.1));
+        assert!(!c.fault_detection, "pure error probabilities do not");
+        let c = ClusterConfig::paper_cluster()
+            .with_failure_policy(FailurePolicy::requeue())
+            .with_fault_detection(4);
+        assert!(c.fault_detection);
+        assert_eq!(c.heartbeat_every, 4);
+        assert_eq!(c.failure_policy, FailurePolicy::requeue());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fault_schedules() {
+        let mut c = ClusterConfig::paper_cluster();
+        c.faults = FaultSchedule::new().crash(storm_sim::SimTime::ZERO, 99);
+        assert!(c.validate().is_err(), "crash beyond the node range");
+        let mut c = ClusterConfig::paper_cluster();
+        c.faults = FaultSchedule::new().with_xfer_errors(1.5);
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper_cluster();
+        c.heartbeat_every = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn validation_catches_nonsense() {
         let base = ClusterConfig::paper_cluster();
         assert!(base.clone().with_nodes(0).validate().is_err());
@@ -339,7 +409,10 @@ mod tests {
         c.timeslice = SimSpan::ZERO;
         assert!(c.validate().is_err());
         let mut c = base;
-        c.load = BackgroundLoad { cpu: 2.0, network: 0.0 };
+        c.load = BackgroundLoad {
+            cpu: 2.0,
+            network: 0.0,
+        };
         assert!(c.validate().is_err());
     }
 }

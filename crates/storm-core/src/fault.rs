@@ -1,0 +1,357 @@
+//! Fault injection and failure recovery policy.
+//!
+//! The paper's §4 shows fault *detection* built from the mechanisms
+//! (heartbeat multicast + COMPARE-AND-WRITE receipt query + gather to
+//! isolate the lagging slave). This module adds the surrounding machinery a
+//! production resource manager needs and the paper leaves implicit:
+//!
+//! * [`FaultSchedule`] — a deterministic, seed-independent *schedule* of
+//!   faults to inject into a run: node crashes and rejoins, dæmon stalls
+//!   (a slow node that delays its NM's replies without dying), and
+//!   transient network-error bursts. Installed declaratively via
+//!   [`crate::ClusterConfig::with_faults`]; the cluster posts the events at
+//!   build time, so two runs with the same config and seed replay the same
+//!   fault sequence exactly.
+//! * [`FailurePolicy`] — what the MM does with the jobs of a node whose
+//!   failure the heartbeat protocol detected: fail them, requeue them on
+//!   surviving capacity with a bounded retry budget and linear backoff, or
+//!   shrink them to fit what is left.
+//!
+//! Either way the dead node is *quarantined*: carved out of every buddy
+//! allocator slot and excluded from launch/strobe/heartbeat multicast sets,
+//! until the heartbeat protocol observes it answering again (a rejoined or
+//! merely-stalled node catches up on the round counter) and re-admits it.
+
+use storm_sim::{DeterministicRng, SimSpan, SimTime};
+
+pub use storm_mech::ErrorBurst;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The node's NM dies at `at`: it stops answering everything
+    /// (fragments, strobes, heartbeats) until an explicit [`FaultEvent::Rejoin`].
+    Crash {
+        /// Injection instant.
+        at: SimTime,
+        /// Victim node.
+        node: u32,
+    },
+    /// The node's NM comes back at `at` with empty local state (a reboot).
+    /// The MM re-admits it once the heartbeat protocol sees it answering.
+    Rejoin {
+        /// Revival instant.
+        at: SimTime,
+        /// Rejoining node.
+        node: u32,
+    },
+    /// The node's NM stalls between `from` and `until`: messages are not
+    /// lost but their processing is deferred to `until` (a dæmon descheduled
+    /// by a runaway local process). A stall longer than the detection window
+    /// is indistinguishable from a crash until it ends — the MM quarantines
+    /// the node, then re-admits it when the backlog drains.
+    Stall {
+        /// Stalled node.
+        node: u32,
+        /// Stall start.
+        from: SimTime,
+        /// Stall end (processing resumes).
+        until: SimTime,
+    },
+}
+
+impl FaultEvent {
+    /// The node this event targets.
+    pub fn node(&self) -> u32 {
+        match *self {
+            FaultEvent::Crash { node, .. }
+            | FaultEvent::Rejoin { node, .. }
+            | FaultEvent::Stall { node, .. } => node,
+        }
+    }
+}
+
+/// A deterministic fault schedule for one run.
+///
+/// Built with the fluent methods below and installed with
+/// [`crate::ClusterConfig::with_faults`]. An empty (default) schedule
+/// injects nothing and leaves the run bit-identical to one with no
+/// schedule at all — probabilities of zero never consume RNG.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Timed crash/rejoin/stall events.
+    pub events: Vec<FaultEvent>,
+    /// Steady-state XFER-AND-SIGNAL error probability (atomic abort +
+    /// retry; §2.2's error semantics).
+    pub xfer_error_prob: f64,
+    /// Probability that a COMPARE-AND-WRITE query is lost (no write applied
+    /// anywhere, initiator re-polls).
+    pub caw_drop_prob: f64,
+    /// Probability that a heartbeat multicast delivery is dropped at an NM
+    /// (models a lossy control path; can cause false-positive detections
+    /// that the rejoin path must then heal).
+    pub heartbeat_drop_prob: f64,
+    /// Transient XFER-AND-SIGNAL error-burst windows.
+    pub bursts: Vec<ErrorBurst>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Schedule a node crash.
+    pub fn crash(mut self, at: SimTime, node: u32) -> Self {
+        self.events.push(FaultEvent::Crash { at, node });
+        self
+    }
+
+    /// Schedule a node rejoin.
+    pub fn rejoin(mut self, at: SimTime, node: u32) -> Self {
+        self.events.push(FaultEvent::Rejoin { at, node });
+        self
+    }
+
+    /// Schedule a dæmon stall on `node` over `[from, until)`.
+    pub fn stall(mut self, node: u32, from: SimTime, until: SimTime) -> Self {
+        self.events.push(FaultEvent::Stall { node, from, until });
+        self
+    }
+
+    /// Steady-state XFER-AND-SIGNAL error probability.
+    pub fn with_xfer_errors(mut self, prob: f64) -> Self {
+        self.xfer_error_prob = prob;
+        self
+    }
+
+    /// COMPARE-AND-WRITE drop probability.
+    pub fn with_caw_drops(mut self, prob: f64) -> Self {
+        self.caw_drop_prob = prob;
+        self
+    }
+
+    /// Heartbeat-delivery drop probability.
+    pub fn with_heartbeat_drops(mut self, prob: f64) -> Self {
+        self.heartbeat_drop_prob = prob;
+        self
+    }
+
+    /// Add a transient error-burst window.
+    pub fn with_burst(mut self, from: SimTime, until: SimTime, prob: f64) -> Self {
+        self.bursts.push(ErrorBurst { from, until, prob });
+        self
+    }
+
+    /// True when the schedule injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.bursts.is_empty()
+            && self.xfer_error_prob == 0.0
+            && self.caw_drop_prob == 0.0
+            && self.heartbeat_drop_prob == 0.0
+    }
+
+    /// Validate against a cluster of `nodes` nodes.
+    pub fn validate(&self, nodes: u32) -> Result<(), String> {
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !prob_ok(self.xfer_error_prob) {
+            return Err(format!(
+                "xfer_error_prob {} outside [0,1]",
+                self.xfer_error_prob
+            ));
+        }
+        if !prob_ok(self.caw_drop_prob) {
+            return Err(format!(
+                "caw_drop_prob {} outside [0,1]",
+                self.caw_drop_prob
+            ));
+        }
+        if !prob_ok(self.heartbeat_drop_prob) {
+            return Err(format!(
+                "heartbeat_drop_prob {} outside [0,1]",
+                self.heartbeat_drop_prob
+            ));
+        }
+        for b in &self.bursts {
+            if !prob_ok(b.prob) {
+                return Err(format!("burst prob {} outside [0,1]", b.prob));
+            }
+            if b.from >= b.until {
+                return Err(format!("burst window [{}, {}) is empty", b.from, b.until));
+            }
+        }
+        for ev in &self.events {
+            if ev.node() >= nodes {
+                return Err(format!("fault event targets node {} of {nodes}", ev.node()));
+            }
+            if let FaultEvent::Stall { from, until, .. } = ev {
+                if from >= until {
+                    return Err(format!("stall window [{from}, {until}) is empty"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A randomized-but-reproducible schedule for chaos testing: the same
+    /// `(seed, nodes, horizon)` always yields the same schedule. Crashes a
+    /// few nodes in the first 60 % of the horizon, rejoins most of them
+    /// 100–500 ms later, sometimes stalls another node, and sometimes adds
+    /// a transient network-error burst.
+    pub fn randomized(seed: u64, nodes: u32, horizon: SimSpan) -> Self {
+        let mut rng = DeterministicRng::new(seed ^ 0xC44A_05FA_57A6_11E5);
+        let mut s = FaultSchedule::new();
+        let h_ms = horizon.as_millis_f64();
+        let mut used = std::collections::BTreeSet::new();
+        let crashes = 1 + rng.below(3);
+        for _ in 0..crashes {
+            let node = rng.below(u64::from(nodes)) as u32;
+            if !used.insert(node) {
+                continue;
+            }
+            let at_ms = h_ms * (0.10 + 0.50 * rng.uniform());
+            s = s.crash(SimTime::from_millis(at_ms as u64), node);
+            if rng.uniform() < 0.75 {
+                let back_ms = at_ms + 100.0 + 400.0 * rng.uniform();
+                if back_ms < h_ms * 0.85 {
+                    s = s.rejoin(SimTime::from_millis(back_ms as u64), node);
+                }
+            }
+        }
+        if rng.uniform() < 0.5 {
+            let node = rng.below(u64::from(nodes)) as u32;
+            if used.insert(node) {
+                let from_ms = h_ms * (0.10 + 0.40 * rng.uniform());
+                let len_ms = 20.0 + 80.0 * rng.uniform();
+                s = s.stall(
+                    node,
+                    SimTime::from_millis(from_ms as u64),
+                    SimTime::from_millis((from_ms + len_ms) as u64),
+                );
+            }
+        }
+        if rng.uniform() < 0.5 {
+            let from_ms = h_ms * 0.2 * rng.uniform();
+            s = s.with_burst(
+                SimTime::from_millis(from_ms as u64),
+                SimTime::from_millis((from_ms + 30.0) as u64),
+                0.05 + 0.15 * rng.uniform(),
+            );
+        }
+        s
+    }
+}
+
+/// What the MM does with the jobs of a node whose failure was detected.
+///
+/// Under every policy the victim job's buddy allocation is freed and the
+/// dead node quarantined; the policies differ in what happens to the job.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FailurePolicy {
+    /// Mark victims [`crate::JobState::Failed`]. The seed behavior.
+    #[default]
+    Fail,
+    /// Requeue victims on surviving capacity with a bounded retry budget
+    /// and linear backoff (`backoff × retry_number` before re-admission to
+    /// the queue). A job exceeding `max_retries` is failed.
+    Requeue {
+        /// Retries allowed per job before it is failed for good.
+        max_retries: u32,
+        /// Base backoff before a retry re-enters the queue.
+        backoff: SimSpan,
+    },
+    /// Shrink the victim's rank count to what the surviving capacity can
+    /// place, then requeue it (unbounded retries — a shrinking job cannot
+    /// be lost, only diminished).
+    Shrink,
+}
+
+impl FailurePolicy {
+    /// A requeue policy with a sensible default budget: 3 retries, 5 ms
+    /// base backoff.
+    pub fn requeue() -> Self {
+        FailurePolicy::Requeue {
+            max_retries: 3,
+            backoff: SimSpan::from_millis(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_events() {
+        let s = FaultSchedule::new()
+            .crash(SimTime::from_millis(20), 3)
+            .rejoin(SimTime::from_millis(500), 3)
+            .stall(5, SimTime::from_millis(10), SimTime::from_millis(40))
+            .with_xfer_errors(0.1)
+            .with_burst(SimTime::from_millis(1), SimTime::from_millis(2), 0.5);
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.bursts.len(), 1);
+        assert!(!s.is_empty());
+        assert!(s.validate(64).is_ok());
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        assert!(FaultSchedule::new().is_empty());
+        assert!(FaultSchedule::default().validate(1).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_probabilities_and_windows() {
+        assert!(FaultSchedule::new()
+            .with_xfer_errors(1.5)
+            .validate(4)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .with_caw_drops(-0.1)
+            .validate(4)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .with_heartbeat_drops(2.0)
+            .validate(4)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .with_burst(SimTime::from_millis(5), SimTime::from_millis(5), 0.1)
+            .validate(4)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .stall(0, SimTime::from_millis(9), SimTime::from_millis(3))
+            .validate(4)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .crash(SimTime::ZERO, 9)
+            .validate(4)
+            .is_err());
+    }
+
+    #[test]
+    fn randomized_is_reproducible_and_valid() {
+        let a = FaultSchedule::randomized(7, 64, SimSpan::from_secs(1));
+        let b = FaultSchedule::randomized(7, 64, SimSpan::from_secs(1));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.validate(64).is_ok());
+        assert!(!a.events.is_empty(), "always at least one crash");
+        let c = FaultSchedule::randomized(8, 64, SimSpan::from_secs(1));
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn policy_defaults() {
+        assert_eq!(FailurePolicy::default(), FailurePolicy::Fail);
+        let FailurePolicy::Requeue {
+            max_retries,
+            backoff,
+        } = FailurePolicy::requeue()
+        else {
+            panic!("requeue() must build Requeue");
+        };
+        assert_eq!(max_retries, 3);
+        assert_eq!(backoff, SimSpan::from_millis(5));
+    }
+}

@@ -114,7 +114,10 @@ pub enum JobState {
 impl JobState {
     /// Terminal states.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Completed | JobState::Killed | JobState::Failed)
+        matches!(
+            self,
+            JobState::Completed | JobState::Killed | JobState::Failed
+        )
     }
 }
 
@@ -237,6 +240,12 @@ pub struct JobRecord {
     pub transfer_confirmed: Option<SimTime>,
     /// Latest application-exit instant reported by any node.
     pub app_done_max: Option<SimTime>,
+    /// Launch attempt counter: bumped each time the failure-recovery policy
+    /// requeues the job. Job-scoped messages carry the attempt they belong
+    /// to; mismatches are stale in-flight traffic and are dropped.
+    pub attempt: u32,
+    /// Times this job has been requeued after losing a node.
+    pub retries: u32,
 }
 
 impl JobRecord {
@@ -255,12 +264,38 @@ impl JobRecord {
             done_reports: 0,
             transfer_confirmed: None,
             app_done_max: None,
+            attempt: 0,
+            retries: 0,
         }
     }
 
     /// The allocation, panicking if not yet placed (internal invariant).
     pub fn alloc(&self) -> &Allocation {
         self.allocation.as_ref().expect("job not allocated")
+    }
+
+    /// Reset the record back to a clean queued state for a retry after a
+    /// node failure: the allocation, workload, transfer and report state
+    /// are discarded, the attempt counter is bumped (so in-flight messages
+    /// from the lost incarnation are dropped on arrival), and only the
+    /// original submission timestamp is kept — the completion metrics then
+    /// describe the attempt that finally succeeded.
+    pub fn reset_for_retry(&mut self) {
+        self.state = JobState::Queued;
+        self.allocation = None;
+        self.workload = Workload::empty();
+        self.cursor = Workload::empty().cursor();
+        self.transfer = TransferState::default();
+        self.start_reports = 0;
+        self.done_reports = 0;
+        self.transfer_confirmed = None;
+        self.app_done_max = None;
+        self.attempt += 1;
+        self.retries += 1;
+        self.metrics = JobMetrics {
+            submitted: self.metrics.submitted,
+            ..JobMetrics::default()
+        };
     }
 }
 
@@ -373,6 +408,32 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_rank_job_rejected() {
         JobSpec::new(AppSpec::do_nothing_mb(4), 0);
+    }
+
+    #[test]
+    fn reset_for_retry_keeps_only_submission() {
+        let mut rec = JobRecord::new(JobId(0), JobSpec::new(AppSpec::do_nothing_mb(4), 8));
+        rec.state = JobState::Transferring;
+        rec.metrics.submitted = Some(SimTime::from_millis(1));
+        rec.metrics.transfer_start = Some(SimTime::from_millis(2));
+        rec.allocation = Some(Allocation {
+            slot: 0,
+            nodes: 0..2,
+            ranks_per_node: 4,
+            ranks: 8,
+        });
+        rec.start_reports = 2;
+        rec.transfer.total_chunks = 8;
+        rec.reset_for_retry();
+        assert_eq!(rec.state, JobState::Queued);
+        assert!(rec.allocation.is_none());
+        assert_eq!(rec.start_reports, 0);
+        assert_eq!(rec.transfer.total_chunks, 0);
+        assert_eq!(rec.metrics.submitted, Some(SimTime::from_millis(1)));
+        assert_eq!(rec.metrics.transfer_start, None);
+        assert_eq!((rec.attempt, rec.retries), (1, 1));
+        rec.reset_for_retry();
+        assert_eq!((rec.attempt, rec.retries), (2, 2));
     }
 
     #[test]

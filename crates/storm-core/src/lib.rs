@@ -60,6 +60,7 @@
 pub mod buddy;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod job;
 pub mod matrix;
 pub mod mm;
@@ -72,6 +73,7 @@ pub mod world;
 pub use buddy::BuddyAllocator;
 pub use cluster::{Cluster, Report};
 pub use config::{ClusterConfig, DaemonCosts, SchedulerKind};
+pub use fault::{FailurePolicy, FaultEvent, FaultSchedule};
 pub use job::{JobId, JobMetrics, JobSpec, JobState};
 pub use matrix::GangMatrix;
 pub use world::World;
@@ -80,9 +82,10 @@ pub use world::World;
 pub mod prelude {
     pub use crate::cluster::{Cluster, Report};
     pub use crate::config::{ClusterConfig, DaemonCosts, SchedulerKind};
+    pub use crate::fault::{FailurePolicy, FaultEvent, FaultSchedule};
     pub use crate::job::{JobId, JobMetrics, JobSpec, JobState};
     pub use storm_apps::AppSpec;
-    pub use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
     pub use storm_fs::FsKind;
+    pub use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
     pub use storm_sim::{SimSpan, SimTime};
 }

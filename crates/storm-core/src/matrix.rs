@@ -10,7 +10,7 @@
 
 use crate::buddy::BuddyAllocator;
 use crate::job::JobId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::ops::Range;
 
 /// One time slot of the matrix.
@@ -21,9 +21,13 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(nodes: u32) -> Self {
+    fn new(nodes: u32, quarantined: &BTreeSet<u32>) -> Self {
+        let mut buddy = BuddyAllocator::new(nodes);
+        for &node in quarantined {
+            assert!(buddy.quarantine(node), "fresh buddy must accept quarantine");
+        }
         Slot {
-            buddy: BuddyAllocator::new(nodes),
+            buddy,
             jobs: HashMap::new(),
         }
     }
@@ -35,6 +39,9 @@ pub struct GangMatrix {
     nodes: u32,
     mpl_max: usize,
     slots: Vec<Slot>,
+    /// Nodes quarantined out of every slot (and out of any slot opened
+    /// while the quarantine lasts).
+    quarantined: BTreeSet<u32>,
 }
 
 impl GangMatrix {
@@ -45,6 +52,7 @@ impl GangMatrix {
             nodes,
             mpl_max,
             slots: Vec::new(),
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -87,16 +95,61 @@ impl GangMatrix {
             }
         }
         if self.slots.len() < self.mpl_max {
-            let mut slot = Slot::new(self.nodes);
-            let range = slot
-                .buddy
-                .alloc(nodes_needed)
-                .expect("fresh slot must fit a feasible job");
+            let mut slot = Slot::new(self.nodes, &self.quarantined);
+            // With healthy nodes a feasible job always fits a fresh slot;
+            // under quarantine even an empty slot may be too fragmented.
+            let range = slot.buddy.alloc(nodes_needed)?;
             slot.jobs.insert(job, range.clone());
             self.slots.push(slot);
             return Some((self.slots.len() - 1, range));
         }
         None
+    }
+
+    /// Quarantine `node` out of every slot (current and future). Returns
+    /// `false` (and changes nothing) if any slot still has `node` inside a
+    /// live allocation — the MM must evict those jobs first.
+    pub fn quarantine_node(&mut self, node: u32) -> bool {
+        if node >= self.nodes || self.quarantined.contains(&node) {
+            return false;
+        }
+        if self
+            .slots
+            .iter()
+            .any(|s| s.jobs.values().any(|r| r.contains(&node)))
+        {
+            return false;
+        }
+        for slot in &mut self.slots {
+            assert!(
+                slot.buddy.quarantine(node),
+                "node {node} free in every slot after eviction"
+            );
+        }
+        self.quarantined.insert(node);
+        true
+    }
+
+    /// Re-admit a quarantined node to every slot. Returns `false` if the
+    /// node was not quarantined.
+    pub fn rejoin_node(&mut self, node: u32) -> bool {
+        if !self.quarantined.remove(&node) {
+            return false;
+        }
+        for slot in &mut self.slots {
+            assert!(slot.buddy.rejoin(node), "quarantined in every slot");
+        }
+        true
+    }
+
+    /// Nodes currently quarantined.
+    pub fn quarantined_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Is `node` quarantined?
+    pub fn is_quarantined(&self, node: u32) -> bool {
+        self.quarantined.contains(&node)
     }
 
     /// Remove a job, freeing its block. Returns its former `(slot, range)`.
@@ -123,16 +176,12 @@ impl GangMatrix {
 
     /// The slot a job lives in, if placed.
     pub fn slot_of(&self, job: JobId) -> Option<usize> {
-        self.slots
-            .iter()
-            .position(|s| s.jobs.contains_key(&job))
+        self.slots.iter().position(|s| s.jobs.contains_key(&job))
     }
 
     /// The node range of a placed job.
     pub fn range_of(&self, job: JobId) -> Option<Range<u32>> {
-        self.slots
-            .iter()
-            .find_map(|s| s.jobs.get(&job).cloned())
+        self.slots.iter().find_map(|s| s.jobs.get(&job).cloned())
     }
 
     /// The next non-empty slot after `current` in round-robin order — the
@@ -159,10 +208,19 @@ impl GangMatrix {
             return false;
         }
         let want = nodes_needed.next_power_of_two();
-        self.slots
+        if self
+            .slots
             .iter()
             .any(|s| s.buddy.free_nodes() >= want && s.buddy.clone().alloc(nodes_needed).is_some())
-            || self.slots.len() < self.mpl_max
+        {
+            return true;
+        }
+        // A fresh slot starts with the quarantine applied, so probe one.
+        self.slots.len() < self.mpl_max
+            && Slot::new(self.nodes, &self.quarantined)
+                .buddy
+                .alloc(nodes_needed)
+                .is_some()
     }
 
     /// Check the one-to-one mapping invariant: within every slot, no two
@@ -263,6 +321,49 @@ mod tests {
         assert!(!m.can_place(1));
         assert!(!m.can_place(9), "larger than machine");
         assert!(!m.can_place(0));
+    }
+
+    #[test]
+    fn quarantine_spans_existing_and_future_slots() {
+        let mut m = GangMatrix::new(8, 2);
+        m.place(j(1), 2).unwrap(); // opens slot 0 at 0..2
+        assert!(m.quarantine_node(7));
+        assert!(m.is_quarantined(7));
+        // Slot 0's upper half is fragmented by the carve, so a 4-node job
+        // must open slot 1 — which starts with the quarantine applied.
+        let (slot, r) = m.place(j(2), 4).unwrap();
+        assert_eq!(slot, 1);
+        assert!(!r.contains(&7));
+        // No slot, existing or fresh, can host the full machine now.
+        assert!(!m.can_place(8));
+        // Small jobs still fit around the quarantined node.
+        let (_, r2) = m.place(j(3), 2).unwrap();
+        assert!(!r2.contains(&7));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn quarantine_requires_eviction_first() {
+        let mut m = GangMatrix::new(8, 1);
+        m.place(j(1), 8).unwrap();
+        assert!(!m.quarantine_node(3), "node 3 is inside job 1's block");
+        m.remove(j(1)).unwrap();
+        assert!(m.quarantine_node(3));
+        assert!(!m.quarantine_node(3), "idempotence guard");
+        assert!(!m.quarantine_node(99), "out of range");
+    }
+
+    #[test]
+    fn rejoin_restores_placement() {
+        let mut m = GangMatrix::new(8, 1);
+        assert!(m.quarantine_node(0));
+        assert!(!m.can_place(8));
+        assert!(m.rejoin_node(0));
+        assert!(!m.rejoin_node(0), "second rejoin is a no-op");
+        assert!(m.can_place(8));
+        let (_, r) = m.place(j(1), 8).unwrap();
+        assert_eq!(r, 0..8);
+        assert_eq!(m.quarantined_nodes().count(), 0);
     }
 
     #[test]

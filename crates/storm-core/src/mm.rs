@@ -16,6 +16,7 @@
 //! are handled by the NIC and its lightweight helper process, not by the
 //! MM host process.
 
+use crate::fault::FailurePolicy;
 use crate::job::{Allocation, JobId, JobState};
 use crate::msg::{Msg, ReportKind};
 use crate::policy::{self, QueuedJob, RunningJob};
@@ -33,7 +34,7 @@ const CONTROL_MSG_BYTES: u64 = 64;
 pub struct MachineManager {
     tick_scheduled: bool,
     collect_scheduled: bool,
-    pending_reports: Vec<(u32, JobId, ReportKind)>,
+    pending_reports: Vec<(u32, JobId, u32, ReportKind)>,
     ticks: u64,
     /// Nodes whose failure has been detected by the heartbeat protocol.
     detected_failed: HashSet<u32>,
@@ -198,23 +199,29 @@ impl MachineManager {
         };
         let (idx, bytes) = {
             let t = &ctx.world_ref().job(job).transfer;
-            if t.read_busy
-                || t.next_read >= t.total_chunks
-                || t.next_read >= t.next_bcast + slots
-            {
+            if t.read_busy || t.next_read >= t.total_chunks || t.next_read >= t.next_bcast + slots {
                 return;
             }
             (t.next_read, t.chunk_bytes(t.next_read, chunk_size))
         };
         let span = load.inflate(fs.read_span(bytes, placement));
         let (_, done) = ctx.world().read_dev.transmit(now, span);
-        {
-            let t = &mut ctx.world().job_mut(job).transfer;
-            t.read_busy = true;
-            t.next_read += 1;
-        }
+        let attempt = {
+            let rec = ctx.world().job_mut(job);
+            rec.transfer.read_busy = true;
+            rec.transfer.next_read += 1;
+            rec.attempt
+        };
         let mm = ctx.self_id();
-        ctx.send_at(mm, done, Msg::ReadDone { job, chunk: idx });
+        ctx.send_at(
+            mm,
+            done,
+            Msg::ReadDone {
+                job,
+                chunk: idx,
+                attempt,
+            },
+        );
     }
 
     fn try_broadcast(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
@@ -232,7 +239,7 @@ impl MachineManager {
                 w.cfg.placement,
             )
         };
-        let (k, total, bytes, written_var, set) = {
+        let (k, total, bytes, written_var, set, attempt) = {
             let rec = ctx.world_ref().job(job);
             let t = &rec.transfer;
             if t.bcast_busy {
@@ -251,6 +258,7 @@ impl MachineManager {
                 t.chunk_bytes(t.next_bcast, chunk_size),
                 t.written_var.expect("flow-control var"),
                 Self::alloc_set(rec.alloc()),
+                rec.attempt,
             )
         };
         let _ = total;
@@ -259,15 +267,26 @@ impl MachineManager {
         let mut ready_at = now;
         if k >= slots {
             let threshold = i64::from(k - slots + 1);
-            let caw = ctx.world().mech.compare_and_write(
-                now,
-                &set,
-                written_var,
-                CmpOp::Ge,
-                threshold,
-                None,
-                load,
-            );
+            let caw = {
+                let (world, rng) = ctx.world_and_rng();
+                world.mech.compare_and_write_faulty(
+                    now,
+                    &set,
+                    written_var,
+                    CmpOp::Ge,
+                    threshold,
+                    None,
+                    load,
+                    rng,
+                )
+            };
+            let Some(caw) = caw else {
+                // The query itself was lost; poll again after the usual
+                // backoff.
+                ctx.world().stats.caw_drops += 1;
+                self.schedule_poll(job, ctx);
+                return;
+            };
             if !caw.satisfied {
                 ctx.world().stats.flow_stalls += 1;
                 self.schedule_poll(job, ctx);
@@ -306,10 +325,26 @@ impl MachineManager {
                     .map(|n| ctx.world_ref().wiring.nms[n.index()])
                     .collect();
                 for nm in nms {
-                    ctx.send_at(nm, arrival, Msg::Fragment { job, chunk: k });
+                    ctx.send_at(
+                        nm,
+                        arrival,
+                        Msg::Fragment {
+                            job,
+                            chunk: k,
+                            attempt,
+                        },
+                    );
                 }
                 let mm = ctx.self_id();
-                ctx.send_at(mm, arrival, Msg::BcastFreed { job, chunk: k });
+                ctx.send_at(
+                    mm,
+                    arrival,
+                    Msg::BcastFreed {
+                        job,
+                        chunk: k,
+                        attempt,
+                    },
+                );
             }
             Err(_) => {
                 // Atomic abort: nothing was delivered; retry the same chunk.
@@ -321,12 +356,15 @@ impl MachineManager {
 
     fn schedule_poll(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
         let poll = ctx.world_ref().cfg.daemon.caw_poll;
-        let pending = {
-            let t = &mut ctx.world().job_mut(job).transfer;
-            std::mem::replace(&mut t.poll_pending, true)
+        let (pending, attempt) = {
+            let rec = ctx.world().job_mut(job);
+            (
+                std::mem::replace(&mut rec.transfer.poll_pending, true),
+                rec.attempt,
+            )
         };
         if !pending {
-            ctx.send_self(poll, Msg::FlowPoll { job });
+            ctx.send_self(poll, Msg::FlowPoll { job, attempt });
         }
     }
 
@@ -348,10 +386,24 @@ impl MachineManager {
         if already {
             return;
         }
-        let caw =
-            ctx.world()
-                .mech
-                .compare_and_write(now, &set, written_var, CmpOp::Ge, total, None, load);
+        let caw = {
+            let (world, rng) = ctx.world_and_rng();
+            world.mech.compare_and_write_faulty(
+                now,
+                &set,
+                written_var,
+                CmpOp::Ge,
+                total,
+                None,
+                load,
+                rng,
+            )
+        };
+        let Some(caw) = caw else {
+            ctx.world().stats.caw_drops += 1;
+            self.schedule_poll(job, ctx);
+            return;
+        };
         if caw.satisfied {
             ctx.world().job_mut(job).transfer_confirmed = Some(caw.complete);
             ctx.trace("mm.transfer_confirmed", || format!("{job}"));
@@ -405,6 +457,7 @@ impl MachineManager {
                 rec.metrics.launch_cmd = Some(now);
             }
             ctx.trace("mm.launch_cmd", || format!("{job}"));
+            let attempt = ctx.world_ref().job(job).attempt;
             let arrivals: Vec<(usize, SimTime)> = timing
                 .arrivals
                 .iter()
@@ -412,7 +465,7 @@ impl MachineManager {
                 .collect();
             for (node, at) in arrivals {
                 let nm = ctx.world_ref().wiring.nms[node];
-                ctx.send_at(nm, at, Msg::LaunchCmd(job));
+                ctx.send_at(nm, at, Msg::LaunchCmd { job, attempt });
             }
         }
     }
@@ -428,8 +481,9 @@ impl MachineManager {
         // when the active slot just emptied (its job completed mid-quantum
         // and the machine would otherwise idle until the boundary).
         let current = ctx.world_ref().active_slot;
-        let quantum_boundary =
-            self.ticks.is_multiple_of(Self::ticks_per_quantum(&ctx.world_ref().cfg));
+        let quantum_boundary = self
+            .ticks
+            .is_multiple_of(Self::ticks_per_quantum(&ctx.world_ref().cfg));
         let current_empty = ctx.world_ref().jobs_in_slot(current).is_empty();
         let next = if quantum_boundary || current_empty {
             ctx.world_ref()
@@ -494,10 +548,13 @@ impl MachineManager {
         }
         // NM reports.
         let reports = std::mem::take(&mut self.pending_reports);
-        for (_node, job, kind) in reports {
+        for (_node, job, attempt, kind) in reports {
             ctx.world().stats.reports += 1;
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
+            }
+            if ctx.world_ref().job(job).attempt != attempt {
+                continue; // report from a lost incarnation
             }
             match kind {
                 ReportKind::Started => {
@@ -566,51 +623,90 @@ impl MachineManager {
             ctx.world().hb_var = Some(var);
         }
         let hb_var = ctx.world_ref().hb_var.expect("just set");
+        let round = ctx.world_ref().hb_round;
+        // Re-admission scan: heartbeats keep being multicast to the whole
+        // machine, so a node that came back (or whose dæmon stall ended)
+        // catches up on the round counter in a single beat — when its value
+        // reaches the current round, it rejoins the allocator.
+        if round > 0 && !self.detected_failed.is_empty() {
+            let mut candidates: Vec<u32> = self.detected_failed.iter().copied().collect();
+            candidates.sort_unstable();
+            let cand_set = NodeSet::from_list(candidates.iter().map(|&n| NodeId(n)).collect());
+            let values = ctx.world_ref().mech.memory.gather(&cand_set, hb_var);
+            for (&node, v) in candidates.iter().zip(values) {
+                if v >= round {
+                    self.detected_failed.remove(&node);
+                    let w = ctx.world();
+                    w.quarantined[node as usize] = false;
+                    let ok = w.matrix.rejoin_node(node);
+                    debug_assert!(ok, "re-admitted node must have been quarantined");
+                    w.stats.rejoins.push((node, now));
+                    ctx.trace("mm.node_rejoined", || format!("node {node}"));
+                    // Restored capacity may unblock queued jobs.
+                    self.ensure_tick(ctx);
+                }
+            }
+        }
         let alive: Vec<NodeId> = (0..nodes)
             .filter(|n| !self.detected_failed.contains(n))
             .map(NodeId)
             .collect();
-        if alive.is_empty() {
-            return;
-        }
         let alive_set = NodeSet::from_list(alive);
-        let round = ctx.world_ref().hb_round;
-        if round > 0 {
+        if round > 0 && !alive_set.is_empty() {
             // Query receipt of the previous round's heartbeat with
             // COMPARE-AND-WRITE (§4 "Fault detection").
-            let caw = ctx
-                .world()
-                .mech
-                .compare_and_write(now, &alive_set, hb_var, CmpOp::Ge, round, None, load);
-            if !caw.satisfied {
-                // Gather status to isolate the failed slave(s).
-                let values = ctx.world_ref().mech.memory.gather(&alive_set, hb_var);
-                let lagging: Vec<u32> = alive_set
-                    .iter()
-                    .zip(values)
-                    .filter(|&(_, v)| v < round)
-                    .map(|(n, _)| n.0)
-                    .collect();
-                for node in lagging {
-                    if self.detected_failed.insert(node) {
-                        ctx.world().stats.failures_detected.push((node, now));
-                        ctx.trace("mm.fault_detected", || format!("node {node}"));
-                        self.fail_jobs_on(node, now, ctx);
+            let caw = {
+                let (world, rng) = ctx.world_and_rng();
+                world.mech.compare_and_write_faulty(
+                    now,
+                    &alive_set,
+                    hb_var,
+                    CmpOp::Ge,
+                    round,
+                    None,
+                    load,
+                    rng,
+                )
+            };
+            match caw {
+                None => {
+                    // The query was lost; skip detection this round rather
+                    // than condemn nodes on missing evidence.
+                    ctx.world().stats.caw_drops += 1;
+                }
+                Some(caw) if !caw.satisfied => {
+                    // Gather status to isolate the failed slave(s).
+                    let values = ctx.world_ref().mech.memory.gather(&alive_set, hb_var);
+                    let lagging: Vec<u32> = alive_set
+                        .iter()
+                        .zip(values)
+                        .filter(|&(_, v)| v < round)
+                        .map(|(n, _)| n.0)
+                        .collect();
+                    for node in lagging {
+                        if self.detected_failed.insert(node) {
+                            ctx.world().stats.failures_detected.push((node, now));
+                            ctx.trace("mm.fault_detected", || format!("node {node}"));
+                            // Evict the victims first: quarantining requires
+                            // the node's leaf to be free in every slot.
+                            self.fail_jobs_on(node, now, ctx);
+                            let w = ctx.world();
+                            let ok = w.matrix.quarantine_node(node);
+                            debug_assert!(ok, "victim eviction must free the node");
+                            w.quarantined[node as usize] = true;
+                        }
                     }
                 }
+                Some(_) => {}
             }
         }
-        // Issue the next heartbeat.
-        ctx.world().hb_round += 1;
-        let new_round = ctx.world_ref().hb_round;
-        let alive2: Vec<NodeId> = (0..nodes)
-            .filter(|n| !self.detected_failed.contains(n))
-            .map(NodeId)
-            .collect();
-        let set = NodeSet::from_list(alive2);
-        if set.is_empty() {
-            return;
-        }
+        // Issue the next heartbeat — to *all* nodes, so detected-failed ones
+        // can prove themselves alive again (a dead NM simply drops it). The
+        // round counter advances only when the multicast actually went out:
+        // an aborted multicast must not leave the whole machine one round
+        // behind and condemned en masse at the next check.
+        let new_round = round + 1;
+        let set = NodeSet::All(nodes);
         let result = {
             let (world, rng) = ctx.world_and_rng();
             world.mech.xfer_and_signal(
@@ -626,6 +722,7 @@ impl MachineManager {
             )
         };
         if let Ok(timing) = result {
+            ctx.world().hb_round = new_round;
             let arrivals: Vec<(usize, SimTime)> = timing
                 .arrivals
                 .iter()
@@ -640,6 +737,10 @@ impl MachineManager {
         }
     }
 
+    /// Apply the configured [`FailurePolicy`] to every live job whose
+    /// allocation includes `node`. In every case the victim's buddy
+    /// allocation is freed (leaving the node ready for quarantine);
+    /// the policies differ only in what happens to the job afterwards.
     fn fail_jobs_on(&mut self, node: u32, now: SimTime, ctx: &mut Context<'_, World, Msg>) {
         let victims: Vec<JobId> = ctx
             .world_ref()
@@ -653,8 +754,75 @@ impl MachineManager {
             })
             .map(|r| r.id)
             .collect();
+        let policy = ctx.world_ref().cfg.failure_policy;
         for job in victims {
-            self.complete_job(job, now, JobState::Failed, ctx);
+            match policy {
+                FailurePolicy::Fail => self.complete_job(job, now, JobState::Failed, ctx),
+                FailurePolicy::Requeue {
+                    max_retries,
+                    backoff,
+                } => {
+                    if ctx.world_ref().job(job).retries < max_retries {
+                        self.requeue_job(job, now, backoff, ctx);
+                    } else {
+                        ctx.trace("mm.retry_budget_exhausted", || format!("{job}"));
+                        self.complete_job(job, now, JobState::Failed, ctx);
+                    }
+                }
+                FailurePolicy::Shrink => {
+                    // Unbounded retries; the job is re-sized to surviving
+                    // capacity when it is re-admitted to the queue.
+                    self.requeue_job(job, now, SimSpan::from_millis(5), ctx);
+                }
+            }
+        }
+    }
+
+    /// Evict a victim job from the matrix, reset its record for a fresh
+    /// incarnation, and schedule its re-admission after a linear backoff
+    /// (`backoff × retry number`).
+    fn requeue_job(
+        &mut self,
+        job: JobId,
+        now: SimTime,
+        backoff: SimSpan,
+        ctx: &mut Context<'_, World, Msg>,
+    ) {
+        let retry_no = {
+            let w = ctx.world();
+            if let Some((slot, _)) = w.matrix.remove(job) {
+                w.slot_jobs_remove(slot, job);
+            }
+            let rec = w.job_mut(job);
+            rec.reset_for_retry();
+            w.stats.requeues += 1;
+            w.job(job).retries
+        };
+        ctx.trace("mm.requeue", || format!("{job} retry {retry_no}"));
+        ctx.send_self_at(now + backoff * u64::from(retry_no), Msg::RequeueJob(job));
+    }
+
+    /// Under [`FailurePolicy::Shrink`], re-size a job being re-admitted to
+    /// the largest power-of-two node count the (possibly diminished)
+    /// machine can still place, keeping at least one rank.
+    fn shrink_to_fit(&mut self, job: JobId, ctx: &mut Context<'_, World, Msg>) {
+        let cpus = ctx.world_ref().cfg.cpus_per_node;
+        let (needed, rpn, ranks) = {
+            let rec = ctx.world_ref().job(job);
+            (
+                rec.spec.nodes_needed(cpus),
+                rec.spec.ranks_per_node(cpus),
+                rec.spec.ranks,
+            )
+        };
+        let mut fit = needed;
+        while fit > 1 && !ctx.world_ref().matrix.can_place(fit) {
+            fit /= 2;
+        }
+        if fit < needed {
+            let new_ranks = (fit * rpn).min(ranks).max(1);
+            ctx.world().job_mut(job).spec.ranks = new_ranks;
+            ctx.trace("mm.shrink", || format!("{job} -> {new_ranks} ranks"));
         }
     }
 }
@@ -690,8 +858,7 @@ impl Component<World, Msg> for MachineManager {
                 self.run_policy(ctx);
                 self.launch_ready_jobs(ctx);
                 self.strobe(ctx);
-                let keep_going =
-                    !ctx.world_ref().is_idle() || ctx.world_ref().cfg.fault_detection;
+                let keep_going = !ctx.world_ref().is_idle() || ctx.world_ref().cfg.fault_detection;
                 if keep_going {
                     self.ensure_tick(ctx);
                 }
@@ -700,7 +867,10 @@ impl Component<World, Msg> for MachineManager {
                 self.collect_scheduled = false;
                 self.process_events(ctx);
             }
-            Msg::ReadDone { job, .. } => {
+            Msg::ReadDone { job, attempt, .. } => {
+                if ctx.world_ref().job(job).attempt != attempt {
+                    return; // read for a lost incarnation
+                }
                 {
                     let t = &mut ctx.world().job_mut(job).transfer;
                     t.read_busy = false;
@@ -709,18 +879,45 @@ impl Component<World, Msg> for MachineManager {
                 self.try_broadcast(job, ctx);
                 self.try_start_read(job, ctx);
             }
-            Msg::BcastFreed { job, .. } => {
+            Msg::BcastFreed { job, attempt, .. } => {
+                if ctx.world_ref().job(job).attempt != attempt {
+                    return; // broadcast of a lost incarnation
+                }
                 ctx.world().job_mut(job).transfer.bcast_busy = false;
                 self.try_broadcast(job, ctx);
                 self.try_start_read(job, ctx);
             }
-            Msg::FlowPoll { job } => {
+            Msg::FlowPoll { job, attempt } => {
+                if ctx.world_ref().job(job).attempt != attempt {
+                    return; // poll for a lost incarnation
+                }
                 ctx.world().job_mut(job).transfer.poll_pending = false;
                 self.try_broadcast(job, ctx);
             }
-            Msg::NmReport { node, job, kind } => {
-                self.pending_reports.push((node, job, kind));
+            Msg::NmReport {
+                node,
+                job,
+                kind,
+                attempt,
+            } => {
+                self.pending_reports.push((node, job, attempt, kind));
                 self.ensure_collect(ctx);
+            }
+            Msg::RequeueJob(job) => {
+                {
+                    let w = ctx.world_ref();
+                    let rec = w.job(job);
+                    // The job may have been killed, or already re-admitted.
+                    if rec.state != JobState::Queued || w.queue.contains(&job) {
+                        return;
+                    }
+                }
+                if matches!(ctx.world_ref().cfg.failure_policy, FailurePolicy::Shrink) {
+                    self.shrink_to_fit(job, ctx);
+                }
+                ctx.world().queue.push_back(job);
+                ctx.trace("mm.requeue_admitted", || format!("{job}"));
+                self.ensure_tick(ctx);
             }
             Msg::Kill(job) => {
                 let now = ctx.now();

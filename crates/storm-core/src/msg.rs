@@ -5,6 +5,15 @@
 //! the MM's timeslice tick, the chunked-transfer events, the strobe that
 //! enacts a coordinated context switch, launch commands, fork/exit
 //! notifications, and the heartbeat used for fault detection.
+//!
+//! ## Attempt tagging
+//!
+//! Job-scoped messages carry the job's *attempt* counter (bumped each time
+//! the failure-recovery policy requeues the job). A message whose attempt
+//! does not match the job record's current attempt is from a previous
+//! incarnation — still in flight when the node failure was detected — and
+//! is dropped by the receiver, so a retried job can never be corrupted by
+//! its own ghost.
 
 use crate::job::JobId;
 use storm_sim::SimTime;
@@ -43,6 +52,8 @@ pub enum Msg {
         job: JobId,
         /// Chunk index.
         chunk: u32,
+        /// Launch attempt this read belongs to.
+        attempt: u32,
     },
     /// The source NIC/helper finished broadcasting a chunk (source buffer
     /// freed; next broadcast/read may proceed).
@@ -51,12 +62,16 @@ pub enum Msg {
         job: JobId,
         /// Chunk index.
         chunk: u32,
+        /// Launch attempt this broadcast belongs to.
+        attempt: u32,
     },
     /// Retry the COMPARE-AND-WRITE flow-control check for a transfer that
     /// was blocked on a full remote receive queue.
     FlowPoll {
         /// Which job's transfer.
         job: JobId,
+        /// Launch attempt this poll belongs to.
+        attempt: u32,
     },
     /// A Node Manager's buffered report, flushed at a collection boundary.
     NmReport {
@@ -66,9 +81,14 @@ pub enum Msg {
         job: JobId,
         /// What happened.
         kind: ReportKind,
+        /// Launch attempt the report refers to.
+        attempt: u32,
     },
     /// Kill a job (used to stop the endless hog programs).
     Kill(JobId),
+    /// Re-admit a previously-evicted job to the queue after its
+    /// failure-recovery backoff elapsed.
+    RequeueJob(JobId),
 
     // ---------------------------------------------------------------- NM —
     /// One broadcast fragment of a job's binary arrived on this node.
@@ -77,6 +97,8 @@ pub enum Msg {
         job: JobId,
         /// Chunk index.
         chunk: u32,
+        /// Launch attempt this fragment belongs to.
+        attempt: u32,
     },
     /// The local RAM-disk write of a fragment completed.
     WriteDone {
@@ -84,9 +106,16 @@ pub enum Msg {
         job: JobId,
         /// Chunk index.
         chunk: u32,
+        /// Launch attempt this write belongs to.
+        attempt: u32,
     },
     /// Launch command: fork this job's local ranks.
-    LaunchCmd(JobId),
+    LaunchCmd {
+        /// Subject job.
+        job: JobId,
+        /// Launch attempt being started.
+        attempt: u32,
+    },
     /// The coordinated context-switch strobe: slot `slot` becomes active.
     Strobe {
         /// Newly active matrix time slot.
@@ -103,6 +132,8 @@ pub enum Msg {
         job: JobId,
         /// PL index on this node.
         pl: u32,
+        /// Launch attempt the fork belongs to.
+        attempt: u32,
     },
     /// A Program Launcher's application process exited (do-nothing jobs).
     PlExited {
@@ -110,14 +141,29 @@ pub enum Msg {
         job: JobId,
         /// PL index on this node.
         pl: u32,
+        /// Launch attempt the exit belongs to.
+        attempt: u32,
     },
     /// Injected node failure: this NM stops responding to everything.
     FailNode,
+    /// Injected node revival: the NM comes back with empty local state; the
+    /// MM re-admits the node once heartbeats show it caught up.
+    RejoinNode,
+    /// Injected dæmon stall: defer all message processing until `until`.
+    StallNode {
+        /// Instant processing resumes.
+        until: SimTime,
+    },
     /// Flush buffered reports to the MM (self-message at a collection
     /// boundary).
     FlushReports,
 
     // ---------------------------------------------------------------- PL —
     /// Fork one rank of this job.
-    Fork(JobId),
+    Fork {
+        /// Subject job.
+        job: JobId,
+        /// Launch attempt being forked.
+        attempt: u32,
+    },
 }

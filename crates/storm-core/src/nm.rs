@@ -37,6 +37,9 @@ struct LocalJob {
     started_at: Option<SimTime>,
     cursor: WorkloadCursor,
     done: bool,
+    /// Launch attempt this local state belongs to; stale entries (from an
+    /// incarnation lost to a node failure) are ignored everywhere.
+    attempt: u32,
 }
 
 /// One Node Manager dæmon.
@@ -54,8 +57,11 @@ pub struct NodeManager {
     /// context switch (its overhead is charged to that interval).
     switch_pending: bool,
     local: HashMap<crate::job::JobId, LocalJob>,
-    pending_reports: Vec<(crate::job::JobId, ReportKind)>,
+    pending_reports: Vec<(crate::job::JobId, u32, ReportKind)>,
     flush_scheduled: bool,
+    /// Injected dæmon stall: until this instant, message processing is
+    /// deferred (messages are re-posted at the stall's end, not lost).
+    stalled_until: Option<SimTime>,
 }
 
 impl NodeManager {
@@ -72,6 +78,7 @@ impl NodeManager {
             local: HashMap::new(),
             pending_reports: Vec::new(),
             flush_scheduled: false,
+            stalled_until: None,
         }
     }
 
@@ -82,10 +89,11 @@ impl NodeManager {
     fn buffer_report(
         &mut self,
         job: crate::job::JobId,
+        attempt: u32,
         kind: ReportKind,
         ctx: &mut Context<'_, World, Msg>,
     ) {
-        self.pending_reports.push((job, kind));
+        self.pending_reports.push((job, attempt, kind));
         if !self.flush_scheduled {
             let period = ctx.world_ref().cfg.collect_period();
             let at = ctx.now().next_boundary(period);
@@ -133,7 +141,10 @@ impl NodeManager {
                 let stretched = if load.network > 0.0 {
                     let data = SimSpan::for_bytes(bytes, qsnet.params.link_bw);
                     base.saturating_sub(data)
-                        + SimSpan::for_bytes(bytes, load.effective_bw(qsnet.params.link_bw).max(1.0))
+                        + SimSpan::for_bytes(
+                            bytes,
+                            load.effective_bw(qsnet.params.link_bw).max(1.0),
+                        )
                 } else {
                     base
                 };
@@ -146,9 +157,17 @@ impl NodeManager {
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
             }
+            let attempt = ctx.world_ref().job(job).attempt;
             let finished_at = {
-                let Some(local) = self.local.get_mut(&job) else { continue };
-                let Some(started) = local.started_at else { continue };
+                let Some(local) = self.local.get_mut(&job) else {
+                    continue;
+                };
+                if local.attempt != attempt {
+                    continue; // stale incarnation, job was requeued
+                }
+                let Some(started) = local.started_at else {
+                    continue;
+                };
                 if local.done {
                     continue;
                 }
@@ -172,7 +191,14 @@ impl NodeManager {
                 }
             };
             if let Some(exit_at) = finished_at {
-                self.buffer_report(job, ReportKind::Done { app_done: exit_at.min(now) }, ctx);
+                self.buffer_report(
+                    job,
+                    attempt,
+                    ReportKind::Done {
+                        app_done: exit_at.min(now),
+                    },
+                    ctx,
+                );
             }
         }
     }
@@ -201,7 +227,10 @@ impl NodeManager {
                 if load.network > 0.0 {
                     let data = SimSpan::for_bytes(bytes, qsnet.params.link_bw);
                     base.saturating_sub(data)
-                        + SimSpan::for_bytes(bytes, load.effective_bw(qsnet.params.link_bw).max(1.0))
+                        + SimSpan::for_bytes(
+                            bytes,
+                            load.effective_bw(qsnet.params.link_bw).max(1.0),
+                        )
                 } else {
                     base
                 }
@@ -211,10 +240,14 @@ impl NodeManager {
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
             }
+            let attempt = ctx.world_ref().job(job).attempt;
             let finished_at = {
                 let Some(local) = self.local.get_mut(&job) else {
                     continue;
                 };
+                if local.attempt != attempt {
+                    continue; // stale incarnation, job was requeued
+                }
                 let Some(started) = local.started_at else {
                     continue;
                 };
@@ -239,7 +272,7 @@ impl NodeManager {
                 }
             };
             if let Some(exit_at) = finished_at {
-                self.buffer_report(job, ReportKind::Done { app_done: exit_at }, ctx);
+                self.buffer_report(job, attempt, ReportKind::Done { app_done: exit_at }, ctx);
             }
         }
     }
@@ -247,15 +280,39 @@ impl NodeManager {
 
 impl Component<World, Msg> for NodeManager {
     fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
-        if self.failed && !matches!(msg, Msg::FailNode) {
+        if self.failed && !matches!(msg, Msg::FailNode | Msg::RejoinNode) {
             return; // a dead node answers nothing
         }
+        if let Some(until) = self.stalled_until {
+            if ctx.now() >= until {
+                self.stalled_until = None;
+            } else if !matches!(msg, Msg::FailNode | Msg::RejoinNode | Msg::StallNode { .. }) {
+                // A stalled dæmon processes nothing until the stall ends;
+                // messages are deferred, not lost, so heartbeat replies
+                // arrive late — exactly what lets the MM tell a slow node
+                // from a dead one.
+                ctx.send_self_at(until, msg);
+                return;
+            }
+        }
         match msg {
-            Msg::Fragment { job, chunk } => {
+            Msg::Fragment {
+                job,
+                chunk,
+                attempt,
+            } => {
+                if ctx.world_ref().job(job).attempt != attempt {
+                    return; // fragment of a lost incarnation
+                }
                 let now = ctx.now();
                 let (fs, placement, load, write_sigma) = {
                     let w = ctx.world_ref();
-                    (w.cfg.fs, w.cfg.placement, w.cfg.load, w.cfg.daemon.write_sigma)
+                    (
+                        w.cfg.fs,
+                        w.cfg.placement,
+                        w.cfg.load,
+                        w.cfg.daemon.write_sigma,
+                    )
                 };
                 let bytes = {
                     let w = ctx.world_ref();
@@ -270,9 +327,19 @@ impl Component<World, Msg> for NodeManager {
                 let start = now.max(self.write_free);
                 let done = start + span;
                 self.write_free = done;
-                ctx.send_self_at(done, Msg::WriteDone { job, chunk });
+                ctx.send_self_at(
+                    done,
+                    Msg::WriteDone {
+                        job,
+                        chunk,
+                        attempt,
+                    },
+                );
             }
-            Msg::WriteDone { job, .. } => {
+            Msg::WriteDone { job, attempt, .. } => {
+                if ctx.world_ref().job(job).attempt != attempt {
+                    return; // write for a lost incarnation
+                }
                 // Bump the per-node fragment counter the MM's
                 // COMPARE-AND-WRITE flow control watches.
                 let node = self.node_id();
@@ -284,7 +351,10 @@ impl Component<World, Msg> for NodeManager {
                     .expect("transfer without flow-control var");
                 ctx.world().mech.memory.add(node, var, 1);
             }
-            Msg::LaunchCmd(job) => {
+            Msg::LaunchCmd { job, attempt } => {
+                if ctx.world_ref().job(job).attempt != attempt {
+                    return; // launch of a lost incarnation
+                }
                 let now = ctx.now();
                 let (costs, load) = {
                     let w = ctx.world_ref();
@@ -303,6 +373,7 @@ impl Component<World, Msg> for NodeManager {
                         started_at: None,
                         cursor: ctx.world_ref().job(job).workload.cursor(),
                         done: false,
+                        attempt,
                     },
                 );
                 // Command processing on the management CPU, plus the
@@ -320,28 +391,34 @@ impl Component<World, Msg> for NodeManager {
                 for r in 0..ranks_here {
                     let pl = ctx.world_ref().wiring.pls[self.node as usize][r as usize];
                     let dispatch = SimSpan::from_micros(30) * u64::from(r);
-                    ctx.send_at(pl, ready + dispatch, Msg::Fork(job));
+                    ctx.send_at(pl, ready + dispatch, Msg::Fork { job, attempt });
                 }
             }
-            Msg::ForkDone { job, .. } => {
+            Msg::ForkDone { job, attempt, .. } => {
                 let Some(local) = self.local.get_mut(&job) else {
                     return;
                 };
+                if local.attempt != attempt {
+                    return; // fork of a lost incarnation
+                }
                 local.forked += 1;
                 if local.forked == local.ranks {
                     local.started_at = Some(ctx.now());
-                    self.buffer_report(job, ReportKind::Started, ctx);
+                    self.buffer_report(job, attempt, ReportKind::Started, ctx);
                 }
             }
-            Msg::PlExited { job, .. } => {
+            Msg::PlExited { job, attempt, .. } => {
                 let now = ctx.now();
                 let Some(local) = self.local.get_mut(&job) else {
                     return;
                 };
+                if local.attempt != attempt {
+                    return; // exit of a lost incarnation
+                }
                 local.exited += 1;
                 if local.exited == local.ranks && !local.done {
                     local.done = true;
-                    self.buffer_report(job, ReportKind::Done { app_done: now }, ctx);
+                    self.buffer_report(job, attempt, ReportKind::Done { app_done: now }, ctx);
                 }
             }
             Msg::Strobe { slot } => {
@@ -376,10 +453,23 @@ impl Component<World, Msg> for NodeManager {
                     self.switch_pending = switched;
                 }
             }
-            Msg::Heartbeat { .. } => {
+            Msg::Heartbeat { round } => {
                 let node = self.node_id();
+                let drop_prob = ctx.world_ref().cfg.faults.heartbeat_drop_prob;
+                if drop_prob > 0.0 {
+                    let (world, rng) = ctx.world_and_rng();
+                    if rng.uniform() < drop_prob {
+                        world.stats.hb_drops += 1;
+                        return;
+                    }
+                }
                 if let Some(var) = ctx.world_ref().hb_var {
-                    ctx.world().mech.memory.add(node, var, 1);
+                    // Write the round number (not +1): for a healthy node this
+                    // is identical to incrementing once per round, but a node
+                    // that comes back after missing rounds catches up in a
+                    // single beat — which is what the MM's rejoin scan polls
+                    // for.
+                    ctx.world().mech.memory.write(node, var, round);
                 }
             }
             Msg::FlushReports => {
@@ -397,7 +487,7 @@ impl Component<World, Msg> for NodeManager {
                     )
                 };
                 let reports = std::mem::take(&mut self.pending_reports);
-                for (job, kind) in reports {
+                for (job, attempt, kind) in reports {
                     // Small point-to-point message to the MM plus OS noise.
                     let os =
                         SimSpan::from_secs_f64(ctx.rng().exponential(os_mean.as_secs_f64() / 4.0));
@@ -409,14 +499,45 @@ impl Component<World, Msg> for NodeManager {
                             node: self.node,
                             job,
                             kind,
+                            attempt,
                         },
                     );
                 }
             }
             Msg::FailNode => {
                 self.failed = true;
+                // Everything resident on the node dies with it.
+                self.local.clear();
+                self.pending_reports.clear();
+                self.flush_scheduled = false;
+                self.stalled_until = None;
                 let idx = self.node as usize;
                 ctx.world().failed[idx] = true;
+            }
+            Msg::RejoinNode => {
+                if !self.failed {
+                    return; // spurious revival of a live node
+                }
+                let now = ctx.now();
+                self.failed = false;
+                self.local.clear();
+                self.pending_reports.clear();
+                self.flush_scheduled = false;
+                self.stalled_until = None;
+                self.busy_until = now;
+                self.write_free = now;
+                self.last_strobe = now;
+                self.switch_pending = false;
+                self.current_slot = ctx.world_ref().active_slot;
+                let idx = self.node as usize;
+                ctx.world().failed[idx] = false;
+                // The node stays quarantined in the allocator until its
+                // heartbeats catch up and the MM's rejoin scan re-admits it.
+            }
+            Msg::StallNode { until } => {
+                if until > ctx.now() {
+                    self.stalled_until = Some(until);
+                }
             }
             other => panic!("NM received unexpected message {other:?}"),
         }

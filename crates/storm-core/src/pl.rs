@@ -37,7 +37,7 @@ impl ProgramLauncher {
 impl Component<World, Msg> for ProgramLauncher {
     fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
         match msg {
-            Msg::Fork(job) => {
+            Msg::Fork { job, attempt } => {
                 self.forks += 1;
                 let (costs, load) = {
                     let w = ctx.world_ref();
@@ -54,6 +54,7 @@ impl Component<World, Msg> for ProgramLauncher {
                     Msg::ForkDone {
                         job,
                         pl: self.pl_index,
+                        attempt,
                     },
                 );
                 // A do-nothing binary exits as soon as it starts; the PL
@@ -70,6 +71,7 @@ impl Component<World, Msg> for ProgramLauncher {
                         Msg::PlExited {
                             job,
                             pl: self.pl_index,
+                            attempt,
                         },
                     );
                 }

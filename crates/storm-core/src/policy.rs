@@ -202,7 +202,13 @@ mod tests {
     fn backfill_starts_head_when_it_fits() {
         let matrix = GangMatrix::new(8, 1);
         let queued = [q(0, 4, Some(100)), q(1, 4, Some(100)), q(2, 4, Some(1))];
-        let starts = select_starts(SchedulerKind::Backfill, SimTime::ZERO, &queued, &[], &matrix);
+        let starts = select_starts(
+            SchedulerKind::Backfill,
+            SimTime::ZERO,
+            &queued,
+            &[],
+            &matrix,
+        );
         assert_eq!(starts, vec![JobId(0), JobId(1)]);
     }
 
@@ -290,7 +296,11 @@ mod tests {
     #[test]
     fn empty_queue_is_fine() {
         let matrix = GangMatrix::new(8, 2);
-        for kind in [SchedulerKind::Gang, SchedulerKind::Batch, SchedulerKind::Backfill] {
+        for kind in [
+            SchedulerKind::Gang,
+            SchedulerKind::Batch,
+            SchedulerKind::Backfill,
+        ] {
             assert!(select_starts(kind, SimTime::ZERO, &[], &[], &matrix).is_empty());
         }
     }

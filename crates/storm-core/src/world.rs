@@ -36,6 +36,16 @@ pub struct ClusterStats {
     pub completed_jobs: u64,
     /// Node failures detected, with detection instant.
     pub failures_detected: Vec<(u32, SimTime)>,
+    /// Quarantined nodes re-admitted after catching up on heartbeats, with
+    /// re-admission instant.
+    pub rejoins: Vec<(u32, SimTime)>,
+    /// Jobs requeued by the failure-recovery policy (one count per retry).
+    pub requeues: u64,
+    /// COMPARE-AND-WRITE queries lost to the injected drop probability.
+    pub caw_drops: u64,
+    /// Heartbeat deliveries dropped at NMs by the injected drop
+    /// probability.
+    pub hb_drops: u64,
     /// Transfers that suffered (and retried after) an injected network
     /// error.
     pub xfer_retries: u64,
@@ -65,6 +75,9 @@ pub struct World {
     pub active_slot: usize,
     /// Per-node failure flags (set by injected failures).
     pub failed: Vec<bool>,
+    /// Per-node quarantine flags: set when the MM detects a failure and
+    /// carves the node out of the allocator, cleared on re-admission.
+    pub quarantined: Vec<bool>,
     /// The management node's filesystem read device (serialises reads).
     pub read_dev: Nic,
     /// The source NIC + helper process (serialises broadcasts).
@@ -84,10 +97,15 @@ impl World {
     pub fn new(cfg: ClusterConfig) -> Self {
         cfg.validate().expect("invalid cluster configuration");
         let qsnet = QsNetModel::for_nodes(cfg.nodes);
-        let mech = match cfg.network {
+        let mut mech = match cfg.network {
             storm_net::NetworkKind::QsNet => Mechanisms::qsnet(cfg.nodes),
             other => Mechanisms::new(storm_mech::MechanismImpl::emulated(other), cfg.nodes),
         };
+        // Install the schedule's probabilistic faults at the mechanism
+        // layer; the timed events are posted by `Cluster::new`.
+        mech.fault.xfer_error_prob = cfg.faults.xfer_error_prob;
+        mech.fault.caw_drop_prob = cfg.faults.caw_drop_prob;
+        mech.fault.bursts = cfg.faults.bursts.clone();
         let matrix = GangMatrix::new(cfg.nodes, cfg.mpl_max);
         World {
             qsnet,
@@ -98,6 +116,7 @@ impl World {
             matrix,
             active_slot: 0,
             failed: vec![false; cfg.nodes as usize],
+            quarantined: vec![false; cfg.nodes as usize],
             read_dev: Nic::new(),
             bcast_dev: Nic::new(),
             hb_var: None,
@@ -141,7 +160,10 @@ impl World {
             fixed
                 + SimSpan::for_bytes(
                     bytes,
-                    self.cfg.load.effective_bw(self.qsnet.params.link_bw).max(1.0),
+                    self.cfg
+                        .load
+                        .effective_bw(self.qsnet.params.link_bw)
+                        .max(1.0),
                 )
         } else {
             base

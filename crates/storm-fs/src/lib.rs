@@ -202,7 +202,10 @@ mod tests {
         let srv = NfsServer::default();
         let span = srv.concurrent_read_span(1, 12_000_000).unwrap();
         // ~1.07 s transfer + 15 ms overhead.
-        assert!(span.as_secs_f64() > 1.0 && span.as_secs_f64() < 1.2, "{span}");
+        assert!(
+            span.as_secs_f64() > 1.0 && span.as_secs_f64() < 1.2,
+            "{span}"
+        );
     }
 
     #[test]

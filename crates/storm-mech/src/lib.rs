@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod memory;
 pub mod mech;
+pub mod memory;
 pub mod types;
 
+pub use mech::{
+    CawResult, ErrorBurst, FaultPlan, MechanismImpl, Mechanisms, XferError, XferTiming,
+};
 pub use memory::GlobalMemory;
-pub use mech::{CawResult, FaultPlan, MechanismImpl, Mechanisms, XferError, XferTiming};
 pub use types::{CmpOp, EventId, NodeId, NodeSet, VarId};

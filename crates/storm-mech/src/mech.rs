@@ -96,12 +96,56 @@ pub struct CawResult {
     pub satisfied: bool,
 }
 
+/// A transient fault window: while `from ≤ now < until`, XFER-AND-SIGNAL
+/// operations fail with at least `prob` (layered over the steady-state
+/// probability; the maximum wins).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBurst {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Error probability inside the window.
+    pub prob: f64,
+}
+
 /// Failure injection for the mechanisms.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Deterministic given the simulation seed: probabilities are evaluated
+/// against the engine's seeded RNG, and **no RNG is consumed when the
+/// effective probability is zero**, so an inert plan leaves a run
+/// bit-identical to one with no plan at all.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    /// Probability that any given XFER-AND-SIGNAL suffers a network error
-    /// (and is atomically aborted). Zero by default.
+    /// Steady-state probability that any given XFER-AND-SIGNAL suffers a
+    /// network error (and is atomically aborted). Zero by default.
     pub xfer_error_prob: f64,
+    /// Probability that a COMPARE-AND-WRITE query is lost before reaching
+    /// the network: no write is applied anywhere (atomicity) and the
+    /// initiator learns nothing, so it must re-poll. Only honoured by
+    /// callers that go through [`Mechanisms::compare_and_write_faulty`].
+    pub caw_drop_prob: f64,
+    /// Transient error-burst windows layered on top of `xfer_error_prob`.
+    pub bursts: Vec<ErrorBurst>,
+}
+
+impl FaultPlan {
+    /// The XFER-AND-SIGNAL error probability in effect at `now` (steady
+    /// state plus any active burst; the maximum wins).
+    pub fn xfer_error_prob_at(&self, now: SimTime) -> f64 {
+        let mut p = self.xfer_error_prob;
+        for b in &self.bursts {
+            if now >= b.from && now < b.until {
+                p = p.max(b.prob);
+            }
+        }
+        p
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.xfer_error_prob == 0.0 && self.caw_drop_prob == 0.0 && self.bursts.is_empty()
+    }
 }
 
 /// The mechanism layer for one cluster.
@@ -169,7 +213,8 @@ impl Mechanisms {
     ) -> Result<XferTiming, XferError> {
         assert!(!dests.is_empty(), "XFER-AND-SIGNAL needs a destination set");
         self.xfer_count += 1;
-        if self.fault.xfer_error_prob > 0.0 && rng.uniform() < self.fault.xfer_error_prob {
+        let err_prob = self.fault.xfer_error_prob_at(now);
+        if err_prob > 0.0 && rng.uniform() < err_prob {
             return Err(XferError);
         }
         let timing = match &self.imp {
@@ -283,6 +328,32 @@ impl Mechanisms {
             complete: now + latency,
             satisfied,
         }
+    }
+
+    /// [`Mechanisms::compare_and_write`] routed through the fault plan: with
+    /// probability [`FaultPlan::caw_drop_prob`] the query is lost in the
+    /// network — atomically, so no write is applied anywhere and the
+    /// initiator learns nothing (`None`); it must re-poll later, exactly as
+    /// with a real lost network conditional. No RNG is consumed when the
+    /// drop probability is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compare_and_write_faulty(
+        &mut self,
+        now: SimTime,
+        set: &NodeSet,
+        var: VarId,
+        op: CmpOp,
+        value: i64,
+        write: Option<(VarId, i64)>,
+        load: BackgroundLoad,
+        rng: &mut DeterministicRng,
+    ) -> Option<CawResult> {
+        let p = self.fault.caw_drop_prob;
+        if p > 0.0 && rng.uniform() < p {
+            self.caw_count += 1; // issued, then lost
+            return None;
+        }
+        Some(self.compare_and_write(now, set, var, op, value, write, load))
     }
 }
 
@@ -475,7 +546,10 @@ mod tests {
             );
         }
         let vals = m.memory.gather(&all, target);
-        assert!(vals.iter().all(|&v| v == vals[0]), "nodes disagree: {vals:?}");
+        assert!(
+            vals.iter().all(|&v| v == vals[0]),
+            "nodes disagree: {vals:?}"
+        );
         assert_eq!(vals[0], 9); // last in total order wins
         assert_eq!(m.caw_count(), 10);
     }
@@ -512,10 +586,26 @@ mod tests {
         let vs = sw.memory.alloc_var(0);
         let all = NodeSet::All(1024);
         let th = hw
-            .compare_and_write(SimTime::ZERO, &all, vh, CmpOp::Ge, 0, None, BackgroundLoad::NONE)
+            .compare_and_write(
+                SimTime::ZERO,
+                &all,
+                vh,
+                CmpOp::Ge,
+                0,
+                None,
+                BackgroundLoad::NONE,
+            )
             .complete;
         let ts = sw
-            .compare_and_write(SimTime::ZERO, &all, vs, CmpOp::Ge, 0, None, BackgroundLoad::NONE)
+            .compare_and_write(
+                SimTime::ZERO,
+                &all,
+                vs,
+                CmpOp::Ge,
+                0,
+                None,
+                BackgroundLoad::NONE,
+            )
             .complete;
         // QsNET ≈ 6 µs vs GigE ≈ 460 µs at 1024 nodes (Table 5).
         assert!(ts.as_nanos() > 50 * th.as_nanos());

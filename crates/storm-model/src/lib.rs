@@ -187,7 +187,10 @@ mod tests {
         let rows = table4();
         assert_eq!(rows.len(), 6);
         let r64 = &rows[2];
-        assert_eq!((r64.nodes, r64.processors, r64.stages, r64.switches), (64, 256, 3, 5));
+        assert_eq!(
+            (r64.nodes, r64.processors, r64.stages, r64.switches),
+            (64, 256, 3, 5)
+        );
         assert_eq!(r64.bw.len(), 7);
         // Worst case of the 4 096-node row: 147 MB/s at 100 m.
         let worst = rows[5].bw[6] / 1e6;

@@ -64,14 +64,20 @@ pub struct BackgroundLoad {
 
 impl BackgroundLoad {
     /// No load (the paper's "unloaded" scenario).
-    pub const NONE: BackgroundLoad = BackgroundLoad { cpu: 0.0, network: 0.0 };
+    pub const NONE: BackgroundLoad = BackgroundLoad {
+        cpu: 0.0,
+        network: 0.0,
+    };
 
     /// Calibrated "CPU loaded" scenario of Fig. 3: a tight spin loop on all
     /// 256 processors. The dominant effect is that the host helper process
     /// and the dæmons only run when the OS preempts the hog, inflating all
     /// host-side service times by roughly the 4× effective multiprogramming.
     pub fn cpu_loaded() -> Self {
-        BackgroundLoad { cpu: 0.75, network: 0.0 }
+        BackgroundLoad {
+            cpu: 0.75,
+            network: 0.0,
+        }
     }
 
     /// Calibrated "network loaded" scenario of Fig. 3: all 256 processors
@@ -79,7 +85,10 @@ impl BackgroundLoad {
     /// fabric to the launch broadcast (12 MB then takes ≈ 1.4 s — the
     /// paper's worst case of 1.5 s total).
     pub fn network_loaded() -> Self {
-        BackgroundLoad { cpu: 0.15, network: 0.951 }
+        BackgroundLoad {
+            cpu: 0.15,
+            network: 0.951,
+        }
     }
 
     /// Validate field ranges.
@@ -139,8 +148,18 @@ mod tests {
         assert!(BackgroundLoad::NONE.validate().is_ok());
         assert!(BackgroundLoad::cpu_loaded().validate().is_ok());
         assert!(BackgroundLoad::network_loaded().validate().is_ok());
-        assert!(BackgroundLoad { cpu: 1.5, network: 0.0 }.validate().is_err());
-        assert!(BackgroundLoad { cpu: 0.0, network: -0.1 }.validate().is_err());
+        assert!(BackgroundLoad {
+            cpu: 1.5,
+            network: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(BackgroundLoad {
+            cpu: 0.0,
+            network: -0.1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -159,6 +178,9 @@ mod tests {
         assert!((l.cpu_slowdown() - 4.0).abs() < 0.1);
         let inflated = l.inflate(SimSpan::from_millis(1));
         assert!((inflated.as_millis_f64() - 4.0).abs() < 0.1);
-        assert_eq!(BackgroundLoad::NONE.inflate(SimSpan::from_millis(1)), SimSpan::from_millis(1));
+        assert_eq!(
+            BackgroundLoad::NONE.inflate(SimSpan::from_millis(1)),
+            SimSpan::from_millis(1)
+        );
     }
 }

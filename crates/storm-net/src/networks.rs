@@ -137,22 +137,49 @@ mod tests {
         assert_eq!(ib.caw_latency, my.caw_latency);
         // QsNET < 10 µs, BlueGene/L < 2 µs — also at 4096 nodes.
         for nodes in [64, 4096] {
-            assert!(NetworkKind::QsNet.mechanism_perf(nodes).caw_latency.as_micros_f64() < 10.0);
-            assert!(NetworkKind::BlueGeneL.mechanism_perf(nodes).caw_latency.as_micros_f64() < 2.0);
+            assert!(
+                NetworkKind::QsNet
+                    .mechanism_perf(nodes)
+                    .caw_latency
+                    .as_micros_f64()
+                    < 10.0
+            );
+            assert!(
+                NetworkKind::BlueGeneL
+                    .mechanism_perf(nodes)
+                    .caw_latency
+                    .as_micros_f64()
+                    < 2.0
+            );
         }
     }
 
     #[test]
     fn table5_xfer_bandwidths() {
         let n = 64;
-        assert!(NetworkKind::GigabitEthernet.mechanism_perf(n).xfer_aggregate_bw.is_none());
-        assert!(NetworkKind::Infiniband.mechanism_perf(n).xfer_aggregate_bw.is_none());
-        let my = NetworkKind::Myrinet.mechanism_perf(n).xfer_aggregate_bw.unwrap();
+        assert!(NetworkKind::GigabitEthernet
+            .mechanism_perf(n)
+            .xfer_aggregate_bw
+            .is_none());
+        assert!(NetworkKind::Infiniband
+            .mechanism_perf(n)
+            .xfer_aggregate_bw
+            .is_none());
+        let my = NetworkKind::Myrinet
+            .mechanism_perf(n)
+            .xfer_aggregate_bw
+            .unwrap();
         assert!((my - 15.0e6 * 64.0).abs() < 1.0);
         // QsNET delivers > 150 MB/s × n.
-        let qs = NetworkKind::QsNet.mechanism_perf(n).xfer_aggregate_bw.unwrap();
+        let qs = NetworkKind::QsNet
+            .mechanism_perf(n)
+            .xfer_aggregate_bw
+            .unwrap();
         assert!(qs > 150.0e6 * 64.0);
-        let bg = NetworkKind::BlueGeneL.mechanism_perf(n).xfer_aggregate_bw.unwrap();
+        let bg = NetworkKind::BlueGeneL
+            .mechanism_perf(n)
+            .xfer_aggregate_bw
+            .unwrap();
         assert!((bg - 700.0e6 * 64.0).abs() < 1.0);
     }
 

@@ -166,9 +166,7 @@ impl QsNetModel {
     pub fn broadcast_span(&self, bytes: u64, placement: BufferPlacement) -> SimSpan {
         let bw = self.broadcast_bw(placement);
         let latency = self.one_way_latency_ns();
-        SimSpan::from_secs_f64(
-            self.params.dma_setup_ns * 1e-9 + latency * 1e-9 + bytes as f64 / bw,
-        )
+        SimSpan::from_secs_f64(self.params.dma_setup_ns * 1e-9 + latency * 1e-9 + bytes as f64 / bw)
     }
 
     /// One-way network traversal latency (switch flow-through plus wire), ns.
@@ -192,12 +190,19 @@ impl QsNetModel {
         let p = &self.params;
         let stages = self.topology.stages() as f64;
         let wire = self.topology.diameter_m() * p.ack_per_meter_ns;
-        SimSpan::from_secs_f64((p.barrier_base_ns + p.barrier_per_stage_ns * (stages - 1.0) + wire) * 1e-9)
+        SimSpan::from_secs_f64(
+            (p.barrier_base_ns + p.barrier_per_stage_ns * (stages - 1.0) + wire) * 1e-9,
+        )
     }
 
     /// Convenience: the instant at which a broadcast issued at `now` is
     /// visible on all destinations.
-    pub fn broadcast_arrival(&self, now: SimTime, bytes: u64, placement: BufferPlacement) -> SimTime {
+    pub fn broadcast_arrival(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        placement: BufferPlacement,
+    ) -> SimTime {
         now + self.broadcast_span(bytes, placement)
     }
 }
@@ -276,11 +281,18 @@ mod tests {
     fn fig9_barrier_latency_shape() {
         // ≈4.5 µs small, growing ≈2 µs out to 1024 nodes.
         let small = QsNetModel::for_nodes(2).barrier_latency().as_micros_f64();
-        let large = QsNetModel::for_nodes(1024).barrier_latency().as_micros_f64();
+        let large = QsNetModel::for_nodes(1024)
+            .barrier_latency()
+            .as_micros_f64();
         assert!((small - 4.5).abs() < 0.5, "small barrier {small:.2} µs");
-        assert!(large > small + 1.0 && large < small + 3.0, "large barrier {large:.2} µs");
+        assert!(
+            large > small + 1.0 && large < small + 3.0,
+            "large barrier {large:.2} µs"
+        );
         // Table 5 row: QsNET COMPARE-AND-WRITE < 10 µs even at 4096 nodes.
-        let huge = QsNetModel::for_nodes(4096).barrier_latency().as_micros_f64();
+        let huge = QsNetModel::for_nodes(4096)
+            .barrier_latency()
+            .as_micros_f64();
         assert!(huge < 10.0, "4096-node barrier {huge:.2} µs");
     }
 
@@ -300,7 +312,11 @@ mod tests {
         let s = m.broadcast_span(512 * 1024, BufferPlacement::MainMemory);
         // 512 KB at 175 MB/s ≈ 3.0 ms plus ~80 µs setup.
         assert!(s.as_millis_f64() > 2.9 && s.as_millis_f64() < 3.3, "{s}");
-        let arrival = m.broadcast_arrival(SimTime::from_millis(5), 512 * 1024, BufferPlacement::MainMemory);
+        let arrival = m.broadcast_arrival(
+            SimTime::from_millis(5),
+            512 * 1024,
+            BufferPlacement::MainMemory,
+        );
         assert_eq!(arrival, SimTime::from_millis(5) + s);
     }
 }

@@ -45,7 +45,10 @@ impl DeterministicRng {
     /// ids are decorrelated; the same `(seed, stream_id)` always yields an
     /// identical stream.
     pub fn stream(&self, stream_id: u64) -> DeterministicRng {
-        let mut s = self.seed ^ stream_id.rotate_left(17).wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut s = self.seed
+            ^ stream_id
+                .rotate_left(17)
+                .wrapping_mul(0xA24B_AED4_963E_E407);
         let derived = splitmix64(&mut s);
         DeterministicRng {
             seed: self.seed,

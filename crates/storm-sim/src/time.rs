@@ -425,7 +425,10 @@ mod tests {
         assert_eq!(a / 4, SimSpan::from_micros(2500));
         assert_eq!(a.mul_f64(0.5), SimSpan::from_millis(5));
         assert_eq!(a.saturating_sub(SimSpan::from_secs(1)), SimSpan::ZERO);
-        assert_eq!(SimSpan::from_millis(10).div_ceil(SimSpan::from_millis(3)), 4);
+        assert_eq!(
+            SimSpan::from_millis(10).div_ceil(SimSpan::from_millis(3)),
+            4
+        );
         let total: SimSpan = vec![a, a, a].into_iter().sum();
         assert_eq!(total, SimSpan::from_millis(30));
     }

@@ -132,12 +132,18 @@ mod tests {
     #[test]
     fn enabled_tracer_records() {
         let mut t = Tracer::enabled();
-        t.record(SimTime::from_millis(1), ComponentId(3), "launch.start", || {
-            "job 7".to_string()
-        });
-        t.record(SimTime::from_millis(2), ComponentId(3), "launch.done", || {
-            "job 7".to_string()
-        });
+        t.record(
+            SimTime::from_millis(1),
+            ComponentId(3),
+            "launch.start",
+            || "job 7".to_string(),
+        );
+        t.record(
+            SimTime::from_millis(2),
+            ComponentId(3),
+            "launch.done",
+            || "job 7".to_string(),
+        );
         assert_eq!(t.len(), 2);
         assert_eq!(t.with_label("launch.done").count(), 1);
         let rendered = t.render();

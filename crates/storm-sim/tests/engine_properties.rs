@@ -66,7 +66,11 @@ impl Component<Vec<(u32, SimTime)>, Relay> for Node {
         if !rest.is_empty() {
             let (next, delay) = rest.remove(0);
             let target = storm_sim_target(next);
-            ctx.send_at(target, now + SimSpan::from_nanos(delay), Relay { hops: rest });
+            ctx.send_at(
+                target,
+                now + SimSpan::from_nanos(delay),
+                Relay { hops: rest },
+            );
         }
     }
 }

@@ -17,7 +17,9 @@ fn workload(cluster: &mut Cluster) -> Vec<(JobId, &'static str)> {
     jobs.push((
         cluster.submit(
             JobSpec::new(
-                AppSpec::Synthetic { compute: SimSpan::from_secs(60) },
+                AppSpec::Synthetic {
+                    compute: SimSpan::from_secs(60),
+                },
                 32 * 4,
             )
             .named("long-half")
@@ -29,7 +31,9 @@ fn workload(cluster: &mut Cluster) -> Vec<(JobId, &'static str)> {
     jobs.push((
         cluster.submit(
             JobSpec::new(
-                AppSpec::Synthetic { compute: SimSpan::from_secs(20) },
+                AppSpec::Synthetic {
+                    compute: SimSpan::from_secs(20),
+                },
                 64 * 4,
             )
             .named("wide")
@@ -42,7 +46,9 @@ fn workload(cluster: &mut Cluster) -> Vec<(JobId, &'static str)> {
         jobs.push((
             cluster.submit(
                 JobSpec::new(
-                    AppSpec::Synthetic { compute: SimSpan::from_secs(10) },
+                    AppSpec::Synthetic {
+                        compute: SimSpan::from_secs(10),
+                    },
                     8 * 4,
                 )
                 .named("short")
@@ -74,22 +80,30 @@ fn run(policy: SchedulerKind) -> (f64, Vec<(String, f64)>) {
 
 fn main() {
     println!("=== One job stream, three scheduling policies ===\n");
-    println!("queue: long-half(60 s, 32 nodes) -> wide(20 s, 64 nodes) -> 4x short(10 s, 8 nodes)\n");
+    println!(
+        "queue: long-half(60 s, 32 nodes) -> wide(20 s, 64 nodes) -> 4x short(10 s, 8 nodes)\n"
+    );
     let mut summary = Vec::new();
-    for policy in [SchedulerKind::Batch, SchedulerKind::Backfill, SchedulerKind::Gang] {
+    for policy in [
+        SchedulerKind::Batch,
+        SchedulerKind::Backfill,
+        SchedulerKind::Gang,
+    ] {
         let (makespan, turnarounds) = run(policy);
         println!("--- {policy:?} (makespan {makespan:.1} s)");
         for (name, t) in &turnarounds {
             println!("    {name:<10} turnaround {t:>7.1} s");
         }
-        let mean: f64 =
-            turnarounds.iter().map(|(_, t)| t).sum::<f64>() / turnarounds.len() as f64;
+        let mean: f64 = turnarounds.iter().map(|(_, t)| t).sum::<f64>() / turnarounds.len() as f64;
         println!("    mean turnaround {mean:.1} s\n");
         summary.push((policy, makespan, mean));
     }
 
     println!("=== Summary ===");
-    println!("{:<10} {:>10} {:>18}", "policy", "makespan", "mean turnaround");
+    println!(
+        "{:<10} {:>10} {:>18}",
+        "policy", "makespan", "mean turnaround"
+    );
     for (p, mk, mean) in &summary {
         println!("{:<10} {:>8.1} s {:>16.1} s", format!("{p:?}"), mk, mean);
     }

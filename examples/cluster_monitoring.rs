@@ -44,7 +44,10 @@ fn main() {
         )
         .expect("multicast");
     let delivered = timing.all_arrived();
-    println!("status request on all {NODES} nodes after {}", delivered.since(t0));
+    println!(
+        "status request on all {NODES} nodes after {}",
+        delivered.since(t0)
+    );
 
     // 2. Each node polls TEST-EVENT, sees the request, and posts its
     //    one-minute load average (scaled ×100) into the global variable.
@@ -69,7 +72,11 @@ fn main() {
     );
     println!(
         "cluster-wide health check: {} (answered in {})",
-        if caw.satisfied { "all reporting" } else { "nodes missing" },
+        if caw.satisfied {
+            "all reporting"
+        } else {
+            "nodes missing"
+        },
         caw.complete.since(delivered)
     );
 

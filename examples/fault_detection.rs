@@ -60,7 +60,10 @@ fn main() {
     }
 
     let job = cluster.job(victim_job);
-    println!("\njob '{}' on nodes 0..32: state {:?}", job.spec.name, job.state);
+    println!(
+        "\njob '{}' on nodes 0..32: state {:?}",
+        job.spec.name, job.state
+    );
     assert_eq!(
         job.state,
         JobState::Failed,
@@ -72,4 +75,63 @@ fn main() {
          lagging node in one gather.",
         detected.len()
     );
+
+    // ---------------------------------------------------------------------
+    // Part two: the same crash under FailurePolicy::Requeue. The victim is
+    // evicted, the dead node quarantined, the job retried on surviving
+    // capacity — and when the node rejoins 500 ms later it is re-admitted
+    // and can host new work.
+    println!("\n=== Failure recovery: requeue + rejoin ===");
+    let cfg = ClusterConfig::paper_cluster()
+        .with_fault_detection(8)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_faults(
+            FaultSchedule::new()
+                .crash(SimTime::from_millis(500), 17)
+                .rejoin(SimTime::from_millis(1_000), 17),
+        );
+    let mut cluster = Cluster::new(cfg);
+    let phoenix = cluster.submit(
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(800),
+            },
+            128,
+        )
+        .named("phoenix"),
+    );
+    cluster.run_until(SimTime::from_millis(1_200));
+    // By now node 17 crashed, the job was requeued elsewhere, and the node
+    // rejoined; a full-width job proves the machine is whole again.
+    let full = cluster.submit(JobSpec::new(AppSpec::do_nothing_mb(4), 256).named("full-width"));
+    cluster.run_until(SimTime::from_secs(4));
+
+    let w = cluster.world();
+    let job = cluster.job(phoenix);
+    println!(
+        "job 'phoenix': state {:?} after {} retr{} (requeues: {})",
+        job.state,
+        job.retries,
+        if job.retries == 1 { "y" } else { "ies" },
+        w.stats.requeues
+    );
+    println!(
+        "node 17: detected at {:?}, re-admitted at {:?}",
+        w.stats.failures_detected.first().map(|&(_, t)| t),
+        w.stats.rejoins.first().map(|&(_, t)| t),
+    );
+    println!("job 'full-width': state {:?}", cluster.job(full).state);
+    assert_eq!(
+        job.state,
+        JobState::Completed,
+        "requeued job survived the crash"
+    );
+    assert_eq!(job.retries, 1, "one retry was enough");
+    assert_eq!(w.stats.rejoins.len(), 1, "node 17 was re-admitted");
+    assert_eq!(
+        cluster.job(full).state,
+        JobState::Completed,
+        "all 64 nodes usable after the rejoin"
+    );
+    println!("\nSame crash, no job lost: requeue + quarantine + rejoin.");
 }

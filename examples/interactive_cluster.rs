@@ -58,7 +58,8 @@ fn main() {
     println!("interactive job started running after {wait} (launch, not queueing!)");
 
     // What the production job would have taken alone.
-    let mut solo = Cluster::new(ClusterConfig::gang_cluster().with_timeslice(SimSpan::from_millis(2)));
+    let mut solo =
+        Cluster::new(ClusterConfig::gang_cluster().with_timeslice(SimSpan::from_millis(2)));
     let alone = solo.submit(
         JobSpec::new(AppSpec::sweep3d_default(), 64)
             .with_ranks_per_node(2)

@@ -50,9 +50,7 @@ fn main() {
             .launch_time(nodes, 12_000_000, &mut rng)
             .unwrap()
             .as_secs_f64();
-        println!(
-            "{nodes:>6}  {storm_txt:>10}  {rsh:>12.1}  {nfs:>12}  {tree:>12.2}"
-        );
+        println!("{nodes:>6}  {storm_txt:>10}  {rsh:>12.1}  {nfs:>12}  {tree:>12.2}");
     }
     println!("(*) modelled with Eq. 3 beyond the 64-node testbed");
     println!(

@@ -29,9 +29,7 @@ impl Args {
             let name = a
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{a}'"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.push((name.to_string(), value.clone()));
         }
         Ok(Args { flags })
@@ -233,6 +231,12 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             .ok_or_else(|| format!("--fail expects NODE@MS, got '{spec}'"))?;
         let node: u32 = node.parse().map_err(|_| format!("bad node '{node}'"))?;
         let ms: u64 = ms.parse().map_err(|_| format!("bad time '{ms}'"))?;
+        let nodes = cluster.world().cfg.nodes;
+        if node >= nodes {
+            return Err(format!(
+                "node {node} out of range (cluster has {nodes} nodes)"
+            ));
+        }
         let at = SimTime::from_millis(ms);
         cluster.fail_node_at(at, node);
         injected.push((node, at));

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-6fd065c5a54f2e35.d: crates/storm-bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-6fd065c5a54f2e35.rmeta: crates/storm-bench/benches/ablations.rs Cargo.toml
+
+crates/storm-bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

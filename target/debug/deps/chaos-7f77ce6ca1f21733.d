@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-7f77ce6ca1f21733.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-7f77ce6ca1f21733.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-f74ce70800ebb1fc.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-f74ce70800ebb1fc: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_recovery-5e6829b71edb85b1.d: crates/storm-bench/benches/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_recovery-5e6829b71edb85b1.rmeta: crates/storm-bench/benches/chaos_recovery.rs Cargo.toml
+
+crates/storm-bench/benches/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coscheduling_comparison-ca7b7a8e8d5cf62f.d: crates/storm-bench/benches/coscheduling_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoscheduling_comparison-ca7b7a8e8d5cf62f.rmeta: crates/storm-bench/benches/coscheduling_comparison.rs Cargo.toml
+
+crates/storm-bench/benches/coscheduling_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

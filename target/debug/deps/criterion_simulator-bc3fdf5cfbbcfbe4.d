@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_simulator-bc3fdf5cfbbcfbe4.d: crates/storm-bench/benches/criterion_simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_simulator-bc3fdf5cfbbcfbe4.rmeta: crates/storm-bench/benches/criterion_simulator.rs Cargo.toml
+
+crates/storm-bench/benches/criterion_simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-a99b55b6a497bbbd.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-a99b55b6a497bbbd.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

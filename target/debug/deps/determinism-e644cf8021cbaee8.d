@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e644cf8021cbaee8.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e644cf8021cbaee8: tests/determinism.rs
+
+tests/determinism.rs:

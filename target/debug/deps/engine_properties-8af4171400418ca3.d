@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-8af4171400418ca3.d: crates/storm-sim/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-8af4171400418ca3.rmeta: crates/storm-sim/tests/engine_properties.rs Cargo.toml
+
+crates/storm-sim/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

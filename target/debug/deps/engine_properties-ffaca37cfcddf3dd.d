@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-ffaca37cfcddf3dd.d: crates/storm-sim/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-ffaca37cfcddf3dd: crates/storm-sim/tests/engine_properties.rs
+
+crates/storm-sim/tests/engine_properties.rs:

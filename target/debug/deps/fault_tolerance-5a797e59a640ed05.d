@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-5a797e59a640ed05.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-5a797e59a640ed05: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_launch_model-0ca4622796f41630.d: crates/storm-bench/benches/fig10_launch_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_launch_model-0ca4622796f41630.rmeta: crates/storm-bench/benches/fig10_launch_model.rs Cargo.toml
+
+crates/storm-bench/benches/fig10_launch_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_launcher_comparison-ffbc189fc32fdf23.d: crates/storm-bench/benches/fig11_launcher_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_launcher_comparison-ffbc189fc32fdf23.rmeta: crates/storm-bench/benches/fig11_launcher_comparison.rs Cargo.toml
+
+crates/storm-bench/benches/fig11_launcher_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_relative_performance-5fb9273ed89dbfb0.d: crates/storm-bench/benches/fig12_relative_performance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_relative_performance-5fb9273ed89dbfb0.rmeta: crates/storm-bench/benches/fig12_relative_performance.rs Cargo.toml
+
+crates/storm-bench/benches/fig12_relative_performance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_launch_unloaded-3c39ea8c7d46109f.d: crates/storm-bench/benches/fig2_launch_unloaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_launch_unloaded-3c39ea8c7d46109f.rmeta: crates/storm-bench/benches/fig2_launch_unloaded.rs Cargo.toml
+
+crates/storm-bench/benches/fig2_launch_unloaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

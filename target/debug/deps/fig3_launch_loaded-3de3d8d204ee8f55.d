@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_launch_loaded-3de3d8d204ee8f55.d: crates/storm-bench/benches/fig3_launch_loaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_launch_loaded-3de3d8d204ee8f55.rmeta: crates/storm-bench/benches/fig3_launch_loaded.rs Cargo.toml
+
+crates/storm-bench/benches/fig3_launch_loaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_time_quantum-38e1c4a4945f1350.d: crates/storm-bench/benches/fig4_time_quantum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_time_quantum-38e1c4a4945f1350.rmeta: crates/storm-bench/benches/fig4_time_quantum.rs Cargo.toml
+
+crates/storm-bench/benches/fig4_time_quantum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

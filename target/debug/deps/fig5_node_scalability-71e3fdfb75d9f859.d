@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_node_scalability-71e3fdfb75d9f859.d: crates/storm-bench/benches/fig5_node_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_node_scalability-71e3fdfb75d9f859.rmeta: crates/storm-bench/benches/fig5_node_scalability.rs Cargo.toml
+
+crates/storm-bench/benches/fig5_node_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_read_bandwidth-130867d824a6d1de.d: crates/storm-bench/benches/fig6_read_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_read_bandwidth-130867d824a6d1de.rmeta: crates/storm-bench/benches/fig6_read_bandwidth.rs Cargo.toml
+
+crates/storm-bench/benches/fig6_read_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

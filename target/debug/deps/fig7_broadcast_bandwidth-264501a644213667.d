@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_broadcast_bandwidth-264501a644213667.d: crates/storm-bench/benches/fig7_broadcast_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_broadcast_bandwidth-264501a644213667.rmeta: crates/storm-bench/benches/fig7_broadcast_bandwidth.rs Cargo.toml
+
+crates/storm-bench/benches/fig7_broadcast_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

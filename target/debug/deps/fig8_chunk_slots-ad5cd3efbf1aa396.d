@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_chunk_slots-ad5cd3efbf1aa396.d: crates/storm-bench/benches/fig8_chunk_slots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_chunk_slots-ad5cd3efbf1aa396.rmeta: crates/storm-bench/benches/fig8_chunk_slots.rs Cargo.toml
+
+crates/storm-bench/benches/fig8_chunk_slots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

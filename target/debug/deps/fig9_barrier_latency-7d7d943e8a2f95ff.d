@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_barrier_latency-7d7d943e8a2f95ff.d: crates/storm-bench/benches/fig9_barrier_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_barrier_latency-7d7d943e8a2f95ff.rmeta: crates/storm-bench/benches/fig9_barrier_latency.rs Cargo.toml
+
+crates/storm-bench/benches/fig9_barrier_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

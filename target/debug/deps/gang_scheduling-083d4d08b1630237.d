@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gang_scheduling-083d4d08b1630237.d: tests/gang_scheduling.rs
+
+/root/repo/target/debug/deps/gang_scheduling-083d4d08b1630237: tests/gang_scheduling.rs
+
+tests/gang_scheduling.rs:

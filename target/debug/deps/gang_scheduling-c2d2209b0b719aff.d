@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_scheduling-c2d2209b0b719aff.d: tests/gang_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_scheduling-c2d2209b0b719aff.rmeta: tests/gang_scheduling.rs Cargo.toml
+
+tests/gang_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

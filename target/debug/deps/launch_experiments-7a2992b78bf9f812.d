@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/launch_experiments-7a2992b78bf9f812.d: tests/launch_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaunch_experiments-7a2992b78bf9f812.rmeta: tests/launch_experiments.rs Cargo.toml
+
+tests/launch_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/launch_experiments-c31a50e708faca94.d: tests/launch_experiments.rs
+
+/root/repo/target/debug/deps/launch_experiments-c31a50e708faca94: tests/launch_experiments.rs
+
+tests/launch_experiments.rs:

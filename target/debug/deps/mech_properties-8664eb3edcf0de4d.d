@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mech_properties-8664eb3edcf0de4d.d: crates/storm-mech/tests/mech_properties.rs
+
+/root/repo/target/debug/deps/mech_properties-8664eb3edcf0de4d: crates/storm-mech/tests/mech_properties.rs
+
+crates/storm-mech/tests/mech_properties.rs:

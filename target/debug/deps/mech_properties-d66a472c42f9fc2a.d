@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mech_properties-d66a472c42f9fc2a.d: crates/storm-mech/tests/mech_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmech_properties-d66a472c42f9fc2a.rmeta: crates/storm-mech/tests/mech_properties.rs Cargo.toml
+
+crates/storm-mech/tests/mech_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-4ed32c013ec2b674.d: crates/storm-net/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-4ed32c013ec2b674.rmeta: crates/storm-net/tests/model_properties.rs Cargo.toml
+
+crates/storm-net/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

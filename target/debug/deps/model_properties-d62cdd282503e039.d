@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-d62cdd282503e039.d: crates/storm-net/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-d62cdd282503e039: crates/storm-net/tests/model_properties.rs
+
+crates/storm-net/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e1dc7b12f70f6765.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e1dc7b12f70f6765: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e8c8d669036aead1.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e8c8d669036aead1.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-487144625f0625c4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-487144625f0625c4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

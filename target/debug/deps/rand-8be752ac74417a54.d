@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8be752ac74417a54.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8be752ac74417a54.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8be752ac74417a54.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

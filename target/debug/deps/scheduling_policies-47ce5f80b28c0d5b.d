@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling_policies-47ce5f80b28c0d5b.d: tests/scheduling_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling_policies-47ce5f80b28c0d5b.rmeta: tests/scheduling_policies.rs Cargo.toml
+
+tests/scheduling_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_policies-7575d4c97ed3dfae.d: tests/scheduling_policies.rs
+
+/root/repo/target/debug/deps/scheduling_policies-7575d4c97ed3dfae: tests/scheduling_policies.rs
+
+tests/scheduling_policies.rs:

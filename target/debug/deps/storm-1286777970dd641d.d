@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm-1286777970dd641d.d: src/lib.rs
+
+/root/repo/target/debug/deps/storm-1286777970dd641d: src/lib.rs
+
+src/lib.rs:

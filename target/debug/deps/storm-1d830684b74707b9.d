@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/storm-1d830684b74707b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstorm-1d830684b74707b9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstorm-1d830684b74707b9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm-70b2cc741f5aa3ef.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm-70b2cc741f5aa3ef.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm-f99a07233f1112dc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm-f99a07233f1112dc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/storm_apps-043289b4097e68fc.d: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+/root/repo/target/debug/deps/storm_apps-043289b4097e68fc: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+crates/storm-apps/src/lib.rs:
+crates/storm-apps/src/spec.rs:
+crates/storm-apps/src/stream.rs:
+crates/storm-apps/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/storm_apps-671b47fbf86ca6f5.d: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_apps-671b47fbf86ca6f5.rmeta: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs Cargo.toml
+
+crates/storm-apps/src/lib.rs:
+crates/storm-apps/src/spec.rs:
+crates/storm-apps/src/stream.rs:
+crates/storm-apps/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/storm_apps-8c2ed6c74237957f.d: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+/root/repo/target/debug/deps/libstorm_apps-8c2ed6c74237957f.rlib: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+/root/repo/target/debug/deps/libstorm_apps-8c2ed6c74237957f.rmeta: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+crates/storm-apps/src/lib.rs:
+crates/storm-apps/src/spec.rs:
+crates/storm-apps/src/stream.rs:
+crates/storm-apps/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_baselines-46d5e75c1a2f03ca.d: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+/root/repo/target/debug/deps/libstorm_baselines-46d5e75c1a2f03ca.rlib: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+/root/repo/target/debug/deps/libstorm_baselines-46d5e75c1a2f03ca.rmeta: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+crates/storm-baselines/src/lib.rs:
+crates/storm-baselines/src/launch.rs:
+crates/storm-baselines/src/sched.rs:

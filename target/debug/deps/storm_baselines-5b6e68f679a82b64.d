@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/storm_baselines-5b6e68f679a82b64.d: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+/root/repo/target/debug/deps/storm_baselines-5b6e68f679a82b64: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+crates/storm-baselines/src/lib.rs:
+crates/storm-baselines/src/launch.rs:
+crates/storm-baselines/src/sched.rs:

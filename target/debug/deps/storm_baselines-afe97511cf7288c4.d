@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/storm_baselines-afe97511cf7288c4.d: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_baselines-afe97511cf7288c4.rmeta: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs Cargo.toml
+
+crates/storm-baselines/src/lib.rs:
+crates/storm-baselines/src/launch.rs:
+crates/storm-baselines/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

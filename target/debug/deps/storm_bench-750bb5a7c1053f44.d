@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_bench-750bb5a7c1053f44.d: crates/storm-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_bench-750bb5a7c1053f44.rmeta: crates/storm-bench/src/lib.rs Cargo.toml
+
+crates/storm-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm_bench-8a30ff1e83d532ab.d: crates/storm-bench/src/lib.rs
+
+/root/repo/target/debug/deps/storm_bench-8a30ff1e83d532ab: crates/storm-bench/src/lib.rs
+
+crates/storm-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/storm_bench-d8a873263cf05bf4.d: crates/storm-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstorm_bench-d8a873263cf05bf4.rlib: crates/storm-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstorm_bench-d8a873263cf05bf4.rmeta: crates/storm-bench/src/lib.rs
+
+crates/storm-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_bench-de7fd5ce88d4dd3d.d: crates/storm-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_bench-de7fd5ce88d4dd3d.rmeta: crates/storm-bench/src/lib.rs Cargo.toml
+
+crates/storm-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

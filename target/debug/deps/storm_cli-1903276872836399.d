@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm_cli-1903276872836399.d: src/bin/storm-cli.rs
+
+/root/repo/target/debug/deps/storm_cli-1903276872836399: src/bin/storm-cli.rs
+
+src/bin/storm-cli.rs:

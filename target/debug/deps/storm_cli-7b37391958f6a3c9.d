@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_cli-7b37391958f6a3c9.d: src/bin/storm-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_cli-7b37391958f6a3c9.rmeta: src/bin/storm-cli.rs Cargo.toml
+
+src/bin/storm-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm_cli-8fd3dbaf1f718213.d: src/bin/storm-cli.rs
+
+/root/repo/target/debug/deps/storm_cli-8fd3dbaf1f718213: src/bin/storm-cli.rs
+
+src/bin/storm-cli.rs:

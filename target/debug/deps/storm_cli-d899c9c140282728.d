@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_cli-d899c9c140282728.d: src/bin/storm-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_cli-d899c9c140282728.rmeta: src/bin/storm-cli.rs Cargo.toml
+
+src/bin/storm-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/storm_core-294da4236054969f.d: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs
+
+/root/repo/target/debug/deps/storm_core-294da4236054969f: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs
+
+crates/storm-core/src/lib.rs:
+crates/storm-core/src/buddy.rs:
+crates/storm-core/src/cluster.rs:
+crates/storm-core/src/config.rs:
+crates/storm-core/src/fault.rs:
+crates/storm-core/src/job.rs:
+crates/storm-core/src/matrix.rs:
+crates/storm-core/src/mm.rs:
+crates/storm-core/src/msg.rs:
+crates/storm-core/src/nm.rs:
+crates/storm-core/src/pl.rs:
+crates/storm-core/src/policy.rs:
+crates/storm-core/src/world.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/storm_core-7e029d4eb8e8ffc8.d: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_core-7e029d4eb8e8ffc8.rmeta: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs Cargo.toml
+
+crates/storm-core/src/lib.rs:
+crates/storm-core/src/buddy.rs:
+crates/storm-core/src/cluster.rs:
+crates/storm-core/src/config.rs:
+crates/storm-core/src/fault.rs:
+crates/storm-core/src/job.rs:
+crates/storm-core/src/matrix.rs:
+crates/storm-core/src/mm.rs:
+crates/storm-core/src/msg.rs:
+crates/storm-core/src/nm.rs:
+crates/storm-core/src/pl.rs:
+crates/storm-core/src/policy.rs:
+crates/storm-core/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm_fs-1c5ee169db25ca58.d: crates/storm-fs/src/lib.rs
+
+/root/repo/target/debug/deps/storm_fs-1c5ee169db25ca58: crates/storm-fs/src/lib.rs
+
+crates/storm-fs/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/storm_fs-24aeeaae966b9d1a.d: crates/storm-fs/src/lib.rs
+
+/root/repo/target/debug/deps/libstorm_fs-24aeeaae966b9d1a.rlib: crates/storm-fs/src/lib.rs
+
+/root/repo/target/debug/deps/libstorm_fs-24aeeaae966b9d1a.rmeta: crates/storm-fs/src/lib.rs
+
+crates/storm-fs/src/lib.rs:

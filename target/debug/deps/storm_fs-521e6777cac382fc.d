@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_fs-521e6777cac382fc.d: crates/storm-fs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_fs-521e6777cac382fc.rmeta: crates/storm-fs/src/lib.rs Cargo.toml
+
+crates/storm-fs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_fs-bca2e01c50355190.d: crates/storm-fs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_fs-bca2e01c50355190.rmeta: crates/storm-fs/src/lib.rs Cargo.toml
+
+crates/storm-fs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

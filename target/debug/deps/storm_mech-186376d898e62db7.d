@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/storm_mech-186376d898e62db7.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_mech-186376d898e62db7.rmeta: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs Cargo.toml
+
+crates/storm-mech/src/lib.rs:
+crates/storm-mech/src/mech.rs:
+crates/storm-mech/src/memory.rs:
+crates/storm-mech/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/storm_mech-6f0ee60eae546a9a.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_mech-6f0ee60eae546a9a.rmeta: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs Cargo.toml
+
+crates/storm-mech/src/lib.rs:
+crates/storm-mech/src/mech.rs:
+crates/storm-mech/src/memory.rs:
+crates/storm-mech/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

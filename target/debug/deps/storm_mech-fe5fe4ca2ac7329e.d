@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/storm_mech-fe5fe4ca2ac7329e.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/types.rs
+
+/root/repo/target/debug/deps/storm_mech-fe5fe4ca2ac7329e: crates/storm-mech/src/lib.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/types.rs
+
+crates/storm-mech/src/lib.rs:
+crates/storm-mech/src/memory.rs:
+crates/storm-mech/src/mech.rs:
+crates/storm-mech/src/types.rs:

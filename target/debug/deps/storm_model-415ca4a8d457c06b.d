@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/storm_model-415ca4a8d457c06b.d: crates/storm-model/src/lib.rs
+
+/root/repo/target/debug/deps/libstorm_model-415ca4a8d457c06b.rlib: crates/storm-model/src/lib.rs
+
+/root/repo/target/debug/deps/libstorm_model-415ca4a8d457c06b.rmeta: crates/storm-model/src/lib.rs
+
+crates/storm-model/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_model-41aba4a82cb96b11.d: crates/storm-model/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_model-41aba4a82cb96b11.rmeta: crates/storm-model/src/lib.rs Cargo.toml
+
+crates/storm-model/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm_model-5b3597bdcae475c7.d: crates/storm-model/src/lib.rs
+
+/root/repo/target/debug/deps/storm_model-5b3597bdcae475c7: crates/storm-model/src/lib.rs
+
+crates/storm-model/src/lib.rs:

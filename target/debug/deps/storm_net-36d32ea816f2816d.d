@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storm_net-36d32ea816f2816d.d: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+/root/repo/target/debug/deps/storm_net-36d32ea816f2816d: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+crates/storm-net/src/lib.rs:
+crates/storm-net/src/contention.rs:
+crates/storm-net/src/networks.rs:
+crates/storm-net/src/qsnet.rs:
+crates/storm-net/src/topology.rs:

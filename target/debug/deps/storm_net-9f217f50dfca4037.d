@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/storm_net-9f217f50dfca4037.d: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+/root/repo/target/debug/deps/libstorm_net-9f217f50dfca4037.rlib: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+/root/repo/target/debug/deps/libstorm_net-9f217f50dfca4037.rmeta: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+crates/storm-net/src/lib.rs:
+crates/storm-net/src/contention.rs:
+crates/storm-net/src/networks.rs:
+crates/storm-net/src/qsnet.rs:
+crates/storm-net/src/topology.rs:

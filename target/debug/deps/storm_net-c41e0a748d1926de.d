@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/storm_net-c41e0a748d1926de.d: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_net-c41e0a748d1926de.rmeta: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs Cargo.toml
+
+crates/storm-net/src/lib.rs:
+crates/storm-net/src/contention.rs:
+crates/storm-net/src/networks.rs:
+crates/storm-net/src/qsnet.rs:
+crates/storm-net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/storm_sim-0cdddf80a909479f.d: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libstorm_sim-0cdddf80a909479f.rlib: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libstorm_sim-0cdddf80a909479f.rmeta: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+crates/storm-sim/src/lib.rs:
+crates/storm-sim/src/engine.rs:
+crates/storm-sim/src/queue.rs:
+crates/storm-sim/src/rng.rs:
+crates/storm-sim/src/stats.rs:
+crates/storm-sim/src/time.rs:
+crates/storm-sim/src/trace.rs:

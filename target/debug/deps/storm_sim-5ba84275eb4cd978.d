@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/storm_sim-5ba84275eb4cd978.d: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_sim-5ba84275eb4cd978.rmeta: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs Cargo.toml
+
+crates/storm-sim/src/lib.rs:
+crates/storm-sim/src/engine.rs:
+crates/storm-sim/src/queue.rs:
+crates/storm-sim/src/rng.rs:
+crates/storm-sim/src/stats.rs:
+crates/storm-sim/src/time.rs:
+crates/storm-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

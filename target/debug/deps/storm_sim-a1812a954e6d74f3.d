@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/storm_sim-a1812a954e6d74f3.d: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorm_sim-a1812a954e6d74f3.rmeta: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs Cargo.toml
+
+crates/storm-sim/src/lib.rs:
+crates/storm-sim/src/engine.rs:
+crates/storm-sim/src/queue.rs:
+crates/storm-sim/src/rng.rs:
+crates/storm-sim/src/stats.rs:
+crates/storm-sim/src/time.rs:
+crates/storm-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_bw_scalability-9ed715f0ea268adf.d: crates/storm-bench/benches/table4_bw_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_bw_scalability-9ed715f0ea268adf.rmeta: crates/storm-bench/benches/table4_bw_scalability.rs Cargo.toml
+
+crates/storm-bench/benches/table4_bw_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_mechanisms-6b64e4fc394c5580.d: crates/storm-bench/benches/table5_mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_mechanisms-6b64e4fc394c5580.rmeta: crates/storm-bench/benches/table5_mechanisms.rs Cargo.toml
+
+crates/storm-bench/benches/table5_mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_table7_launch_times-57426e38f96fde6e.d: crates/storm-bench/benches/table6_table7_launch_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_table7_launch_times-57426e38f96fde6e.rmeta: crates/storm-bench/benches/table6_table7_launch_times.rs Cargo.toml
+
+crates/storm-bench/benches/table6_table7_launch_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_quanta-1f9cd4fc639f9150.d: crates/storm-bench/benches/table8_quanta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_quanta-1f9cd4fc639f9150.rmeta: crates/storm-bench/benches/table8_quanta.rs Cargo.toml
+
+crates/storm-bench/benches/table8_quanta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

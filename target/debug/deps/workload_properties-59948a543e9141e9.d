@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_properties-59948a543e9141e9.d: crates/storm-apps/tests/workload_properties.rs
+
+/root/repo/target/debug/deps/workload_properties-59948a543e9141e9: crates/storm-apps/tests/workload_properties.rs
+
+crates/storm-apps/tests/workload_properties.rs:

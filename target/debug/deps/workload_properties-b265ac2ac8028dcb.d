@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_properties-b265ac2ac8028dcb.d: crates/storm-apps/tests/workload_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_properties-b265ac2ac8028dcb.rmeta: crates/storm-apps/tests/workload_properties.rs Cargo.toml
+
+crates/storm-apps/tests/workload_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_trace-2b28b14f91e6c9eb.d: crates/storm-bench/benches/workload_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_trace-2b28b14f91e6c9eb.rmeta: crates/storm-bench/benches/workload_trace.rs Cargo.toml
+
+crates/storm-bench/benches/workload_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

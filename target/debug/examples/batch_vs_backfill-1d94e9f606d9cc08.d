@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_vs_backfill-1d94e9f606d9cc08.d: examples/batch_vs_backfill.rs
+
+/root/repo/target/debug/examples/batch_vs_backfill-1d94e9f606d9cc08: examples/batch_vs_backfill.rs
+
+examples/batch_vs_backfill.rs:

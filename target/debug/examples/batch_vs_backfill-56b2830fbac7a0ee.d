@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_vs_backfill-56b2830fbac7a0ee.d: examples/batch_vs_backfill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_vs_backfill-56b2830fbac7a0ee.rmeta: examples/batch_vs_backfill.rs Cargo.toml
+
+examples/batch_vs_backfill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

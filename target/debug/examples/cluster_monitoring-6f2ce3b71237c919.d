@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_monitoring-6f2ce3b71237c919.d: examples/cluster_monitoring.rs
+
+/root/repo/target/debug/examples/cluster_monitoring-6f2ce3b71237c919: examples/cluster_monitoring.rs
+
+examples/cluster_monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster_monitoring-771e7d1946c95354.d: examples/cluster_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster_monitoring-771e7d1946c95354.rmeta: examples/cluster_monitoring.rs Cargo.toml
+
+examples/cluster_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

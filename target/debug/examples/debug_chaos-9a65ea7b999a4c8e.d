@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_chaos-9a65ea7b999a4c8e.d: examples/debug_chaos.rs
+
+/root/repo/target/debug/examples/debug_chaos-9a65ea7b999a4c8e: examples/debug_chaos.rs
+
+examples/debug_chaos.rs:

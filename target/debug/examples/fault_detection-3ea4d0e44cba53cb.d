@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_detection-3ea4d0e44cba53cb.d: examples/fault_detection.rs
+
+/root/repo/target/debug/examples/fault_detection-3ea4d0e44cba53cb: examples/fault_detection.rs
+
+examples/fault_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_detection-eae176fd803a7e3f.d: examples/fault_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_detection-eae176fd803a7e3f.rmeta: examples/fault_detection.rs Cargo.toml
+
+examples/fault_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

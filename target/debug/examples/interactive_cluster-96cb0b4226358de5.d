@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_cluster-96cb0b4226358de5.d: examples/interactive_cluster.rs
+
+/root/repo/target/debug/examples/interactive_cluster-96cb0b4226358de5: examples/interactive_cluster.rs
+
+examples/interactive_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interactive_cluster-b0cd6f8c64d7f507.d: examples/interactive_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteractive_cluster-b0cd6f8c64d7f507.rmeta: examples/interactive_cluster.rs Cargo.toml
+
+examples/interactive_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/launcher_shootout-76980362ee57bf50.d: examples/launcher_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblauncher_shootout-76980362ee57bf50.rmeta: examples/launcher_shootout.rs Cargo.toml
+
+examples/launcher_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/launcher_shootout-bea09a53d9e2d036.d: examples/launcher_shootout.rs
+
+/root/repo/target/debug/examples/launcher_shootout-bea09a53d9e2d036: examples/launcher_shootout.rs
+
+examples/launcher_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2eb20ecd92d86e6e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2eb20ecd92d86e6e: examples/quickstart.rs
+
+examples/quickstart.rs:

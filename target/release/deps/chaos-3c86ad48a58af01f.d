@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-3c86ad48a58af01f.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-3c86ad48a58af01f: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_recovery-8de4c552377d2a09.d: crates/storm-bench/benches/chaos_recovery.rs
+
+/root/repo/target/release/deps/chaos_recovery-8de4c552377d2a09: crates/storm-bench/benches/chaos_recovery.rs
+
+crates/storm-bench/benches/chaos_recovery.rs:

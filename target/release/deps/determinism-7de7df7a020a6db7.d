@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-7de7df7a020a6db7.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-7de7df7a020a6db7: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_properties-7796e469d05761ce.d: crates/storm-sim/tests/engine_properties.rs
+
+/root/repo/target/release/deps/engine_properties-7796e469d05761ce: crates/storm-sim/tests/engine_properties.rs
+
+crates/storm-sim/tests/engine_properties.rs:

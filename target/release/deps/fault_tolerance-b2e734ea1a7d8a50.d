@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-b2e734ea1a7d8a50.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-b2e734ea1a7d8a50: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

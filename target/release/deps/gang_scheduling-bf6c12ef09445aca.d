@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gang_scheduling-bf6c12ef09445aca.d: tests/gang_scheduling.rs
+
+/root/repo/target/release/deps/gang_scheduling-bf6c12ef09445aca: tests/gang_scheduling.rs
+
+tests/gang_scheduling.rs:

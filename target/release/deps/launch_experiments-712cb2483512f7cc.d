@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/launch_experiments-712cb2483512f7cc.d: tests/launch_experiments.rs
+
+/root/repo/target/release/deps/launch_experiments-712cb2483512f7cc: tests/launch_experiments.rs
+
+tests/launch_experiments.rs:

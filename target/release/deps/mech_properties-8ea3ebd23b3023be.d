@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mech_properties-8ea3ebd23b3023be.d: crates/storm-mech/tests/mech_properties.rs
+
+/root/repo/target/release/deps/mech_properties-8ea3ebd23b3023be: crates/storm-mech/tests/mech_properties.rs
+
+crates/storm-mech/tests/mech_properties.rs:

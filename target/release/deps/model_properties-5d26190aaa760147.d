@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_properties-5d26190aaa760147.d: crates/storm-net/tests/model_properties.rs
+
+/root/repo/target/release/deps/model_properties-5d26190aaa760147: crates/storm-net/tests/model_properties.rs
+
+crates/storm-net/tests/model_properties.rs:

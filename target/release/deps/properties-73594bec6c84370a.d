@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-73594bec6c84370a.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-73594bec6c84370a: tests/properties.rs
+
+tests/properties.rs:

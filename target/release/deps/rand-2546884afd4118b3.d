@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-2546884afd4118b3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-2546884afd4118b3: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-723edd1c244daafd.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-723edd1c244daafd.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-723edd1c244daafd.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling_policies-b2e168156e828eb6.d: tests/scheduling_policies.rs
+
+/root/repo/target/release/deps/scheduling_policies-b2e168156e828eb6: tests/scheduling_policies.rs
+
+tests/scheduling_policies.rs:

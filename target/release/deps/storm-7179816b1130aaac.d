@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/storm-7179816b1130aaac.d: src/lib.rs
+
+/root/repo/target/release/deps/libstorm-7179816b1130aaac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstorm-7179816b1130aaac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storm-d4e23cabb5e7bb5a.d: src/lib.rs
+
+/root/repo/target/release/deps/storm-d4e23cabb5e7bb5a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/storm_apps-361b5ca60b52a074.d: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+/root/repo/target/release/deps/storm_apps-361b5ca60b52a074: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+crates/storm-apps/src/lib.rs:
+crates/storm-apps/src/spec.rs:
+crates/storm-apps/src/stream.rs:
+crates/storm-apps/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/storm_apps-4cc7b78f5237d8d5.d: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+/root/repo/target/release/deps/libstorm_apps-4cc7b78f5237d8d5.rlib: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+/root/repo/target/release/deps/libstorm_apps-4cc7b78f5237d8d5.rmeta: crates/storm-apps/src/lib.rs crates/storm-apps/src/spec.rs crates/storm-apps/src/stream.rs crates/storm-apps/src/workload.rs
+
+crates/storm-apps/src/lib.rs:
+crates/storm-apps/src/spec.rs:
+crates/storm-apps/src/stream.rs:
+crates/storm-apps/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/storm_baselines-5bce248b107078a0.d: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+/root/repo/target/release/deps/storm_baselines-5bce248b107078a0: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+crates/storm-baselines/src/lib.rs:
+crates/storm-baselines/src/launch.rs:
+crates/storm-baselines/src/sched.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/storm_baselines-67c20b6dbe406953.d: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+/root/repo/target/release/deps/libstorm_baselines-67c20b6dbe406953.rlib: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+/root/repo/target/release/deps/libstorm_baselines-67c20b6dbe406953.rmeta: crates/storm-baselines/src/lib.rs crates/storm-baselines/src/launch.rs crates/storm-baselines/src/sched.rs
+
+crates/storm-baselines/src/lib.rs:
+crates/storm-baselines/src/launch.rs:
+crates/storm-baselines/src/sched.rs:

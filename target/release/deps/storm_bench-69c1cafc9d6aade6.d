@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storm_bench-69c1cafc9d6aade6.d: crates/storm-bench/src/lib.rs
+
+/root/repo/target/release/deps/storm_bench-69c1cafc9d6aade6: crates/storm-bench/src/lib.rs
+
+crates/storm-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/storm_bench-b97f98a0ae205f8d.d: crates/storm-bench/src/lib.rs
+
+/root/repo/target/release/deps/libstorm_bench-b97f98a0ae205f8d.rlib: crates/storm-bench/src/lib.rs
+
+/root/repo/target/release/deps/libstorm_bench-b97f98a0ae205f8d.rmeta: crates/storm-bench/src/lib.rs
+
+crates/storm-bench/src/lib.rs:

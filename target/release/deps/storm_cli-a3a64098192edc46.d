@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storm_cli-a3a64098192edc46.d: src/bin/storm-cli.rs
+
+/root/repo/target/release/deps/storm_cli-a3a64098192edc46: src/bin/storm-cli.rs
+
+src/bin/storm-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storm_cli-e911c0d7d976616d.d: src/bin/storm-cli.rs
+
+/root/repo/target/release/deps/storm_cli-e911c0d7d976616d: src/bin/storm-cli.rs
+
+src/bin/storm-cli.rs:

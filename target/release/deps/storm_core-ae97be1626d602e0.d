@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/storm_core-ae97be1626d602e0.d: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs
+
+/root/repo/target/release/deps/libstorm_core-ae97be1626d602e0.rlib: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs
+
+/root/repo/target/release/deps/libstorm_core-ae97be1626d602e0.rmeta: crates/storm-core/src/lib.rs crates/storm-core/src/buddy.rs crates/storm-core/src/cluster.rs crates/storm-core/src/config.rs crates/storm-core/src/fault.rs crates/storm-core/src/job.rs crates/storm-core/src/matrix.rs crates/storm-core/src/mm.rs crates/storm-core/src/msg.rs crates/storm-core/src/nm.rs crates/storm-core/src/pl.rs crates/storm-core/src/policy.rs crates/storm-core/src/world.rs
+
+crates/storm-core/src/lib.rs:
+crates/storm-core/src/buddy.rs:
+crates/storm-core/src/cluster.rs:
+crates/storm-core/src/config.rs:
+crates/storm-core/src/fault.rs:
+crates/storm-core/src/job.rs:
+crates/storm-core/src/matrix.rs:
+crates/storm-core/src/mm.rs:
+crates/storm-core/src/msg.rs:
+crates/storm-core/src/nm.rs:
+crates/storm-core/src/pl.rs:
+crates/storm-core/src/policy.rs:
+crates/storm-core/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storm_fs-b9d265c67eba5094.d: crates/storm-fs/src/lib.rs
+
+/root/repo/target/release/deps/storm_fs-b9d265c67eba5094: crates/storm-fs/src/lib.rs
+
+crates/storm-fs/src/lib.rs:

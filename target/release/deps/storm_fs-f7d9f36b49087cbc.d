@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/storm_fs-f7d9f36b49087cbc.d: crates/storm-fs/src/lib.rs
+
+/root/repo/target/release/deps/libstorm_fs-f7d9f36b49087cbc.rlib: crates/storm-fs/src/lib.rs
+
+/root/repo/target/release/deps/libstorm_fs-f7d9f36b49087cbc.rmeta: crates/storm-fs/src/lib.rs
+
+crates/storm-fs/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/storm_mech-3bca0870a1f360f2.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
+
+/root/repo/target/release/deps/storm_mech-3bca0870a1f360f2: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
+
+crates/storm-mech/src/lib.rs:
+crates/storm-mech/src/mech.rs:
+crates/storm-mech/src/memory.rs:
+crates/storm-mech/src/types.rs:

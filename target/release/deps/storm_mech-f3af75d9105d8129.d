@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/storm_mech-f3af75d9105d8129.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
+
+/root/repo/target/release/deps/libstorm_mech-f3af75d9105d8129.rlib: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
+
+/root/repo/target/release/deps/libstorm_mech-f3af75d9105d8129.rmeta: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
+
+crates/storm-mech/src/lib.rs:
+crates/storm-mech/src/mech.rs:
+crates/storm-mech/src/memory.rs:
+crates/storm-mech/src/types.rs:

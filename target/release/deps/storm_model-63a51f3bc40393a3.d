@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storm_model-63a51f3bc40393a3.d: crates/storm-model/src/lib.rs
+
+/root/repo/target/release/deps/storm_model-63a51f3bc40393a3: crates/storm-model/src/lib.rs
+
+crates/storm-model/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/storm_model-7be5154d92222b19.d: crates/storm-model/src/lib.rs
+
+/root/repo/target/release/deps/libstorm_model-7be5154d92222b19.rlib: crates/storm-model/src/lib.rs
+
+/root/repo/target/release/deps/libstorm_model-7be5154d92222b19.rmeta: crates/storm-model/src/lib.rs
+
+crates/storm-model/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/storm_net-5999bd406dc3e4f8.d: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+/root/repo/target/release/deps/libstorm_net-5999bd406dc3e4f8.rlib: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+/root/repo/target/release/deps/libstorm_net-5999bd406dc3e4f8.rmeta: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+crates/storm-net/src/lib.rs:
+crates/storm-net/src/contention.rs:
+crates/storm-net/src/networks.rs:
+crates/storm-net/src/qsnet.rs:
+crates/storm-net/src/topology.rs:

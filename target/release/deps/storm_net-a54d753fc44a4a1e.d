@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/storm_net-a54d753fc44a4a1e.d: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+/root/repo/target/release/deps/storm_net-a54d753fc44a4a1e: crates/storm-net/src/lib.rs crates/storm-net/src/contention.rs crates/storm-net/src/networks.rs crates/storm-net/src/qsnet.rs crates/storm-net/src/topology.rs
+
+crates/storm-net/src/lib.rs:
+crates/storm-net/src/contention.rs:
+crates/storm-net/src/networks.rs:
+crates/storm-net/src/qsnet.rs:
+crates/storm-net/src/topology.rs:

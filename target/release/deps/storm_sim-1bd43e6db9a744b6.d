@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/storm_sim-1bd43e6db9a744b6.d: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+/root/repo/target/release/deps/storm_sim-1bd43e6db9a744b6: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+crates/storm-sim/src/lib.rs:
+crates/storm-sim/src/engine.rs:
+crates/storm-sim/src/queue.rs:
+crates/storm-sim/src/rng.rs:
+crates/storm-sim/src/stats.rs:
+crates/storm-sim/src/time.rs:
+crates/storm-sim/src/trace.rs:

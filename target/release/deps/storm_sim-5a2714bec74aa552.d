@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/storm_sim-5a2714bec74aa552.d: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+/root/repo/target/release/deps/libstorm_sim-5a2714bec74aa552.rlib: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+/root/repo/target/release/deps/libstorm_sim-5a2714bec74aa552.rmeta: crates/storm-sim/src/lib.rs crates/storm-sim/src/engine.rs crates/storm-sim/src/queue.rs crates/storm-sim/src/rng.rs crates/storm-sim/src/stats.rs crates/storm-sim/src/time.rs crates/storm-sim/src/trace.rs
+
+crates/storm-sim/src/lib.rs:
+crates/storm-sim/src/engine.rs:
+crates/storm-sim/src/queue.rs:
+crates/storm-sim/src/rng.rs:
+crates/storm-sim/src/stats.rs:
+crates/storm-sim/src/time.rs:
+crates/storm-sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_properties-09c472533a4d89bb.d: crates/storm-apps/tests/workload_properties.rs
+
+/root/repo/target/release/deps/workload_properties-09c472533a4d89bb: crates/storm-apps/tests/workload_properties.rs
+
+crates/storm-apps/tests/workload_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_vs_backfill-c93b35a7ddd56e08.d: examples/batch_vs_backfill.rs
+
+/root/repo/target/release/examples/batch_vs_backfill-c93b35a7ddd56e08: examples/batch_vs_backfill.rs
+
+examples/batch_vs_backfill.rs:

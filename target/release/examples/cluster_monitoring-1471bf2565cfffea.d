@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cluster_monitoring-1471bf2565cfffea.d: examples/cluster_monitoring.rs
+
+/root/repo/target/release/examples/cluster_monitoring-1471bf2565cfffea: examples/cluster_monitoring.rs
+
+examples/cluster_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_detection-0869acb22b6f0c34.d: examples/fault_detection.rs
+
+/root/repo/target/release/examples/fault_detection-0869acb22b6f0c34: examples/fault_detection.rs
+
+examples/fault_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interactive_cluster-a0fdd3c340e8ddb1.d: examples/interactive_cluster.rs
+
+/root/repo/target/release/examples/interactive_cluster-a0fdd3c340e8ddb1: examples/interactive_cluster.rs
+
+examples/interactive_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/launcher_shootout-c6fcb8d102d47eaa.d: examples/launcher_shootout.rs
+
+/root/repo/target/release/examples/launcher_shootout-c6fcb8d102d47eaa: examples/launcher_shootout.rs
+
+examples/launcher_shootout.rs:

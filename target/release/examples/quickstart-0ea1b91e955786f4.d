@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0ea1b91e955786f4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0ea1b91e955786f4: examples/quickstart.rs
+
+examples/quickstart.rs:

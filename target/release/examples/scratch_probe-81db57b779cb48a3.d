@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_probe-81db57b779cb48a3.d: examples/scratch_probe.rs
+
+/root/repo/target/release/examples/scratch_probe-81db57b779cb48a3: examples/scratch_probe.rs
+
+examples/scratch_probe.rs:

@@ -97,7 +97,7 @@ fn three_jobs_round_robin_with_mpl3() {
         .collect();
     let spread = (times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - times.iter().cloned().fold(f64::INFINITY, f64::min))
-        .abs();
+    .abs();
     assert!(spread < 1.0, "MPL-3 completions cluster: {times:?}");
 }
 
@@ -119,7 +119,11 @@ fn space_sharing_runs_disjoint_jobs_concurrently() {
 #[test]
 fn strobes_are_issued_at_quantum_cadence() {
     let q = SimSpan::from_millis(10);
-    let mut c = Cluster::new(ClusterConfig::gang_cluster().with_nodes(4).with_timeslice(q));
+    let mut c = Cluster::new(
+        ClusterConfig::gang_cluster()
+            .with_nodes(4)
+            .with_timeslice(q),
+    );
     let j = c.submit(JobSpec::new(quick_app(2), 8).with_ranks_per_node(2));
     c.run_until_idle();
     let runtime = c.job(j).metrics.completed.unwrap().as_secs_f64();
@@ -138,7 +142,9 @@ fn interactive_job_beside_production_job() {
     let probe = c.submit_at(
         SimTime::from_secs(5),
         JobSpec::new(
-            AppSpec::Synthetic { compute: SimSpan::from_secs(1) },
+            AppSpec::Synthetic {
+                compute: SimSpan::from_secs(1),
+            },
             64,
         )
         .with_ranks_per_node(2),

@@ -18,8 +18,14 @@ fn launch(cfg: ClusterConfig, pes: u32, mb: u64) -> (f64, f64, f64) {
 #[test]
 fn headline_110ms_launch() {
     let (send, _exec, total) = launch(ClusterConfig::paper_cluster(), 256, 12);
-    assert!((send - 96.0).abs() < 8.0, "send {send:.1} ms vs paper 96 ms");
-    assert!((total - 110.0).abs() < 12.0, "total {total:.1} ms vs paper 110 ms");
+    assert!(
+        (send - 96.0).abs() < 8.0,
+        "send {send:.1} ms vs paper 96 ms"
+    );
+    assert!(
+        (total - 110.0).abs() < 12.0,
+        "total {total:.1} ms vs paper 110 ms"
+    );
 }
 
 #[test]
@@ -135,6 +141,9 @@ fn launch_works_on_every_cluster_size() {
             nodes, // 1 rank per node
             4,
         );
-        assert!(send > 0.0 && total > send, "{nodes} nodes: send {send}, total {total}");
+        assert!(
+            send > 0.0 && total > send,
+            "{nodes} nodes: send {send}, total {total}"
+        );
     }
 }

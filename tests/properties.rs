@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use storm::core::prelude::*;
-use storm::core::BuddyAllocator;
+use storm::core::{BuddyAllocator, GangMatrix};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -125,6 +125,101 @@ proptest! {
             turnaround < work * 1.15 + 1.0,
             "overhead bounded: {turnaround:.2} s for {work} s of work"
         );
+    }
+
+    /// Quarantine/rejoin invariants (S4): `alloc` never returns a
+    /// quarantined node, free-node accounting stays exact while nodes are
+    /// out, and capacity after every quarantined node rejoins equals the
+    /// capacity before the failures.
+    #[test]
+    fn buddy_never_allocates_quarantined_nodes(
+        total_log in 1u32..=8,
+        ops in prop::collection::vec((0u8..=3, 0u32..=255), 1..200),
+    ) {
+        let total = 1u32 << total_log;
+        let mut buddy = BuddyAllocator::new(total);
+        let capacity_before = buddy.free_nodes();
+        let mut live: Vec<std::ops::Range<u32>> = Vec::new();
+        let mut out: Vec<u32> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let want = (1u32 << (arg % 6)).min(total);
+                    if let Some(r) = buddy.alloc(want) {
+                        for q in &out {
+                            prop_assert!(!r.contains(q),
+                                "alloc {r:?} returned quarantined node {q}");
+                        }
+                        live.push(r);
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let idx = (arg as usize) % live.len();
+                        let r = live.swap_remove(idx);
+                        buddy.free(r.start);
+                    }
+                }
+                2 => {
+                    let node = arg % total;
+                    if buddy.quarantine(node) {
+                        out.push(node);
+                    }
+                }
+                _ => {
+                    if !out.is_empty() {
+                        let idx = (arg as usize) % out.len();
+                        let node = out.swap_remove(idx);
+                        prop_assert!(buddy.rejoin(node));
+                    }
+                }
+            }
+            let live_total: u32 = live.iter().map(|r| r.len() as u32).sum();
+            prop_assert_eq!(
+                buddy.free_nodes(),
+                total - live_total - out.len() as u32,
+                "free-node accounting with {} node(s) quarantined", out.len()
+            );
+        }
+        // Drain everything: after all rejoins + frees, full capacity is back.
+        for r in live.drain(..) {
+            buddy.free(r.start);
+        }
+        for node in out.drain(..) {
+            prop_assert!(buddy.rejoin(node));
+        }
+        prop_assert_eq!(buddy.free_nodes(), capacity_before);
+        prop_assert!(buddy.alloc(total).is_some(), "full-width block re-forms");
+    }
+
+    /// The gang matrix honours quarantine across slots: after evicting
+    /// victims and quarantining a node, no placement ever includes it, and
+    /// rejoin restores full-machine placement.
+    #[test]
+    fn matrix_placements_avoid_quarantined_node(
+        nodes_log in 2u32..=6,
+        victim in 0u32..=63,
+        sizes in prop::collection::vec(0u32..=4, 1..12),
+    ) {
+        let nodes = 1u32 << nodes_log;
+        let victim = victim % nodes;
+        let mut m = GangMatrix::new(nodes, 4);
+        prop_assert!(m.quarantine_node(victim));
+        let mut placed = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let want = (1u32 << (s % 5)).min(nodes);
+            if let Some((slot, range)) = m.place(JobId(i as u32), want) {
+                prop_assert!(!range.contains(&victim),
+                    "slot {slot} placement {range:?} includes quarantined {victim}");
+                placed.push(JobId(i as u32));
+            }
+        }
+        prop_assert!(!m.can_place(nodes), "full-width cannot fit minus one node");
+        for j in placed {
+            m.remove(j);
+        }
+        prop_assert!(m.rejoin_node(victim));
+        prop_assert!(m.can_place(nodes), "full capacity restored after rejoin");
     }
 
     /// Killing a job at an arbitrary instant always terminates the cluster

@@ -32,7 +32,10 @@ fn batch_runs_strictly_in_order() {
         .map(|&j| c.job(j).metrics.started.unwrap().as_secs_f64())
         .collect();
     assert!(starts[0] < starts[1] && starts[1] < starts[2]);
-    assert!(starts[1] >= 2.0, "second job waits for the first: {starts:?}");
+    assert!(
+        starts[1] >= 2.0,
+        "second job waits for the first: {starts:?}"
+    );
     assert!(starts[2] >= 4.0, "third job waits for both: {starts:?}");
 }
 
@@ -46,8 +49,16 @@ fn backfill_jumps_short_jobs_without_delaying_the_head() {
     let short = c.submit(synth(2, 8 * 4, 3));
     c.run_until_idle();
     let start = |j: JobId| c.job(j).metrics.started.unwrap().as_secs_f64();
-    assert!(start(short) < 2.0, "short backfilled immediately: {}", start(short));
-    assert!(start(wide) >= 30.0, "wide waited for the long job: {}", start(wide));
+    assert!(
+        start(short) < 2.0,
+        "short backfilled immediately: {}",
+        start(short)
+    );
+    assert!(
+        start(wide) >= 30.0,
+        "wide waited for the long job: {}",
+        start(wide)
+    );
     // EASY property: the wide job started essentially when the long job
     // ended — the backfilled job did not delay it.
     let long_done = c.job(long).metrics.completed.unwrap().as_secs_f64();
@@ -101,7 +112,11 @@ fn gang_timeshares_what_batch_serialises() {
 #[test]
 fn queue_drains_in_bounded_time() {
     // A stream of 12 mixed jobs must all complete under each policy.
-    for policy in [SchedulerKind::Gang, SchedulerKind::Batch, SchedulerKind::Backfill] {
+    for policy in [
+        SchedulerKind::Gang,
+        SchedulerKind::Batch,
+        SchedulerKind::Backfill,
+    ] {
         let mut c = cluster(policy, 2);
         let jobs: Vec<JobId> = (0..12)
             .map(|i| {

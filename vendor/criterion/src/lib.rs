@@ -1,0 +1,178 @@
+//! Offline vendored subset of the `criterion` benchmark API.
+//!
+//! This workspace builds with no access to crates.io; the criterion surface
+//! its one harness-less bench target uses is provided here. Measurement is a
+//! simple wall-clock sampler (median / mean / p95 over `sample_size`
+//! samples) — adequate for spotting order-of-magnitude regressions, with no
+//! statistical machinery, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup across iterations. All variants
+/// behave identically here (one setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Run `routine` over fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be ≥ 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        let fmt = |d: Duration| {
+            let ns = d.as_nanos();
+            if ns >= 1_000_000_000 {
+                format!("{:.3} s", d.as_secs_f64())
+            } else if ns >= 1_000_000 {
+                format!("{:.3} ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.3} µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns} ns")
+            }
+        };
+        if sorted.is_empty() {
+            println!("{id:<40} (no samples)");
+        } else {
+            let median = sorted[sorted.len() / 2];
+            let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+            let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+            println!(
+                "{id:<40} median {:>12}   mean {:>12}   p95 {:>12}   ({} samples)",
+                fmt(median),
+                fmt(mean),
+                fmt(p95),
+                sorted.len()
+            );
+        }
+        self
+    }
+
+    /// Parse CLI args (subset: everything is accepted and ignored) and
+    /// finish. Exists so `criterion_main!`'s expansion works unchanged.
+    pub fn final_summary(&self) {}
+
+    /// Upstream-compatible configuration hook (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}
