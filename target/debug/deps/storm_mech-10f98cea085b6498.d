@@ -1,10 +1,10 @@
-/root/repo/target/debug/deps/storm_mech-10f98cea085b6498.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/types.rs
+/root/repo/target/debug/deps/storm_mech-10f98cea085b6498.d: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
 
-/root/repo/target/debug/deps/libstorm_mech-10f98cea085b6498.rlib: crates/storm-mech/src/lib.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/types.rs
+/root/repo/target/debug/deps/libstorm_mech-10f98cea085b6498.rlib: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
 
-/root/repo/target/debug/deps/libstorm_mech-10f98cea085b6498.rmeta: crates/storm-mech/src/lib.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/types.rs
+/root/repo/target/debug/deps/libstorm_mech-10f98cea085b6498.rmeta: crates/storm-mech/src/lib.rs crates/storm-mech/src/mech.rs crates/storm-mech/src/memory.rs crates/storm-mech/src/types.rs
 
 crates/storm-mech/src/lib.rs:
-crates/storm-mech/src/memory.rs:
 crates/storm-mech/src/mech.rs:
+crates/storm-mech/src/memory.rs:
 crates/storm-mech/src/types.rs:
