@@ -1,0 +1,165 @@
+//! Simulator-core throughput: events/sec and events-per-timeslice across
+//! cluster sizes, with engine-level group delivery on and off.
+//!
+//! This is the bench behind the 4096-node scalability claim: with group
+//! delivery the event queue sees O(jobs) entries per timeslice, so the
+//! pop count per strobe stays flat as the machine grows, while the legacy
+//! per-NM encoding grows linearly. The acceptance bar is a ≥ 50× reduction
+//! in delivered events per timeslice at the largest size.
+//!
+//! Emits `BENCH_simcore.json` (override the path with `BENCH_OUT`); set
+//! `STORM_BENCH_SMOKE=1` for a small CI axis.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use storm_bench::check;
+use storm_core::prelude::*;
+
+struct Row {
+    nodes: u32,
+    group: bool,
+    events: u64,
+    messages: u64,
+    strobes: u64,
+    wall_s: f64,
+}
+
+impl Row {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn events_per_timeslice(&self) -> f64 {
+        self.events as f64 / (self.strobes as f64).max(1.0)
+    }
+}
+
+/// A fixed-size MPL-2 workload (launch + transfer + gang rotation) on an
+/// `nodes`-wide machine: the job-side work is constant, so any growth in
+/// event counts is pure fan-out overhead.
+fn run(nodes: u32, group: bool) -> Row {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_nodes(nodes)
+        .with_seed(0x51_C0DE)
+        .with_group_delivery(group);
+    let mut c = Cluster::new(cfg);
+    for _ in 0..2 {
+        c.submit(JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(100),
+            },
+            64,
+        ));
+    }
+    let t0 = Instant::now();
+    c.run_until_idle();
+    let wall_s = t0.elapsed().as_secs_f64();
+    Row {
+        nodes,
+        group,
+        events: c.events_delivered(),
+        messages: c.messages_handled(),
+        strobes: c.world().stats.strobes,
+        wall_s,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("STORM_BENCH_SMOKE").is_ok();
+    let axis: &[u32] = if smoke {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    println!("Simulator throughput: group delivery vs per-NM events");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>9} {:>12} {:>11}",
+        "nodes", "mode", "events", "messages", "ev/slice", "events/sec", "wall"
+    );
+
+    let mut rows = Vec::new();
+    for &n in axis {
+        for group in [false, true] {
+            let row = run(n, group);
+            println!(
+                "{:>6} {:>8} {:>12} {:>12} {:>9.1} {:>12.0} {:>9.3} s",
+                row.nodes,
+                if group { "group" } else { "unicast" },
+                row.events,
+                row.messages,
+                row.events_per_timeslice(),
+                row.events_per_sec(),
+                row.wall_s,
+            );
+            rows.push(row);
+        }
+    }
+
+    // Either encoding must invoke every handler the same number of times.
+    for pair in rows.chunks(2) {
+        check(
+            pair[0].messages == pair[1].messages,
+            &format!(
+                "{} nodes: handler invocations identical across modes",
+                pair[0].nodes
+            ),
+        );
+    }
+    // The headline number: delivered events per timeslice at the largest
+    // size, legacy vs grouped.
+    let max_n = *axis.last().unwrap();
+    let at_max = |group: bool| {
+        rows.iter()
+            .find(|r| r.nodes == max_n && r.group == group)
+            .unwrap()
+            .events_per_timeslice()
+    };
+    let ratio = at_max(false) / at_max(true);
+    println!("events-per-timeslice reduction at {max_n} nodes: {ratio:.0}x");
+    let bar = if smoke { 20.0 } else { 50.0 };
+    check(
+        ratio >= bar,
+        &format!("group delivery cuts events/timeslice >= {bar:.0}x at {max_n} nodes"),
+    );
+    // Grouped queue load per timeslice is O(jobs): flat in machine size.
+    let grouped: Vec<&Row> = rows.iter().filter(|r| r.group).collect();
+    let lo = grouped
+        .iter()
+        .map(|r| r.events_per_timeslice())
+        .fold(f64::INFINITY, f64::min);
+    let hi = grouped
+        .iter()
+        .map(|r| r.events_per_timeslice())
+        .fold(f64::NEG_INFINITY, f64::max);
+    check(
+        hi / lo < 2.0,
+        &format!("grouped events/timeslice flat across sizes ({lo:.1}-{hi:.1})"),
+    );
+
+    // Hand-rolled JSON (the repo vendors no serde).
+    let mut json = String::from("{\n  \"bench\": \"simcore\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"nodes\": {}, \"group_delivery\": {}, \"events_delivered\": {}, \
+             \"messages_handled\": {}, \"strobes\": {}, \"wall_seconds\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"events_per_timeslice\": {:.2}}}{}",
+            r.nodes,
+            r.group,
+            r.events,
+            r.messages,
+            r.strobes,
+            r.wall_s,
+            r.events_per_sec(),
+            r.events_per_timeslice(),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"events_per_timeslice_reduction_at_{max_n}\": {ratio:.1}\n}}"
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_simcore.json".into());
+    std::fs::write(&out, json).expect("write bench json");
+    println!("bench_sim_throughput: all checks passed; wrote {out}");
+}

@@ -6,6 +6,11 @@
 //! the increase in the number of nodes beyond that caused by the
 //! job-launch" — the gang scheduler coscheduled a 64-node machine as
 //! rapidly as a 1-node one.
+//!
+//! The paper measured 1–64 nodes (its machine's size) and §6 argues the
+//! design scales to thousands; with the engine's group delivery keeping
+//! the event queue O(jobs) per timeslice, we run the same sweep out to
+//! 4096 nodes and hold the flatness claim across the extrapolated range.
 
 use storm_bench::{check, parallel_sweep, pow2_range};
 use storm_core::prelude::*;
@@ -29,7 +34,7 @@ fn run(app: &AppSpec, nodes: u32, mpl: u32, seed: u64) -> f64 {
 
 fn main() {
     println!("Figure 5: total runtime / MPL vs node count (50 ms quantum, 2 ranks/node)");
-    let nodes_axis = pow2_range(1, 64);
+    let nodes_axis = pow2_range(1, 4096);
     let series: Vec<(&str, AppSpec, u32)> = vec![
         ("SWEEP3D MPL=1", AppSpec::sweep3d_default(), 1),
         ("SWEEP3D MPL=2", AppSpec::sweep3d_default(), 2),
@@ -71,7 +76,7 @@ fn main() {
         let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         check(
             hi / lo < 1.10,
-            &format!("{name}: runtime flat from 1 to 64 nodes ({lo:.1}-{hi:.1} s)"),
+            &format!("{name}: runtime flat from 1 to 4096 nodes ({lo:.1}-{hi:.1} s)"),
         );
     }
     // MPL=2 normalised ≈ MPL=1 at every size.

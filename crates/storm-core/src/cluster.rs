@@ -199,8 +199,20 @@ impl Cluster {
     }
 
     /// Total simulation events delivered (simulator-performance metric).
+    /// A group delivery counts once however many components it reaches;
+    /// this is the queue-pressure number that used to grow O(nodes).
     pub fn events_delivered(&self) -> u64 {
         self.sim.events_delivered()
+    }
+
+    /// Total component handler invocations. Unlike [`events_delivered`],
+    /// this counts every member of a group delivery, so it is identical
+    /// with and without `group_delivery` — which the determinism tests
+    /// exploit.
+    ///
+    /// [`events_delivered`]: Cluster::events_delivered
+    pub fn messages_handled(&self) -> u64 {
+        self.sim.messages_handled()
     }
 
     /// Summarise all jobs.

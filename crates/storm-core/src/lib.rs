@@ -76,7 +76,7 @@ pub use config::{ClusterConfig, DaemonCosts, SchedulerKind};
 pub use fault::{FailurePolicy, FaultEvent, FaultSchedule};
 pub use job::{JobId, JobMetrics, JobSpec, JobState};
 pub use matrix::GangMatrix;
-pub use world::World;
+pub use world::{ClusterStats, World};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
@@ -84,6 +84,7 @@ pub mod prelude {
     pub use crate::config::{ClusterConfig, DaemonCosts, SchedulerKind};
     pub use crate::fault::{FailurePolicy, FaultEvent, FaultSchedule};
     pub use crate::job::{JobId, JobMetrics, JobSpec, JobState};
+    pub use crate::world::ClusterStats;
     pub use storm_apps::AppSpec;
     pub use storm_fs::FsKind;
     pub use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};

@@ -10,14 +10,18 @@
 
 use crate::buddy::BuddyAllocator;
 use crate::job::JobId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::ops::Range;
 
 /// One time slot of the matrix.
 #[derive(Debug, Clone)]
 struct Slot {
     buddy: BuddyAllocator,
-    jobs: HashMap<JobId, Range<u32>>,
+    /// Jobs in the slot, sorted by id. A slot holds few jobs, so a sorted
+    /// vector makes lookups cheap, keeps iteration deterministic without
+    /// collect-and-sort, and lets `jobs_in_slot` hand out a borrowed slice
+    /// instead of building a fresh `Vec` on every call.
+    jobs: Vec<(JobId, Range<u32>)>,
 }
 
 impl Slot {
@@ -28,7 +32,28 @@ impl Slot {
         }
         Slot {
             buddy,
-            jobs: HashMap::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, job: JobId, range: Range<u32>) {
+        match self.jobs.binary_search_by_key(&job, |(j, _)| *j) {
+            Ok(pos) => self.jobs[pos].1 = range,
+            Err(pos) => self.jobs.insert(pos, (job, range)),
+        }
+    }
+
+    fn remove(&mut self, job: JobId) -> Option<Range<u32>> {
+        match self.jobs.binary_search_by_key(&job, |(j, _)| *j) {
+            Ok(pos) => Some(self.jobs.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    fn get(&self, job: JobId) -> Option<&Range<u32>> {
+        match self.jobs.binary_search_by_key(&job, |(j, _)| *j) {
+            Ok(pos) => Some(&self.jobs[pos].1),
+            Err(_) => None,
         }
     }
 }
@@ -90,7 +115,7 @@ impl GangMatrix {
         }
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             if let Some(range) = slot.buddy.alloc(nodes_needed) {
-                slot.jobs.insert(job, range.clone());
+                slot.insert(job, range.clone());
                 return Some((idx, range));
             }
         }
@@ -99,7 +124,7 @@ impl GangMatrix {
             // With healthy nodes a feasible job always fits a fresh slot;
             // under quarantine even an empty slot may be too fragmented.
             let range = slot.buddy.alloc(nodes_needed)?;
-            slot.jobs.insert(job, range.clone());
+            slot.insert(job, range.clone());
             self.slots.push(slot);
             return Some((self.slots.len() - 1, range));
         }
@@ -116,7 +141,7 @@ impl GangMatrix {
         if self
             .slots
             .iter()
-            .any(|s| s.jobs.values().any(|r| r.contains(&node)))
+            .any(|s| s.jobs.iter().any(|(_, r)| r.contains(&node)))
         {
             return false;
         }
@@ -155,7 +180,7 @@ impl GangMatrix {
     /// Remove a job, freeing its block. Returns its former `(slot, range)`.
     pub fn remove(&mut self, job: JobId) -> Option<(usize, Range<u32>)> {
         for (idx, slot) in self.slots.iter_mut().enumerate() {
-            if let Some(range) = slot.jobs.remove(&job) {
+            if let Some(range) = slot.remove(job) {
                 slot.buddy.free(range.start);
                 return Some((idx, range));
             }
@@ -163,25 +188,19 @@ impl GangMatrix {
         None
     }
 
-    /// Jobs in a slot, sorted by id for determinism.
-    pub fn jobs_in_slot(&self, slot: usize) -> Vec<(JobId, Range<u32>)> {
-        let mut v: Vec<(JobId, Range<u32>)> = self.slots[slot]
-            .jobs
-            .iter()
-            .map(|(&j, r)| (j, r.clone()))
-            .collect();
-        v.sort_by_key(|(j, _)| *j);
-        v
+    /// Jobs in a slot, sorted by id (borrowed — no per-call allocation).
+    pub fn jobs_in_slot(&self, slot: usize) -> &[(JobId, Range<u32>)] {
+        &self.slots[slot].jobs
     }
 
     /// The slot a job lives in, if placed.
     pub fn slot_of(&self, job: JobId) -> Option<usize> {
-        self.slots.iter().position(|s| s.jobs.contains_key(&job))
+        self.slots.iter().position(|s| s.get(job).is_some())
     }
 
     /// The node range of a placed job.
     pub fn range_of(&self, job: JobId) -> Option<Range<u32>> {
-        self.slots.iter().find_map(|s| s.jobs.get(&job).cloned())
+        self.slots.iter().find_map(|s| s.get(job).cloned())
     }
 
     /// The next non-empty slot after `current` in round-robin order — the
@@ -227,7 +246,7 @@ impl GangMatrix {
     /// jobs overlap. (Debug/testing aid.)
     pub fn check_invariants(&self) {
         for slot in &self.slots {
-            let mut ranges: Vec<&Range<u32>> = slot.jobs.values().collect();
+            let mut ranges: Vec<&Range<u32>> = slot.jobs.iter().map(|(_, r)| r).collect();
             ranges.sort_by_key(|r| r.start);
             for w in ranges.windows(2) {
                 assert!(

@@ -23,7 +23,7 @@ use crate::policy::{self, QueuedJob, RunningJob};
 use crate::world::World;
 use std::collections::HashSet;
 use storm_mech::{CmpOp, NodeId, NodeSet};
-use storm_sim::{Component, Context, SimSpan, SimTime};
+use storm_sim::{Component, Context, GroupSchedule, SimSpan, SimTime};
 
 /// Size of a control multicast (strobe, launch command, heartbeat) in
 /// bytes.
@@ -82,6 +82,30 @@ impl MachineManager {
         NodeSet::Range {
             start: alloc.nodes.start,
             len: alloc.nodes.end - alloc.nodes.start,
+        }
+    }
+
+    /// Deliver `msg` to the NMs of `set`, member `rank` arriving at
+    /// `schedule.arrival(base, rank)`. With `cfg.group_delivery` this is a
+    /// single group event the engine expands lazily in node order; without
+    /// it, one queue entry per NM (the legacy shape). Both consume the same
+    /// sequence-number width, so traces are byte-identical either way.
+    fn fan_out(
+        &self,
+        ctx: &mut Context<'_, World, Msg>,
+        set: &NodeSet,
+        base: SimTime,
+        schedule: GroupSchedule,
+        msg: Msg,
+    ) {
+        if ctx.world_ref().cfg.group_delivery {
+            let targets = ctx.world_ref().wiring.nm_targets(set);
+            ctx.multicast(targets, base, schedule, msg);
+        } else {
+            for rank in 0..set.len() {
+                let nm = ctx.world_ref().wiring.nms[set.get(rank).index()];
+                ctx.send_at(nm, schedule.arrival(base, rank), msg.clone());
+            }
         }
     }
 
@@ -306,13 +330,13 @@ impl MachineManager {
         let src_node = NodeId(0); // management node doubles as node 0's host
         let result = {
             let (world, rng) = ctx.world_and_rng();
-            world.mech.xfer_and_signal(
+            world.mech.xfer_fanout(
                 issue_at, src_node, &set, bytes, placement, None, None, load, rng,
             )
         };
         match result {
-            Ok(timing) => {
-                let arrival = timing.all_arrived();
+            Ok(fan) => {
+                let arrival = fan.all_arrived();
                 ctx.world().bcast_dev.transmit(start, arrival.since(start));
                 ctx.world().stats.fragments += 1;
                 {
@@ -320,21 +344,20 @@ impl MachineManager {
                     t.next_bcast += 1;
                     t.bcast_busy = true;
                 }
-                let nms: Vec<storm_sim::ComponentId> = set
-                    .iter()
-                    .map(|n| ctx.world_ref().wiring.nms[n.index()])
-                    .collect();
-                for nm in nms {
-                    ctx.send_at(
-                        nm,
-                        arrival,
-                        Msg::Fragment {
-                            job,
-                            chunk: k,
-                            attempt,
-                        },
-                    );
-                }
+                // Every NM sees the fragment once the whole broadcast has
+                // landed (the protocol signals completion, not per-node
+                // receipt), so the group delivers simultaneously.
+                self.fan_out(
+                    ctx,
+                    &set,
+                    arrival,
+                    GroupSchedule::Simultaneous,
+                    Msg::Fragment {
+                        job,
+                        chunk: k,
+                        attempt,
+                    },
+                );
                 let mm = ctx.self_id();
                 ctx.send_at(
                     mm,
@@ -435,7 +458,7 @@ impl MachineManager {
             };
             let result = {
                 let (world, rng) = ctx.world_and_rng();
-                world.mech.xfer_and_signal(
+                world.mech.xfer_fanout(
                     now,
                     NodeId(0),
                     &set,
@@ -447,7 +470,7 @@ impl MachineManager {
                     rng,
                 )
             };
-            let Ok(timing) = result else {
+            let Ok(fan) = result else {
                 ctx.world().stats.xfer_retries += 1;
                 continue; // retried at the next tick
             };
@@ -458,15 +481,11 @@ impl MachineManager {
             }
             ctx.trace("mm.launch_cmd", || format!("{job}"));
             let attempt = ctx.world_ref().job(job).attempt;
-            let arrivals: Vec<(usize, SimTime)> = timing
-                .arrivals
-                .iter()
-                .map(|&(n, t)| (n.index(), t))
-                .collect();
-            for (node, at) in arrivals {
-                let nm = ctx.world_ref().wiring.nms[node];
-                ctx.send_at(nm, at, Msg::LaunchCmd { job, attempt });
-            }
+            // Launch commands arrive with the network's per-rank skew
+            // (simultaneous on hardware multicast, staggered down the
+            // emulation tree).
+            let (base, schedule) = fan.delivery_schedule();
+            self.fan_out(ctx, &set, base, schedule, Msg::LaunchCmd { job, attempt });
         }
     }
 
@@ -501,7 +520,7 @@ impl MachineManager {
         let set = NodeSet::All(nodes);
         let result = {
             let (world, rng) = ctx.world_and_rng();
-            world.mech.xfer_and_signal(
+            world.mech.xfer_fanout(
                 now,
                 NodeId(0),
                 &set,
@@ -513,17 +532,22 @@ impl MachineManager {
                 rng,
             )
         };
-        let Ok(timing) = result else {
+        let Ok(fan) = result else {
             ctx.world().stats.xfer_retries += 1;
             return;
         };
         ctx.world().stats.strobes += 1;
-        let arrival = timing.all_arrived();
-        let nms: Vec<storm_sim::ComponentId> = ctx.world_ref().wiring.nms.clone();
+        // The context switch is *coordinated*: every NM acts when the
+        // whole strobe multicast has completed, not at its own arrival.
+        let arrival = fan.all_arrived();
         let slot = u32::try_from(next).expect("slot index");
-        for nm in nms {
-            ctx.send_at(nm, arrival, Msg::Strobe { slot });
-        }
+        self.fan_out(
+            ctx,
+            &set,
+            arrival,
+            GroupSchedule::Simultaneous,
+            Msg::Strobe { slot },
+        );
     }
 
     // ----------------------------------------------------------- reports —
@@ -546,9 +570,11 @@ impl MachineManager {
             ctx.world().job_mut(job).metrics.transfer_done = Some(now);
             self.ensure_tick(ctx); // a Tick must follow to issue the launch
         }
-        // NM reports.
-        let reports = std::mem::take(&mut self.pending_reports);
-        for (_node, job, attempt, kind) in reports {
+        // NM reports. Take the buffer out for the borrow, drain it, and put
+        // it back so its capacity is reused every collection instead of
+        // reallocated from scratch.
+        let mut reports = std::mem::take(&mut self.pending_reports);
+        for (_node, job, attempt, kind) in reports.drain(..) {
             ctx.world().stats.reports += 1;
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
@@ -583,6 +609,8 @@ impl MachineManager {
                 }
             }
         }
+        reports.append(&mut self.pending_reports);
+        self.pending_reports = reports;
     }
 
     fn complete_job(
@@ -647,11 +675,18 @@ impl MachineManager {
                 }
             }
         }
-        let alive: Vec<NodeId> = (0..nodes)
-            .filter(|n| !self.detected_failed.contains(n))
-            .map(NodeId)
-            .collect();
-        let alive_set = NodeSet::from_list(alive);
+        // The common case — no detected failures — needs no list at all;
+        // `All` iterates the same members in the same order.
+        let alive_set = if self.detected_failed.is_empty() {
+            NodeSet::All(nodes)
+        } else {
+            NodeSet::from_list(
+                (0..nodes)
+                    .filter(|n| !self.detected_failed.contains(n))
+                    .map(NodeId)
+                    .collect(),
+            )
+        };
         if round > 0 && !alive_set.is_empty() {
             // Query receipt of the previous round's heartbeat with
             // COMPARE-AND-WRITE (§4 "Fault detection").
@@ -709,7 +744,7 @@ impl MachineManager {
         let set = NodeSet::All(nodes);
         let result = {
             let (world, rng) = ctx.world_and_rng();
-            world.mech.xfer_and_signal(
+            world.mech.xfer_fanout(
                 now,
                 NodeId(0),
                 &set,
@@ -721,17 +756,16 @@ impl MachineManager {
                 rng,
             )
         };
-        if let Ok(timing) = result {
+        if let Ok(fan) = result {
             ctx.world().hb_round = new_round;
-            let arrivals: Vec<(usize, SimTime)> = timing
-                .arrivals
-                .iter()
-                .map(|&(n, t)| (n.index(), t))
-                .collect();
-            for (node, at) in arrivals {
-                let nm = ctx.world_ref().wiring.nms[node];
-                ctx.send_at(nm, at, Msg::Heartbeat { round: new_round });
-            }
+            let (base, schedule) = fan.delivery_schedule();
+            self.fan_out(
+                ctx,
+                &set,
+                base,
+                schedule,
+                Msg::Heartbeat { round: new_round },
+            );
         } else {
             ctx.world().stats.xfer_retries += 1;
         }

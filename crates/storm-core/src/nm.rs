@@ -23,7 +23,6 @@
 
 use crate::msg::{Msg, ReportKind};
 use crate::world::World;
-use std::collections::HashMap;
 use storm_apps::WorkloadCursor;
 use storm_mech::NodeId;
 use storm_sim::{Component, Context, SimSpan, SimTime};
@@ -56,7 +55,11 @@ pub struct NodeManager {
     /// True when the interval beginning at `last_strobe` started with a
     /// context switch (its overhead is charged to that interval).
     switch_pending: bool,
-    local: HashMap<crate::job::JobId, LocalJob>,
+    /// Resident jobs, sorted by id. A node hosts at most `mpl_max` jobs,
+    /// so a sorted vector beats a hash map: lookups are a binary search
+    /// over a handful of entries and the per-strobe scan walks it in job
+    /// order with no collect-and-sort allocation.
+    local: Vec<(crate::job::JobId, LocalJob)>,
     pending_reports: Vec<(crate::job::JobId, u32, ReportKind)>,
     flush_scheduled: bool,
     /// Injected dæmon stall: until this instant, message processing is
@@ -75,7 +78,7 @@ impl NodeManager {
             current_slot: 0,
             last_strobe: SimTime::ZERO,
             switch_pending: false,
-            local: HashMap::new(),
+            local: Vec::new(),
             pending_reports: Vec::new(),
             flush_scheduled: false,
             stalled_until: None,
@@ -84,6 +87,20 @@ impl NodeManager {
 
     fn node_id(&self) -> NodeId {
         NodeId(self.node)
+    }
+
+    fn local_mut(&mut self, job: crate::job::JobId) -> Option<&mut LocalJob> {
+        match self.local.binary_search_by_key(&job, |&(j, _)| j) {
+            Ok(pos) => Some(&mut self.local[pos].1),
+            Err(_) => None,
+        }
+    }
+
+    fn local_insert(&mut self, job: crate::job::JobId, state: LocalJob) {
+        match self.local.binary_search_by_key(&job, |&(j, _)| j) {
+            Ok(pos) => self.local[pos].1 = state,
+            Err(pos) => self.local.insert(pos, (job, state)),
+        }
     }
 
     fn buffer_report(
@@ -115,15 +132,12 @@ impl NodeManager {
         if interval.is_zero() {
             return;
         }
-        let jobs: Vec<crate::job::JobId> = self
+        let m = self
             .local
             .iter()
-            .filter(|(_, l)| l.started_at.is_some() && !l.done)
-            .map(|(&j, _)| j)
-            .collect();
-        let m = jobs
-            .iter()
-            .filter(|&&j| !ctx.world_ref().job(j).state.is_terminal())
+            .filter(|&&(j, ref l)| {
+                l.started_at.is_some() && !l.done && !ctx.world_ref().job(j).state.is_terminal()
+            })
             .count() as u64;
         if m == 0 {
             return;
@@ -151,17 +165,17 @@ impl NodeManager {
                 stretched + penalty
             }
         };
-        let mut sorted = jobs;
-        sorted.sort_unstable();
-        for job in sorted {
+        // `local` is sorted by job id, so this walks the same order the
+        // old collect-and-sort did; nothing in the loop body adds or
+        // removes entries, so plain indexing is safe.
+        for idx in 0..self.local.len() {
+            let job = self.local[idx].0;
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
             }
             let attempt = ctx.world_ref().job(job).attempt;
             let finished_at = {
-                let Some(local) = self.local.get_mut(&job) else {
-                    continue;
-                };
+                let local = &mut self.local[idx].1;
                 if local.attempt != attempt {
                     continue; // stale incarnation, job was requeued
                 }
@@ -215,7 +229,6 @@ impl NodeManager {
         } else {
             SimSpan::ZERO
         };
-        let jobs: Vec<crate::job::JobId> = ctx.world_ref().jobs_in_slot(slot).to_vec();
         // Copy what the comm closure needs before borrowing jobs mutably.
         let qsnet = ctx.world_ref().qsnet;
         let load = ctx.world_ref().cfg.load;
@@ -236,13 +249,18 @@ impl NodeManager {
                 }
             }
         };
-        for job in jobs {
+        let last_strobe = self.last_strobe;
+        // Index into the world's slot list instead of copying it: the loop
+        // body never edits slot membership, so the indices stay stable and
+        // the per-strobe `to_vec` this used to do is gone.
+        for i in 0..ctx.world_ref().jobs_in_slot(slot).len() {
+            let job = ctx.world_ref().jobs_in_slot(slot)[i];
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
             }
             let attempt = ctx.world_ref().job(job).attempt;
             let finished_at = {
-                let Some(local) = self.local.get_mut(&job) else {
+                let Some(local) = self.local_mut(job) else {
                     continue;
                 };
                 if local.attempt != attempt {
@@ -254,7 +272,7 @@ impl NodeManager {
                 if local.done {
                     continue;
                 }
-                let from = self.last_strobe.max(started);
+                let from = last_strobe.max(started);
                 let grant = now.saturating_since(from).saturating_sub(overhead);
                 if grant.is_zero() {
                     continue;
@@ -364,7 +382,7 @@ impl Component<World, Msg> for NodeManager {
                 if ranks_here == 0 {
                     return;
                 }
-                self.local.insert(
+                self.local_insert(
                     job,
                     LocalJob {
                         ranks: ranks_here,
@@ -395,7 +413,7 @@ impl Component<World, Msg> for NodeManager {
                 }
             }
             Msg::ForkDone { job, attempt, .. } => {
-                let Some(local) = self.local.get_mut(&job) else {
+                let Some(local) = self.local_mut(job) else {
                     return;
                 };
                 if local.attempt != attempt {
@@ -409,7 +427,7 @@ impl Component<World, Msg> for NodeManager {
             }
             Msg::PlExited { job, attempt, .. } => {
                 let now = ctx.now();
-                let Some(local) = self.local.get_mut(&job) else {
+                let Some(local) = self.local_mut(job) else {
                     return;
                 };
                 if local.attempt != attempt {
@@ -486,8 +504,10 @@ impl Component<World, Msg> for NodeManager {
                         w.cfg.daemon.os_delay_mean,
                     )
                 };
-                let reports = std::mem::take(&mut self.pending_reports);
-                for (job, attempt, kind) in reports {
+                // Take-drain-restore keeps the buffer's capacity across
+                // flushes instead of reallocating it each boundary.
+                let mut reports = std::mem::take(&mut self.pending_reports);
+                for (job, attempt, kind) in reports.drain(..) {
                     // Small point-to-point message to the MM plus OS noise.
                     let os =
                         SimSpan::from_secs_f64(ctx.rng().exponential(os_mean.as_secs_f64() / 4.0));
@@ -503,6 +523,8 @@ impl Component<World, Msg> for NodeManager {
                         },
                     );
                 }
+                reports.append(&mut self.pending_reports);
+                self.pending_reports = reports;
             }
             Msg::FailNode => {
                 self.failed = true;

@@ -6,9 +6,10 @@ use crate::config::ClusterConfig;
 use crate::job::{JobId, JobRecord};
 use crate::matrix::GangMatrix;
 use std::collections::VecDeque;
-use storm_mech::Mechanisms;
+use std::sync::Arc;
+use storm_mech::{Mechanisms, NodeSet};
 use storm_net::{Nic, QsNetModel};
-use storm_sim::{ComponentId, SimSpan, SimTime};
+use storm_sim::{ComponentId, GroupTargets, SimSpan, SimTime};
 
 /// Component wiring: where each dæmon lives in the simulation.
 #[derive(Debug, Clone, Default)]
@@ -21,8 +22,41 @@ pub struct Wiring {
     pub pls: Vec<Vec<ComponentId>>,
 }
 
+impl Wiring {
+    /// The [`GroupTargets`] addressing the NMs of a node set, in ascending
+    /// node order. `Cluster::new` lays NMs out at a fixed component-id
+    /// stride, so `All`/`Range` sets need no per-member allocation at all;
+    /// `List` sets (fault-detection survivors) materialise a shared slice.
+    pub fn nm_targets(&self, set: &NodeSet) -> GroupTargets {
+        let stride = if self.nms.len() >= 2 {
+            u32::try_from(self.nms[1].index() - self.nms[0].index()).expect("nm stride")
+        } else {
+            1
+        };
+        match *set {
+            NodeSet::All(n) => {
+                debug_assert_eq!(n as usize, self.nms.len());
+                GroupTargets::Strided {
+                    first: self.nms[0],
+                    stride,
+                    len: n,
+                }
+            }
+            NodeSet::Range { start, len } => GroupTargets::Strided {
+                first: self.nms[start as usize],
+                stride,
+                len,
+            },
+            NodeSet::List(ref v) => {
+                let ids: Arc<[ComponentId]> = v.iter().map(|n| self.nms[n.index()]).collect();
+                GroupTargets::List(ids)
+            }
+        }
+    }
+}
+
 /// Cluster-wide counters, for tests, reports and the benches.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusterStats {
     /// Strobe multicasts issued by the MM.
     pub strobes: u64,

@@ -33,7 +33,7 @@ pub mod memory;
 pub mod types;
 
 pub use mech::{
-    CawResult, ErrorBurst, FaultPlan, MechanismImpl, Mechanisms, XferError, XferTiming,
+    CawResult, ErrorBurst, FaultPlan, MechanismImpl, Mechanisms, XferError, XferFanout, XferTiming,
 };
 pub use memory::GlobalMemory;
-pub use types::{CmpOp, EventId, NodeId, NodeSet, VarId};
+pub use types::{CmpOp, EventId, NodeId, NodeSet, NodeSetIter, VarId};

@@ -27,7 +27,7 @@
 use crate::memory::GlobalMemory;
 use crate::types::{CmpOp, EventId, NodeId, NodeSet, VarId};
 use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind, QsNetModel};
-use storm_sim::{DeterministicRng, SimSpan, SimTime};
+use storm_sim::{tree_depth, DeterministicRng, GroupSchedule, SimSpan, SimTime};
 
 /// How the mechanisms are implemented on the target network.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +71,68 @@ impl XferTiming {
             .map(|&(_, t)| t)
             .max()
             .unwrap_or(self.source_complete)
+    }
+}
+
+/// Completion profile of one XFER-AND-SIGNAL in O(1) space: per-rank
+/// arrival instants are *computed* instead of materialised as a `Vec` —
+/// the allocation-free counterpart of [`XferTiming`] for hot paths that
+/// multicast to thousands of nodes every timeslice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XferFanout {
+    /// When the source's local event fires (DMA drained from the source).
+    pub source_complete: SimTime,
+    /// Number of destinations.
+    pub len: u32,
+    kind: FanoutKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FanoutKind {
+    /// Hardware multicast: every destination at one instant.
+    Uniform { arrival: SimTime },
+    /// Software tree: rank `r` arrives at
+    /// `base + per_hop × tree_depth(r+1, fanout)`.
+    Tree {
+        base: SimTime,
+        per_hop: SimSpan,
+        fanout: u32,
+    },
+}
+
+impl XferFanout {
+    /// Arrival instant of the `rank`-th destination (in `NodeSet` order).
+    pub fn arrival(&self, rank: u32) -> SimTime {
+        match self.kind {
+            FanoutKind::Uniform { arrival } => arrival,
+            FanoutKind::Tree {
+                base,
+                per_hop,
+                fanout,
+            } => base + per_hop * tree_depth(u64::from(rank) + 1, u64::from(fanout)),
+        }
+    }
+
+    /// The latest destination arrival (the whole set has the data).
+    pub fn all_arrived(&self) -> SimTime {
+        match self.kind {
+            FanoutKind::Uniform { arrival } => arrival,
+            _ => self.arrival(self.len - 1),
+        }
+    }
+
+    /// The `(base, schedule)` pair for the engine's group delivery:
+    /// `schedule.arrival(base, rank)` equals [`XferFanout::arrival`] for
+    /// every rank.
+    pub fn delivery_schedule(&self) -> (SimTime, GroupSchedule) {
+        match self.kind {
+            FanoutKind::Uniform { arrival } => (arrival, GroupSchedule::Simultaneous),
+            FanoutKind::Tree {
+                base,
+                per_hop,
+                fanout,
+            } => (base, GroupSchedule::FanoutTree { per_hop, fanout }),
+        }
     }
 }
 
@@ -211,22 +273,62 @@ impl Mechanisms {
         load: BackgroundLoad,
         rng: &mut DeterministicRng,
     ) -> Result<XferTiming, XferError> {
+        let fan = self.xfer_fanout(
+            now,
+            src_node,
+            dests,
+            bytes,
+            placement,
+            local_event,
+            remote_event,
+            load,
+            rng,
+        )?;
+        Ok(XferTiming {
+            source_complete: fan.source_complete,
+            arrivals: dests
+                .iter()
+                .enumerate()
+                .map(|(rank, n)| (n, fan.arrival(rank as u32)))
+                .collect(),
+        })
+    }
+
+    /// [`Mechanisms::xfer_and_signal`] without the per-destination `Vec`:
+    /// identical semantics, timing and RNG consumption, but the arrival
+    /// profile comes back as an O(1) [`XferFanout`] — what the MM's
+    /// per-timeslice multicasts (strobe, heartbeat, launch command,
+    /// broadcast fragment) use so a fan-out to N nodes allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn xfer_fanout(
+        &mut self,
+        now: SimTime,
+        src_node: NodeId,
+        dests: &NodeSet,
+        bytes: u64,
+        placement: BufferPlacement,
+        local_event: Option<EventId>,
+        remote_event: Option<EventId>,
+        load: BackgroundLoad,
+        rng: &mut DeterministicRng,
+    ) -> Result<XferFanout, XferError> {
         assert!(!dests.is_empty(), "XFER-AND-SIGNAL needs a destination set");
         self.xfer_count += 1;
         let err_prob = self.fault.xfer_error_prob_at(now);
         if err_prob > 0.0 && rng.uniform() < err_prob {
             return Err(XferError);
         }
-        let timing = match &self.imp {
+        let fan = match &self.imp {
             MechanismImpl::Hardware(model) => {
                 // Hardware multicast: one ordered, reliable fan-out; all
                 // destinations see the data at the same instant.
                 let base = model.broadcast_span(bytes, placement);
                 let span = widen_by_load(base, bytes, load, model.broadcast_bw(placement));
                 let arrival = now + span;
-                XferTiming {
+                XferFanout {
                     source_complete: arrival,
-                    arrivals: dests.iter().map(|n| (n, arrival)).collect(),
+                    len: dests.len(),
+                    kind: FanoutKind::Uniform { arrival },
                 }
             }
             MechanismImpl::EmulatedTree { kind, fanout } => {
@@ -242,29 +344,26 @@ impl Mechanisms {
                 let per_hop_xfer =
                     SimSpan::for_bytes(bytes, load.effective_bw(per_node_bw).max(1.0));
                 let per_hop = load.inflate(hop_cost) + per_hop_xfer;
-                let arrivals: Vec<(NodeId, SimTime)> = dests
-                    .iter()
-                    .enumerate()
-                    .map(|(rank, n)| {
-                        let depth = tree_depth(rank as u64 + 1, u64::from(*fanout));
-                        (n, now + per_hop * depth)
-                    })
-                    .collect();
-                XferTiming {
+                XferFanout {
                     source_complete: now + per_hop,
-                    arrivals,
+                    len: dests.len(),
+                    kind: FanoutKind::Tree {
+                        base: now,
+                        per_hop,
+                        fanout: *fanout,
+                    },
                 }
             }
         };
         if let Some(ev) = remote_event {
-            for &(n, at) in &timing.arrivals {
-                self.memory.signal(n, ev, at);
+            for (rank, n) in dests.iter().enumerate() {
+                self.memory.signal(n, ev, fan.arrival(rank as u32));
             }
         }
         if let Some(ev) = local_event {
-            self.memory.signal(src_node, ev, timing.source_complete);
+            self.memory.signal(src_node, ev, fan.source_complete);
         }
-        Ok(timing)
+        Ok(fan)
     }
 
     /// **TEST-EVENT** — poll a local event at `now`. Returns whether it is
@@ -355,22 +454,6 @@ impl Mechanisms {
         }
         Some(self.compare_and_write(now, set, var, op, value, write, load))
     }
-}
-
-/// Depth of the `rank`-th destination (1-based) in a `fanout`-ary
-/// distribution tree rooted at the source.
-fn tree_depth(rank: u64, fanout: u64) -> u64 {
-    debug_assert!(fanout >= 2);
-    // Nodes at depth d (excluding the root): fanout^1 + … + fanout^d.
-    let mut depth = 0u64;
-    let mut covered = 0u64;
-    let mut level = 1u64;
-    while covered < rank {
-        depth += 1;
-        level *= fanout;
-        covered += level;
-    }
-    depth
 }
 
 /// Inflate a hardware-broadcast span by the background network load: the
@@ -643,6 +726,57 @@ mod tests {
             .unwrap()
             .all_arrived();
         assert!(loaded.as_nanos() > 5 * quiet.as_nanos());
+    }
+
+    #[test]
+    fn fanout_profile_matches_materialised_timing() {
+        // Same inputs → XferFanout::arrival(rank) must equal the rank-th
+        // entry of XferTiming::arrivals, on both implementations.
+        for mut m in [
+            Mechanisms::qsnet(64),
+            Mechanisms::new(MechanismImpl::emulated(NetworkKind::Myrinet), 64),
+        ] {
+            let set = NodeSet::Range { start: 3, len: 40 };
+            let now = SimTime::from_millis(2);
+            let fan = m
+                .xfer_fanout(
+                    now,
+                    NodeId(0),
+                    &set,
+                    4096,
+                    BufferPlacement::MainMemory,
+                    None,
+                    None,
+                    BackgroundLoad::NONE,
+                    &mut rng(),
+                )
+                .unwrap();
+            let timing = m
+                .xfer_and_signal(
+                    now,
+                    NodeId(0),
+                    &set,
+                    4096,
+                    BufferPlacement::MainMemory,
+                    None,
+                    None,
+                    BackgroundLoad::NONE,
+                    &mut rng(),
+                )
+                .unwrap();
+            assert_eq!(fan.len, 40);
+            assert_eq!(fan.source_complete, timing.source_complete);
+            assert_eq!(fan.all_arrived(), timing.all_arrived());
+            for (rank, &(n, at)) in timing.arrivals.iter().enumerate() {
+                assert_eq!(set.get(rank as u32), n);
+                assert_eq!(fan.arrival(rank as u32), at, "rank {rank}");
+            }
+            // The delivery schedule reproduces the same profile.
+            let (base, sched) = fan.delivery_schedule();
+            for rank in 0..fan.len {
+                assert_eq!(sched.arrival(base, rank), fan.arrival(rank));
+            }
+        }
     }
 
     #[test]

@@ -116,15 +116,56 @@ impl NodeSet {
         }
     }
 
-    /// Iterate over member nodes in ascending order.
-    pub fn iter(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+    /// Iterate over member nodes in ascending order. The iterator is a
+    /// concrete enum (not a boxed trait object), so iterating a set costs
+    /// no heap allocation — this sits on the simulator's per-event hot path
+    /// (every COMPARE-AND-WRITE evaluates it over the whole set).
+    pub fn iter(&self) -> NodeSetIter<'_> {
         match self {
-            NodeSet::All(n) => Box::new((0..*n).map(NodeId)),
-            NodeSet::Range { start, len } => Box::new((*start..start + len).map(NodeId)),
-            NodeSet::List(v) => Box::new(v.iter().copied()),
+            NodeSet::All(n) => NodeSetIter::Range(0..*n),
+            NodeSet::Range { start, len } => NodeSetIter::Range(*start..start + len),
+            NodeSet::List(v) => NodeSetIter::List(v.iter()),
+        }
+    }
+
+    /// The `rank`-th member in ascending order.
+    pub fn get(&self, rank: u32) -> NodeId {
+        match self {
+            NodeSet::All(_) => NodeId(rank),
+            NodeSet::Range { start, .. } => NodeId(start + rank),
+            NodeSet::List(v) => v[rank as usize],
         }
     }
 }
+
+/// Allocation-free iterator over a [`NodeSet`]'s members.
+#[derive(Debug, Clone)]
+pub enum NodeSetIter<'a> {
+    /// Contiguous node indices.
+    Range(std::ops::Range<u32>),
+    /// Slice of an explicit list.
+    List(std::slice::Iter<'a, NodeId>),
+}
+
+impl Iterator for NodeSetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            NodeSetIter::Range(r) => r.next().map(NodeId),
+            NodeSetIter::List(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NodeSetIter::Range(r) => r.size_hint(),
+            NodeSetIter::List(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for NodeSetIter<'_> {}
 
 #[cfg(test)]
 mod tests {

@@ -16,6 +16,7 @@ use crate::rng::DeterministicRng;
 use crate::time::{SimSpan, SimTime};
 use crate::trace::Tracer;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a component within one [`Simulation`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -40,6 +41,129 @@ impl fmt::Display for ComponentId {
     }
 }
 
+/// Depth of the `rank`-th destination (1-based) in a `fanout`-ary
+/// distribution tree rooted at the source — the arrival-skew model shared
+/// by the mechanism layer's software-emulated multicast and the engine's
+/// [`GroupSchedule::FanoutTree`].
+pub fn tree_depth(rank: u64, fanout: u64) -> u64 {
+    debug_assert!(fanout >= 2);
+    // Nodes at depth d (excluding the root): fanout^1 + … + fanout^d.
+    let mut depth = 0u64;
+    let mut covered = 0u64;
+    let mut level = 1u64;
+    while covered < rank {
+        depth += 1;
+        level *= fanout;
+        covered += level;
+    }
+    depth
+}
+
+/// The recipients of one group delivery, in delivery (rank) order.
+///
+/// Both variants are O(1)-sized: a strided arithmetic progression of
+/// component ids (how regularly-wired per-node components lay out), or a
+/// shared slice for irregular sets.
+#[derive(Clone, Debug)]
+pub enum GroupTargets {
+    /// `len` components at ids `first, first+stride, first+2·stride, …`.
+    Strided {
+        /// First recipient.
+        first: ComponentId,
+        /// Id increment between consecutive recipients.
+        stride: u32,
+        /// Number of recipients.
+        len: u32,
+    },
+    /// An explicit list, shared (never copied per delivery).
+    List(Arc<[ComponentId]>),
+}
+
+impl GroupTargets {
+    /// Number of recipients.
+    pub fn len(&self) -> u32 {
+        match self {
+            GroupTargets::Strided { len, .. } => *len,
+            GroupTargets::List(v) => u32::try_from(v.len()).expect("group too large"),
+        }
+    }
+
+    /// True when there is no recipient.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `rank`-th recipient.
+    pub fn get(&self, rank: u32) -> ComponentId {
+        match self {
+            GroupTargets::Strided { first, stride, len } => {
+                debug_assert!(rank < *len);
+                ComponentId(first.0 + stride * rank)
+            }
+            GroupTargets::List(v) => v[rank as usize],
+        }
+    }
+}
+
+/// When each member of a group delivery receives the message, relative to
+/// the delivery's base instant.
+#[derive(Clone, Copy, Debug)]
+pub enum GroupSchedule {
+    /// Every recipient at the base instant (hardware multicast).
+    Simultaneous,
+    /// Recipient `rank` at `base + per_hop × tree_depth(rank+1, fanout)` —
+    /// the software-emulated fan-out tree's arrival skew.
+    FanoutTree {
+        /// Cost of one tree hop.
+        per_hop: SimSpan,
+        /// Tree fan-out (≥ 2).
+        fanout: u32,
+    },
+}
+
+impl GroupSchedule {
+    /// Arrival instant of the `rank`-th recipient.
+    pub fn arrival(&self, base: SimTime, rank: u32) -> SimTime {
+        match self {
+            GroupSchedule::Simultaneous => base,
+            GroupSchedule::FanoutTree { per_hop, fanout } => {
+                base + *per_hop * tree_depth(u64::from(rank) + 1, u64::from(*fanout))
+            }
+        }
+    }
+}
+
+/// A pending group delivery: one queue entry standing in for `targets.len()`
+/// per-recipient entries. `base_seq` is the first of the `len` sequence
+/// numbers reserved at multicast time, so when delivery pauses (a later
+/// arrival instant, or a halt) the remainder is re-inserted at exactly the
+/// `(time, seq)` slot its per-recipient equivalent would have occupied.
+#[derive(Debug)]
+struct GroupDelivery<M> {
+    targets: GroupTargets,
+    schedule: GroupSchedule,
+    base: SimTime,
+    /// Clamp floor: arrivals never precede the multicast call (mirrors
+    /// [`Context::send_at`]'s past-clamping).
+    floor: SimTime,
+    base_seq: u64,
+    cursor: u32,
+    msg: M,
+}
+
+impl<M> GroupDelivery<M> {
+    fn arrival(&self, rank: u32) -> SimTime {
+        self.schedule.arrival(self.base, rank).max(self.floor)
+    }
+}
+
+/// One queue entry: a single message, or a group standing in for many.
+#[derive(Debug)]
+enum Delivery<M> {
+    One(ComponentId, M),
+    Group(GroupDelivery<M>),
+}
+
 /// A simulated actor. `W` is the shared world type, `M` the message type.
 pub trait Component<W, M> {
     /// Handle one message delivered at `ctx.now()`.
@@ -56,7 +180,7 @@ pub struct Context<'a, W, M> {
     now: SimTime,
     self_id: ComponentId,
     world: &'a mut W,
-    queue: &'a mut EventQueue<(ComponentId, M)>,
+    queue: &'a mut EventQueue<Delivery<M>>,
     rng: &'a mut DeterministicRng,
     tracer: &'a mut Tracer,
     halt: &'a mut bool,
@@ -87,12 +211,48 @@ impl<W, M> Context<'_, W, M> {
     /// past are clamped to *now* (delivery still happens, never time travel).
     pub fn send_at(&mut self, target: ComponentId, at: SimTime, msg: M) {
         let at = at.max(self.now);
-        self.queue.push(at, (target, msg));
+        self.queue.push(at, Delivery::One(target, msg));
     }
 
     /// Deliver `msg` to `target` after `delay`.
     pub fn send(&mut self, target: ComponentId, delay: SimSpan, msg: M) {
-        self.queue.push(self.now + delay, (target, msg));
+        self.queue
+            .push(self.now + delay, Delivery::One(target, msg));
+    }
+
+    /// Deliver one `msg` to every member of `targets`, member `rank`
+    /// arriving at `schedule.arrival(base, rank)` (clamped to *now*, like
+    /// [`Context::send_at`]).
+    ///
+    /// This costs **one** queue entry regardless of the group size: the
+    /// entry reserves `targets.len()` sequence numbers and is expanded
+    /// lazily at delivery time, in ascending rank order, so the delivered
+    /// trace — order, timestamps and tie-breaks against every other event —
+    /// is byte-identical to the equivalent loop of per-member `send_at`
+    /// calls.
+    pub fn multicast(
+        &mut self,
+        targets: GroupTargets,
+        base: SimTime,
+        schedule: GroupSchedule,
+        msg: M,
+    ) {
+        let len = targets.len();
+        if len == 0 {
+            return;
+        }
+        let base_seq = self.queue.reserve_seqs(u64::from(len));
+        let group = GroupDelivery {
+            targets,
+            schedule,
+            base,
+            floor: self.now,
+            base_seq,
+            cursor: 0,
+            msg,
+        };
+        let at = group.arrival(0);
+        self.queue.push_at_seq(at, base_seq, Delivery::Group(group));
     }
 
     /// Deliver `msg` to self after `delay` (a timer).
@@ -138,12 +298,16 @@ pub struct Simulation<W, M> {
     now: SimTime,
     world: W,
     components: Vec<Option<Box<dyn Component<W, M>>>>,
-    queue: EventQueue<(ComponentId, M)>,
+    queue: EventQueue<Delivery<M>>,
     rng: DeterministicRng,
     tracer: Tracer,
     halt: bool,
+    /// Queue entries popped (a group delivery counts once).
     delivered: u64,
-    /// Hard cap on deliveries; guards against accidental event storms.
+    /// Handler invocations (a group delivery counts once per member).
+    handled: u64,
+    /// Hard cap on handler invocations; guards against accidental event
+    /// storms.
     max_events: u64,
 }
 
@@ -159,6 +323,7 @@ impl<W, M> Simulation<W, M> {
             tracer: Tracer::disabled(),
             halt: false,
             delivered: 0,
+            handled: 0,
             max_events: u64::MAX,
         }
     }
@@ -189,7 +354,7 @@ impl<W, M> Simulation<W, M> {
 
     /// Schedule an initial message delivery.
     pub fn post(&mut self, at: SimTime, target: ComponentId, msg: M) {
-        self.queue.push(at, (target, msg));
+        self.queue.push(at, Delivery::One(target, msg));
     }
 
     /// Current simulated time.
@@ -212,9 +377,18 @@ impl<W, M> Simulation<W, M> {
         self.world
     }
 
-    /// Total messages delivered so far.
+    /// Queue events delivered so far. A group delivery (multicast) counts
+    /// **once** per pop however many recipients it expands to — this is the
+    /// event-queue-work metric the scalability benches track.
     pub fn events_delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Handler invocations so far. A group delivery counts once per member,
+    /// so this equals what `events_delivered` would have been under
+    /// per-member sends; the `max_events` runaway guard is enforced on it.
+    pub fn messages_handled(&self) -> u64 {
+        self.handled
     }
 
     /// Number of pending events.
@@ -244,25 +418,59 @@ impl<W, M> Simulation<W, M> {
             .expect("component checked out")
     }
 
+    /// True once [`Context::halt`] has been called.
+    pub fn halted(&self) -> bool {
+        self.halt
+    }
+}
+
+impl<W, M: Clone> Simulation<W, M> {
     /// Deliver the next event, if any. Returns `false` when the queue is
     /// empty or the simulation has been halted.
+    ///
+    /// A group entry is expanded here, member by member in ascending rank
+    /// order; members whose arrival instant lies beyond the popped entry's
+    /// (a fan-out tree's deeper ranks) are re-inserted as one entry at
+    /// their own reserved `(time, seq)` slot, so interleaving with every
+    /// other pending event matches per-member sends exactly.
     pub fn step(&mut self) -> bool {
         if self.halt {
             return false;
         }
-        let Some((time, (target, msg))) = self.queue.pop() else {
+        let Some((time, delivery)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(time >= self.now, "event queue violated time order");
         self.now = time;
-        self.deliver(target, msg);
+        self.delivered += 1;
+        match delivery {
+            Delivery::One(target, msg) => self.deliver(target, msg),
+            Delivery::Group(mut group) => {
+                let len = group.targets.len();
+                while group.cursor < len {
+                    let rank = group.cursor;
+                    let at = group.arrival(rank);
+                    if at > time || self.halt {
+                        // Later arrival (or halt mid-group): park the
+                        // remainder at its reserved slot and stop here.
+                        let seq = group.base_seq + u64::from(rank);
+                        self.queue.push_at_seq(at, seq, Delivery::Group(group));
+                        break;
+                    }
+                    group.cursor += 1;
+                    let target = group.targets.get(rank);
+                    let msg = group.msg.clone();
+                    self.deliver(target, msg);
+                }
+            }
+        }
         true
     }
 
     fn deliver(&mut self, target: ComponentId, msg: M) {
-        self.delivered += 1;
+        self.handled += 1;
         assert!(
-            self.delivered <= self.max_events,
+            self.handled <= self.max_events,
             "event cap exceeded ({} events): runaway simulation?",
             self.max_events
         );
@@ -306,11 +514,6 @@ impl<W, M> Simulation<W, M> {
             self.now = deadline;
         }
         self.now
-    }
-
-    /// True once [`Context::halt`] has been called.
-    pub fn halted(&self) -> bool {
-        self.halt
     }
 }
 
@@ -423,6 +626,208 @@ mod tests {
         let c = sim.add_component(Counter::default());
         sim.post(SimTime::ZERO, c, Msg::Tick(1000));
         sim.run_to_completion();
+    }
+
+    /// A recorder world: every delivery appends `(time, component, value)`.
+    type RecWorld = Vec<(SimTime, u32, u32)>;
+
+    struct Recorder;
+    impl Component<RecWorld, u32> for Recorder {
+        fn handle(&mut self, msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+            let now = ctx.now();
+            let id = ctx.self_id().0;
+            ctx.world().push((now, id, msg));
+        }
+    }
+
+    /// A component that fans out on request: value 1000+n multicasts n to
+    /// components 1..=N, letting tests interleave group and unicast sends
+    /// from inside a handler (where sequence numbers actually contend).
+    struct FanOut {
+        targets: GroupTargets,
+        schedule: GroupSchedule,
+        unicast: bool,
+    }
+    impl Component<RecWorld, u32> for FanOut {
+        fn handle(&mut self, msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+            if msg >= 500 {
+                // A follow-up/competitor message: record it, don't re-fan.
+                let now = ctx.now();
+                let id = ctx.self_id().0;
+                ctx.world().push((now, id, msg));
+                return;
+            }
+            let base = ctx.now() + SimSpan::from_micros(10);
+            if self.unicast {
+                for rank in 0..self.targets.len() {
+                    let at = self.schedule.arrival(base, rank);
+                    ctx.send_at(self.targets.get(rank), at, msg);
+                }
+            } else {
+                ctx.multicast(self.targets.clone(), base, self.schedule, msg);
+            }
+            // A competing event scheduled *after* the fan-out must stay
+            // after every member in tie-break order.
+            let id = ctx.self_id();
+            ctx.send_at(id, base, msg + 500);
+        }
+    }
+
+    fn fanout_run(unicast: bool, schedule: GroupSchedule) -> RecWorld {
+        let mut sim = Simulation::new(RecWorld::new(), 9);
+        let fan = sim.add_component(FanOut {
+            targets: GroupTargets::Strided {
+                first: ComponentId(1),
+                stride: 1,
+                len: 8,
+            },
+            schedule,
+            unicast,
+        });
+        for _ in 0..8 {
+            sim.add_component(Recorder);
+        }
+        sim.post(SimTime::ZERO, fan, 7);
+        sim.post(SimTime::from_micros(10), fan, 900); // ties with the fan-out base
+        sim.run_to_completion();
+        sim.into_world()
+    }
+
+    #[test]
+    fn multicast_trace_matches_per_member_sends() {
+        for schedule in [
+            GroupSchedule::Simultaneous,
+            GroupSchedule::FanoutTree {
+                per_hop: SimSpan::from_micros(3),
+                fanout: 2,
+            },
+        ] {
+            let group = fanout_run(false, schedule);
+            let unicast = fanout_run(true, schedule);
+            assert_eq!(group, unicast, "schedule {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn multicast_counts_one_event_many_messages() {
+        let mut sim = Simulation::new(RecWorld::new(), 1);
+        let fan = sim.add_component(FanOut {
+            targets: GroupTargets::Strided {
+                first: ComponentId(1),
+                stride: 1,
+                len: 8,
+            },
+            schedule: GroupSchedule::Simultaneous,
+            unicast: false,
+        });
+        for _ in 0..8 {
+            sim.add_component(Recorder);
+        }
+        sim.post(SimTime::ZERO, fan, 3);
+        sim.run_to_completion();
+        // Pops: fan-out trigger + 1 group + the competing self-send.
+        assert_eq!(sim.events_delivered(), 3);
+        // Handler calls: trigger + 8 members + competing self-send.
+        assert_eq!(sim.messages_handled(), 10);
+    }
+
+    #[test]
+    fn multicast_list_targets_and_empty_group() {
+        let mut sim = Simulation::new(RecWorld::new(), 1);
+        struct Kick;
+        impl Component<RecWorld, u32> for Kick {
+            fn handle(&mut self, _msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+                let now = ctx.now();
+                let list: Arc<[ComponentId]> = [ComponentId(2), ComponentId(1)].into();
+                ctx.multicast(
+                    GroupTargets::List(list),
+                    now,
+                    GroupSchedule::Simultaneous,
+                    11,
+                );
+                // Empty group: no-op, no reserved entry popped.
+                ctx.multicast(
+                    GroupTargets::Strided {
+                        first: ComponentId(1),
+                        stride: 1,
+                        len: 0,
+                    },
+                    now,
+                    GroupSchedule::Simultaneous,
+                    12,
+                );
+            }
+        }
+        let kick = sim.add_component(Kick);
+        sim.add_component(Recorder);
+        sim.add_component(Recorder);
+        sim.post(SimTime::ZERO, kick, 0);
+        sim.run_to_completion();
+        // List order is the delivery order (rank order, not id order).
+        let world = sim.world();
+        assert_eq!(world[0].1, 2);
+        assert_eq!(world[1].1, 1);
+        assert_eq!(sim.messages_handled(), 3);
+    }
+
+    #[test]
+    fn halt_mid_group_parks_the_remainder() {
+        struct Halter {
+            after: u32,
+        }
+        impl Component<RecWorld, u32> for Halter {
+            fn handle(&mut self, msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+                let now = ctx.now();
+                let id = ctx.self_id().0;
+                ctx.world().push((now, id, msg));
+                if id == self.after {
+                    ctx.halt();
+                }
+            }
+        }
+        let mut sim = Simulation::new(RecWorld::new(), 1);
+        struct Kick;
+        impl Component<RecWorld, u32> for Kick {
+            fn handle(&mut self, _msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+                let now = ctx.now();
+                ctx.multicast(
+                    GroupTargets::Strided {
+                        first: ComponentId(1),
+                        stride: 1,
+                        len: 4,
+                    },
+                    now,
+                    GroupSchedule::Simultaneous,
+                    5,
+                );
+            }
+        }
+        let kick = sim.add_component(Kick);
+        for _ in 0..4 {
+            sim.add_component(Halter { after: 2 });
+        }
+        sim.post(SimTime::ZERO, kick, 0);
+        sim.run_to_completion();
+        assert!(sim.halted());
+        // Members 1 and 2 ran; 3 and 4 are parked in the queue, undelivered.
+        assert_eq!(sim.world().len(), 2);
+        assert_eq!(sim.pending_events(), 1);
+        assert_eq!(sim.messages_handled(), 3);
+    }
+
+    #[test]
+    fn tree_depth_is_correct() {
+        // 4-ary tree: ranks 1..=4 at depth 1, 5..=20 at depth 2, …
+        assert_eq!(tree_depth(1, 4), 1);
+        assert_eq!(tree_depth(4, 4), 1);
+        assert_eq!(tree_depth(5, 4), 2);
+        assert_eq!(tree_depth(20, 4), 2);
+        assert_eq!(tree_depth(21, 4), 3);
+        // Binary tree.
+        assert_eq!(tree_depth(2, 2), 1);
+        assert_eq!(tree_depth(3, 2), 2);
+        assert_eq!(tree_depth(6, 2), 2);
+        assert_eq!(tree_depth(7, 2), 3);
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Component, ComponentId, Context, Simulation};
+pub use engine::{
+    tree_depth, Component, ComponentId, Context, GroupSchedule, GroupTargets, Simulation,
+};
 pub use queue::EventQueue;
 pub use rng::DeterministicRng;
 pub use time::{SimSpan, SimTime};

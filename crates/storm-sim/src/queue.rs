@@ -88,6 +88,25 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { time, seq, event });
     }
 
+    /// Reserve `width` consecutive sequence numbers without inserting
+    /// anything, returning the first. A group-delivery entry reserves one
+    /// number per member so that, when part of the group is re-inserted via
+    /// [`EventQueue::push_at_seq`], the remainder still occupies exactly the
+    /// `(time, seq)` slots the equivalent per-member pushes would have —
+    /// which is what keeps multicast traces byte-identical to unicast ones.
+    pub fn reserve_seqs(&mut self, width: u64) -> u64 {
+        let first = self.next_seq;
+        self.next_seq += width;
+        first
+    }
+
+    /// Insert `event` at `time` under a previously reserved sequence number.
+    pub fn push_at_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        debug_assert!(seq < self.next_seq, "sequence number was never reserved");
+        self.pushed += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
     /// Remove and return the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let e = self.heap.pop()?;
@@ -185,6 +204,23 @@ mod tests {
         // Sequence numbers keep increasing after clear.
         q.push(t0, ());
         assert_eq!(q.total_pushed(), 3);
+    }
+
+    #[test]
+    fn reserved_seqs_slot_into_tie_break_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(3);
+        q.push(t, 0u64);
+        let first = q.reserve_seqs(3); // seqs for events 1, 2, 3
+        q.push(t, 4);
+        // Insert the reserved entries out of order; they still pop in
+        // reserved-sequence order, between the surrounding pushes.
+        q.push_at_seq(t, first + 2, 3);
+        q.push_at_seq(t, first, 1);
+        q.push_at_seq(t, first + 1, 2);
+        for want in 0..=4 {
+            assert_eq!(q.pop(), Some((t, want)));
+        }
     }
 
     #[test]

@@ -87,6 +87,116 @@ fn fault_detection_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// A workload exercising every MM fan-out path at once: a chunked binary
+/// broadcast + launch, gang rotation between two jobs, and a heartbeat
+/// loop that detects a crash, requeues the victim and re-admits the node.
+fn mixed_workload_run(
+    group_delivery: bool,
+) -> (
+    String,
+    ClusterStats,
+    Vec<(JobState, JobMetrics)>,
+    u64, // messages handled
+    u64, // events delivered (queue pops)
+) {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(0xD15C)
+        .with_group_delivery(group_delivery)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_fault_detection(4);
+    let mut c = Cluster::new(cfg);
+    c.enable_tracing();
+    let _launch = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    let _gang_a = c.submit_at(
+        SimTime::from_millis(10),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            64,
+        ),
+    );
+    let _gang_b = c.submit_at(
+        SimTime::from_millis(20),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            128,
+        ),
+    );
+    c.fail_node_at(SimTime::from_millis(40), 9);
+    c.rejoin_node_at(SimTime::from_millis(120), 9);
+    c.run_until(SimTime::from_millis(400));
+    let jobs = c
+        .report()
+        .jobs
+        .iter()
+        .map(|j| (j.state, j.metrics.clone()))
+        .collect();
+    (
+        c.trace(),
+        c.world().stats.clone(),
+        jobs,
+        c.messages_handled(),
+        c.events_delivered(),
+    )
+}
+
+/// Group delivery is an *encoding* change in the event queue, not a
+/// semantic one: with the same seed, a run whose fan-outs travel as single
+/// group events must be byte-identical — trace, statistics, job metrics,
+/// handler invocations — to one sending a queue entry per NM. Only the
+/// queue-pop count may (and must) differ.
+#[test]
+fn group_delivery_is_byte_identical_to_unicast() {
+    let grouped = mixed_workload_run(true);
+    let unicast = mixed_workload_run(false);
+    assert_eq!(grouped.0, unicast.0, "event traces");
+    assert_eq!(grouped.1, unicast.1, "cluster statistics");
+    assert_eq!(grouped.2, unicast.2, "job states and metrics");
+    assert_eq!(grouped.3, unicast.3, "handler invocations");
+    assert!(
+        grouped.4 < unicast.4,
+        "group delivery must pop fewer queue entries ({} vs {})",
+        grouped.4,
+        unicast.4
+    );
+}
+
+/// With group delivery the event queue's load per timeslice is O(jobs),
+/// not O(nodes): the same workload on an 8×-larger machine may not deliver
+/// materially more events.
+#[test]
+fn event_count_per_timeslice_is_node_independent() {
+    let run = |nodes: u32| {
+        let mut c = Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_nodes(nodes)
+                .with_seed(99),
+        );
+        c.submit(JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(200),
+            },
+            64,
+        ));
+        c.run_until_idle();
+        (c.events_delivered(), c.world().stats.strobes)
+    };
+    let (small_events, small_strobes) = run(64);
+    let (big_events, big_strobes) = run(512);
+    // Same job ⇒ same schedule shape ⇒ comparable strobe counts.
+    assert!(big_strobes > 0 && small_strobes > 0);
+    let small_rate = small_events as f64 / small_strobes as f64;
+    let big_rate = big_events as f64 / big_strobes as f64;
+    assert!(
+        big_rate < small_rate * 2.0,
+        "events per timeslice must not scale with node count: \
+         {small_rate:.1} at 64 nodes vs {big_rate:.1} at 512"
+    );
+}
+
 #[test]
 fn gang_runs_are_deterministic() {
     let run = || {
