@@ -7,7 +7,9 @@
 //! fork + termination wait + report) components. We repeat each point with
 //! distinct seeds and report the mean, as the paper does.
 
-use storm_bench::{check, parallel_sweep, pow2_range, render_comparisons, repeat, Comparison};
+use storm_bench::{
+    check, parallel_sweep, pow2_range, render_comparisons, repeat, write_artifact, Comparison,
+};
 use storm_core::prelude::*;
 
 const REPS: u64 = 5;
@@ -104,5 +106,36 @@ fn main() {
         (total - 110.0).abs() / 110.0 < 0.15,
         "headline: 12 MB launched in ~110 ms on 256 PEs",
     );
+
+    // One instrumented run of the headline point: telemetry + tracing on,
+    // emitting the lifecycle breakdown, the metrics snapshot and a Chrome
+    // trace-event timeline of the whole launch pipeline.
+    let mut c = Cluster::new(
+        ClusterConfig::paper_cluster()
+            .with_seed(42)
+            .with_telemetry(true),
+    );
+    c.enable_tracing_with_capacity(200_000);
+    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.run_until_idle();
+    println!("\ninstrumented 12 MB / 256 PEs launch:");
+    for span in c.job_spans() {
+        println!("{}", span.render());
+    }
+    let snap = c.metrics_snapshot();
+    if let Some(h) = snap.histogram_with("job.phase_us", &[("phase", "send_pipeline")]) {
+        println!(
+            "send pipeline: p50 <= {} µs over {} launches",
+            h.percentile(50.0),
+            h.count()
+        );
+    }
+    check(
+        snap.counter("mm.fragments").unwrap_or(0) > 0,
+        "instrumented launch recorded broadcast fragments",
+    );
+    check(!c.job_spans().is_empty(), "lifecycle span was collected");
+    write_artifact("METRICS_OUT", "METRICS_fig2.json", &snap.to_json());
+    write_artifact("TRACE_OUT", "TRACE_fig2.json", &c.chrome_trace());
     println!("fig2: all shape checks passed");
 }

@@ -1,0 +1,105 @@
+//! Telemetry smoke — the CI gate for the observability layer.
+//!
+//! Runs one fully-instrumented 512-node scenario (chunked launch, gang
+//! rotation, a node crash + revival under the Requeue policy) with
+//! telemetry and bounded tracing enabled, then asserts the whole
+//! observability surface is healthy: the key counters are non-zero, the
+//! lifecycle spans were collected, and every exported document — metrics
+//! snapshot, span JSONL, Chrome trace — parses as JSON. The snapshot is
+//! written to `METRICS_snapshot.json` (override with `METRICS_OUT`) for CI
+//! artifact upload.
+
+use storm_bench::{check, write_artifact};
+use storm_core::prelude::*;
+
+fn main() {
+    println!("Telemetry smoke: instrumented 512-node launch + gang + fault scenario");
+    let cfg = ClusterConfig::paper_cluster()
+        .with_nodes(512)
+        .with_seed(0x7E1E)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_fault_detection(4)
+        .with_telemetry(true);
+    let mut c = Cluster::new(cfg);
+    c.enable_tracing_with_capacity(50_000);
+
+    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.submit_at(
+        SimTime::from_millis(10),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            64,
+        ),
+    );
+    c.submit_at(
+        SimTime::from_millis(20),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            128,
+        ),
+    );
+    c.fail_node_at(SimTime::from_millis(40), 9);
+    c.rejoin_node_at(SimTime::from_millis(120), 9);
+    c.run_until(SimTime::from_millis(400));
+
+    let snap = c.metrics_snapshot();
+    println!("{}", snap.render());
+
+    // Key metrics must be live.
+    let nonzero_counters = [
+        "jobs.submitted",
+        "jobs.completed",
+        "mm.ticks",
+        "mm.strobes",
+        "mm.fragments",
+        "mm.reports",
+        "pl.forks",
+        "fault.detections",
+        "fault.rejoins",
+    ];
+    for name in nonzero_counters {
+        check(
+            snap.counter(name).unwrap_or(0) > 0,
+            &format!("counter {name} is non-zero"),
+        );
+    }
+    check(
+        snap.gauge("nodes.alive").unwrap_or(0) == 512,
+        "all nodes alive again at the end",
+    );
+    for name in ["hb.round_latency_us", "engine.pending_messages_per_tick"] {
+        check(
+            snap.histogram(name).is_some_and(|h| h.count() > 0),
+            &format!("histogram {name} has observations"),
+        );
+    }
+    check(
+        !c.job_spans().is_empty(),
+        "job lifecycle spans were collected",
+    );
+
+    // Every exported document must parse.
+    let json = snap.to_json();
+    check(validate_json(&json).is_ok(), "metrics snapshot JSON parses");
+    let jsonl = spans_jsonl(c.job_spans());
+    check(
+        jsonl.lines().all(|l| validate_json(l).is_ok()),
+        "span JSONL parses line by line",
+    );
+    let trace = c.chrome_trace();
+    check(
+        validate_json(&trace).is_ok(),
+        "chrome trace-event JSON parses",
+    );
+    check(
+        c.world().telemetry.metrics.is_enabled(),
+        "registry reports enabled",
+    );
+
+    write_artifact("METRICS_OUT", "METRICS_snapshot.json", &json);
+    println!("telemetry smoke: all checks passed");
+}

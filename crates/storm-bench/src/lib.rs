@@ -138,6 +138,15 @@ pub fn check(ok: bool, what: &str) {
     }
 }
 
+/// Write a bench artifact (metrics snapshot, trace dump) to `default_path`,
+/// overridable through the environment variable `env_var` — the pattern CI
+/// uses to collect `BENCH_*.json` / `METRICS_*.json` uploads.
+pub fn write_artifact(env_var: &str, default_path: &str, contents: &str) {
+    let path = std::env::var(env_var).unwrap_or_else(|_| default_path.to_string());
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("   [artifact] {path} ({} bytes)", contents.len());
+}
+
 /// Geometric x-axis helper: powers of two from `lo` to `hi` inclusive.
 pub fn pow2_range(lo: u32, hi: u32) -> Vec<u32> {
     let mut v = Vec::new();

@@ -70,9 +70,41 @@ impl Cluster {
         self.sim.enable_tracing();
     }
 
+    /// Enable trace recording with a record cap: once `capacity` records
+    /// are held, further ones are counted as dropped instead of stored —
+    /// bounding memory on long instrumented runs.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.sim.enable_tracing_with_capacity(capacity);
+    }
+
     /// The rendered event trace (empty unless tracing was enabled).
     pub fn trace(&self) -> String {
         self.sim.tracer().render()
+    }
+
+    /// The telemetry sink (metrics registry + job spans). Disabled — and
+    /// empty — unless the config set
+    /// [`with_telemetry(true)`](ClusterConfig::with_telemetry).
+    pub fn telemetry(&self) -> &storm_telemetry::Telemetry {
+        &self.sim.world().telemetry
+    }
+
+    /// A deterministic snapshot of every registered metric.
+    pub fn metrics_snapshot(&self) -> storm_telemetry::MetricsSnapshot {
+        self.telemetry().metrics.snapshot()
+    }
+
+    /// The per-job lifecycle spans collected so far (completed jobs only).
+    pub fn job_spans(&self) -> &[storm_telemetry::JobSpan] {
+        self.telemetry().spans.spans()
+    }
+
+    /// A Chrome trace-event JSON document combining the simulator trace
+    /// (instant events per dæmon) with the job lifecycle spans (complete
+    /// events per job) — loadable in `chrome://tracing` or Perfetto.
+    /// Enable both tracing and telemetry to populate both track families.
+    pub fn chrome_trace(&self) -> String {
+        storm_telemetry::chrome_trace(self.sim.tracer().records(), self.job_spans())
     }
 
     fn mm(&self) -> storm_sim::ComponentId {

@@ -156,6 +156,12 @@ pub struct ClusterConfig {
     /// which is what makes 4096-node runs tractable. `false` exists to
     /// prove the equivalence in tests and to measure the win.
     pub group_delivery: bool,
+    /// Record telemetry (metrics registry + per-job lifecycle spans).
+    /// Off by default: recording is synchronous bookkeeping inside
+    /// existing handlers, so enabling it never changes event counts, the
+    /// trace, or the RNG stream — but the zero-cost default keeps the
+    /// hot paths at a single branch.
+    pub telemetry: bool,
     /// Dæmon cost constants.
     pub daemon: DaemonCosts,
     /// RNG seed.
@@ -192,6 +198,7 @@ impl ClusterConfig {
             faults: FaultSchedule::default(),
             failure_policy: FailurePolicy::default(),
             group_delivery: true,
+            telemetry: false,
             daemon: DaemonCosts::default(),
             seed: 0x5702_2002,
         }
@@ -265,6 +272,12 @@ impl ClusterConfig {
     /// Builder: toggle engine-level group delivery of MM fan-outs.
     pub fn with_group_delivery(mut self, on: bool) -> Self {
         self.group_delivery = on;
+        self
+    }
+
+    /// Builder: toggle telemetry recording (metrics + lifecycle spans).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 

@@ -208,6 +208,32 @@ impl JobMetrics {
     pub fn wait_span(&self) -> Option<SimSpan> {
         Some(self.started?.since(self.submitted?))
     }
+
+    /// The lifecycle phases this record can attest to, in pipeline order:
+    /// `queue_wait` (submit → allocation + transfer start), `send_pipeline`
+    /// (the §3.1 read/broadcast/write fill + drain), `launch_sync`
+    /// (transfer confirmed → launch command), `fork` (launch command →
+    /// all ranks running), `execute` (running → last rank exit), and
+    /// `collect` (exit → all termination reports gathered). Phases whose
+    /// boundary timestamps were never recorded (e.g. a job failed before
+    /// launch) are omitted.
+    pub fn phase_breakdown(&self) -> Vec<(&'static str, SimTime, SimTime)> {
+        let boundaries = [
+            ("queue_wait", self.submitted, self.transfer_start),
+            ("send_pipeline", self.transfer_start, self.transfer_done),
+            ("launch_sync", self.transfer_done, self.launch_cmd),
+            ("fork", self.launch_cmd, self.started),
+            ("execute", self.started, self.app_done),
+            ("collect", self.app_done, self.completed),
+        ];
+        boundaries
+            .iter()
+            .filter_map(|&(name, start, end)| match (start, end) {
+                (Some(s), Some(e)) if e >= s => Some((name, s, e)),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// Everything the cluster tracks about one job (lives in the shared world).
@@ -375,6 +401,30 @@ mod tests {
         assert_eq!(m.total_launch_span().unwrap(), SimSpan::from_millis(109));
         assert_eq!(m.turnaround().unwrap(), SimSpan::from_millis(110));
         assert_eq!(m.wait_span().unwrap(), SimSpan::from_millis(100));
+    }
+
+    #[test]
+    fn phase_breakdown_skips_unknown_boundaries() {
+        let mut m = JobMetrics::default();
+        assert!(m.phase_breakdown().is_empty());
+        m.submitted = Some(SimTime::ZERO);
+        m.transfer_start = Some(SimTime::from_millis(1));
+        m.transfer_done = Some(SimTime::from_millis(97));
+        // launch_cmd/started never recorded: launch_sync and fork are
+        // omitted; so are execute and collect.
+        m.app_done = Some(SimTime::from_millis(105));
+        m.completed = Some(SimTime::from_millis(110));
+        let phases = m.phase_breakdown();
+        let names: Vec<_> = phases.iter().map(|p| p.0).collect();
+        assert_eq!(names, ["queue_wait", "send_pipeline", "collect"]);
+        assert_eq!(
+            phases[1],
+            (
+                "send_pipeline",
+                SimTime::from_millis(1),
+                SimTime::from_millis(97)
+            )
+        );
     }
 
     #[test]

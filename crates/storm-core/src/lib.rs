@@ -78,6 +78,9 @@ pub use job::{JobId, JobMetrics, JobSpec, JobState};
 pub use matrix::GangMatrix;
 pub use world::{ClusterStats, World};
 
+/// The telemetry crate, re-exported so consumers need no direct dependency.
+pub use storm_telemetry as telemetry;
+
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::cluster::{Cluster, Report};
@@ -89,4 +92,7 @@ pub mod prelude {
     pub use storm_fs::FsKind;
     pub use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
     pub use storm_sim::{SimSpan, SimTime};
+    pub use storm_telemetry::{
+        chrome_trace, spans_jsonl, validate_json, Histogram, JobSpan, MetricsSnapshot, Telemetry,
+    };
 }

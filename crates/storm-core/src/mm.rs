@@ -24,6 +24,7 @@ use crate::world::World;
 use std::collections::HashSet;
 use storm_mech::{CmpOp, NodeId, NodeSet};
 use storm_sim::{Component, Context, GroupSchedule, SimSpan, SimTime};
+use storm_telemetry::{JobSpan, Phase};
 
 /// Size of a control multicast (strobe, launch command, heartbeat) in
 /// bytes.
@@ -307,12 +308,16 @@ impl MachineManager {
             let Some(caw) = caw else {
                 // The query itself was lost; poll again after the usual
                 // backoff.
-                ctx.world().stats.caw_drops += 1;
+                let w = ctx.world();
+                w.stats.caw_drops += 1;
+                w.metric_inc("fault.caw_drops");
                 self.schedule_poll(job, ctx);
                 return;
             };
             if !caw.satisfied {
-                ctx.world().stats.flow_stalls += 1;
+                let w = ctx.world();
+                w.stats.flow_stalls += 1;
+                w.metric_inc("mm.flow_stalls");
                 self.schedule_poll(job, ctx);
                 return;
             }
@@ -337,8 +342,10 @@ impl MachineManager {
         match result {
             Ok(fan) => {
                 let arrival = fan.all_arrived();
-                ctx.world().bcast_dev.transmit(start, arrival.since(start));
-                ctx.world().stats.fragments += 1;
+                let w = ctx.world();
+                w.bcast_dev.transmit(start, arrival.since(start));
+                w.stats.fragments += 1;
+                w.metric_inc("mm.fragments");
                 {
                     let t = &mut ctx.world().job_mut(job).transfer;
                     t.next_bcast += 1;
@@ -371,7 +378,9 @@ impl MachineManager {
             }
             Err(_) => {
                 // Atomic abort: nothing was delivered; retry the same chunk.
-                ctx.world().stats.xfer_retries += 1;
+                let w = ctx.world();
+                w.stats.xfer_retries += 1;
+                w.metric_inc("fault.xfer_retries");
                 self.schedule_poll(job, ctx);
             }
         }
@@ -423,7 +432,9 @@ impl MachineManager {
             )
         };
         let Some(caw) = caw else {
-            ctx.world().stats.caw_drops += 1;
+            let w = ctx.world();
+            w.stats.caw_drops += 1;
+            w.metric_inc("fault.caw_drops");
             self.schedule_poll(job, ctx);
             return;
         };
@@ -471,7 +482,9 @@ impl MachineManager {
                 )
             };
             let Ok(fan) = result else {
-                ctx.world().stats.xfer_retries += 1;
+                let w = ctx.world();
+                w.stats.xfer_retries += 1;
+                w.metric_inc("fault.xfer_retries");
                 continue; // retried at the next tick
             };
             {
@@ -533,10 +546,16 @@ impl MachineManager {
             )
         };
         let Ok(fan) = result else {
-            ctx.world().stats.xfer_retries += 1;
+            let w = ctx.world();
+            w.stats.xfer_retries += 1;
+            w.metric_inc("fault.xfer_retries");
             return;
         };
-        ctx.world().stats.strobes += 1;
+        {
+            let w = ctx.world();
+            w.stats.strobes += 1;
+            w.metric_inc("mm.strobes");
+        }
         // The context switch is *coordinated*: every NM acts when the
         // whole strobe multicast has completed, not at its own arrival.
         let arrival = fan.all_arrived();
@@ -575,7 +594,11 @@ impl MachineManager {
         // reallocated from scratch.
         let mut reports = std::mem::take(&mut self.pending_reports);
         for (_node, job, attempt, kind) in reports.drain(..) {
-            ctx.world().stats.reports += 1;
+            {
+                let w = ctx.world();
+                w.stats.reports += 1;
+                w.metric_inc("mm.reports");
+            }
             if ctx.world_ref().job(job).state.is_terminal() {
                 continue;
             }
@@ -633,6 +656,52 @@ impl MachineManager {
             w.slot_jobs_remove(slot, job);
         }
         w.stats.completed_jobs += 1;
+        if w.telemetry.is_enabled() {
+            let (metrics, name, ranks, attempts) = {
+                let rec = w.job(job);
+                (
+                    rec.metrics.clone(),
+                    rec.spec.name.clone(),
+                    rec.spec.ranks,
+                    rec.attempt + 1,
+                )
+            };
+            let t = &mut w.telemetry;
+            t.metrics.inc(
+                match state {
+                    JobState::Completed => "jobs.completed",
+                    JobState::Killed => "jobs.killed",
+                    _ => "jobs.failed",
+                },
+                1,
+            );
+            let phases = metrics.phase_breakdown();
+            for &(phase, start, end) in &phases {
+                t.metrics.observe_span_with(
+                    "job.phase_us",
+                    vec![("phase", phase.to_string())],
+                    end.since(start),
+                );
+            }
+            if let (Some(sub), Some(done)) = (metrics.submitted, metrics.completed) {
+                t.metrics.observe_span("job.total_us", done.since(sub));
+            }
+            t.spans.record(|| JobSpan {
+                job: job.0,
+                name,
+                ranks,
+                outcome: format!("{state:?}"),
+                attempts,
+                phases: phases
+                    .iter()
+                    .map(|&(phase, start, end)| Phase {
+                        name: phase,
+                        start,
+                        end,
+                    })
+                    .collect(),
+            });
+        }
         ctx.trace("mm.job_done", || format!("{job} -> {state:?}"));
         // Freed space may unblock queued jobs.
         self.ensure_tick(ctx);
@@ -669,6 +738,7 @@ impl MachineManager {
                     let ok = w.matrix.rejoin_node(node);
                     debug_assert!(ok, "re-admitted node must have been quarantined");
                     w.stats.rejoins.push((node, now));
+                    w.metric_inc("fault.rejoins");
                     ctx.trace("mm.node_rejoined", || format!("node {node}"));
                     // Restored capacity may unblock queued jobs.
                     self.ensure_tick(ctx);
@@ -707,7 +777,9 @@ impl MachineManager {
                 None => {
                     // The query was lost; skip detection this round rather
                     // than condemn nodes on missing evidence.
-                    ctx.world().stats.caw_drops += 1;
+                    let w = ctx.world();
+                    w.stats.caw_drops += 1;
+                    w.metric_inc("fault.caw_drops");
                 }
                 Some(caw) if !caw.satisfied => {
                     // Gather status to isolate the failed slave(s).
@@ -720,7 +792,16 @@ impl MachineManager {
                         .collect();
                     for node in lagging {
                         if self.detected_failed.insert(node) {
-                            ctx.world().stats.failures_detected.push((node, now));
+                            {
+                                let w = ctx.world();
+                                w.stats.failures_detected.push((node, now));
+                                w.metric_inc("fault.detections");
+                                if let Some(at) = w.failed_at[node as usize] {
+                                    w.telemetry
+                                        .metrics
+                                        .observe_span("fault.detection_latency_us", now.since(at));
+                                }
+                            }
                             ctx.trace("mm.fault_detected", || format!("node {node}"));
                             // Evict the victims first: quarantining requires
                             // the node's leaf to be free in every slot.
@@ -757,7 +838,13 @@ impl MachineManager {
             )
         };
         if let Ok(fan) = result {
-            ctx.world().hb_round = new_round;
+            {
+                let w = ctx.world();
+                w.hb_round = new_round;
+                w.telemetry
+                    .metrics
+                    .observe_span("hb.round_latency_us", fan.all_arrived().since(now));
+            }
             let (base, schedule) = fan.delivery_schedule();
             self.fan_out(
                 ctx,
@@ -767,7 +854,9 @@ impl MachineManager {
                 Msg::Heartbeat { round: new_round },
             );
         } else {
-            ctx.world().stats.xfer_retries += 1;
+            let w = ctx.world();
+            w.stats.xfer_retries += 1;
+            w.metric_inc("fault.xfer_retries");
         }
     }
 
@@ -799,6 +888,7 @@ impl MachineManager {
                     if ctx.world_ref().job(job).retries < max_retries {
                         self.requeue_job(job, now, backoff, ctx);
                     } else {
+                        ctx.world().metric_inc("jobs.retry_budget_exhausted");
                         ctx.trace("mm.retry_budget_exhausted", || format!("{job}"));
                         self.complete_job(job, now, JobState::Failed, ctx);
                     }
@@ -830,6 +920,7 @@ impl MachineManager {
             let rec = w.job_mut(job);
             rec.reset_for_retry();
             w.stats.requeues += 1;
+            w.metric_inc("jobs.requeued");
             w.job(job).retries
         };
         ctx.trace("mm.requeue", || format!("{job} retry {retry_no}"));
@@ -855,7 +946,9 @@ impl MachineManager {
         }
         if fit < needed {
             let new_ranks = (fit * rpn).min(ranks).max(1);
-            ctx.world().job_mut(job).spec.ranks = new_ranks;
+            let w = ctx.world();
+            w.job_mut(job).spec.ranks = new_ranks;
+            w.metric_inc("jobs.shrunk");
             ctx.trace("mm.shrink", || format!("{job} -> {new_ranks} ranks"));
         }
     }
@@ -872,7 +965,9 @@ impl Component<World, Msg> for MachineManager {
                         rec.metrics.submitted = Some(now);
                     }
                 }
-                ctx.world().queue.push_back(job);
+                let w = ctx.world();
+                w.queue.push_back(job);
+                w.metric_inc("jobs.submitted");
                 ctx.trace("mm.submit", || format!("{job}"));
                 self.ensure_tick(ctx);
             }
@@ -892,6 +987,33 @@ impl Component<World, Msg> for MachineManager {
                 self.run_policy(ctx);
                 self.launch_ready_jobs(ctx);
                 self.strobe(ctx);
+                if ctx.world_ref().telemetry.is_enabled() {
+                    // Per-timeslice health sample. `pending_messages()` is
+                    // the logical count, identical across delivery modes.
+                    let pending = ctx.pending_messages();
+                    let w = ctx.world();
+                    let queued = w.queue.len() as i64;
+                    let quarantined = w.quarantined.iter().filter(|&&q| q).count() as i64;
+                    let alive = i64::from(w.cfg.nodes) - quarantined;
+                    let slots = w.matrix.slot_count();
+                    let mut used: u64 = 0;
+                    for slot in 0..slots {
+                        for (_, ranks) in w.matrix.jobs_in_slot(slot) {
+                            used += u64::from(ranks.end - ranks.start);
+                        }
+                    }
+                    let cells = (slots as u64) * u64::from(w.matrix.nodes());
+                    let m = &mut w.telemetry.metrics;
+                    m.inc("mm.ticks", 1);
+                    m.set_gauge("sched.queue_depth", queued);
+                    m.set_gauge("nodes.alive", alive);
+                    m.set_gauge("nodes.quarantined", quarantined);
+                    m.set_gauge("engine.pending_messages", pending as i64);
+                    m.observe("engine.pending_messages_per_tick", pending);
+                    if let Some(pct) = (used * 100).checked_div(cells) {
+                        m.observe("sched.matrix_utilization_pct", pct);
+                    }
+                }
                 let keep_going = !ctx.world_ref().is_idle() || ctx.world_ref().cfg.fault_detection;
                 if keep_going {
                     self.ensure_tick(ctx);

@@ -454,7 +454,9 @@ impl Component<World, Msg> for NodeManager {
                 let start = now.max(self.busy_until);
                 self.busy_until = start + service;
                 if self.busy_until.saturating_since(now) > timeslice * 4 {
-                    ctx.world().stats.nm_overruns += 1;
+                    let w = ctx.world();
+                    w.stats.nm_overruns += 1;
+                    w.metric_inc("nm.overruns");
                 }
                 // Close the interval that ran under the previous slot (or,
                 // under implicit coscheduling, the locally-timeshared mix).
@@ -478,6 +480,7 @@ impl Component<World, Msg> for NodeManager {
                     let (world, rng) = ctx.world_and_rng();
                     if rng.uniform() < drop_prob {
                         world.stats.hb_drops += 1;
+                        world.metric_inc("fault.hb_drops");
                         return;
                     }
                 }
@@ -533,8 +536,11 @@ impl Component<World, Msg> for NodeManager {
                 self.pending_reports.clear();
                 self.flush_scheduled = false;
                 self.stalled_until = None;
+                let now = ctx.now();
                 let idx = self.node as usize;
-                ctx.world().failed[idx] = true;
+                let w = ctx.world();
+                w.failed[idx] = true;
+                w.failed_at[idx] = Some(now);
             }
             Msg::RejoinNode => {
                 if !self.failed {
@@ -552,7 +558,9 @@ impl Component<World, Msg> for NodeManager {
                 self.switch_pending = false;
                 self.current_slot = ctx.world_ref().active_slot;
                 let idx = self.node as usize;
-                ctx.world().failed[idx] = false;
+                let w = ctx.world();
+                w.failed[idx] = false;
+                w.failed_at[idx] = None;
                 // The node stays quarantined in the allocator until its
                 // heartbeats catch up and the MM's rejoin scan re-admits it.
             }

@@ -39,6 +39,7 @@ impl Component<World, Msg> for ProgramLauncher {
         match msg {
             Msg::Fork { job, attempt } => {
                 self.forks += 1;
+                ctx.world().metric_inc("pl.forks");
                 let (costs, load) = {
                     let w = ctx.world_ref();
                     (w.cfg.daemon, w.cfg.load)

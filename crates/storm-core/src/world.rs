@@ -10,6 +10,7 @@ use std::sync::Arc;
 use storm_mech::{Mechanisms, NodeSet};
 use storm_net::{Nic, QsNetModel};
 use storm_sim::{ComponentId, GroupTargets, SimSpan, SimTime};
+use storm_telemetry::Telemetry;
 
 /// Component wiring: where each dæmon lives in the simulation.
 #[derive(Debug, Clone, Default)]
@@ -109,6 +110,11 @@ pub struct World {
     pub active_slot: usize,
     /// Per-node failure flags (set by injected failures).
     pub failed: Vec<bool>,
+    /// When each node's current failure was injected (`None` while the
+    /// node is healthy) — the base instant for the fault-detection
+    /// latency metric. Stall-based detections have no injection instant
+    /// and record no latency.
+    pub failed_at: Vec<Option<SimTime>>,
     /// Per-node quarantine flags: set when the MM detects a failure and
     /// carves the node out of the allocator, cleared on re-admission.
     pub quarantined: Vec<bool>,
@@ -124,6 +130,9 @@ pub struct World {
     pub wiring: Wiring,
     /// Counters.
     pub stats: ClusterStats,
+    /// Telemetry sink (metrics registry + job lifecycle spans); disabled
+    /// unless [`ClusterConfig::telemetry`] is set.
+    pub telemetry: Telemetry,
 }
 
 impl World {
@@ -150,6 +159,7 @@ impl World {
             matrix,
             active_slot: 0,
             failed: vec![false; cfg.nodes as usize],
+            failed_at: vec![None; cfg.nodes as usize],
             quarantined: vec![false; cfg.nodes as usize],
             read_dev: Nic::new(),
             bcast_dev: Nic::new(),
@@ -157,8 +167,15 @@ impl World {
             hb_round: 0,
             wiring: Wiring::default(),
             stats: ClusterStats::default(),
+            telemetry: Telemetry::new(cfg.telemetry),
             cfg,
         }
+    }
+
+    /// Bump the telemetry counter `name` by one (single branch when
+    /// telemetry is off).
+    pub fn metric_inc(&mut self, name: &'static str) {
+        self.telemetry.metrics.inc(name, 1);
     }
 
     /// Register a new job record; returns its id.

@@ -27,6 +27,13 @@ impl ComponentId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct from a raw index. No validation against any live
+    /// simulation — for tooling/tests that rebuild trace records;
+    /// sending to an id that names no component panics at delivery.
+    pub fn from_index(ix: u32) -> Self {
+        ComponentId(ix)
+    }
 }
 
 impl fmt::Debug for ComponentId {
@@ -175,6 +182,21 @@ pub trait Component<W, M> {
     }
 }
 
+/// Logical messages pending in the queue: a unicast entry counts one, a
+/// group entry counts its undelivered members. Heap order is arbitrary,
+/// but a sum over it is order-insensitive, so the result is
+/// deterministic — and, unlike the raw queue length, identical whether
+/// fan-outs travel grouped or per-member.
+fn logical_pending<M>(queue: &EventQueue<Delivery<M>>) -> u64 {
+    queue
+        .values()
+        .map(|d| match d {
+            Delivery::One(..) => 1,
+            Delivery::Group(g) => u64::from(g.targets.len() - g.cursor),
+        })
+        .sum()
+}
+
 /// Everything a component may touch while handling a message.
 pub struct Context<'a, W, M> {
     now: SimTime,
@@ -184,6 +206,10 @@ pub struct Context<'a, W, M> {
     rng: &'a mut DeterministicRng,
     tracer: &'a mut Tracer,
     halt: &'a mut bool,
+    /// Members of the group currently being expanded that have not run
+    /// yet — they live in neither the queue nor a handler, so
+    /// [`Context::pending_messages`] must add them back in.
+    group_pending: u64,
 }
 
 impl<W, M> Context<'_, W, M> {
@@ -280,6 +306,16 @@ impl<W, M> Context<'_, W, M> {
         (self.world, self.rng)
     }
 
+    /// Logical messages awaiting delivery: each unicast queue entry
+    /// counts one, each group entry counts its undelivered members, plus
+    /// any members of the group currently being expanded that have not
+    /// run yet. The count is therefore identical whether fan-outs travel
+    /// grouped or per-member — unlike the raw queue length — so
+    /// telemetry built on it stays byte-identical across delivery modes.
+    pub fn pending_messages(&self) -> u64 {
+        self.group_pending + logical_pending(self.queue)
+    }
+
     /// Record a trace event (no-op unless tracing is enabled).
     pub fn trace(&mut self, label: &'static str, detail: impl FnOnce() -> String) {
         let now = self.now;
@@ -331,6 +367,12 @@ impl<W, M> Simulation<W, M> {
     /// Enable trace recording (see [`Tracer`]).
     pub fn enable_tracing(&mut self) {
         self.tracer = Tracer::enabled();
+    }
+
+    /// Enable trace recording bounded to `capacity` records; overflow is
+    /// counted in [`Tracer::dropped`] instead of growing memory.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.tracer = Tracer::bounded(capacity);
     }
 
     /// Set a hard cap on the number of delivered events.
@@ -396,6 +438,12 @@ impl<W, M> Simulation<W, M> {
         self.queue.len()
     }
 
+    /// Logical messages awaiting delivery (see
+    /// [`Context::pending_messages`]); identical across delivery modes.
+    pub fn pending_messages(&self) -> u64 {
+        logical_pending(&self.queue)
+    }
+
     /// The recorded trace (empty unless tracing was enabled).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
@@ -444,7 +492,7 @@ impl<W, M: Clone> Simulation<W, M> {
         self.now = time;
         self.delivered += 1;
         match delivery {
-            Delivery::One(target, msg) => self.deliver(target, msg),
+            Delivery::One(target, msg) => self.deliver(target, msg, 0),
             Delivery::Group(mut group) => {
                 let len = group.targets.len();
                 while group.cursor < len {
@@ -460,14 +508,17 @@ impl<W, M: Clone> Simulation<W, M> {
                     group.cursor += 1;
                     let target = group.targets.get(rank);
                     let msg = group.msg.clone();
-                    self.deliver(target, msg);
+                    // The undelivered rest of this group is in-flight, not
+                    // queued; tell the handler's context about it so
+                    // pending-message counts match per-member sends.
+                    self.deliver(target, msg, u64::from(len - group.cursor));
                 }
             }
         }
         true
     }
 
-    fn deliver(&mut self, target: ComponentId, msg: M) {
+    fn deliver(&mut self, target: ComponentId, msg: M, group_pending: u64) {
         self.handled += 1;
         assert!(
             self.handled <= self.max_events,
@@ -486,6 +537,7 @@ impl<W, M: Clone> Simulation<W, M> {
                 rng: &mut self.rng,
                 tracer: &mut self.tracer,
                 halt: &mut self.halt,
+                group_pending,
             };
             comp.handle(msg, &mut ctx);
         }
@@ -813,6 +865,51 @@ mod tests {
         assert_eq!(sim.world().len(), 2);
         assert_eq!(sim.pending_events(), 1);
         assert_eq!(sim.messages_handled(), 3);
+    }
+
+    #[test]
+    fn pending_messages_identical_across_delivery_modes() {
+        // Recorders log ctx.pending_messages() on every delivery; the
+        // sequence must not depend on the fan-out encoding, even while a
+        // group is mid-expansion.
+        struct PendingRecorder;
+        impl Component<RecWorld, u32> for PendingRecorder {
+            fn handle(&mut self, _msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+                let now = ctx.now();
+                let id = ctx.self_id().0;
+                let pending = u32::try_from(ctx.pending_messages()).unwrap();
+                ctx.world().push((now, id, pending));
+            }
+        }
+        let run = |unicast: bool, schedule: GroupSchedule| -> RecWorld {
+            let mut sim = Simulation::new(RecWorld::new(), 5);
+            let targets = GroupTargets::Strided {
+                first: ComponentId(1),
+                stride: 1,
+                len: 6,
+            };
+            let fan = sim.add_component(FanOut {
+                targets,
+                schedule,
+                unicast,
+            });
+            for _ in 0..6 {
+                sim.add_component(PendingRecorder);
+            }
+            sim.post(SimTime::ZERO, fan, 3);
+            assert_eq!(sim.pending_messages(), 1);
+            sim.run_to_completion();
+            sim.into_world()
+        };
+        for schedule in [
+            GroupSchedule::Simultaneous,
+            GroupSchedule::FanoutTree {
+                per_hop: SimSpan::from_micros(3),
+                fanout: 2,
+            },
+        ] {
+            assert_eq!(run(false, schedule), run(true, schedule));
+        }
     }
 
     #[test]

@@ -124,6 +124,14 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Iterate over pending events in unspecified (heap) order — for
+    /// aggregate accounting over queue contents, not for delivery. Any
+    /// order-insensitive fold (counting, summing) over this iterator is
+    /// still deterministic.
+    pub fn values(&self) -> impl Iterator<Item = &E> {
+        self.heap.iter().map(|e| &e.event)
+    }
+
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -221,6 +229,17 @@ mod tests {
         for want in 0..=4 {
             assert_eq!(q.pop(), Some((t, want)));
         }
+    }
+
+    #[test]
+    fn values_visits_every_pending_event() {
+        let mut q = EventQueue::new();
+        for i in 1..=4u64 {
+            q.push(SimTime::from_micros(i), i);
+        }
+        q.pop();
+        assert_eq!(q.values().count(), 3);
+        assert_eq!(q.values().sum::<u64>(), 2 + 3 + 4);
     }
 
     #[test]

@@ -75,21 +75,27 @@ impl OnlineStats {
 }
 
 /// A batch of repeated measurements of one quantity.
+///
+/// Percentile queries sort lazily, once: the sorted view is cached on
+/// first use and invalidated by [`Summary::push`], so multi-percentile
+/// bench reports cost one sort total instead of one per quantile.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     values: Vec<f64>,
+    sorted: std::cell::OnceCell<Vec<f64>>,
 }
 
 impl Summary {
     /// Empty summary.
     pub fn new() -> Self {
-        Summary { values: Vec::new() }
+        Summary::default()
     }
 
     /// Build from raw values.
     pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
         Summary {
             values: values.into_iter().collect(),
+            sorted: std::cell::OnceCell::new(),
         }
     }
 
@@ -97,12 +103,14 @@ impl Summary {
     pub fn from_spans(spans: impl IntoIterator<Item = SimSpan>) -> Self {
         Summary {
             values: spans.into_iter().map(|s| s.as_secs_f64()).collect(),
+            sorted: std::cell::OnceCell::new(),
         }
     }
 
     /// Add one value.
     pub fn push(&mut self, x: f64) {
         self.values.push(x);
+        self.sorted.take();
     }
 
     /// Number of observations.
@@ -141,8 +149,11 @@ impl Summary {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sorted = self.sorted.get_or_init(|| {
+            let mut sorted = self.values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted
+        });
         let rank = (p / 100.0) * (sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
@@ -272,6 +283,15 @@ mod tests {
     fn median_of_even_count_interpolates() {
         let s = Summary::from_values([1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn push_invalidates_the_cached_sort() {
+        let mut s = Summary::from_values([5.0, 1.0]);
+        assert_eq!(s.median(), 3.0); // populates the cache
+        s.push(0.0);
+        assert_eq!(s.median(), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
     }
 
     #[test]

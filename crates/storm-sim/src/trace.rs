@@ -35,11 +35,14 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// A trace sink. Construct with [`Tracer::enabled`] or [`Tracer::disabled`].
+/// A trace sink. Construct with [`Tracer::enabled`] or [`Tracer::disabled`];
+/// use [`Tracer::bounded`] to cap memory on large traced runs.
 #[derive(Debug, Default)]
 pub struct Tracer {
     enabled: bool,
     records: Vec<TraceRecord>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Tracer {
@@ -48,14 +51,31 @@ impl Tracer {
         Tracer {
             enabled: false,
             records: Vec::new(),
+            capacity: None,
+            dropped: 0,
         }
     }
 
-    /// A tracer that records everything.
+    /// A tracer that records everything, unbounded.
     pub fn enabled() -> Self {
         Tracer {
             enabled: true,
             records: Vec::new(),
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// A tracer that keeps the first `capacity` records and counts the
+    /// rest in [`Tracer::dropped`] — so a 4096-node traced run cannot
+    /// grow `records` without bound. The kept prefix is still
+    /// byte-identical across same-seed runs.
+    pub fn bounded(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            records: Vec::new(),
+            capacity: Some(capacity),
+            dropped: 0,
         }
     }
 
@@ -64,7 +84,18 @@ impl Tracer {
         self.enabled
     }
 
-    /// Record one event. `detail` is only evaluated when enabled.
+    /// The record cap, if this tracer is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Records discarded because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Record one event. `detail` is only evaluated when enabled and
+    /// under the cap.
     pub fn record(
         &mut self,
         time: SimTime,
@@ -72,14 +103,19 @@ impl Tracer {
         label: &'static str,
         detail: impl FnOnce() -> String,
     ) {
-        if self.enabled {
-            self.records.push(TraceRecord {
-                time,
-                component,
-                label,
-                detail: detail(),
-            });
+        if !self.enabled {
+            return;
         }
+        if self.capacity.is_some_and(|cap| self.records.len() >= cap) {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord {
+            time,
+            component,
+            label,
+            detail: detail(),
+        });
     }
 
     /// All records so far.
@@ -149,5 +185,35 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("launch.start"));
         assert!(rendered.contains("job 7"));
+    }
+
+    #[test]
+    fn bounded_tracer_keeps_prefix_and_counts_drops() {
+        let mut t = Tracer::bounded(2);
+        assert_eq!(t.capacity(), Some(2));
+        for i in 0..5u32 {
+            t.record(
+                SimTime::from_micros(u64::from(i)),
+                ComponentId(0),
+                "e",
+                || format!("{i}"),
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.records()[1].detail, "1");
+    }
+
+    #[test]
+    fn over_cap_detail_closure_is_not_evaluated() {
+        let mut t = Tracer::bounded(1);
+        t.record(SimTime::ZERO, ComponentId(0), "kept", String::new);
+        let mut called = false;
+        t.record(SimTime::ZERO, ComponentId(0), "dropped", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+        assert_eq!(t.dropped(), 1);
     }
 }

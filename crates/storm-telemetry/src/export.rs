@@ -1,0 +1,146 @@
+//! Chrome trace-event exporter.
+//!
+//! Produces a JSON document loadable in `chrome://tracing` or Perfetto:
+//! every simulator `TraceRecord` becomes an instant event on its
+//! component's track, and every [`JobSpan`] phase becomes a complete
+//! (`"ph": "X"`) event on a per-job track, so a launch + gang-scheduling
+//! run renders as a visual timeline of the §3.1 pipeline.
+
+use std::fmt::Write as _;
+
+use storm_sim::TraceRecord;
+
+use crate::json::escape_into;
+use crate::span::JobSpan;
+
+/// Append a nanosecond sim-time instant as a trace-event `ts` value
+/// (microseconds, with the sub-µs remainder kept as three decimals so no
+/// precision is lost and output stays deterministic).
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Build a Chrome trace-event JSON document from simulator trace records
+/// and collected job spans. Components render as threads of process 0
+/// ("daemons"); each job renders as a thread of process 1 ("jobs").
+pub fn chrome_trace(records: &[TraceRecord], spans: &[JobSpan]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+    sep(&mut out);
+    out.push_str(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
+         \"args\": {\"name\": \"STORM daemons\"}}",
+    );
+    sep(&mut out);
+    out.push_str(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+         \"args\": {\"name\": \"jobs\"}}",
+    );
+    for r in records {
+        sep(&mut out);
+        out.push_str("{\"name\": \"");
+        escape_into(&mut out, r.label);
+        out.push_str("\", \"cat\": \"trace\", \"ph\": \"i\", \"s\": \"t\", \"ts\": ");
+        write_us(&mut out, r.time.as_nanos());
+        let _ = write!(out, ", \"pid\": 0, \"tid\": {}", r.component.index());
+        out.push_str(", \"args\": {\"detail\": \"");
+        escape_into(&mut out, &r.detail);
+        out.push_str("\"}}");
+    }
+    for s in spans {
+        for p in &s.phases {
+            sep(&mut out);
+            out.push_str("{\"name\": \"");
+            escape_into(&mut out, p.name);
+            out.push_str("\", \"cat\": \"job\", \"ph\": \"X\", \"ts\": ");
+            write_us(&mut out, p.start.as_nanos());
+            out.push_str(", \"dur\": ");
+            write_us(&mut out, p.duration().as_nanos());
+            let _ = write!(out, ", \"pid\": 1, \"tid\": {}", s.job);
+            out.push_str(", \"args\": {\"job\": \"");
+            escape_into(&mut out, &s.name);
+            out.push_str("\", \"outcome\": \"");
+            escape_into(&mut out, &s.outcome);
+            let _ = write!(
+                out,
+                "\", \"ranks\": {}, \"attempts\": {}}}}}",
+                s.ranks, s.attempts
+            );
+        }
+        // Name the job's track so Perfetto shows "job3 dyn_prog" instead
+        // of a bare thread id.
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}",
+            s.job
+        );
+        out.push_str(", \"args\": {\"name\": \"job");
+        let _ = write!(out, "{} ", s.job);
+        escape_into(&mut out, &s.name);
+        out.push_str("\"}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+    use storm_sim::{ComponentId, SimTime, Tracer};
+
+    fn sample_inputs() -> (Vec<TraceRecord>, Vec<JobSpan>) {
+        let mut t = Tracer::enabled();
+        t.record(
+            SimTime::from_micros(5),
+            ComponentId::from_index(0),
+            "mm.submit",
+            || "job0 \"quoted\"".to_string(),
+        );
+        t.record(
+            SimTime::from_millis(1),
+            ComponentId::from_index(3),
+            "nm.fork",
+            || "rank 2".to_string(),
+        );
+        let span = JobSpan {
+            job: 0,
+            name: "sweep3d".to_string(),
+            ranks: 64,
+            outcome: "Completed".to_string(),
+            attempts: 1,
+            phases: vec![Phase {
+                name: "execute",
+                start: SimTime::from_micros(10),
+                end: SimTime::from_millis(2),
+            }],
+        };
+        (t.records().to_vec(), vec![span])
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_both_event_kinds() {
+        let (records, spans) = sample_inputs();
+        let doc = chrome_trace(&records, &spans);
+        crate::json::validate_json(&doc).unwrap();
+        assert!(doc.contains("\"ph\": \"i\""));
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"ts\": 10.000, \"dur\": 1990.000"));
+        assert!(doc.contains("job0 sweep3d"));
+        assert_eq!(doc, chrome_trace(&records, &spans));
+    }
+
+    #[test]
+    fn empty_inputs_still_produce_a_loadable_document() {
+        let doc = chrome_trace(&[], &[]);
+        crate::json::validate_json(&doc).unwrap();
+        assert!(doc.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic telemetry for the STORM reproduction.
+//!
+//! The paper's evaluation (Figs. 2–12, Tables 4–7) is built from latency
+//! breakdowns of the launch pipeline and per-timeslice scheduler behavior.
+//! This crate provides the instrumentation layer that makes those numbers
+//! first-class outputs of any run instead of hand-reconstructed bench
+//! artifacts:
+//!
+//! - [`MetricsRegistry`] — counters, gauges, and fixed-bound power-of-2
+//!   histograms keyed by static metric names plus label sets, with a
+//!   deterministic [`MetricsSnapshot`] (JSON and pretty-text) exporter.
+//! - [`SpanLog`] / [`JobSpan`] — per-job lifecycle spans (queue-wait,
+//!   send pipeline, launch sync, fork, execute, collect) emitted as
+//!   structured records at job completion.
+//! - [`chrome_trace`] — a Chrome trace-event (`chrome://tracing` /
+//!   Perfetto) JSON exporter fed from the simulator's `Tracer` records
+//!   and the collected job spans.
+//!
+//! # Determinism rules
+//!
+//! Everything in this crate is plain integer bookkeeping over sim-time
+//! values: no wall clock, no RNG, no hashing with randomized state
+//! (`BTreeMap` keys give a total order). Recording happens synchronously
+//! inside existing message handlers — no extra simulation events are
+//! posted — so enabling telemetry never perturbs event counts, the trace,
+//! or the RNG stream, and snapshots are byte-identical for the same seed
+//! regardless of delivery encoding (grouped vs unicast).
+//!
+//! # Zero-cost contract
+//!
+//! Like the simulator's `Tracer`, the registry and span log are
+//! flag-gated: when disabled (the default), every recording call is a
+//! single branch on a `bool` and returns immediately — no allocation, no
+//! map lookups, no formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use export::chrome_trace;
+pub use json::validate_json;
+pub use registry::{Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use span::{spans_jsonl, JobSpan, Phase, SpanLog};
+
+/// The per-run telemetry container threaded through the simulation world:
+/// a metrics registry plus a job-span log, enabled or disabled together.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Counters, gauges, and histograms.
+    pub metrics: MetricsRegistry,
+    /// Per-job lifecycle spans, appended at job completion.
+    pub spans: SpanLog,
+}
+
+impl Telemetry {
+    /// A telemetry container with both the registry and the span log
+    /// enabled (`on = true`) or fully disabled (`on = false`).
+    pub fn new(on: bool) -> Self {
+        Self {
+            metrics: MetricsRegistry::new(on),
+            spans: SpanLog::new(on),
+        }
+    }
+
+    /// A disabled container: every recording call is a no-op.
+    pub fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+}

@@ -1,0 +1,546 @@
+//! Deterministic metrics registry: counters, gauges, and fixed-bound
+//! power-of-2 histograms keyed by static names plus label sets.
+//!
+//! All state lives in a `BTreeMap`, so iteration order — and therefore
+//! every exported snapshot — is a pure function of what was recorded,
+//! independent of insertion order hashing. Values are integers only
+//! (histogram observations are `u64`, typically sim-time microseconds),
+//! so snapshots are byte-identical across same-seed runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use storm_sim::SimSpan;
+
+use crate::json::escape_into;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, buckets
+/// 1..=39 hold values with that many significant bits (`[2^(b-1), 2^b)`),
+/// and the last bucket absorbs everything at or above `2^39` (≈ 9 minutes
+/// when observations are microseconds).
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// A fixed-bound power-of-2 histogram over `u64` observations.
+///
+/// Observations are typically sim-time latencies in microseconds; the
+/// bucket for a value is the number of significant bits in it, so bucket
+/// boundaries are exact powers of two and bucketing is branch-free
+/// integer math. Percentiles are reported as the upper bound of the
+/// bucket containing the requested rank — at most 2× the true value,
+/// which is plenty for regression tracking and is fully deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise its bit width, clamped
+/// into the final overflow bucket.
+fn bucket_of(v: u64) -> usize {
+    let bits = (64 - v.leading_zeros()) as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (`2^b - 1`); the overflow bucket
+/// reports its nominal bound even though it is open-ended.
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (display only; exported JSON stays integral).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound of the bucket containing the `p`-th percentile
+    /// observation (`0.0..=100.0`). Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (b, n))
+    }
+}
+
+/// A metric identity: a static name plus a (possibly empty) label set.
+/// Labels are kept sorted so equal label sets compare equal regardless of
+/// the order they were supplied in.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Static metric name, e.g. `"jobs.completed"`.
+    pub name: &'static str,
+    /// Sorted `(label, value)` pairs, e.g. `[("phase", "execute")]`.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &'static str, mut labels: Vec<(&'static str, String)>) -> Self {
+        labels.sort();
+        Self { name, labels }
+    }
+}
+
+/// One recorded metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(i64),
+    /// Power-of-2 distribution of `u64` observations (boxed: the bucket
+    /// array dwarfs the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+/// The flag-gated registry. When disabled every method is a single
+/// branch; when enabled it is a `BTreeMap` upsert with no I/O and no
+/// allocation beyond the key for first-seen metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    metrics: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// A registry that records (`on = true`) or ignores (`on = false`)
+    /// every call.
+    pub fn new(on: bool) -> Self {
+        Self {
+            enabled: on,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `by` to the counter `name` (no labels).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        self.inc_with(name, Vec::new(), by);
+    }
+
+    /// Add `by` to the counter `name` with the given labels.
+    ///
+    /// # Panics
+    /// If `name` was previously recorded as a gauge or histogram.
+    pub fn inc_with(&mut self, name: &'static str, labels: Vec<(&'static str, String)>, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        let v = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Counter(0));
+        match v {
+            MetricValue::Counter(c) => *c += by,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Set the gauge `name` (no labels) to `value`.
+    ///
+    /// # Panics
+    /// If `name` was previously recorded as a counter or histogram.
+    pub fn set_gauge(&mut self, name: &'static str, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        let v = self
+            .metrics
+            .entry(MetricKey::new(name, Vec::new()))
+            .or_insert(MetricValue::Gauge(0));
+        match v {
+            MetricValue::Gauge(g) => *g = value,
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// Record one observation into the histogram `name` (no labels).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.observe_with(name, Vec::new(), value);
+    }
+
+    /// Record one observation into the histogram `name` with labels.
+    ///
+    /// # Panics
+    /// If `name` was previously recorded as a counter or gauge.
+    pub fn observe_with(
+        &mut self,
+        name: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let v = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(Box::default()));
+        match v {
+            MetricValue::Histogram(h) => h.observe(value),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Record a sim-time span into the histogram `name`, in truncated
+    /// microseconds.
+    pub fn observe_span(&mut self, name: &'static str, span: SimSpan) {
+        self.observe(name, span.as_nanos() / 1_000);
+    }
+
+    /// Record a sim-time span into the labeled histogram `name`, in
+    /// truncated microseconds.
+    pub fn observe_span_with(
+        &mut self,
+        name: &'static str,
+        labels: Vec<(&'static str, String)>,
+        span: SimSpan,
+    ) {
+        self.observe_with(name, labels, span.as_nanos() / 1_000);
+    }
+
+    /// An ordered, immutable copy of the current registry contents.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An ordered point-in-time copy of the registry, with JSON and
+/// pretty-text exporters and typed lookup helpers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<(MetricKey, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// All `(key, value)` entries in deterministic (key) order.
+    pub fn entries(&self) -> &[(MetricKey, MetricValue)] {
+        &self.entries
+    }
+
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded (or telemetry was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn find(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The first counter named `name`, if any.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name)? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The first gauge named `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.find(name)? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The first histogram named `name`, if any (ignores labels; use
+    /// [`MetricsSnapshot::histogram_with`] for a specific label set).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.find(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The histogram with exactly this name and label set.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.entries.iter().find_map(|(k, v)| {
+            let labels_match = k.labels.len() == labels.len()
+                && k.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((kn, kv), (ln, lv))| kn == ln && kv == lv);
+            match v {
+                MetricValue::Histogram(h) if k.name == name && labels_match => Some(&**h),
+                _ => None,
+            }
+        })
+    }
+
+    /// Deterministic JSON: integer-only values, entries in key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": [\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            out.push_str("    {\"name\": \"");
+            escape_into(&mut out, k.name);
+            out.push_str("\", \"labels\": {");
+            for (j, (ln, lv)) in k.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                escape_into(&mut out, ln);
+                out.push_str("\": \"");
+                escape_into(&mut out, lv);
+                out.push('"');
+            }
+            out.push_str("}, ");
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "\"type\": \"counter\", \"value\": {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "\"type\": \"gauge\", \"value\": {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \
+                         \"p99\": {}, \"buckets\": [",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.percentile(50.0),
+                        h.percentile(90.0),
+                        h.percentile(99.0),
+                    );
+                    for (j, (b, n)) in h.nonzero_buckets().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "[{b}, {n}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table, one metric per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            let mut label = String::from(k.name);
+            if !k.labels.is_empty() {
+                label.push('{');
+                for (j, (ln, lv)) in k.labels.iter().enumerate() {
+                    if j > 0 {
+                        label.push(',');
+                    }
+                    let _ = write!(label, "{ln}={lv}");
+                }
+                label.push('}');
+            }
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "counter {label:<44} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "gauge   {label:<44} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "hist    {label:<44} count={} mean={:.1} p50<={} p90<={} p99<={} max={}",
+                        h.count(),
+                        h.mean(),
+                        h.percentile(50.0),
+                        h.percentile(90.0),
+                        h.percentile(99.0),
+                        h.max(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = MetricsRegistry::new(false);
+        r.inc("a", 1);
+        r.set_gauge("b", 2);
+        r.observe("c", 3);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let mut r = MetricsRegistry::new(true);
+        r.inc("jobs.completed", 1);
+        r.inc("jobs.completed", 2);
+        r.set_gauge("nodes.alive", 64);
+        r.set_gauge("nodes.alive", 63);
+        r.observe("lat", 100);
+        r.observe("lat", 1000);
+        let s = r.snapshot();
+        assert_eq!(s.counter("jobs.completed"), Some(3));
+        assert_eq!(s.gauge("nodes.alive"), Some(63));
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(3), 7);
+    }
+
+    #[test]
+    fn percentile_is_bucket_upper_bound() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        // rank(50%) = ceil(0.5 * 5) = 3 -> third observation (3), bucket
+        // upper bound 3.
+        assert_eq!(h.percentile(50.0), 3);
+        // p100 lands in the bucket of 100 ([64,127]) but is clamped to max.
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(Histogram::default().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive_and_sorted_in_snapshot() {
+        let mut r = MetricsRegistry::new(true);
+        r.inc_with("x", vec![("b", "2".to_string()), ("a", "1".to_string())], 1);
+        r.inc_with("x", vec![("a", "1".to_string()), ("b", "2".to_string())], 1);
+        let s = r.snapshot();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entries()[0].0.labels[0].0, "a");
+        assert_eq!(s.counter("x"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_valid() {
+        let build = || {
+            let mut r = MetricsRegistry::new(true);
+            r.observe("lat", 7);
+            r.inc("n", 1);
+            r.set_gauge("g", -5);
+            r.inc_with("n2", vec![("k", "v".to_string())], 4);
+            r.snapshot().to_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        crate::json::validate_json(&a).unwrap();
+        assert!(a.contains("\"type\": \"histogram\""));
+        assert!(a.contains("\"value\": -5"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-job lifecycle spans: one structured record per completed job,
+//! carrying the phase boundaries of the §3.1 launch pipeline.
+//!
+//! Spans are appended in completion order, which is deterministic for a
+//! given seed, so the JSONL export is byte-identical across same-seed
+//! runs and across delivery encodings.
+
+use std::fmt::Write as _;
+
+use storm_sim::{SimSpan, SimTime};
+
+use crate::json::escape_into;
+
+/// One named phase of a job's lifecycle, as a half-open sim-time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name (`queue_wait`, `send_pipeline`, `launch_sync`, `fork`,
+    /// `execute`, `collect`).
+    pub name: &'static str,
+    /// When the phase began.
+    pub start: SimTime,
+    /// When the phase ended.
+    pub end: SimTime,
+}
+
+impl Phase {
+    /// The phase duration.
+    pub fn duration(&self) -> SimSpan {
+        self.end.since(self.start)
+    }
+}
+
+/// The lifecycle record emitted when a job reaches a terminal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Job id.
+    pub job: u32,
+    /// Application name from the job spec.
+    pub name: String,
+    /// Requested rank count.
+    pub ranks: u32,
+    /// Terminal state (`Completed`, `Failed`, `Killed`).
+    pub outcome: String,
+    /// Launch attempts (1 = succeeded first try).
+    pub attempts: u32,
+    /// Phase boundaries with both endpoints known, in pipeline order.
+    pub phases: Vec<Phase>,
+}
+
+impl JobSpan {
+    /// Total covered span (first phase start to last phase end), if any
+    /// phases were recorded.
+    pub fn total(&self) -> Option<SimSpan> {
+        let first = self.phases.first()?;
+        let last = self.phases.last()?;
+        Some(last.end.since(first.start))
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "job{} {} ({} ranks) {} after {} attempt{}\n",
+            self.job,
+            self.name,
+            self.ranks,
+            self.outcome,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "    {:<13} {:>12}   [{} -> {}]",
+                p.name,
+                format!("{}", p.duration()),
+                p.start,
+                p.end,
+            );
+        }
+        out
+    }
+
+    /// One JSON object (no trailing newline); times in exact nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"job\": ");
+        let _ = write!(out, "{}", self.job);
+        out.push_str(", \"name\": \"");
+        escape_into(&mut out, &self.name);
+        out.push_str("\", \"ranks\": ");
+        let _ = write!(out, "{}", self.ranks);
+        out.push_str(", \"outcome\": \"");
+        escape_into(&mut out, &self.outcome);
+        let _ = write!(out, "\", \"attempts\": {}, \"phases\": [", self.attempts);
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \"dur_ns\": {}}}",
+                p.name,
+                p.start.as_nanos(),
+                p.end.as_nanos(),
+                p.duration().as_nanos(),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render spans as JSON Lines: one [`JobSpan::to_json`] object per line.
+pub fn spans_jsonl(spans: &[JobSpan]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&s.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// The flag-gated span collector; appended to by the machine manager at
+/// job completion.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    enabled: bool,
+    spans: Vec<JobSpan>,
+}
+
+impl SpanLog {
+    /// A log that records (`on = true`) or ignores (`on = false`) spans.
+    pub fn new(on: bool) -> Self {
+        Self {
+            enabled: on,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a span; the closure is only evaluated when enabled.
+    pub fn record(&mut self, make: impl FnOnce() -> JobSpan) {
+        if self.enabled {
+            self.spans.push(make());
+        }
+    }
+
+    /// All collected spans in completion order.
+    pub fn spans(&self) -> &[JobSpan] {
+        &self.spans
+    }
+
+    /// Number of collected spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobSpan {
+        JobSpan {
+            job: 7,
+            name: "dyn_prog".to_string(),
+            ranks: 256,
+            outcome: "Completed".to_string(),
+            attempts: 2,
+            phases: vec![
+                Phase {
+                    name: "queue_wait",
+                    start: SimTime::ZERO,
+                    end: SimTime::from_micros(10),
+                },
+                Phase {
+                    name: "execute",
+                    start: SimTime::from_micros(10),
+                    end: SimTime::from_millis(5),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = SpanLog::new(false);
+        log.record(|| panic!("closure must not run when disabled"));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn total_covers_first_to_last_phase() {
+        assert_eq!(sample().total(), Some(SimSpan::from_millis(5)));
+        let empty = JobSpan {
+            phases: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(empty.total(), None);
+    }
+
+    #[test]
+    fn jsonl_is_valid_and_deterministic() {
+        let mut log = SpanLog::new(true);
+        log.record(sample);
+        log.record(sample);
+        let out = spans_jsonl(log.spans());
+        assert_eq!(out.lines().count(), 2);
+        for line in out.lines() {
+            crate::json::validate_json(line).unwrap();
+        }
+        assert!(out.contains("\"phase\": \"execute\""));
+        assert_eq!(out, spans_jsonl(log.spans()));
+    }
+}

@@ -1,103 +1,109 @@
-//! Cluster monitoring with the raw STORM mechanisms (§4):
+//! Cluster monitoring through the telemetry registry (§4):
 //!
 //! "Another possible use of the STORM mechanisms is to implement a
 //! graphical interface for cluster monitoring. As before, the master can
 //! multicast a request for status information and gather the results from
 //! all of the slaves."
 //!
-//! This example drives the mechanism layer directly — no dæmons — to show
-//! the three-operation vocabulary: XFER-AND-SIGNAL a request to all nodes,
-//! the nodes post their load into a global variable, COMPARE-AND-WRITE
-//! checks a cluster-wide condition, and a gather pulls per-node data.
+//! Where the paper polls the mechanisms by hand, this example runs a full
+//! instrumented cluster — telemetry and tracing enabled — and renders what
+//! a monitoring GUI would: a live per-interval health table sampled while
+//! the simulation advances (queue depth, alive/quarantined nodes, matrix
+//! utilization, pending simulator messages), the end-of-run metrics
+//! snapshot with histogram percentiles, the per-job lifecycle spans, and a
+//! Chrome trace-event timeline (`TRACE_monitoring.json`) loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! Run with: `cargo run --release --example cluster_monitoring`
 
-use storm::mech::{CmpOp, EventId, Mechanisms, NodeId, NodeSet, VarId};
-use storm::net::{BackgroundLoad, BufferPlacement};
-use storm::sim::{DeterministicRng, SimTime};
-
-const NODES: u32 = 64;
+use storm::core::prelude::*;
 
 fn main() {
-    let mut mech = Mechanisms::qsnet(NODES);
-    let mut rng = DeterministicRng::new(7);
-    let all = NodeSet::All(NODES);
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(7)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_fault_detection(4)
+        .with_telemetry(true);
+    let mut c = Cluster::new(cfg);
+    c.enable_tracing_with_capacity(100_000);
 
-    // Global allocations — same id valid on every node (§2.2 "global data").
-    let request_ev: EventId = mech.memory.alloc_event();
-    let load_var: VarId = mech.memory.alloc_var(0);
-
-    // 1. Master multicasts a status request and signals an event on every
-    //    node (one XFER-AND-SIGNAL).
-    let t0 = SimTime::ZERO;
-    let timing = mech
-        .xfer_and_signal(
-            t0,
-            NodeId(0),
-            &all,
-            256,
-            BufferPlacement::MainMemory,
-            None,
-            Some(request_ev),
-            BackgroundLoad::NONE,
-            &mut rng,
-        )
-        .expect("multicast");
-    let delivered = timing.all_arrived();
-    println!(
-        "status request on all {NODES} nodes after {}",
-        delivered.since(t0)
+    // The workload: a 12 MB binary launched on 256 PEs, two gang-scheduled
+    // synthetic jobs, and a node crash + revival for the health panel to
+    // catch.
+    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.submit_at(
+        SimTime::from_millis(10),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            64,
+        ),
     );
+    c.submit_at(
+        SimTime::from_millis(20),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            128,
+        ),
+    );
+    c.fail_node_at(SimTime::from_millis(40), 9);
+    c.rejoin_node_at(SimTime::from_millis(120), 9);
 
-    // 2. Each node polls TEST-EVENT, sees the request, and posts its
-    //    one-minute load average (scaled ×100) into the global variable.
-    for n in 0..NODES {
-        let node = NodeId(n);
-        assert!(mech.test_event(node, request_ev, delivered));
-        let load = 50 + (rng.below(300) as i64); // 0.50 .. 3.50
-        mech.memory.write(node, load_var, load);
-        mech.memory.clear_event(node, request_ev);
+    // ------------------------------------------------- live health table —
+    // Advance the simulation in 25 ms display frames and read the gauges
+    // the MM refreshes every timeslice — exactly what a GUI would poll.
+    println!("live cluster health (25 ms refresh):");
+    println!(
+        "  {:>6}  {:>5}  {:>5}  {:>6}  {:>6}  {:>7}  {:>8}",
+        "time", "queue", "alive", "quar", "util%", "pending", "done"
+    );
+    for frame in 1..=16u64 {
+        let deadline = SimTime::from_millis(25 * frame);
+        c.run_until(deadline);
+        let snap = c.metrics_snapshot();
+        let util = snap
+            .histogram("sched.matrix_utilization_pct")
+            .map(|h| h.max())
+            .unwrap_or(0);
+        println!(
+            "  {:>6}  {:>5}  {:>5}  {:>6}  {:>6}  {:>7}  {:>8}",
+            format!("{}ms", 25 * frame),
+            snap.gauge("sched.queue_depth").unwrap_or(0),
+            snap.gauge("nodes.alive").unwrap_or(0),
+            snap.gauge("nodes.quarantined").unwrap_or(0),
+            util,
+            snap.gauge("engine.pending_messages").unwrap_or(0),
+            snap.counter("jobs.completed").unwrap_or(0),
+        );
     }
 
-    // 3. One COMPARE-AND-WRITE answers "is every node's load ≥ 0.5?"
-    //    (i.e. all alive and reporting).
-    let caw = mech.compare_and_write(
-        delivered,
-        &all,
-        load_var,
-        CmpOp::Ge,
-        50,
-        None,
-        BackgroundLoad::NONE,
-    );
-    println!(
-        "cluster-wide health check: {} (answered in {})",
-        if caw.satisfied {
-            "all reporting"
-        } else {
-            "nodes missing"
-        },
-        caw.complete.since(delivered)
-    );
+    // -------------------------------------------------- end-of-run panel —
+    let snap = c.metrics_snapshot();
+    println!("\n{}", snap.render());
 
-    // 4. Gather and render the per-node loads.
-    let loads = mech.memory.gather(&all, load_var);
-    let max = loads.iter().max().copied().unwrap_or(0);
-    println!("\nper-node load (1-min average):");
-    for (n, l) in loads.iter().enumerate() {
-        if n % 8 == 0 {
-            print!("  nodes {n:>2}..{:<2} ", n + 7);
-        }
-        let bars = (l * 8 / max.max(1)) as usize;
-        print!("{:>5.2}{:<9}", *l as f64 / 100.0, "#".repeat(bars.max(1)));
-        if n % 8 == 7 {
-            println!();
-        }
+    println!("job lifecycle spans:");
+    for span in c.job_spans() {
+        println!("{}", span.render());
     }
+
+    if let Some(h) = snap.histogram("fault.detection_latency_us") {
+        println!(
+            "fault detection latency: p50 ≈ {} µs, max ≈ {} µs over {} detections",
+            h.percentile(50.0),
+            h.max(),
+            h.count()
+        );
+    }
+
+    // -------------------------------------------------- timeline export —
+    let trace = c.chrome_trace();
+    let path = "TRACE_monitoring.json";
+    std::fs::write(path, &trace).expect("write chrome trace");
     println!(
-        "\nwhole round trip: request multicast {} + check {} — fast enough to \
-         refresh a GUI at kHz rates.",
-        delivered.since(t0),
-        caw.complete.since(delivered)
+        "\nwrote {path} ({} KiB) — open in chrome://tracing or https://ui.perfetto.dev",
+        trace.len() / 1024
     );
 }

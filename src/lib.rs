@@ -10,6 +10,8 @@
 //! * [`net`] — the QsNET (Elan3) timing model and the Table 5 comparison
 //!   networks; [`fs`] — RAM-disk/ext2/NFS models; [`sim`] — the
 //!   deterministic discrete-event engine underneath everything.
+//! * [`telemetry`] — deterministic metrics registry, per-job lifecycle
+//!   spans, and Chrome-trace timeline export for any instrumented run.
 //! * [`apps`] — workload models (SWEEP3D, synthetic, hogs, job streams);
 //!   [`baselines`] — rsh/RMS/GLUnix/Cplant/BProc and the Table 8 scheduler
 //!   models; [`model`] — the paper's closed-form scalability models.
@@ -36,3 +38,4 @@ pub use storm_mech as mech;
 pub use storm_model as model;
 pub use storm_net as net;
 pub use storm_sim as sim;
+pub use storm_telemetry as telemetry;

@@ -197,6 +197,88 @@ fn event_count_per_timeslice_is_node_independent() {
     );
 }
 
+/// The mixed workload again, instrumented: telemetry + tracing on,
+/// returning every serialised observability artefact plus the raw trace
+/// and handler count for cross-checks against the uninstrumented run.
+fn instrumented_run(group_delivery: bool) -> (String, String, String, String, u64) {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(0xD15C)
+        .with_group_delivery(group_delivery)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_fault_detection(4)
+        .with_telemetry(true);
+    let mut c = Cluster::new(cfg);
+    c.enable_tracing();
+    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.submit_at(
+        SimTime::from_millis(10),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            64,
+        ),
+    );
+    c.submit_at(
+        SimTime::from_millis(20),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(120),
+            },
+            128,
+        ),
+    );
+    c.fail_node_at(SimTime::from_millis(40), 9);
+    c.rejoin_node_at(SimTime::from_millis(120), 9);
+    c.run_until(SimTime::from_millis(400));
+    (
+        c.metrics_snapshot().to_json(),
+        spans_jsonl(c.job_spans()),
+        c.chrome_trace(),
+        c.trace(),
+        c.messages_handled(),
+    )
+}
+
+/// Telemetry must be as deterministic as the simulation itself: the full
+/// snapshot JSON — counters, gauges, every histogram bucket — plus the
+/// span log and Chrome trace must be byte-identical between grouped and
+/// unicast delivery, and across same-seed replays. This covers the one
+/// metric that could plausibly differ: the per-tick pending-message depth,
+/// which is defined logically rather than as raw queue entries.
+#[test]
+fn telemetry_is_byte_identical_across_modes_and_replays() {
+    let grouped = instrumented_run(true);
+    let unicast = instrumented_run(false);
+    assert_eq!(grouped.0, unicast.0, "metrics snapshots");
+    assert_eq!(grouped.1, unicast.1, "job span logs");
+    assert_eq!(grouped.2, unicast.2, "chrome traces");
+    let replay = instrumented_run(true);
+    assert_eq!(grouped.0, replay.0, "same-seed snapshot replay");
+    assert_eq!(grouped.1, replay.1, "same-seed span replay");
+    assert_eq!(grouped.2, replay.2, "same-seed chrome-trace replay");
+    // Sanity: the instrumented run actually measured something.
+    assert!(grouped.0.contains("jobs.submitted"));
+    assert!(grouped.0.contains("fault.detections"));
+    assert!(!grouped.1.is_empty(), "spans were collected");
+    validate_json(&grouped.0).unwrap();
+    validate_json(&grouped.2).unwrap();
+    for line in grouped.1.lines() {
+        validate_json(line).unwrap();
+    }
+}
+
+/// The zero-cost contract: enabling telemetry must not perturb the
+/// simulation. The event trace and handler count of an instrumented run
+/// must equal those of the plain run of the same workload.
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let plain = mixed_workload_run(true);
+    let instrumented = instrumented_run(true);
+    assert_eq!(plain.0, instrumented.3, "event traces");
+    assert_eq!(plain.3, instrumented.4, "handler invocations");
+}
+
 #[test]
 fn gang_runs_are_deterministic() {
     let run = || {
