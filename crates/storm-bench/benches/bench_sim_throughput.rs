@@ -1,18 +1,28 @@
-//! Simulator-core throughput: events/sec and events-per-timeslice across
-//! cluster sizes, with engine-level group delivery on and off.
+//! Simulator-core throughput: events/sec, events-per-timeslice and queue
+//! traffic across cluster sizes, group delivery on and off, out to 16384
+//! nodes — the scalability bench behind the simulator-core claims.
 //!
-//! This is the bench behind the 4096-node scalability claim: with group
-//! delivery the event queue sees O(jobs) entries per timeslice, so the
-//! pop count per strobe stays flat as the machine grows, while the legacy
-//! per-NM encoding grows linearly. The acceptance bar is a ≥ 50× reduction
-//! in delivered events per timeslice at the largest size.
+//! With group delivery the event queue sees O(jobs) entries per timeslice,
+//! so the pop count per strobe stays flat as the machine grows while the
+//! legacy per-NM encoding grows linearly (the acceptance bar: ≥ 50×
+//! fewer delivered events per timeslice at the largest size). The sweep
+//! itself runs through [`parallel_sweep`] — one independent `Cluster` and
+//! derived seed per configuration, merged in configuration order.
+//!
+//! A second section reruns the Figure-5 gang workloads at 4096 nodes on
+//! the *legacy* simulator core (binary-heap event queue, per-NM unicast
+//! fan-out, no idle fast-forward) and on the current defaults
+//! (timing wheel, group delivery, fast-forward), checking the cores agree
+//! bit-for-bit on simulated results while the optimized core is ≥ 2×
+//! faster in wall-clock; the parallel runner's speedup over the summed
+//! serial estimate is recorded alongside.
 //!
 //! Emits `BENCH_simcore.json` (override the path with `BENCH_OUT`); set
 //! `STORM_BENCH_SMOKE=1` for a small CI axis.
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use storm_bench::check;
+use storm_bench::{check, derive_seed, parallel_sweep};
 use storm_core::prelude::*;
 
 struct Row {
@@ -21,6 +31,8 @@ struct Row {
     events: u64,
     messages: u64,
     strobes: u64,
+    queue_pushed: u64,
+    queue_peak: usize,
     wall_s: f64,
 }
 
@@ -54,14 +66,47 @@ fn run(nodes: u32, group: bool) -> Row {
     let t0 = Instant::now();
     c.run_until_idle();
     let wall_s = t0.elapsed().as_secs_f64();
+    let qs = c.queue_stats();
     Row {
         nodes,
         group,
         events: c.events_delivered(),
         messages: c.messages_handled(),
         strobes: c.world().stats.strobes,
+        queue_pushed: qs.pushed,
+        queue_peak: qs.peak,
         wall_s,
     }
+}
+
+/// One Figure-5 gang configuration (app × MPL) at a fixed node count,
+/// on either the legacy or the optimized simulator core. Returns the
+/// simulated per-MPL runtime (seconds) and the wall-clock spent.
+fn fig5_config(app: &AppSpec, nodes: u32, mpl: u32, seed: u64, legacy: bool) -> (f64, f64) {
+    let mut cfg = ClusterConfig::gang_cluster()
+        .with_nodes(nodes)
+        .with_seed(seed);
+    if legacy {
+        cfg = cfg
+            .with_queue_backend(QueueBackend::Heap)
+            .with_group_delivery(false)
+            .with_fast_forward(false);
+    }
+    let t0 = Instant::now();
+    let mut c = Cluster::new(cfg);
+    let jobs: Vec<_> = (0..mpl)
+        .map(|_| c.submit(JobSpec::new(app.clone(), nodes * 2).with_ranks_per_node(2)))
+        .collect();
+    c.run_until_idle();
+    let last = jobs
+        .iter()
+        .map(|&j| c.job(j).metrics.completed.expect("done"))
+        .max()
+        .expect("jobs");
+    (
+        last.as_secs_f64() / f64::from(mpl),
+        t0.elapsed().as_secs_f64(),
+    )
 }
 
 fn main() {
@@ -69,30 +114,37 @@ fn main() {
     let axis: &[u32] = if smoke {
         &[64, 256]
     } else {
-        &[64, 256, 1024, 4096]
+        &[64, 256, 1024, 4096, 16384]
     };
     println!("Simulator throughput: group delivery vs per-NM events");
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>9} {:>12} {:>11}",
-        "nodes", "mode", "events", "messages", "ev/slice", "events/sec", "wall"
+        "{:>6} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12} {:>10} {:>11}",
+        "nodes",
+        "mode",
+        "events",
+        "messages",
+        "ev/slice",
+        "q.pushed",
+        "q.peak",
+        "events/sec",
+        "wall"
     );
 
-    let mut rows = Vec::new();
-    for &n in axis {
-        for group in [false, true] {
-            let row = run(n, group);
-            println!(
-                "{:>6} {:>8} {:>12} {:>12} {:>9.1} {:>12.0} {:>9.3} s",
-                row.nodes,
-                if group { "group" } else { "unicast" },
-                row.events,
-                row.messages,
-                row.events_per_timeslice(),
-                row.events_per_sec(),
-                row.wall_s,
-            );
-            rows.push(row);
-        }
+    let configs: Vec<(u32, bool)> = axis.iter().flat_map(|&n| [(n, false), (n, true)]).collect();
+    let rows = parallel_sweep(configs, |&(n, group)| run(n, group));
+    for row in &rows {
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>9.1} {:>12} {:>12} {:>10.0} {:>9.3} s",
+            row.nodes,
+            if row.group { "group" } else { "unicast" },
+            row.events,
+            row.messages,
+            row.events_per_timeslice(),
+            row.queue_pushed,
+            row.queue_peak,
+            row.events_per_sec(),
+            row.wall_s,
+        );
     }
 
     // Either encoding must invoke every handler the same number of times.
@@ -136,19 +188,79 @@ fn main() {
         &format!("grouped events/timeslice flat across sizes ({lo:.1}-{hi:.1})"),
     );
 
+    // ------------------------------------------------ fig5 sweep section —
+    // The four Figure-5 series at one large size, legacy core vs current
+    // defaults. Simulated results must agree exactly; wall-clock must not.
+    let fig5_nodes: u32 = if smoke { 256 } else { 4096 };
+    let series: Vec<(&str, AppSpec, u32)> = vec![
+        ("SWEEP3D MPL=1", AppSpec::sweep3d_default(), 1),
+        ("SWEEP3D MPL=2", AppSpec::sweep3d_default(), 2),
+        ("synthetic MPL=1", AppSpec::synthetic_default(), 1),
+        ("synthetic MPL=2", AppSpec::synthetic_default(), 2),
+    ];
+    println!("fig5 gang workloads at {fig5_nodes} nodes: legacy core vs optimized core");
+    let legacy: Vec<(f64, f64)> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (_, app, mpl))| {
+            fig5_config(app, fig5_nodes, *mpl, derive_seed(0xF1_65, si as u64), true)
+        })
+        .collect();
+    let sweep_start = Instant::now();
+    let optimized: Vec<(f64, f64)> = parallel_sweep(
+        series.iter().enumerate().collect(),
+        |&(si, (_, app, mpl))| {
+            fig5_config(
+                app,
+                fig5_nodes,
+                *mpl,
+                derive_seed(0xF1_65, si as u64),
+                false,
+            )
+        },
+    );
+    let parallel_wall = sweep_start.elapsed().as_secs_f64();
+    for (i, (name, _, _)) in series.iter().enumerate() {
+        println!(
+            "  {name:<16} simulated {:>8.2} s   legacy wall {:>7.3} s   optimized wall {:>7.3} s",
+            optimized[i].0, legacy[i].1, optimized[i].1
+        );
+        check(
+            (legacy[i].0 - optimized[i].0).abs() < 1e-12,
+            &format!("{name}: legacy and optimized cores agree on the simulated result"),
+        );
+    }
+    let legacy_serial: f64 = legacy.iter().map(|r| r.1).sum();
+    let optimized_serial: f64 = optimized.iter().map(|r| r.1).sum();
+    let improvement = legacy_serial / optimized_serial;
+    let sweep_speedup = optimized_serial / parallel_wall;
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "fig5 sweep at {fig5_nodes} nodes: legacy {legacy_serial:.3} s, optimized \
+         {optimized_serial:.3} s serial ({improvement:.1}x), parallel wall \
+         {parallel_wall:.3} s ({sweep_speedup:.1}x over serial on {threads} threads)"
+    );
+    check(
+        improvement >= 2.0,
+        &format!("optimized core >= 2x faster on the fig5 sweep at {fig5_nodes} nodes ({improvement:.1}x)"),
+    );
+
     // Hand-rolled JSON (the repo vendors no serde).
     let mut json = String::from("{\n  \"bench\": \"simcore\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"nodes\": {}, \"group_delivery\": {}, \"events_delivered\": {}, \
-             \"messages_handled\": {}, \"strobes\": {}, \"wall_seconds\": {:.6}, \
+             \"messages_handled\": {}, \"strobes\": {}, \"queue_pushed\": {}, \
+             \"queue_peak\": {}, \"wall_seconds\": {:.6}, \
              \"events_per_sec\": {:.1}, \"events_per_timeslice\": {:.2}}}{}",
             r.nodes,
             r.group,
             r.events,
             r.messages,
             r.strobes,
+            r.queue_pushed,
+            r.queue_peak,
             r.wall_s,
             r.events_per_sec(),
             r.events_per_timeslice(),
@@ -157,7 +269,36 @@ fn main() {
     }
     let _ = writeln!(
         json,
-        "  ],\n  \"events_per_timeslice_reduction_at_{max_n}\": {ratio:.1}\n}}"
+        "  ],\n  \"events_per_timeslice_reduction_at_{max_n}\": {ratio:.1},"
+    );
+    let _ = writeln!(json, "  \"fig5_sweep\": {{");
+    let _ = writeln!(json, "    \"nodes\": {fig5_nodes},");
+    let _ = writeln!(json, "    \"configs\": [");
+    for (i, (name, _, _)) in series.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"series\": \"{}\", \"simulated_seconds\": {:.6}, \
+             \"legacy_wall_seconds\": {:.6}, \"optimized_wall_seconds\": {:.6}}}{}",
+            name,
+            optimized[i].0,
+            legacy[i].1,
+            optimized[i].1,
+            if i + 1 == series.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"legacy_core\": \"heap queue + per-NM unicast + no fast-forward\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"legacy_serial_wall_seconds\": {legacy_serial:.6},\n    \
+         \"optimized_serial_wall_seconds\": {optimized_serial:.6},\n    \
+         \"wall_clock_improvement\": {improvement:.2},\n    \
+         \"parallel_sweep_wall_seconds\": {parallel_wall:.6},\n    \
+         \"parallel_sweep_speedup\": {sweep_speedup:.2},\n    \
+         \"parallel_sweep_threads\": {threads}\n  }}\n}}"
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_simcore.json".into());
     std::fs::write(&out, json).expect("write bench json");

@@ -94,6 +94,19 @@ pub fn repeat(reps: u64, base_seed: u64, mut f: impl FnMut(u64) -> f64) -> Summa
     s
 }
 
+/// Derive an independent seed for sweep configuration `index` from a base
+/// seed (a splitmix64 finalising step). Every configuration gets its own
+/// stream regardless of which worker thread runs it or in what order, so
+/// parallel sweeps reproduce serial ones bit for bit.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Run independent experiment configurations in parallel across threads
 /// (each simulation is single-threaded and deterministic; the sweep across
 /// configurations is embarrassingly parallel).
@@ -190,6 +203,20 @@ mod tests {
         let configs: Vec<u64> = (0..50).collect();
         let results = parallel_sweep(configs, |&c| c * 2);
         assert_eq!(results, (0..50).map(|c| c * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(7, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 100);
+        assert_eq!(
+            seeds,
+            (0..100).map(|i| derive_seed(7, i)).collect::<Vec<_>>()
+        );
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
     }
 
     #[test]

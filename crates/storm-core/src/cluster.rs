@@ -13,7 +13,7 @@ use crate::msg::Msg;
 use crate::nm::NodeManager;
 use crate::pl::ProgramLauncher;
 use crate::world::World;
-use storm_sim::{ComponentId, SimTime, Simulation};
+use storm_sim::{ComponentId, QueueStats, SimSpan, SimTime, Simulation};
 
 /// A fully-wired simulated STORM cluster.
 pub struct Cluster {
@@ -27,7 +27,14 @@ impl Cluster {
         let seed = cfg.seed;
         let world = World::new(cfg);
         let cfg = world.cfg.clone();
-        let mut sim = Simulation::new(world, seed);
+        // Wheel buckets sized to a fraction of the strobe/collect period,
+        // so a periodic tick advances the cursor a handful of buckets.
+        let mut sim = Simulation::new_with_backend(
+            world,
+            seed,
+            cfg.resolved_queue_backend(),
+            SimSpan::from_nanos(cfg.collect_period().as_nanos() / 64),
+        );
         let mm = sim.add_component(MachineManager::new());
         let mut nms = Vec::with_capacity(cfg.nodes as usize);
         let mut pls = Vec::with_capacity(cfg.nodes as usize);
@@ -188,7 +195,12 @@ impl Cluster {
 
     /// Run until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        self.sim.run_until(deadline)
+        let t = self.sim.run_until(deadline);
+        // If the run ended inside an armed idle leap, replay the skipped
+        // ticks up to the deadline so snapshots taken now match an
+        // un-leaped run tick for tick.
+        self.sim.world_mut().settle_leap_through(deadline);
+        t
     }
 
     /// Run until `job` reaches a terminal state (or the queue drains).
@@ -245,6 +257,22 @@ impl Cluster {
     /// [`events_delivered`]: Cluster::events_delivered
     pub fn messages_handled(&self) -> u64 {
         self.sim.messages_handled()
+    }
+
+    /// Raw event-queue accounting (push/pop totals, current and peak
+    /// depth) straight from the backend — no cloning. Depth counts a
+    /// group-delivery entry once, so it is backend-identical but differs
+    /// across delivery modes.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.sim.queue_stats()
+    }
+
+    /// Idle fast-forward accounting: `(leaps, slices)` — how many times
+    /// the clock leaped over quiescent timeslices, and how many ticks were
+    /// skipped in total.
+    pub fn leap_stats(&self) -> (u64, u64) {
+        let w = self.sim.world();
+        (w.sim_leaps, w.sim_leaped_slices)
     }
 
     /// Summarise all jobs.

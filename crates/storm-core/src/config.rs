@@ -7,7 +7,7 @@
 use crate::fault::{FailurePolicy, FaultSchedule};
 use storm_fs::FsKind;
 use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
-use storm_sim::SimSpan;
+use storm_sim::{QueueBackend, SimSpan};
 
 /// Which queueing/scheduling policy the MM runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -162,6 +162,20 @@ pub struct ClusterConfig {
     /// trace, or the RNG stream — but the zero-cost default keeps the
     /// hot paths at a single branch.
     pub telemetry: bool,
+    /// Event-queue backend. `None` (the default) resolves to the
+    /// `STORM_QUEUE_BACKEND` environment variable (`heap` or `wheel`) if
+    /// set, otherwise the timing wheel; `Some(_)` pins a backend
+    /// explicitly (what the determinism tests use to compare the two).
+    /// Pop order — and so traces, stats, and telemetry — is byte-identical
+    /// either way.
+    pub queue_backend: Option<QueueBackend>,
+    /// Idle fast-forward: when fault detection keeps the MM ticking but
+    /// the cluster is quiescent (no queued or running jobs) and no event
+    /// is due before the next heartbeat round, leap the clock straight to
+    /// that round instead of strobing empty timeslices, replaying the
+    /// skipped ticks' counters arithmetically. Observationally identical
+    /// to the un-leaped run (see DESIGN.md §12); on by default.
+    pub fast_forward: bool,
     /// Dæmon cost constants.
     pub daemon: DaemonCosts,
     /// RNG seed.
@@ -199,6 +213,8 @@ impl ClusterConfig {
             failure_policy: FailurePolicy::default(),
             group_delivery: true,
             telemetry: false,
+            queue_backend: None,
+            fast_forward: true,
             daemon: DaemonCosts::default(),
             seed: 0x5702_2002,
         }
@@ -279,6 +295,33 @@ impl ClusterConfig {
     pub fn with_telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
         self
+    }
+
+    /// Builder: pin the event-queue backend (overrides the
+    /// `STORM_QUEUE_BACKEND` environment default).
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue_backend = Some(backend);
+        self
+    }
+
+    /// Builder: toggle idle fast-forward.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
+    }
+
+    /// The backend a [`crate::Cluster`] built from this config will use:
+    /// the pinned choice, else the `STORM_QUEUE_BACKEND` environment
+    /// variable (`heap`/`wheel`), else the timing wheel.
+    pub fn resolved_queue_backend(&self) -> QueueBackend {
+        if let Some(b) = self.queue_backend {
+            return b;
+        }
+        match std::env::var("STORM_QUEUE_BACKEND").as_deref() {
+            Ok("heap") => QueueBackend::Heap,
+            Ok("wheel") => QueueBackend::Wheel,
+            _ => QueueBackend::default(),
+        }
     }
 
     /// Builder: enable heartbeat fault detection with a fault round every

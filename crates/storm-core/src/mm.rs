@@ -20,7 +20,7 @@ use crate::fault::FailurePolicy;
 use crate::job::{Allocation, JobId, JobState};
 use crate::msg::{Msg, ReportKind};
 use crate::policy::{self, QueuedJob, RunningJob};
-use crate::world::World;
+use crate::world::{IdleLeap, World};
 use std::collections::HashSet;
 use storm_mech::{CmpOp, NodeId, NodeSet};
 use storm_sim::{Component, Context, GroupSchedule, SimSpan, SimTime};
@@ -37,6 +37,10 @@ pub struct MachineManager {
     collect_scheduled: bool,
     pending_reports: Vec<(u32, JobId, u32, ReportKind)>,
     ticks: u64,
+    /// Instant of the last executed tick — deduplicates the superseded
+    /// far tick left in the queue when a mid-gap message re-densifies an
+    /// idle fast-forward leap.
+    last_tick_at: Option<SimTime>,
     /// Nodes whose failure has been detected by the heartbeat protocol.
     detected_failed: HashSet<u32>,
 }
@@ -59,9 +63,20 @@ impl MachineManager {
     /// `ticks_per_quantum` heartbeats). With the launch experiments' 1 ms
     /// timeslice the two cadences coincide, exactly as in §3.1.
     fn ensure_tick(&mut self, ctx: &mut Context<'_, World, Msg>) {
-        if !self.tick_scheduled {
-            let period = ctx.world_ref().cfg.collect_period();
-            let at = ctx.now().next_boundary(period);
+        let period = ctx.world_ref().cfg.collect_period();
+        let at = ctx.now().next_boundary(period);
+        if self.tick_scheduled {
+            // An armed idle leap parks the next tick up to a heartbeat
+            // round away. A message landing mid-gap (a submit, a kill, a
+            // requeue) needs the dense chain back *now*: schedule the
+            // earlier tick and lower `parked`; the superseded far tick is
+            // deduplicated by `last_tick_at` when it eventually pops.
+            let densify = ctx.world_ref().leap.as_ref().is_some_and(|l| at < l.parked);
+            if densify {
+                ctx.world().leap.as_mut().expect("armed").parked = at;
+                ctx.send_self_at(at, Msg::Tick);
+            }
+        } else {
             ctx.send_self_at(at, Msg::Tick);
             self.tick_scheduled = true;
         }
@@ -76,6 +91,66 @@ impl MachineManager {
         let q = cfg.timeslice.as_nanos();
         let c = cfg.collect_period().as_nanos().max(1);
         q.div_ceil(c).max(1)
+    }
+
+    /// Idle fast-forward (DESIGN.md §12): when fault detection keeps the
+    /// tick chain alive over a quiescent cluster, park the next tick at
+    /// the upcoming heartbeat round instead of strobing the empty slices
+    /// in between. Arms only when no pending event lands before the
+    /// target, which proves every skipped tick would have been a no-op —
+    /// no randomness, no trace, no stats — whose counter arithmetic the
+    /// world replays exactly (`World::settle_leap_through`). Heartbeat
+    /// rounds themselves always execute for real.
+    fn try_leap(&mut self, ctx: &mut Context<'_, World, Msg>) -> bool {
+        let (h, period) = {
+            let w = ctx.world_ref();
+            if !w.cfg.fast_forward
+                || !w.cfg.fault_detection
+                || w.leap.is_some()
+                || !w.is_quiescent()
+            {
+                return false;
+            }
+            (u64::from(w.cfg.heartbeat_every), w.cfg.collect_period())
+        };
+        debug_assert!(self.pending_reports.is_empty());
+        // Rounds fire at tick numbers n with (n - 1) % h == 0; skip the
+        // intermediate ticks between this one (already counted) and the
+        // next round.
+        let next_round = self.ticks + (h - (self.ticks - 1) % h);
+        let skipped = next_round - self.ticks - 1;
+        if skipped == 0 {
+            return false;
+        }
+        let now = ctx.now();
+        let target = now + period * (skipped + 1);
+        if ctx.peek_next_event().is_some_and(|t| t < target) {
+            return false;
+        }
+        // What each skipped tick's health sample would observe: the
+        // pending count cannot change mid-gap (no handler runs before the
+        // target), and the matrix is empty, so utilisation samples are 0
+        // over however many cells exist.
+        let pending = ctx.pending_messages();
+        let pct = {
+            let w = ctx.world_ref();
+            let cells = (w.matrix.slot_count() as u64) * u64::from(w.matrix.nodes());
+            if cells == 0 {
+                None
+            } else {
+                Some(0)
+            }
+        };
+        ctx.world().leap = Some(IdleLeap {
+            from: now,
+            parked: target,
+            settled: now,
+            pending,
+            pct,
+        });
+        ctx.send_self_at(target, Msg::Tick);
+        self.tick_scheduled = true;
+        true
     }
 
     /// The destination set of a job's allocation.
@@ -972,7 +1047,18 @@ impl Component<World, Msg> for MachineManager {
                 self.ensure_tick(ctx);
             }
             Msg::Tick => {
+                let tick_now = ctx.now();
+                if self.last_tick_at == Some(tick_now) {
+                    // The superseded far tick of a re-densified idle leap:
+                    // this boundary already ran. Drop the duplicate.
+                    return;
+                }
+                self.last_tick_at = Some(tick_now);
                 self.tick_scheduled = false;
+                // Resolve any armed fast-forward first: replay the skipped
+                // quiescent boundaries and realign the tick counter,
+                // exactly as if the chain had ticked through them.
+                self.ticks += ctx.world().take_leap(tick_now);
                 self.ticks += 1;
                 // A tick is also a collection boundary.
                 self.process_events(ctx);
@@ -989,8 +1075,12 @@ impl Component<World, Msg> for MachineManager {
                 self.strobe(ctx);
                 if ctx.world_ref().telemetry.is_enabled() {
                     // Per-timeslice health sample. `pending_messages()` is
-                    // the logical count, identical across delivery modes.
+                    // the logical count, identical across delivery modes;
+                    // the raw queue depth/peak gauges count a group entry
+                    // once, so they are backend-identical but vary across
+                    // delivery modes.
                     let pending = ctx.pending_messages();
+                    let qs = ctx.queue_stats();
                     let w = ctx.world();
                     let queued = w.queue.len() as i64;
                     let quarantined = w.quarantined.iter().filter(|&&q| q).count() as i64;
@@ -1009,13 +1099,15 @@ impl Component<World, Msg> for MachineManager {
                     m.set_gauge("nodes.alive", alive);
                     m.set_gauge("nodes.quarantined", quarantined);
                     m.set_gauge("engine.pending_messages", pending as i64);
+                    m.set_gauge("sim.queue.depth", qs.len as i64);
+                    m.set_gauge("sim.queue.peak", qs.peak as i64);
                     m.observe("engine.pending_messages_per_tick", pending);
                     if let Some(pct) = (used * 100).checked_div(cells) {
                         m.observe("sched.matrix_utilization_pct", pct);
                     }
                 }
                 let keep_going = !ctx.world_ref().is_idle() || ctx.world_ref().cfg.fault_detection;
-                if keep_going {
+                if keep_going && !self.try_leap(ctx) {
                     self.ensure_tick(ctx);
                 }
             }

@@ -133,6 +133,33 @@ pub struct World {
     /// Telemetry sink (metrics registry + job lifecycle spans); disabled
     /// unless [`ClusterConfig::telemetry`] is set.
     pub telemetry: Telemetry,
+    /// Armed idle fast-forward, if any (see [`IdleLeap`]).
+    pub(crate) leap: Option<IdleLeap>,
+    /// Number of idle fast-forward leaps taken.
+    pub sim_leaps: u64,
+    /// Total quiescent collect-period ticks skipped by fast-forward.
+    pub sim_leaped_slices: u64,
+}
+
+/// An armed idle fast-forward: the MM tick chain has leaped over a run of
+/// quiescent collect-period boundaries, parking its next `Tick` just
+/// before the upcoming heartbeat round, and the arithmetic effects of the
+/// skipped ticks are replayed lazily — when the next tick actually fires,
+/// or at a `run_until` deadline that lands mid-gap (see DESIGN.md §12).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IdleLeap {
+    /// The real tick (a collect-period boundary) that armed the leap.
+    pub from: SimTime,
+    /// When the parked `Tick` event fires. Lowered when a mid-gap message
+    /// (e.g. a submit) re-densifies the chain; the superseded far tick is
+    /// deduplicated by the MM when it eventually pops.
+    pub parked: SimTime,
+    /// Boundary through which skipped-tick effects have been replayed.
+    pub settled: SimTime,
+    /// Logical pending-message count each skipped tick would observe.
+    pub pending: u64,
+    /// Matrix-utilisation sample each skipped tick would record.
+    pub pct: Option<u64>,
 }
 
 impl World {
@@ -168,6 +195,9 @@ impl World {
             wiring: Wiring::default(),
             stats: ClusterStats::default(),
             telemetry: Telemetry::new(cfg.telemetry),
+            leap: None,
+            sim_leaps: 0,
+            sim_leaped_slices: 0,
             cfg,
         }
     }
@@ -224,6 +254,54 @@ impl World {
     /// Are all jobs terminal and the queue empty (cluster idle)?
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.jobs.iter().all(|j| j.state.is_terminal())
+    }
+
+    /// Idle in the strong sense fast-forward requires: nothing queued,
+    /// every job terminal, and the gang matrix empty — a tick over this
+    /// state draws no randomness, records no trace, and changes no stats.
+    pub fn is_quiescent(&self) -> bool {
+        self.is_idle() && self.matrix.job_count() == 0
+    }
+
+    /// Replay the per-tick arithmetic of skipped quiescent boundaries in
+    /// `(leap.settled, upto]`, advancing the settled watermark. Counters
+    /// and histogram observations accumulate; gauges need no replay (the
+    /// skipped ticks would re-set the values they already hold). Keeps the
+    /// leap armed — the caller decides when to disarm.
+    pub(crate) fn settle_leap_through(&mut self, upto: SimTime) {
+        let Some(l) = self.leap else { return };
+        let period = self.cfg.collect_period();
+        let upto = upto.prev_boundary(period);
+        if upto <= l.settled {
+            return;
+        }
+        let k = upto.boundaries_since(l.settled, period);
+        self.leap.as_mut().expect("armed").settled = upto;
+        self.sim_leaps += 1;
+        self.sim_leaped_slices += k;
+        let m = &mut self.telemetry.metrics;
+        m.inc("mm.ticks", k);
+        m.inc("sim.time.leaps", 1);
+        m.inc("sim.time.leaped_slices", k);
+        for _ in 0..k {
+            m.observe("engine.pending_messages_per_tick", l.pending);
+            if let Some(p) = l.pct {
+                m.observe("sched.matrix_utilization_pct", p);
+            }
+        }
+    }
+
+    /// Resolve an armed leap at a real tick firing at `fire`: replay every
+    /// boundary strictly before `fire`, disarm, and return how many MM
+    /// tick numbers the leap skipped (the MM adds them to its counter so
+    /// heartbeat-round and quantum cadence stay aligned with an un-leaped
+    /// run).
+    pub(crate) fn take_leap(&mut self, fire: SimTime) -> u64 {
+        let Some(l) = self.leap else { return 0 };
+        let period = self.cfg.collect_period();
+        self.settle_leap_through(fire - period);
+        self.leap = None;
+        fire.boundaries_since(l.from, period).saturating_sub(1)
     }
 
     /// Add a job to a slot's scan list.

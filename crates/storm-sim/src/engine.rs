@@ -11,7 +11,7 @@
 //! engine delivers them in `(time, insertion-sequence)` order, so any two
 //! runs with the same inputs and seed produce identical traces.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueBackend, QueueStats};
 use crate::rng::DeterministicRng;
 use crate::time::{SimSpan, SimTime};
 use crate::trace::Tracer;
@@ -316,6 +316,18 @@ impl<W, M> Context<'_, W, M> {
         self.group_pending + logical_pending(self.queue)
     }
 
+    /// The instant of the earliest pending event, if any — lets a periodic
+    /// component prove the queue is quiet up to some horizon before leaping
+    /// over it (idle fast-forward).
+    pub fn peek_next_event(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Raw queue accounting (see [`Simulation::queue_stats`]).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
     /// Record a trace event (no-op unless tracing is enabled).
     pub fn trace(&mut self, label: &'static str, detail: impl FnOnce() -> String) {
         let now = self.now;
@@ -348,13 +360,36 @@ pub struct Simulation<W, M> {
 }
 
 impl<W, M> Simulation<W, M> {
-    /// Create a simulation with the given world and seed.
+    /// Create a simulation with the given world and seed, on the default
+    /// event-queue backend (timing wheel, default granularity).
     pub fn new(world: W, seed: u64) -> Self {
+        Self::with_queue(world, seed, EventQueue::new())
+    }
+
+    /// Create a simulation on an explicit event-queue backend. `granularity`
+    /// sizes the wheel's buckets (callers pass a fraction of their periodic
+    /// strobe/tick interval); it is ignored by the heap backend. Pop order
+    /// — and therefore every trace, stat, and telemetry snapshot — is
+    /// byte-identical across backends.
+    pub fn new_with_backend(
+        world: W,
+        seed: u64,
+        backend: QueueBackend,
+        granularity: SimSpan,
+    ) -> Self {
+        Self::with_queue(
+            world,
+            seed,
+            EventQueue::with_backend_and_granularity(backend, granularity),
+        )
+    }
+
+    fn with_queue(world: W, seed: u64, queue: EventQueue<Delivery<M>>) -> Self {
         Simulation {
             now: SimTime::ZERO,
             world,
             components: Vec::new(),
-            queue: EventQueue::new(),
+            queue,
             rng: DeterministicRng::new(seed),
             tracer: Tracer::disabled(),
             halt: false,
@@ -436,6 +471,19 @@ impl<W, M> Simulation<W, M> {
     /// Number of pending events.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Raw queue accounting (push/pop totals, current and peak depth),
+    /// returned by value without cloning queue contents. Unlike
+    /// [`Simulation::pending_messages`], depth counts a group entry once,
+    /// so it differs across delivery modes (but not across backends).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// The event-queue backend this simulation runs on.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
     }
 
     /// Logical messages awaiting delivery (see

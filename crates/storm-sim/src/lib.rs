@@ -7,8 +7,10 @@
 //! simulation built from the pieces in this crate:
 //!
 //! * [`SimTime`] / [`SimSpan`] — nanosecond-resolution instants and durations.
-//! * [`EventQueue`] — a binary-heap event queue with a total (time, sequence)
-//!   order, which makes every run bit-for-bit reproducible for a given seed.
+//! * [`EventQueue`] — an event queue with a total (time, sequence) order,
+//!   which makes every run bit-for-bit reproducible for a given seed. Two
+//!   backends — a hierarchical timing wheel (default) and the reference
+//!   binary heap — pop in bit-identical order.
 //! * [`Simulation`] / [`Component`] / [`Context`] — a small actor framework:
 //!   components (the STORM dæmons, application processes, baseline launchers)
 //!   exchange timestamped messages and share a mutable *world* (network
@@ -66,7 +68,7 @@ pub mod trace;
 pub use engine::{
     tree_depth, Component, ComponentId, Context, GroupSchedule, GroupTargets, Simulation,
 };
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend, QueueStats};
 pub use rng::DeterministicRng;
 pub use time::{SimSpan, SimTime};
 pub use trace::{TraceRecord, Tracer};

@@ -1,14 +1,27 @@
 //! The deterministic event queue.
 //!
-//! A binary heap keyed on `(time, sequence)` where the sequence number is a
-//! monotonically increasing insertion counter. Two events scheduled for the
-//! same instant therefore fire in insertion order, which makes the whole
-//! simulation a pure function of its inputs and seed — the property the
-//! determinism tests in `engine.rs` assert.
+//! Two interchangeable backends hide behind one total order, `(time,
+//! sequence)`, where the sequence number is a monotonically increasing
+//! insertion counter. Two events scheduled for the same instant therefore
+//! fire in insertion order, which makes the whole simulation a pure
+//! function of its inputs and seed — the property the determinism tests in
+//! `engine.rs` assert.
+//!
+//! * [`QueueBackend::Heap`] — the reference `BinaryHeap`, O(log n) per
+//!   operation. Kept as the executable specification the wheel is
+//!   property-tested against.
+//! * [`QueueBackend::Wheel`] — a hierarchical timing wheel tuned to the
+//!   timeslice-periodic workload: a front heap holding the bucket being
+//!   drained, two 256-slot levels of power-of-two buckets, and a sorted
+//!   overflow map that cascades inward as the cursor wraps. Push and pop
+//!   are O(1) amortised; pop order is bit-for-bit identical to the heap.
+//!
+//! Wheel geometry and the ordering argument are documented in DESIGN.md
+//! §12 ("Simulator clock").
 
-use crate::time::SimTime;
+use crate::time::{SimSpan, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One scheduled entry.
 #[derive(Debug)]
@@ -41,16 +54,253 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// The legacy `BinaryHeap` reference implementation.
+    Heap,
+    /// The hierarchical timing wheel (default).
+    #[default]
+    Wheel,
+}
+
+/// A snapshot of queue accounting, returned by value (no clones of the
+/// queue contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Total events ever pushed.
+    pub pushed: u64,
+    /// Total events ever popped.
+    pub popped: u64,
+    /// Events currently pending.
+    pub len: usize,
+    /// High-water mark of pending events.
+    pub peak: usize,
+}
+
+/// Slots per wheel level (2^LEVEL_BITS).
+const LEVEL_BITS: u32 = 8;
+const LEVEL_SLOTS: usize = 1 << LEVEL_BITS;
+const LEVEL_MASK: u64 = (LEVEL_SLOTS - 1) as u64;
+/// Default bucket granularity: 2^14 ns ≈ 16.4 µs. One L0 revolution spans
+/// ~4.2 ms (a few 1 ms MM ticks), one L1 revolution ~1.07 s.
+const DEFAULT_SHIFT: u32 = 14;
+/// Granularity clamp: 2^10 ns ≈ 1 µs up to 2^20 ns ≈ 1 ms.
+const MIN_SHIFT: u32 = 10;
+const MAX_SHIFT: u32 = 20;
+
+fn set_bit(occ: &mut [u64; 4], bit: usize) {
+    occ[bit >> 6] |= 1u64 << (bit & 63);
+}
+
+fn clear_bit(occ: &mut [u64; 4], bit: usize) {
+    occ[bit >> 6] &= !(1u64 << (bit & 63));
+}
+
+/// Index of the first set bit at or after `from`, if any.
+fn next_set_bit(occ: &[u64; 4], from: usize) -> Option<usize> {
+    let mut word = from >> 6;
+    let mut bit = from & 63;
+    while word < 4 {
+        let masked = occ[word] & (!0u64 << bit);
+        if masked != 0 {
+            return Some((word << 6) + masked.trailing_zeros() as usize);
+        }
+        word += 1;
+        bit = 0;
+    }
+    None
+}
+
+/// Hierarchical timing wheel. `cursor` is the absolute L0 bucket index of
+/// the bucket currently being drained through `front`; every entry parked
+/// in `l0`/`l1`/`overflow` lives in a strictly later bucket, so the global
+/// minimum is always in `front` whenever the wheel is non-empty.
+#[derive(Debug)]
+struct Wheel<E> {
+    /// log2 of the bucket width in nanoseconds.
+    shift: u32,
+    /// Absolute L0 bucket index of the front position.
+    cursor: u64,
+    /// Entries of the current bucket plus any pushed at or before it
+    /// (late pushes land here so pop order matches the reference heap).
+    front: BinaryHeap<Entry<E>>,
+    /// Same L0 page as the cursor: absolute buckets `b` with
+    /// `b >> 8 == cursor >> 8` and `b > cursor`, indexed by `b & 255`.
+    l0: Vec<Vec<Entry<E>>>,
+    l0_occ: [u64; 4],
+    l0_len: usize,
+    /// Same L1 page: `b >> 16 == cursor >> 16`, later L0 page, indexed by
+    /// `(b >> 8) & 255`.
+    l1: Vec<Vec<Entry<E>>>,
+    l1_occ: [u64; 4],
+    l1_len: usize,
+    /// Beyond the current L1 page, keyed by `b >> 16`; the first key
+    /// cascades into `l1` when the cursor wraps past the page boundary.
+    overflow: BTreeMap<u64, Vec<Entry<E>>>,
+    overflow_len: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new(shift: u32) -> Self {
+        Wheel {
+            shift,
+            cursor: 0,
+            front: BinaryHeap::new(),
+            l0: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
+            l0_occ: [0; 4],
+            l0_len: 0,
+            l1: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
+            l1_occ: [0; 4],
+            l1_len: 0,
+            overflow: BTreeMap::new(),
+            overflow_len: 0,
+        }
+    }
+
+    fn bucket_of(&self, time: SimTime) -> u64 {
+        time.as_nanos() >> self.shift
+    }
+
+    fn len(&self) -> usize {
+        self.front.len() + self.l0_len + self.l1_len + self.overflow_len
+    }
+
+    fn insert(&mut self, e: Entry<E>) {
+        let b = self.bucket_of(e.time);
+        if b <= self.cursor {
+            self.front.push(e);
+            return;
+        }
+        if b >> LEVEL_BITS == self.cursor >> LEVEL_BITS {
+            let slot = (b & LEVEL_MASK) as usize;
+            self.l0[slot].push(e);
+            set_bit(&mut self.l0_occ, slot);
+            self.l0_len += 1;
+        } else if b >> (2 * LEVEL_BITS) == self.cursor >> (2 * LEVEL_BITS) {
+            let slot = ((b >> LEVEL_BITS) & LEVEL_MASK) as usize;
+            self.l1[slot].push(e);
+            set_bit(&mut self.l1_occ, slot);
+            self.l1_len += 1;
+        } else {
+            self.overflow
+                .entry(b >> (2 * LEVEL_BITS))
+                .or_default()
+                .push(e);
+            self.overflow_len += 1;
+        }
+        // Invariant: `front` is non-empty whenever the wheel is. Advancing
+        // the cursor early (before any pop reaches this bucket) is safe —
+        // entries later pushed at or before the new cursor simply join
+        // `front`, where the heap keeps them in `(time, seq)` order.
+        if self.front.is_empty() {
+            self.advance();
+        }
+    }
+
+    /// Move the cursor to the next occupied bucket and drain it into
+    /// `front`, cascading L1 pages and overflow pages inward as needed.
+    fn advance(&mut self) {
+        debug_assert!(self.front.is_empty());
+        if self.l0_len == 0 && self.l1_len == 0 && self.overflow_len == 0 {
+            return;
+        }
+        if self.l0_len == 0 {
+            if self.l1_len == 0 {
+                let (page, mut entries) = self.overflow.pop_first().expect("overflow accounting");
+                self.overflow_len -= entries.len();
+                self.cursor = page << (2 * LEVEL_BITS);
+                for e in entries.drain(..) {
+                    let slot = ((self.bucket_of(e.time) >> LEVEL_BITS) & LEVEL_MASK) as usize;
+                    self.l1[slot].push(e);
+                    set_bit(&mut self.l1_occ, slot);
+                    self.l1_len += 1;
+                }
+            }
+            let cur = ((self.cursor >> LEVEL_BITS) & LEVEL_MASK) as usize;
+            let slot = next_set_bit(&self.l1_occ, cur).expect("l1 occupancy desynced");
+            clear_bit(&mut self.l1_occ, slot);
+            let mut entries = std::mem::take(&mut self.l1[slot]);
+            self.l1_len -= entries.len();
+            self.cursor = (self.cursor & !((LEVEL_MASK << LEVEL_BITS) | LEVEL_MASK))
+                | ((slot as u64) << LEVEL_BITS);
+            for e in entries.drain(..) {
+                let s0 = (self.bucket_of(e.time) & LEVEL_MASK) as usize;
+                self.l0[s0].push(e);
+                set_bit(&mut self.l0_occ, s0);
+                self.l0_len += 1;
+            }
+            self.l1[slot] = entries; // hand the buffer back
+        }
+        let cur0 = (self.cursor & LEVEL_MASK) as usize;
+        let slot = next_set_bit(&self.l0_occ, cur0).expect("l0 occupancy desynced");
+        clear_bit(&mut self.l0_occ, slot);
+        let mut entries = std::mem::take(&mut self.l0[slot]);
+        self.l0_len -= entries.len();
+        self.cursor = (self.cursor & !LEVEL_MASK) | slot as u64;
+        for e in entries.drain(..) {
+            self.front.push(e);
+        }
+        self.l0[slot] = entries;
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        let e = self.front.pop()?;
+        if self.front.is_empty() {
+            self.advance();
+        }
+        Some(e)
+    }
+
+    fn peek(&self) -> Option<&Entry<E>> {
+        self.front.peek()
+    }
+
+    fn values(&self) -> impl Iterator<Item = &E> {
+        self.front
+            .iter()
+            .chain(self.l0.iter().flatten())
+            .chain(self.l1.iter().flatten())
+            .chain(self.overflow.values().flatten())
+            .map(|e| &e.event)
+    }
+
+    fn clear(&mut self) {
+        self.front.clear();
+        for v in &mut self.l0 {
+            v.clear();
+        }
+        for v in &mut self.l1 {
+            v.clear();
+        }
+        self.l0_occ = [0; 4];
+        self.l1_occ = [0; 4];
+        self.l0_len = 0;
+        self.l1_len = 0;
+        self.overflow.clear();
+        self.overflow_len = 0;
+    }
+}
+
+#[derive(Debug)]
+enum Inner<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Wheel(Wheel<E>),
+}
+
 /// A deterministic priority queue of timestamped events.
 ///
 /// Pop order is total: by time, then by insertion sequence. The queue never
-/// reuses sequence numbers, so `(time, seq)` is unique per entry.
+/// reuses sequence numbers, so `(time, seq)` is unique per entry. The
+/// backend (reference heap or timing wheel) changes only the asymptotics,
+/// never the pop order.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    inner: Inner<E>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,32 +310,77 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue.
+    /// An empty queue on the default backend (timing wheel).
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            pushed: 0,
-            popped: 0,
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// An empty queue on the given backend with default wheel granularity.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Self::from_inner(match backend {
+            QueueBackend::Heap => Inner::Heap(BinaryHeap::new()),
+            QueueBackend::Wheel => Inner::Wheel(Wheel::new(DEFAULT_SHIFT)),
+        })
+    }
+
+    /// An empty wheel-backed queue whose bucket width is the largest power
+    /// of two at or below `granularity` (clamped to 1 µs – 1 ms). Callers
+    /// size buckets to a fraction of their strobe period so one periodic
+    /// tick advances the cursor a handful of buckets, not thousands.
+    pub fn with_backend_and_granularity(backend: QueueBackend, granularity: SimSpan) -> Self {
+        match backend {
+            QueueBackend::Heap => Self::with_backend(QueueBackend::Heap),
+            QueueBackend::Wheel => {
+                let ns = granularity.as_nanos().max(1);
+                let shift = (63 - ns.leading_zeros()).clamp(MIN_SHIFT, MAX_SHIFT);
+                Self::from_inner(Inner::Wheel(Wheel::new(shift)))
+            }
         }
     }
 
-    /// An empty queue with pre-reserved capacity.
+    /// An empty queue with pre-reserved capacity (front heap only for the
+    /// wheel backend).
     pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        match &mut q.inner {
+            Inner::Heap(h) => h.reserve(cap),
+            Inner::Wheel(w) => w.front.reserve(cap),
+        }
+        q
+    }
+
+    fn from_inner(inner: Inner<E>) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            inner,
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            peak: 0,
         }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.inner {
+            Inner::Heap(_) => QueueBackend::Heap,
+            Inner::Wheel(_) => QueueBackend::Wheel,
+        }
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        match &mut self.inner {
+            Inner::Heap(h) => h.push(entry),
+            Inner::Wheel(w) => w.insert(entry),
+        }
+        self.pushed += 1;
+        self.peak = self.peak.max(self.len());
     }
 
     /// Schedule `event` at absolute instant `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pushed += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.insert(Entry { time, seq, event });
     }
 
     /// Reserve `width` consecutive sequence numbers without inserting
@@ -103,38 +398,52 @@ impl<E> EventQueue<E> {
     /// Insert `event` at `time` under a previously reserved sequence number.
     pub fn push_at_seq(&mut self, time: SimTime, seq: u64, event: E) {
         debug_assert!(seq < self.next_seq, "sequence number was never reserved");
-        self.pushed += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.insert(Entry { time, seq, event });
     }
 
     /// Remove and return the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
+        let e = match &mut self.inner {
+            Inner::Heap(h) => h.pop()?,
+            Inner::Wheel(w) => w.pop_min()?,
+        };
         self.popped += 1;
         Some((e.time, e.event))
     }
 
     /// The instant of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.inner {
+            Inner::Heap(h) => h.peek().map(|e| e.time),
+            Inner::Wheel(w) => w.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Heap(h) => h.len(),
+            Inner::Wheel(w) => w.len(),
+        }
     }
 
-    /// Iterate over pending events in unspecified (heap) order — for
+    /// Iterate over pending events in unspecified (bucket/heap) order — for
     /// aggregate accounting over queue contents, not for delivery. Any
     /// order-insensitive fold (counting, summing) over this iterator is
     /// still deterministic.
     pub fn values(&self) -> impl Iterator<Item = &E> {
-        self.heap.iter().map(|e| &e.event)
+        let (heap, wheel) = match &self.inner {
+            Inner::Heap(h) => (Some(h), None),
+            Inner::Wheel(w) => (None, Some(w)),
+        };
+        heap.into_iter()
+            .flat_map(|h| h.iter().map(|e| &e.event))
+            .chain(wheel.into_iter().flat_map(Wheel::values))
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total events ever pushed (for engine accounting / runaway guards).
@@ -147,9 +456,28 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// High-water mark of pending events.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Accounting snapshot: lifetime push/pop totals plus current and peak
+    /// depth. `Copy` by design — no queue contents are cloned.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed,
+            popped: self.popped,
+            len: self.len(),
+            peak: self.peak,
+        }
+    }
+
     /// Drop all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.inner {
+            Inner::Heap(h) => h.clear(),
+            Inner::Wheel(w) => w.clear(),
+        }
     }
 }
 
@@ -158,102 +486,235 @@ mod tests {
     use super::*;
     use crate::time::SimSpan;
 
+    /// Run a test body against both backends (plus a deliberately coarse
+    /// and a deliberately fine wheel, to exercise the cascade paths).
+    fn on_all_backends<E>(f: impl Fn(EventQueue<E>)) {
+        f(EventQueue::with_backend(QueueBackend::Heap));
+        f(EventQueue::with_backend(QueueBackend::Wheel));
+        f(EventQueue::with_backend_and_granularity(
+            QueueBackend::Wheel,
+            SimSpan::from_micros(1),
+        ));
+        f(EventQueue::with_backend_and_granularity(
+            QueueBackend::Wheel,
+            SimSpan::from_millis(1),
+        ));
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(3), "c");
-        q.push(SimTime::from_millis(1), "a");
-        q.push(SimTime::from_millis(2), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_millis(2), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_millis(3), "c")));
-        assert_eq!(q.pop(), None);
+        on_all_backends(|mut q: EventQueue<&str>| {
+            q.push(SimTime::from_millis(3), "c");
+            q.push(SimTime::from_millis(1), "a");
+            q.push(SimTime::from_millis(2), "b");
+            assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+            assert_eq!(q.pop(), Some((SimTime::from_millis(2), "b")));
+            assert_eq!(q.pop(), Some((SimTime::from_millis(3), "c")));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(7);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((t, i)));
-        }
+        on_all_backends(|mut q: EventQueue<i32>| {
+            let t = SimTime::from_micros(7);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
+        });
     }
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(10), 10);
-        q.push(SimTime::from_millis(5), 5);
-        assert_eq!(q.pop().unwrap().1, 5);
-        q.push(SimTime::from_millis(1), 1);
-        q.push(SimTime::from_millis(7), 7);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 7);
-        assert_eq!(q.pop().unwrap().1, 10);
+        on_all_backends(|mut q: EventQueue<i32>| {
+            q.push(SimTime::from_millis(10), 10);
+            q.push(SimTime::from_millis(5), 5);
+            assert_eq!(q.pop().unwrap().1, 5);
+            q.push(SimTime::from_millis(1), 1);
+            q.push(SimTime::from_millis(7), 7);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 7);
+            assert_eq!(q.pop().unwrap().1, 10);
+        });
     }
 
     #[test]
     fn accounting() {
-        let mut q = EventQueue::new();
-        let t0 = SimTime::ZERO;
-        q.push(t0, ());
-        q.push(t0 + SimSpan::from_nanos(1), ());
-        assert_eq!(q.len(), 2);
-        assert!(!q.is_empty());
-        assert_eq!(q.peek_time(), Some(t0));
-        q.pop();
-        assert_eq!(q.total_pushed(), 2);
-        assert_eq!(q.total_popped(), 1);
-        q.clear();
-        assert!(q.is_empty());
-        // Sequence numbers keep increasing after clear.
-        q.push(t0, ());
-        assert_eq!(q.total_pushed(), 3);
+        on_all_backends(|mut q: EventQueue<()>| {
+            let t0 = SimTime::ZERO;
+            q.push(t0, ());
+            q.push(t0 + SimSpan::from_nanos(1), ());
+            assert_eq!(q.len(), 2);
+            assert!(!q.is_empty());
+            assert_eq!(q.peek_time(), Some(t0));
+            q.pop();
+            assert_eq!(q.total_pushed(), 2);
+            assert_eq!(q.total_popped(), 1);
+            assert_eq!(
+                q.stats(),
+                QueueStats {
+                    pushed: 2,
+                    popped: 1,
+                    len: 1,
+                    peak: 2
+                }
+            );
+            q.clear();
+            assert!(q.is_empty());
+            // Sequence numbers keep increasing after clear.
+            q.push(t0, ());
+            assert_eq!(q.total_pushed(), 3);
+        });
     }
 
     #[test]
     fn reserved_seqs_slot_into_tie_break_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(3);
-        q.push(t, 0u64);
-        let first = q.reserve_seqs(3); // seqs for events 1, 2, 3
-        q.push(t, 4);
-        // Insert the reserved entries out of order; they still pop in
-        // reserved-sequence order, between the surrounding pushes.
-        q.push_at_seq(t, first + 2, 3);
-        q.push_at_seq(t, first, 1);
-        q.push_at_seq(t, first + 1, 2);
-        for want in 0..=4 {
-            assert_eq!(q.pop(), Some((t, want)));
-        }
+        on_all_backends(|mut q: EventQueue<u64>| {
+            let t = SimTime::from_micros(3);
+            q.push(t, 0u64);
+            let first = q.reserve_seqs(3); // seqs for events 1, 2, 3
+            q.push(t, 4);
+            // Insert the reserved entries out of order; they still pop in
+            // reserved-sequence order, between the surrounding pushes.
+            q.push_at_seq(t, first + 2, 3);
+            q.push_at_seq(t, first, 1);
+            q.push_at_seq(t, first + 1, 2);
+            for want in 0..=4 {
+                assert_eq!(q.pop(), Some((t, want)));
+            }
+        });
     }
 
     #[test]
     fn values_visits_every_pending_event() {
-        let mut q = EventQueue::new();
-        for i in 1..=4u64 {
-            q.push(SimTime::from_micros(i), i);
-        }
-        q.pop();
-        assert_eq!(q.values().count(), 3);
-        assert_eq!(q.values().sum::<u64>(), 2 + 3 + 4);
+        on_all_backends(|mut q: EventQueue<u64>| {
+            for i in 1..=4u64 {
+                q.push(SimTime::from_micros(i), i);
+            }
+            q.pop();
+            assert_eq!(q.values().count(), 3);
+            assert_eq!(q.values().sum::<u64>(), 2 + 3 + 4);
+        });
     }
 
     #[test]
     fn large_random_batch_is_sorted() {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(7);
-        let mut q = EventQueue::new();
-        for i in 0..10_000u64 {
-            q.push(SimTime::from_nanos(rng.random_range(0..1_000_000)), i);
+        on_all_backends(|mut q: EventQueue<u64>| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(rng.random_range(0..1_000_000)), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+            }
+        });
+    }
+
+    #[test]
+    fn wheel_spans_all_levels_and_matches_heap() {
+        // Times chosen to land in the front bucket, the cursor's L0 page,
+        // the L1 page, and several overflow pages (with the default 2^14 ns
+        // buckets: L0 page ≈ 4.2 ms, L1 page ≈ 1.07 s).
+        let times: Vec<u64> = vec![
+            0,
+            1,
+            16_384,          // next L0 bucket
+            4_000_000,       // same L0 page edge
+            5_000_000,       // L1 page
+            1_000_000_000,   // near end of first L1 page
+            1_100_000_000,   // first overflow page
+            5_000_000_000,   // deeper overflow page
+            5_000_000_001,   // same-instant-ish tie ordering across pages
+            120_000_000_000, // far overflow
+            120_000_000_000, // exact tie in far overflow
+        ];
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut wheel = EventQueue::with_backend(QueueBackend::Wheel);
+        for (i, &t) in times.iter().enumerate() {
+            heap.push(SimTime::from_nanos(t), i);
+            wheel.push(SimTime::from_nanos(t), i);
         }
-        let mut last = SimTime::ZERO;
-        while let Some((t, _)) = q.pop() {
-            assert!(t >= last);
-            last = t;
+        loop {
+            let (h, w) = (heap.pop(), wheel.pop());
+            assert_eq!(h, w);
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_accepts_pushes_at_or_before_cursor() {
+        // After draining far into the future, a push at an earlier time
+        // (the engine never does this, but the queue contract allows it)
+        // still pops next, exactly as the heap would order it.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        q.push(SimTime::from_secs(10), 1u32);
+        q.push(SimTime::from_secs(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_secs(5), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn random_interleaving_matches_heap_exactly() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+            let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+            let mut wheel = EventQueue::with_backend_and_granularity(
+                QueueBackend::Wheel,
+                SimSpan::from_micros(1 << (seed % 7)),
+            );
+            let mut floor = 0u64; // pops never go back in time in real use
+            for i in 0..20_000u64 {
+                match rng.random_range(0..10u32) {
+                    // Mostly pushes, spanning same-instant bursts through
+                    // far-future overflow wraps.
+                    0..=5 => {
+                        let t = floor + rng.random_range(0..3_000_000_000u64);
+                        heap.push(SimTime::from_nanos(t), i);
+                        wheel.push(SimTime::from_nanos(t), i);
+                    }
+                    6 => {
+                        // Same-instant burst with reserved seqs slotted in
+                        // out of order.
+                        let t = SimTime::from_nanos(floor + rng.random_range(0..1_000_000));
+                        let base_h = heap.reserve_seqs(3);
+                        let base_w = wheel.reserve_seqs(3);
+                        assert_eq!(base_h, base_w);
+                        for k in [2u64, 0, 1] {
+                            heap.push_at_seq(t, base_h + k, i + k);
+                            wheel.push_at_seq(t, base_w + k, i + k);
+                        }
+                    }
+                    _ => {
+                        let (h, w) = (heap.pop(), wheel.pop());
+                        assert_eq!(h, w);
+                        if let Some((t, _)) = h {
+                            floor = t.as_nanos();
+                        }
+                    }
+                }
+                assert_eq!(heap.len(), wheel.len());
+                assert_eq!(heap.peek_time(), wheel.peek_time());
+            }
+            loop {
+                let (h, w) = (heap.pop(), wheel.pop());
+                assert_eq!(h, w);
+                if h.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(heap.stats(), wheel.stats());
         }
     }
 }

@@ -103,6 +103,16 @@ impl SimTime {
         SimTime(self.0 / period.0 * period.0)
     }
 
+    /// Number of `period` boundaries in the half-open interval
+    /// `(earlier, self]` — the arithmetic behind idle fast-forward: how
+    /// many periodic ticks a leap from `earlier` to `self` skips over.
+    #[inline]
+    pub fn boundaries_since(self, earlier: SimTime, period: SimSpan) -> u64 {
+        assert!(period.0 > 0, "period must be positive");
+        debug_assert!(earlier <= self);
+        self.0 / period.0 - earlier.0 / period.0
+    }
+
     /// The later of two instants.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {

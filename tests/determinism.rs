@@ -90,6 +90,26 @@ fn fault_detection_is_deterministic() {
 /// A workload exercising every MM fan-out path at once: a chunked binary
 /// broadcast + launch, gang rotation between two jobs, and a heartbeat
 /// loop that detects a crash, requeues the victim and re-admits the node.
+fn mixed_workload_cfg(group_delivery: bool) -> ClusterConfig {
+    ClusterConfig::paper_cluster()
+        .with_seed(0xD15C)
+        .with_group_delivery(group_delivery)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_fault_detection(4)
+}
+
+struct MixedRun {
+    trace: String,
+    stats: ClusterStats,
+    jobs: Vec<(JobState, JobMetrics)>,
+    /// Handler invocations.
+    messages: u64,
+    /// Events delivered (queue pops).
+    events: u64,
+    /// (leaps, leaped slices).
+    leaps: (u64, u64),
+}
+
 fn mixed_workload_run(
     group_delivery: bool,
 ) -> (
@@ -99,11 +119,11 @@ fn mixed_workload_run(
     u64, // messages handled
     u64, // events delivered (queue pops)
 ) {
-    let cfg = ClusterConfig::paper_cluster()
-        .with_seed(0xD15C)
-        .with_group_delivery(group_delivery)
-        .with_failure_policy(FailurePolicy::requeue())
-        .with_fault_detection(4);
+    let r = mixed_workload_run_cfg(mixed_workload_cfg(group_delivery));
+    (r.trace, r.stats, r.jobs, r.messages, r.events)
+}
+
+fn mixed_workload_run_cfg(cfg: ClusterConfig) -> MixedRun {
     let mut c = Cluster::new(cfg);
     c.enable_tracing();
     let _launch = c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
@@ -134,13 +154,14 @@ fn mixed_workload_run(
         .iter()
         .map(|j| (j.state, j.metrics.clone()))
         .collect();
-    (
-        c.trace(),
-        c.world().stats.clone(),
+    MixedRun {
+        trace: c.trace(),
+        stats: c.world().stats.clone(),
         jobs,
-        c.messages_handled(),
-        c.events_delivered(),
-    )
+        messages: c.messages_handled(),
+        events: c.events_delivered(),
+        leaps: c.leap_stats(),
+    }
 }
 
 /// Group delivery is an *encoding* change in the event queue, not a
@@ -161,6 +182,53 @@ fn group_delivery_is_byte_identical_to_unicast() {
         "group delivery must pop fewer queue entries ({} vs {})",
         grouped.4,
         unicast.4
+    );
+}
+
+/// The timing wheel is a *data-structure* change in the event queue, not a
+/// semantic one: with the same seed, a run on the hierarchical wheel must
+/// be byte-identical — trace, statistics, job metrics, handler invocations,
+/// and even queue-pop counts — to one on the reference binary heap.
+#[test]
+fn wheel_backend_is_byte_identical_to_heap() {
+    let wheel =
+        mixed_workload_run_cfg(mixed_workload_cfg(true).with_queue_backend(QueueBackend::Wheel));
+    let heap =
+        mixed_workload_run_cfg(mixed_workload_cfg(true).with_queue_backend(QueueBackend::Heap));
+    assert_eq!(wheel.trace, heap.trace, "event traces");
+    assert_eq!(wheel.stats, heap.stats, "cluster statistics");
+    assert_eq!(wheel.jobs, heap.jobs, "job states and metrics");
+    assert_eq!(wheel.messages, heap.messages, "handler invocations");
+    assert_eq!(wheel.events, heap.events, "queue pops");
+}
+
+/// Idle fast-forward leaps the clock over quiescent timeslices instead of
+/// strobing them; every *simulation* observable — trace, statistics, job
+/// metrics — must still match the fully-strobed run bit for bit. Only the
+/// tick bookkeeping (handler invocations, queue pops) may shrink, and the
+/// leaped run must actually have leaped.
+#[test]
+fn fast_forward_is_byte_identical_to_full_strobing() {
+    let leaped = mixed_workload_run_cfg(mixed_workload_cfg(true).with_fast_forward(true));
+    let strobed = mixed_workload_run_cfg(mixed_workload_cfg(true).with_fast_forward(false));
+    assert_eq!(leaped.trace, strobed.trace, "event traces");
+    assert_eq!(leaped.stats, strobed.stats, "cluster statistics");
+    assert_eq!(leaped.jobs, strobed.jobs, "job states and metrics");
+    let (leaps, slices) = leaped.leaps;
+    assert!(leaps > 0, "the idle tail must have been fast-forwarded");
+    assert!(slices >= leaps, "each leap skips at least one timeslice");
+    assert_eq!(strobed.leaps, (0, 0), "strobed run must not leap");
+    assert!(
+        leaped.messages < strobed.messages,
+        "fast-forward must handle fewer messages ({} vs {})",
+        leaped.messages,
+        strobed.messages
+    );
+    assert!(
+        leaped.events < strobed.events,
+        "fast-forward must pop fewer queue entries ({} vs {})",
+        leaped.events,
+        strobed.events
     );
 }
 
@@ -201,12 +269,10 @@ fn event_count_per_timeslice_is_node_independent() {
 /// returning every serialised observability artefact plus the raw trace
 /// and handler count for cross-checks against the uninstrumented run.
 fn instrumented_run(group_delivery: bool) -> (String, String, String, String, u64) {
-    let cfg = ClusterConfig::paper_cluster()
-        .with_seed(0xD15C)
-        .with_group_delivery(group_delivery)
-        .with_failure_policy(FailurePolicy::requeue())
-        .with_fault_detection(4)
-        .with_telemetry(true);
+    instrumented_run_cfg(mixed_workload_cfg(group_delivery).with_telemetry(true))
+}
+
+fn instrumented_run_cfg(cfg: ClusterConfig) -> (String, String, String, String, u64) {
     let mut c = Cluster::new(cfg);
     c.enable_tracing();
     c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
@@ -240,6 +306,47 @@ fn instrumented_run(group_delivery: bool) -> (String, String, String, String, u6
     )
 }
 
+/// Drop snapshot lines for metric families that are *defined* to differ
+/// across the compared settings (one serialised metric per line).
+fn strip_metric_lines(snapshot: &str, families: &[&str]) -> String {
+    snapshot
+        .lines()
+        .filter(|l| !families.iter().any(|f| l.contains(f)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Fast-forward replays the telemetry of skipped quiescent ticks
+/// arithmetically; every counter and histogram must match the fully
+/// strobed run. Only the `sim.time.*` leap accounting (absent when
+/// strobing) and the `sim.queue.*` gauges (sampled at real ticks only)
+/// may differ.
+#[test]
+fn fast_forward_telemetry_matches_full_strobing() {
+    let leaped = instrumented_run_cfg(mixed_workload_cfg(true).with_telemetry(true));
+    let strobed = instrumented_run_cfg(
+        mixed_workload_cfg(true)
+            .with_telemetry(true)
+            .with_fast_forward(false),
+    );
+    assert_eq!(
+        strip_metric_lines(&leaped.0, &["sim.time.", "sim.queue."]),
+        strip_metric_lines(&strobed.0, &["sim.time.", "sim.queue."]),
+        "metrics snapshots (modulo leap accounting and raw queue gauges)"
+    );
+    assert_eq!(leaped.1, strobed.1, "job span logs");
+    assert_eq!(leaped.2, strobed.2, "chrome traces");
+    assert_eq!(leaped.3, strobed.3, "event traces");
+    assert!(
+        leaped.0.contains("sim.time.leaps"),
+        "leaped run must record its leaps"
+    );
+    assert!(
+        !strobed.0.contains("sim.time.leaps"),
+        "strobed run must not leap"
+    );
+}
+
 /// Telemetry must be as deterministic as the simulation itself: the full
 /// snapshot JSON — counters, gauges, every histogram bucket — plus the
 /// span log and Chrome trace must be byte-identical between grouped and
@@ -250,7 +357,14 @@ fn instrumented_run(group_delivery: bool) -> (String, String, String, String, u6
 fn telemetry_is_byte_identical_across_modes_and_replays() {
     let grouped = instrumented_run(true);
     let unicast = instrumented_run(false);
-    assert_eq!(grouped.0, unicast.0, "metrics snapshots");
+    // `sim.queue.*` gauges sample *raw* queue entries, which by design
+    // count a group fan-out once and a unicast fan-out N times — they are
+    // the one metric family allowed to differ across delivery modes.
+    assert_eq!(
+        strip_metric_lines(&grouped.0, &["sim.queue."]),
+        strip_metric_lines(&unicast.0, &["sim.queue."]),
+        "metrics snapshots (modulo raw queue-depth gauges)"
+    );
     assert_eq!(grouped.1, unicast.1, "job span logs");
     assert_eq!(grouped.2, unicast.2, "chrome traces");
     let replay = instrumented_run(true);
