@@ -35,6 +35,10 @@ impl Cluster {
             cfg.resolved_queue_backend(),
             SimSpan::from_nanos(cfg.collect_period().as_nanos() / 64),
         );
+        // The DST delivery-order hook must be live before the first event
+        // is posted so every insertion of the run is keyed (which is what
+        // makes a seeded run regenerable as an explicit tie script).
+        sim.set_delivery_order(cfg.delivery_order.clone());
         let mm = sim.add_component(MachineManager::new());
         let mut nms = Vec::with_capacity(cfg.nodes as usize);
         let mut pls = Vec::with_capacity(cfg.nodes as usize);
@@ -265,6 +269,16 @@ impl Cluster {
     /// across delivery modes.
     pub fn queue_stats(&self) -> QueueStats {
         self.sim.queue_stats()
+    }
+
+    /// The engine's interleaving digest (see
+    /// [`Simulation::interleaving_digest`]): identifies which delivery
+    /// interleaving this run executed. Only accumulated when the config
+    /// installed a [`DeliveryOrder`](storm_sim::DeliveryOrder) hook.
+    ///
+    /// [`Simulation::interleaving_digest`]: storm_sim::Simulation::interleaving_digest
+    pub fn interleaving_digest(&self) -> u64 {
+        self.sim.interleaving_digest()
     }
 
     /// Idle fast-forward accounting: `(leaps, slices)` — how many times

@@ -7,7 +7,7 @@
 use crate::fault::{FailurePolicy, FaultSchedule};
 use storm_fs::FsKind;
 use storm_net::{BackgroundLoad, BufferPlacement, NetworkKind};
-use storm_sim::{QueueBackend, SimSpan};
+use storm_sim::{DeliveryOrder, QueueBackend, SimSpan};
 
 /// Which queueing/scheduling policy the MM runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -169,6 +169,14 @@ pub struct ClusterConfig {
     /// Pop order — and so traces, stats, and telemetry — is byte-identical
     /// either way.
     pub queue_backend: Option<QueueBackend>,
+    /// Deterministic-simulation-testing hook: permute same-timestamp event
+    /// delivery (and optionally add bounded delivery delay) under the
+    /// hook's own seeded stream. `None` — the default — keeps the engine's
+    /// classic `(time, seq)` order bit-identical; the hook is installed on
+    /// the event queue before the first event is posted, so a `Some(_)`
+    /// run keys every insertion of the simulation's lifetime. See
+    /// DESIGN.md §14.
+    pub delivery_order: Option<DeliveryOrder>,
     /// Idle fast-forward: when fault detection keeps the MM ticking but
     /// the cluster is quiescent (no queued or running jobs) and no event
     /// is due before the next heartbeat round, leap the clock straight to
@@ -214,6 +222,7 @@ impl ClusterConfig {
             group_delivery: true,
             telemetry: false,
             queue_backend: None,
+            delivery_order: None,
             fast_forward: true,
             daemon: DaemonCosts::default(),
             seed: 0x5702_2002,
@@ -307,6 +316,14 @@ impl ClusterConfig {
     /// Builder: toggle idle fast-forward.
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Builder: install a DST delivery-order hook (same-timestamp
+    /// permutation under the hook's own seed). The default `None` keeps
+    /// the classic `(time, seq)` order bit-identical.
+    pub fn with_delivery_order(mut self, order: DeliveryOrder) -> Self {
+        self.delivery_order = Some(order);
         self
     }
 

@@ -193,6 +193,13 @@ impl GangMatrix {
         &self.slots[slot].jobs
     }
 
+    /// Read-only view of the `slot`-th row's buddy allocator, or `None`
+    /// past the open slots — what external invariant checkers (the DST
+    /// conservation oracle) audit against the row's job list.
+    pub fn slot_buddy(&self, slot: usize) -> Option<&BuddyAllocator> {
+        self.slots.get(slot).map(|s| &s.buddy)
+    }
+
     /// The slot a job lives in, if placed.
     pub fn slot_of(&self, job: JobId) -> Option<usize> {
         self.slots.iter().position(|s| s.get(job).is_some())

@@ -1,0 +1,215 @@
+//! `storm-dst` — the DST command-line harness.
+//!
+//! ```text
+//! storm-dst explore  [--scenario two-node-launch|small-chaos] [--amplitude A]
+//!                    [--prefix P] [--seeds N] [--delay-us D] [--out DIR]
+//!                    [--backend heap|wheel]
+//! storm-dst replay   <DST_repro_*.json>
+//! storm-dst selftest [--out DIR]
+//! ```
+//!
+//! `explore` runs the bounded-exhaustive tier then a seeded swarm; on the
+//! first oracle violation it shrinks the failure and writes a
+//! `DST_repro_*.json` artifact, exiting 1. `replay` re-executes an
+//! artifact twice and verifies oracle, instant and digest. `selftest`
+//! seeds a deliberate violation, shrinks it, writes the artifact, replays
+//! it, and checks the repro is ≤ 10 events — the full pipeline in one
+//! command.
+
+use std::process::ExitCode;
+use storm_dst::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: storm-dst explore [--scenario NAME] [--amplitude A] [--prefix P] \
+         [--seeds N] [--delay-us D] [--out DIR] [--backend heap|wheel]\n       \
+         storm-dst replay <DST_repro_*.json>\n       \
+         storm-dst selftest [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+struct Flags {
+    scenario: String,
+    amplitude: u64,
+    prefix: u32,
+    seeds: u64,
+    delay_us: u64,
+    out: String,
+    backend: Option<QueueBackend>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        scenario: "two-node-launch".into(),
+        amplitude: 3,
+        prefix: 4,
+        seeds: 64,
+        delay_us: 20,
+        out: ".".into(),
+        backend: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => flags.scenario = value("--scenario")?,
+            "--amplitude" => {
+                flags.amplitude = value("--amplitude")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--prefix" => flags.prefix = value("--prefix")?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => flags.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--delay-us" => {
+                flags.delay_us = value("--delay-us")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => flags.out = value("--out")?,
+            "--backend" => {
+                flags.backend = Some(match value("--backend")?.as_str() {
+                    "heap" => QueueBackend::Heap,
+                    "wheel" => QueueBackend::Wheel,
+                    other => return Err(format!("unknown backend {other:?}")),
+                })
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn base_scenario(flags: &Flags) -> Result<Scenario, String> {
+    let mut s = match flags.scenario.as_str() {
+        "two-node-launch" => Scenario::two_node_launch(),
+        "small-chaos" => Scenario::small_chaos(),
+        other => return Err(format!("unknown scenario {other:?}")),
+    };
+    if let Some(b) = flags.backend {
+        s = s.with_backend(b);
+    }
+    Ok(s)
+}
+
+/// Shrink a failure, write its artifact under `out`, and report.
+fn write_artifact(out_dir: &str, scenario: &Scenario, outcome: &RunOutcome) -> Repro {
+    let (minimal, min_out) = shrink(scenario, outcome);
+    let repro = Repro::from_run(&minimal, &min_out);
+    let path = format!("{}/{}", out_dir, repro.file_name());
+    std::fs::write(&path, repro.to_json_string()).expect("write artifact");
+    let v = &repro.violation;
+    println!(
+        "violation: {} at {} — {}\nshrunk to {} events; artifact: {path}",
+        v.oracle, v.at, v.detail, repro.event_count
+    );
+    repro
+}
+
+fn cmd_explore(flags: &Flags) -> Result<ExitCode, String> {
+    let base = base_scenario(flags)?;
+    base.validate()?;
+    // Tier 1: bounded-exhaustive over a small window (cap the product).
+    let mut amp = flags.amplitude.min(3);
+    while (amp + 1).pow(flags.prefix) > 4096 {
+        amp -= 1;
+    }
+    let exhaustive = explore_exhaustive(&base, amp, flags.prefix);
+    println!(
+        "exhaustive: {} runs, {} distinct interleavings (amplitude {amp}, prefix {})",
+        exhaustive.runs, exhaustive.distinct, flags.prefix
+    );
+    if let Some((scenario, outcome)) = &exhaustive.failure {
+        write_artifact(&flags.out, scenario, outcome);
+        return Ok(ExitCode::FAILURE);
+    }
+    // Tier 2: seeded swarm, with bounded delivery delay widening the
+    // reachable schedule space.
+    let swarm = explore_swarm(&base, flags.amplitude, flags.delay_us, 0..flags.seeds);
+    println!(
+        "swarm: {} runs, {} distinct interleavings (amplitude {}, delay {} µs)",
+        swarm.runs, swarm.distinct, flags.amplitude, flags.delay_us
+    );
+    if let Some((scenario, outcome)) = &swarm.failure {
+        write_artifact(&flags.out, scenario, outcome);
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "all oracles held across {} runs",
+        exhaustive.runs + swarm.runs
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let repro = Repro::from_json_str(&text)?;
+    let report = replay(&repro);
+    if report.faithful() {
+        let v = &repro.violation;
+        println!(
+            "replayed faithfully: {} at {} (digest {:#018x}, {} events)",
+            v.oracle, v.at, repro.digest, repro.event_count
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for m in &report.mismatches {
+            eprintln!("mismatch: {m}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_selftest(out_dir: &str) -> Result<ExitCode, String> {
+    // Seed a known violation into a noisy scenario, then prove the whole
+    // pipeline: detect → shrink → write → parse → replay.
+    let seeded = Scenario::small_chaos()
+        .with_order(OrderSpec::Seeded {
+            seed: 0xDE57,
+            amplitude: 2,
+            delay_us: 0,
+        })
+        .with_injection(Injection {
+            at_ms: 30,
+            kind: InjectionKind::CompletedSkew,
+        });
+    let outcome = run_scenario_caught(&seeded);
+    if !outcome.failed() {
+        return Err("seeded violation was not detected".into());
+    }
+    let repro = write_artifact(out_dir, &seeded, &outcome);
+    if repro.event_count > 10 {
+        return Err(format!(
+            "shrunk repro still has {} events (> 10)",
+            repro.event_count
+        ));
+    }
+    let path = format!("{}/{}", out_dir, repro.file_name());
+    let back = Repro::from_json_str(&std::fs::read_to_string(&path).map_err(|e| e.to_string())?)?;
+    let report = replay(&back);
+    if !report.faithful() {
+        return Err(format!("replay mismatches: {:?}", report.mismatches));
+    }
+    println!("selftest passed: detect → shrink → write → replay");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("explore") => parse_flags(&args[1..]).and_then(|f| cmd_explore(&f)),
+        Some("replay") => match args.get(1) {
+            Some(path) => cmd_replay(path),
+            None => return usage(),
+        },
+        Some("selftest") => parse_flags(&args[1..]).and_then(|f| cmd_selftest(&f.out)),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("storm-dst: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Invariant oracles: predicates over the [`World`] checked at every
+//! timeslice boundary of a DST run. Each oracle is a safety property the
+//! STORM protocols must uphold under *any* legal event interleaving — the
+//! whole point of schedule-space exploration is that these stay true no
+//! matter how same-instant deliveries are permuted.
+//!
+//! Oracles may be stateful (snapshots across boundaries catch *regressions*
+//! such as a terminal job coming back to life), so a fresh suite is built
+//! per run via [`standard_suite`].
+
+use std::collections::BTreeMap;
+use storm_core::job::JobState;
+use storm_core::World;
+use storm_sim::SimTime;
+
+/// A violated invariant: which oracle fired, when, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The oracle's [`Oracle::name`] (or `"panic"` for a caught panic).
+    pub oracle: String,
+    /// The boundary at which the check failed.
+    pub at: SimTime,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// One invariant, checked at every timeslice boundary.
+pub trait Oracle {
+    /// Stable identifier (appears in violations and repro artifacts).
+    fn name(&self) -> &'static str;
+    /// Check the invariant; `Err` carries the explanation.
+    fn check(&mut self, world: &World, now: SimTime) -> Result<(), String>;
+}
+
+/// The full standard oracle catalog (see DESIGN.md §14).
+pub fn standard_suite() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(JobAccounting::default()),
+        Box::new(BuddyConservation),
+        Box::new(MatrixConsistency),
+        Box::new(CawVisibility),
+        Box::new(HeartbeatMonotonic::default()),
+        Box::new(QuarantineSafety),
+    ]
+}
+
+/// Run every oracle in `suite` against `world`, returning the first
+/// violation.
+pub fn check_all(suite: &mut [Box<dyn Oracle>], world: &World, now: SimTime) -> Option<Violation> {
+    for oracle in suite.iter_mut() {
+        if let Err(detail) = oracle.check(world, now) {
+            return Some(Violation {
+                oracle: oracle.name().to_string(),
+                at: now,
+                detail,
+            });
+        }
+    }
+    None
+}
+
+// ------------------------------------------------------- job accounting —
+
+/// No job is lost or double-completed: the `completed_jobs` counter equals
+/// the number of jobs in a terminal state, terminal jobs never leave their
+/// terminal state, and terminal jobs hold no matrix slot.
+#[derive(Default)]
+pub struct JobAccounting {
+    terminal: BTreeMap<u32, JobState>,
+}
+
+impl Oracle for JobAccounting {
+    fn name(&self) -> &'static str {
+        "job_accounting"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        let terminal_count = world.jobs.iter().filter(|r| r.state.is_terminal()).count() as u64;
+        if world.stats.completed_jobs != terminal_count {
+            return Err(format!(
+                "completed_jobs = {} but {} jobs are terminal (lost or double-completed job)",
+                world.stats.completed_jobs, terminal_count
+            ));
+        }
+        for rec in &world.jobs {
+            if let Some(prev) = self.terminal.get(&rec.id.0) {
+                if rec.state != *prev {
+                    return Err(format!(
+                        "{} left terminal state {prev:?} for {:?}",
+                        rec.id, rec.state
+                    ));
+                }
+            }
+            if rec.state.is_terminal() {
+                self.terminal.insert(rec.id.0, rec.state);
+                if let Some(slot) = world.matrix.slot_of(rec.id) {
+                    return Err(format!(
+                        "terminal {} still occupies matrix slot {slot}",
+                        rec.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------- buddy conservation —
+
+/// Per-slot buddy-allocator conservation: free + allocated + quarantined
+/// node counts sum to the usable total, and the live allocations are
+/// disjoint, power-of-two sized and size-aligned.
+pub struct BuddyConservation;
+
+impl Oracle for BuddyConservation {
+    fn name(&self) -> &'static str {
+        "buddy_conservation"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        for slot in 0..world.matrix.slot_count() {
+            let buddy = world.matrix.slot_buddy(slot).expect("slot in range");
+            let allocs = buddy.allocations();
+            let allocated: u32 = allocs.iter().map(|r| r.len() as u32).sum();
+            let quarantined = buddy.quarantined_nodes().count() as u32;
+            let total = buddy.free_nodes() + allocated + quarantined;
+            if total != buddy.usable() {
+                return Err(format!(
+                    "slot {slot}: free {} + allocated {allocated} + quarantined {quarantined} \
+                     = {total} ≠ usable {}",
+                    buddy.free_nodes(),
+                    buddy.usable()
+                ));
+            }
+            let mut prev_end = 0u32;
+            for r in &allocs {
+                let len = r.len() as u32;
+                if !len.is_power_of_two() {
+                    return Err(format!("slot {slot}: allocation {r:?} is not a power of 2"));
+                }
+                if r.start % len != 0 {
+                    return Err(format!("slot {slot}: allocation {r:?} is misaligned"));
+                }
+                if r.start < prev_end {
+                    return Err(format!(
+                        "slot {slot}: allocation {r:?} overlaps its neighbour"
+                    ));
+                }
+                prev_end = r.end;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------ matrix consistency —
+
+/// Ousterhout-matrix consistency: every placed job sits in exactly one
+/// slot; the world's `slot_jobs` mirror, the matrix's placements, the
+/// buddy's allocations and the job records' own `allocation` fields all
+/// tell the same story; and no placed job is terminal.
+pub struct MatrixConsistency;
+
+impl Oracle for MatrixConsistency {
+    fn name(&self) -> &'static str {
+        "matrix_consistency"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        let mut seen: BTreeMap<u32, usize> = BTreeMap::new();
+        for slot in 0..world.matrix.slot_count() {
+            let placements = world.matrix.jobs_in_slot(slot);
+            for (job, range) in placements {
+                if let Some(prev) = seen.insert(job.0, slot) {
+                    return Err(format!("{job} placed in slots {prev} and {slot}"));
+                }
+                let rec = world
+                    .jobs
+                    .iter()
+                    .find(|r| r.id == *job)
+                    .ok_or_else(|| format!("matrix slot {slot} holds unknown {job}"))?;
+                if rec.state.is_terminal() {
+                    return Err(format!("{job} is {:?} but still placed", rec.state));
+                }
+                match &rec.allocation {
+                    Some(alloc) if alloc.slot == slot && alloc.nodes == *range => {}
+                    other => {
+                        return Err(format!(
+                            "{job}: matrix says slot {slot} {range:?}, record says {other:?}"
+                        ))
+                    }
+                }
+            }
+            // The world's per-slot mirror and the matrix must agree as sets.
+            let mut mirror: Vec<u32> = world.jobs_in_slot(slot).iter().map(|j| j.0).collect();
+            let mut placed: Vec<u32> = placements.iter().map(|(j, _)| j.0).collect();
+            mirror.sort_unstable();
+            placed.sort_unstable();
+            if mirror != placed {
+                return Err(format!(
+                    "slot {slot}: mirror {mirror:?} ≠ matrix placements {placed:?}"
+                ));
+            }
+            // The matrix's ranges and the buddy's live allocations must
+            // agree as sets too.
+            let buddy = world.matrix.slot_buddy(slot).expect("slot in range");
+            let mut buddy_allocs: Vec<(u32, u32)> = buddy
+                .allocations()
+                .iter()
+                .map(|r| (r.start, r.end))
+                .collect();
+            let mut matrix_allocs: Vec<(u32, u32)> =
+                placements.iter().map(|(_, r)| (r.start, r.end)).collect();
+            buddy_allocs.sort_unstable();
+            matrix_allocs.sort_unstable();
+            if buddy_allocs != matrix_allocs {
+                return Err(format!(
+                    "slot {slot}: buddy {buddy_allocs:?} ≠ matrix {matrix_allocs:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------- CAW visibility —
+
+/// COMPARE-AND-WRITE sequential consistency: while a set-wide write is the
+/// most recent write of a variable, *every* node of its set reads exactly
+/// the written value — all-or-nothing visibility, no torn writes. Only
+/// meaningful when the run enabled the audit trail (the runner does).
+pub struct CawVisibility;
+
+impl Oracle for CawVisibility {
+    fn name(&self) -> &'static str {
+        "caw_visibility"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        for (var, audit) in world.mech.memory.caw_audits() {
+            for node in audit.set.iter() {
+                let got = world.mech.memory.read(node, var);
+                if got != audit.value {
+                    return Err(format!(
+                        "torn CAW write: {node} reads {got} for {var:?}, set wrote {}",
+                        audit.value
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------- heartbeat monotonicity —
+
+/// Heartbeat-round monotonicity: the MM's round counter never goes
+/// backwards, and no node's heartbeat value ever exceeds the last round
+/// the MM actually multicast.
+#[derive(Default)]
+pub struct HeartbeatMonotonic {
+    last_round: Option<i64>,
+}
+
+impl Oracle for HeartbeatMonotonic {
+    fn name(&self) -> &'static str {
+        "heartbeat_monotonic"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        let round = world.hb_round;
+        if let Some(prev) = self.last_round {
+            if round < prev {
+                return Err(format!("heartbeat round regressed: {prev} -> {round}"));
+            }
+        }
+        self.last_round = Some(round);
+        if let Some(hb_var) = world.hb_var {
+            for node in 0..world.cfg.nodes {
+                let v = world.mech.memory.read(storm_mech::NodeId(node), hb_var);
+                if v > round {
+                    return Err(format!(
+                        "node {node} heartbeat {v} is ahead of the MM round {round}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------- quarantine safety —
+
+/// Quarantine/rejoin safety: the world's per-node quarantine flags, the
+/// matrix's quarantine set and every slot buddy's quarantine set agree —
+/// and no quarantined node sits inside a live allocation.
+pub struct QuarantineSafety;
+
+impl Oracle for QuarantineSafety {
+    fn name(&self) -> &'static str {
+        "quarantine_safety"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        for node in 0..world.cfg.nodes {
+            let flag = world.quarantined[node as usize];
+            let in_matrix = world.matrix.is_quarantined(node);
+            if flag != in_matrix {
+                return Err(format!(
+                    "node {node}: world quarantine flag {flag} ≠ matrix {in_matrix}"
+                ));
+            }
+            for slot in 0..world.matrix.slot_count() {
+                let buddy = world.matrix.slot_buddy(slot).expect("slot in range");
+                if buddy.is_quarantined(node) != in_matrix {
+                    return Err(format!(
+                        "node {node}: slot {slot} buddy disagrees with matrix quarantine"
+                    ));
+                }
+                if in_matrix {
+                    for r in buddy.allocations() {
+                        if r.contains(&node) {
+                            return Err(format!(
+                                "quarantined node {node} inside live allocation {r:?} (slot {slot})"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_core::prelude::*;
+    use storm_core::Cluster;
+
+    fn tiny() -> Cluster {
+        Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_nodes(4)
+                .with_seed(0xDE57),
+        )
+    }
+
+    #[test]
+    fn all_oracles_pass_on_a_clean_run() {
+        let mut c = tiny();
+        c.submit(JobSpec::new(AppSpec::do_nothing_mb(1), 4));
+        let mut suite = standard_suite();
+        for ms in [0u64, 5, 10, 20, 40] {
+            c.run_until(SimTime::from_millis(ms));
+            assert_eq!(check_all(&mut suite, c.world(), c.now()), None);
+        }
+    }
+
+    #[test]
+    fn job_accounting_catches_counter_skew() {
+        let mut c = tiny();
+        c.submit(JobSpec::new(AppSpec::do_nothing_mb(1), 4));
+        c.run_until(SimTime::from_millis(40));
+        c.with_world_mut(|w| w.stats.completed_jobs += 1);
+        let mut suite = standard_suite();
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "job_accounting");
+    }
+
+    #[test]
+    fn matrix_consistency_catches_a_phantom_placement() {
+        let mut c = tiny();
+        c.submit(JobSpec::new(AppSpec::do_nothing_mb(1), 4));
+        c.run_until(SimTime::from_millis(2));
+        c.with_world_mut(|w| w.slot_jobs_add(0, JobId(999)));
+        let mut suite = standard_suite();
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "matrix_consistency");
+    }
+
+    #[test]
+    fn quarantine_safety_catches_a_desynced_flag() {
+        let mut c = tiny();
+        c.with_world_mut(|w| w.quarantined[2] = true);
+        let mut suite = standard_suite();
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "quarantine_safety");
+    }
+
+    #[test]
+    fn caw_visibility_catches_a_torn_write() {
+        use storm_mech::{CmpOp, NodeId, NodeSet};
+        use storm_net::BackgroundLoad;
+        let mut c = tiny();
+        c.with_world_mut(|w| {
+            w.mech.memory.enable_caw_audit();
+            let var = w.mech.memory.alloc_var(0);
+            w.mech.compare_and_write(
+                SimTime::ZERO,
+                &NodeSet::All(4),
+                var,
+                CmpOp::Ge,
+                0,
+                Some((var, 1)),
+                BackgroundLoad::NONE,
+            );
+            w.mech.memory.poke(NodeId(2), var, 0);
+        });
+        let mut suite = standard_suite();
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "caw_visibility");
+    }
+
+    #[test]
+    fn heartbeat_monotonic_catches_a_regression() {
+        let mut c = Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_nodes(4)
+                .with_fault_detection(2),
+        );
+        let mut suite = standard_suite();
+        c.run_until(SimTime::from_millis(10));
+        assert_eq!(check_all(&mut suite, c.world(), c.now()), None);
+        c.with_world_mut(|w| w.hb_round -= 1);
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "heartbeat_monotonic");
+    }
+}

@@ -1,0 +1,561 @@
+//! Scenarios: the self-contained description of one DST run — cluster
+//! shape, workload, fault schedule, delivery order and (optionally) a
+//! deliberate state injection. A scenario serialises to/from JSON so a
+//! repro artifact carries everything needed to re-execute a failure
+//! byte-identically on another machine.
+
+use crate::json::{self, num, Value};
+use storm_sim::QueueBackend;
+
+/// Which application a scenario job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppKind {
+    /// `do-nothing` with an `mb`-megabyte binary (the launch experiment).
+    Binary {
+        /// Binary image size in MiB.
+        mb: u64,
+    },
+    /// A pure-compute synthetic job running `ms` milliseconds per rank.
+    Compute {
+        /// Single-rank compute time in milliseconds.
+        ms: u64,
+    },
+}
+
+/// One job submission in a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Submission instant, in milliseconds of simulated time.
+    pub at_ms: u64,
+    /// Rank count.
+    pub ranks: u32,
+    /// What the job runs.
+    pub app: AppKind,
+}
+
+/// One timed fault in a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Injection instant, milliseconds.
+    pub at_ms: u64,
+    /// Target node.
+    pub node: u32,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// The kind of a timed fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node's dæmon dies (stops responding to everything).
+    Fail,
+    /// A previously failed node comes back.
+    Rejoin,
+    /// The dæmon stalls (messages deferred) until `until_ms`.
+    Stall {
+        /// End of the stall window, milliseconds.
+        until_ms: u64,
+    },
+}
+
+/// The delivery order a scenario runs under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderSpec {
+    /// The engine's classic `(time, seq)` order (no hook installed).
+    Default,
+    /// Seeded same-instant permutation: tie `i` uniform over
+    /// `0..=amplitude` from SplitMix64 over `seed`, optionally with a
+    /// bounded random delivery delay.
+    Seeded {
+        /// The hook's own seed (independent of the simulation seed).
+        seed: u64,
+        /// Inclusive tie range bound; 0 is the identity order.
+        amplitude: u64,
+        /// Upper bound (µs) on the per-event random delivery delay; 0
+        /// disables delay. Delays only ever push deliveries later, so
+        /// time-order legality holds — but a delayed run perturbs event
+        /// *times* and is not regenerable as a tie script, so the
+        /// shrinker leaves delayed orders seeded.
+        delay_us: u64,
+    },
+    /// An explicit tie script (insertion `i` gets `ties[i]`, 0 after
+    /// exhaustion) — what the shrinker reduces a seeded failure to.
+    Script {
+        /// The per-insertion tie values.
+        ties: Vec<u64>,
+    },
+}
+
+/// A deliberate state corruption applied mid-run — used to prove each
+/// oracle actually fires, and to seed shrinker/replay self-tests with a
+/// known minimal bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Timeslice boundary (milliseconds) at which to corrupt state.
+    pub at_ms: u64,
+    /// What to corrupt.
+    pub kind: InjectionKind,
+}
+
+/// The kinds of deliberate corruption the harness knows how to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// Bump `stats.completed_jobs` without completing anything — a
+    /// double-completion, caught by `JobAccounting`.
+    CompletedSkew,
+    /// Flip one node's `World::quarantined` flag without touching the
+    /// matrix — caught by `QuarantineSafety`.
+    QuarantineDesync {
+        /// The node whose flag is flipped.
+        node: u32,
+    },
+    /// Regress the MM's heartbeat round counter — caught by
+    /// `HeartbeatMonotonic`.
+    HbRegress,
+    /// Add a phantom job id to a slot's mirror list — caught by
+    /// `MatrixConsistency`.
+    MatrixTear,
+    /// Apply a COMPARE-AND-WRITE set write, then tamper one node's copy
+    /// behind the audit's back (a torn write) — caught by `CawVisibility`.
+    CawTear {
+        /// The node whose copy is torn.
+        node: u32,
+    },
+}
+
+/// A complete DST scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable scenario name (becomes part of the artifact name).
+    pub name: String,
+    /// Cluster node count.
+    pub nodes: u32,
+    /// CPUs (PEs) per node.
+    pub cpus_per_node: u32,
+    /// Ousterhout-matrix depth.
+    pub mpl_max: usize,
+    /// Simulation RNG seed.
+    pub seed: u64,
+    /// Heartbeat fault round every `k` ticks; 0 disables fault detection.
+    pub heartbeat_every: u32,
+    /// Run deadline, milliseconds.
+    pub horizon_ms: u64,
+    /// Pinned event-queue backend; `None` follows the environment default.
+    pub backend: Option<QueueBackend>,
+    /// Job submissions.
+    pub jobs: Vec<JobEvent>,
+    /// Timed faults.
+    pub faults: Vec<FaultSpec>,
+    /// Delivery order under test.
+    pub order: OrderSpec,
+    /// Optional deliberate corruption.
+    pub injection: Option<Injection>,
+}
+
+impl Scenario {
+    /// The smallest interesting scenario: a two-node cluster launching one
+    /// tiny binary — the schedule-space-exploration benchmark workload.
+    pub fn two_node_launch() -> Self {
+        Scenario {
+            name: "two-node-launch".into(),
+            nodes: 2,
+            cpus_per_node: 2,
+            mpl_max: 2,
+            seed: 0x5702_2002,
+            heartbeat_every: 0,
+            horizon_ms: 40,
+            backend: None,
+            jobs: vec![JobEvent {
+                at_ms: 0,
+                ranks: 4,
+                app: AppKind::Binary { mb: 1 },
+            }],
+            faults: Vec::new(),
+            order: OrderSpec::Default,
+            injection: None,
+        }
+    }
+
+    /// A small mixed scenario: 4 nodes, two overlapping jobs, one
+    /// fail/rejoin cycle under heartbeat detection — the swarm-tier
+    /// workload crossed with fault schedules.
+    pub fn small_chaos() -> Self {
+        Scenario {
+            name: "small-chaos".into(),
+            nodes: 4,
+            cpus_per_node: 2,
+            mpl_max: 2,
+            seed: 0xD15C,
+            heartbeat_every: 4,
+            horizon_ms: 120,
+            backend: None,
+            jobs: vec![
+                JobEvent {
+                    at_ms: 0,
+                    ranks: 4,
+                    app: AppKind::Binary { mb: 1 },
+                },
+                JobEvent {
+                    at_ms: 5,
+                    ranks: 2,
+                    app: AppKind::Compute { ms: 30 },
+                },
+            ],
+            faults: vec![
+                FaultSpec {
+                    at_ms: 20,
+                    node: 3,
+                    kind: FaultKind::Fail,
+                },
+                FaultSpec {
+                    at_ms: 60,
+                    node: 3,
+                    kind: FaultKind::Rejoin,
+                },
+            ],
+            order: OrderSpec::Default,
+            injection: None,
+        }
+    }
+
+    /// Builder: replace the delivery order.
+    pub fn with_order(mut self, order: OrderSpec) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Builder: install a deliberate corruption.
+    pub fn with_injection(mut self, injection: Injection) -> Self {
+        self.injection = Some(injection);
+        self
+    }
+
+    /// Builder: pin the queue backend.
+    pub fn with_backend(mut self, backend: QueueBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sanity-check ranges (mirrors what `ClusterConfig::validate` and the
+    /// submit-time assertions would reject, but as an `Err`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.cpus_per_node == 0 || self.mpl_max == 0 {
+            return Err("cluster dimensions must be ≥ 1".into());
+        }
+        for j in &self.jobs {
+            let nodes_needed = j.ranks.div_ceil(self.cpus_per_node);
+            if j.ranks == 0 || nodes_needed > self.nodes {
+                return Err(format!("job with {} ranks does not fit", j.ranks));
+            }
+        }
+        for f in &self.faults {
+            if f.node >= self.nodes {
+                return Err(format!("fault targets node {} of {}", f.node, self.nodes));
+            }
+        }
+        if self.horizon_ms == 0 {
+            return Err("horizon must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Number of "events" a repro is counted in: scenario inputs (jobs,
+    /// faults, injection) plus the nonzero ties of a script order. This is
+    /// the quantity the shrinker minimises.
+    pub fn event_count(&self) -> usize {
+        let ties = match &self.order {
+            OrderSpec::Script { ties } => ties.iter().filter(|&&t| t != 0).count(),
+            _ => 0,
+        };
+        ties + self.jobs.len() + self.faults.len() + usize::from(self.injection.is_some())
+    }
+
+    // ------------------------------------------------------------- JSON —
+
+    /// Serialise to a JSON [`Value`].
+    pub fn to_json(&self) -> Value {
+        let app = |a: &AppKind| match a {
+            AppKind::Binary { mb } => Value::Obj(vec![
+                ("kind".into(), Value::Str("binary".into())),
+                ("mb".into(), num(mb)),
+            ]),
+            AppKind::Compute { ms } => Value::Obj(vec![
+                ("kind".into(), Value::Str("compute".into())),
+                ("ms".into(), num(ms)),
+            ]),
+        };
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                Value::Obj(vec![
+                    ("at_ms".into(), num(j.at_ms)),
+                    ("ranks".into(), num(j.ranks)),
+                    ("app".into(), app(&j.app)),
+                ])
+            })
+            .collect();
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                let mut members =
+                    vec![("at_ms".into(), num(f.at_ms)), ("node".into(), num(f.node))];
+                match f.kind {
+                    FaultKind::Fail => members.push(("kind".into(), Value::Str("fail".into()))),
+                    FaultKind::Rejoin => members.push(("kind".into(), Value::Str("rejoin".into()))),
+                    FaultKind::Stall { until_ms } => {
+                        members.push(("kind".into(), Value::Str("stall".into())));
+                        members.push(("until_ms".into(), num(until_ms)));
+                    }
+                }
+                Value::Obj(members)
+            })
+            .collect();
+        let order = match &self.order {
+            OrderSpec::Default => Value::Obj(vec![("kind".into(), Value::Str("default".into()))]),
+            OrderSpec::Seeded {
+                seed,
+                amplitude,
+                delay_us,
+            } => Value::Obj(vec![
+                ("kind".into(), Value::Str("seeded".into())),
+                ("seed".into(), num(seed)),
+                ("amplitude".into(), num(amplitude)),
+                ("delay_us".into(), num(delay_us)),
+            ]),
+            OrderSpec::Script { ties } => Value::Obj(vec![
+                ("kind".into(), Value::Str("script".into())),
+                ("ties".into(), Value::Arr(ties.iter().map(num).collect())),
+            ]),
+        };
+        let injection = match &self.injection {
+            None => Value::Null,
+            Some(inj) => {
+                let mut members = vec![("at_ms".into(), num(inj.at_ms))];
+                match inj.kind {
+                    InjectionKind::CompletedSkew => {
+                        members.push(("kind".into(), Value::Str("completed_skew".into())))
+                    }
+                    InjectionKind::QuarantineDesync { node } => {
+                        members.push(("kind".into(), Value::Str("quarantine_desync".into())));
+                        members.push(("node".into(), num(node)));
+                    }
+                    InjectionKind::HbRegress => {
+                        members.push(("kind".into(), Value::Str("hb_regress".into())))
+                    }
+                    InjectionKind::MatrixTear => {
+                        members.push(("kind".into(), Value::Str("matrix_tear".into())))
+                    }
+                    InjectionKind::CawTear { node } => {
+                        members.push(("kind".into(), Value::Str("caw_tear".into())));
+                        members.push(("node".into(), num(node)));
+                    }
+                }
+                Value::Obj(members)
+            }
+        };
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("nodes".into(), num(self.nodes)),
+            ("cpus_per_node".into(), num(self.cpus_per_node)),
+            ("mpl_max".into(), num(self.mpl_max)),
+            ("seed".into(), num(self.seed)),
+            ("heartbeat_every".into(), num(self.heartbeat_every)),
+            ("horizon_ms".into(), num(self.horizon_ms)),
+            (
+                "backend".into(),
+                match self.backend {
+                    None => Value::Null,
+                    Some(QueueBackend::Heap) => Value::Str("heap".into()),
+                    Some(QueueBackend::Wheel) => Value::Str("wheel".into()),
+                },
+            ),
+            ("jobs".into(), Value::Arr(jobs)),
+            ("faults".into(), Value::Arr(faults)),
+            ("order".into(), order),
+            ("injection".into(), injection),
+        ])
+    }
+
+    /// Deserialise from a JSON [`Value`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let jobs = v
+            .req("jobs")?
+            .as_arr()
+            .ok_or("jobs is not an array")?
+            .iter()
+            .map(|j| {
+                let app = j.req("app")?;
+                let kind = match app.req_str("kind")? {
+                    "binary" => AppKind::Binary {
+                        mb: app.req_u64("mb")?,
+                    },
+                    "compute" => AppKind::Compute {
+                        ms: app.req_u64("ms")?,
+                    },
+                    other => return Err(format!("unknown app kind {other:?}")),
+                };
+                Ok(JobEvent {
+                    at_ms: j.req_u64("at_ms")?,
+                    ranks: j.req_u64("ranks")? as u32,
+                    app: kind,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let faults = v
+            .req("faults")?
+            .as_arr()
+            .ok_or("faults is not an array")?
+            .iter()
+            .map(|f| {
+                let kind = match f.req_str("kind")? {
+                    "fail" => FaultKind::Fail,
+                    "rejoin" => FaultKind::Rejoin,
+                    "stall" => FaultKind::Stall {
+                        until_ms: f.req_u64("until_ms")?,
+                    },
+                    other => return Err(format!("unknown fault kind {other:?}")),
+                };
+                Ok(FaultSpec {
+                    at_ms: f.req_u64("at_ms")?,
+                    node: f.req_u64("node")? as u32,
+                    kind,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let o = v.req("order")?;
+        let order = match o.req_str("kind")? {
+            "default" => OrderSpec::Default,
+            "seeded" => OrderSpec::Seeded {
+                seed: o.req_u64("seed")?,
+                amplitude: o.req_u64("amplitude")?,
+                delay_us: o.get("delay_us").and_then(Value::as_u64).unwrap_or(0),
+            },
+            "script" => OrderSpec::Script {
+                ties: o
+                    .req("ties")?
+                    .as_arr()
+                    .ok_or("ties is not an array")?
+                    .iter()
+                    .map(|t| t.as_u64().ok_or_else(|| "tie is not a u64".to_string()))
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
+            other => return Err(format!("unknown order kind {other:?}")),
+        };
+        let injection = match v.req("injection")? {
+            Value::Null => None,
+            inj => {
+                let kind = match inj.req_str("kind")? {
+                    "completed_skew" => InjectionKind::CompletedSkew,
+                    "quarantine_desync" => InjectionKind::QuarantineDesync {
+                        node: inj.req_u64("node")? as u32,
+                    },
+                    "hb_regress" => InjectionKind::HbRegress,
+                    "matrix_tear" => InjectionKind::MatrixTear,
+                    "caw_tear" => InjectionKind::CawTear {
+                        node: inj.req_u64("node")? as u32,
+                    },
+                    other => return Err(format!("unknown injection kind {other:?}")),
+                };
+                Some(Injection {
+                    at_ms: inj.req_u64("at_ms")?,
+                    kind,
+                })
+            }
+        };
+        Ok(Scenario {
+            name: v.req_str("name")?.to_string(),
+            nodes: v.req_u64("nodes")? as u32,
+            cpus_per_node: v.req_u64("cpus_per_node")? as u32,
+            mpl_max: v.req_u64("mpl_max")? as usize,
+            seed: v.req_u64("seed")?,
+            heartbeat_every: v.req_u64("heartbeat_every")? as u32,
+            horizon_ms: v.req_u64("horizon_ms")?,
+            backend: match v.req("backend")? {
+                Value::Null => None,
+                b => match b.as_str() {
+                    Some("heap") => Some(QueueBackend::Heap),
+                    Some("wheel") => Some(QueueBackend::Wheel),
+                    _ => return Err("backend must be \"heap\", \"wheel\" or null".into()),
+                },
+            },
+            jobs,
+            faults,
+            order,
+            injection,
+        })
+    }
+
+    /// Serialise to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        json::render(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_scenarios_validate() {
+        assert!(Scenario::two_node_launch().validate().is_ok());
+        assert!(Scenario::small_chaos().validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let s = Scenario::small_chaos()
+            .with_order(OrderSpec::Script {
+                ties: vec![0, 3, 0, 1],
+            })
+            .with_backend(QueueBackend::Heap)
+            .with_injection(Injection {
+                at_ms: 30,
+                kind: InjectionKind::CawTear { node: 1 },
+            });
+        let text = s.to_json_string();
+        let back = Scenario::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // Every injection kind survives the trip.
+        for kind in [
+            InjectionKind::CompletedSkew,
+            InjectionKind::QuarantineDesync { node: 2 },
+            InjectionKind::HbRegress,
+            InjectionKind::MatrixTear,
+        ] {
+            let s = Scenario::two_node_launch().with_injection(Injection { at_ms: 5, kind });
+            let back = Scenario::from_json(&json::parse(&s.to_json_string()).unwrap()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_misfits() {
+        let mut s = Scenario::two_node_launch();
+        s.jobs[0].ranks = 999;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::small_chaos();
+        s.faults[0].node = 99;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::two_node_launch();
+        s.horizon_ms = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn event_count_counts_only_meaningful_inputs() {
+        let s = Scenario::two_node_launch(); // 1 job
+        assert_eq!(s.event_count(), 1);
+        let s = s
+            .with_order(OrderSpec::Script {
+                ties: vec![0, 0, 2, 0, 1],
+            })
+            .with_injection(Injection {
+                at_ms: 5,
+                kind: InjectionKind::CompletedSkew,
+            });
+        // 1 job + 2 nonzero ties + 1 injection.
+        assert_eq!(s.event_count(), 4);
+    }
+}

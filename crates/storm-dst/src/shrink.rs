@@ -1,0 +1,209 @@
+//! Delta-debugging shrinker: reduce a failing scenario to a minimal
+//! failing repro. The pipeline is
+//!
+//! 1. convert a seeded order into an explicit tie script (tie `i` is a
+//!    pure function of `(seed, i)`, so the script is regenerated from the
+//!    failing run's push count — nothing was recorded);
+//! 2. truncate the horizon to just past the violation;
+//! 3. cut the script to the minimal failing prefix, then zero every tie
+//!    that does not contribute (ddmin over positions);
+//! 4. drop jobs and faults one at a time, keeping each removal only if
+//!    the violation survives.
+//!
+//! Every candidate is re-executed with the caught runner, so "still
+//! failing" means *the same oracle still fires* — shrinking never trades
+//! one bug for a different one.
+
+use crate::runner::{run_scenario_caught, RunOutcome};
+use crate::scenario::{OrderSpec, Scenario};
+use storm_sim::DeliveryOrder;
+
+/// Cut `ties` to its minimal failing prefix, then zero every remaining
+/// position that the failure does not depend on. `fails` re-runs the
+/// candidate; the input is assumed failing. Pure helper, unit-tested with
+/// synthetic predicates.
+pub fn minimize_ties(ties: &[u64], mut fails: impl FnMut(&[u64]) -> bool) -> Vec<u64> {
+    // Binary-search the shortest failing prefix: ties past the script end
+    // are zero, so a prefix is a legal script.
+    let (mut lo, mut hi) = (0usize, ties.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&ties[..mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut out = ties[..hi].to_vec();
+    // Zero pass: a tie the failure does not depend on becomes 0 (identity
+    // order for that insertion), shrinking the repro's event count.
+    for i in 0..out.len() {
+        if out[i] == 0 {
+            continue;
+        }
+        let saved = out[i];
+        out[i] = 0;
+        if !fails(&out) {
+            out[i] = saved;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// The full shrink pipeline. Returns the minimal scenario and its (still
+/// failing) outcome.
+pub fn shrink(scenario: &Scenario, outcome: &RunOutcome) -> (Scenario, RunOutcome) {
+    let original = outcome
+        .violation
+        .as_ref()
+        .expect("shrink needs a failing outcome");
+    let same_bug = |candidate: &Scenario| -> Option<RunOutcome> {
+        let out = run_scenario_caught(candidate);
+        match &out.violation {
+            Some(v) if v.oracle == original.oracle => Some(out),
+            _ => None,
+        }
+    };
+
+    let mut best = scenario.clone();
+    let mut best_out = outcome.clone();
+
+    // 1. Seeded → script: regenerate the tie stream from the seed and the
+    //    failing run's push count, and verify the script reproduces. A
+    //    *delayed* seeded order is not regenerable (delays perturb event
+    //    times, which a script cannot express) — it stays seeded and the
+    //    later passes still shrink the scenario's inputs.
+    if let OrderSpec::Seeded {
+        seed,
+        amplitude,
+        delay_us: 0,
+    } = best.order
+    {
+        let ties = DeliveryOrder::regenerate_ties(seed, amplitude, best_out.pushed);
+        let candidate = best.clone().with_order(OrderSpec::Script { ties });
+        if let Some(out) = same_bug(&candidate) {
+            best = candidate;
+            best_out = out;
+        }
+    }
+
+    // 2. Horizon truncation: nothing after the violation matters.
+    let violation_ms = best_out
+        .violation
+        .as_ref()
+        .expect("still failing")
+        .at
+        .as_nanos()
+        .div_ceil(1_000_000);
+    if violation_ms + 1 < best.horizon_ms {
+        let mut candidate = best.clone();
+        candidate.horizon_ms = violation_ms + 1;
+        if let Some(out) = same_bug(&candidate) {
+            best = candidate;
+            best_out = out;
+        }
+    }
+
+    // 3. Tie minimisation (only meaningful for script orders).
+    if let OrderSpec::Script { ties } = &best.order {
+        let template = best.clone();
+        let minimal = minimize_ties(ties, |candidate| {
+            same_bug(&template.clone().with_order(OrderSpec::Script {
+                ties: candidate.to_vec(),
+            }))
+            .is_some()
+        });
+        let candidate = template.with_order(OrderSpec::Script { ties: minimal });
+        if let Some(out) = same_bug(&candidate) {
+            best = candidate;
+            best_out = out;
+        }
+    }
+
+    // 4. Input minimisation: drop jobs, then faults, one at a time.
+    let mut i = 0;
+    while i < best.jobs.len() {
+        let mut candidate = best.clone();
+        candidate.jobs.remove(i);
+        if let Some(out) = same_bug(&candidate) {
+            best = candidate;
+            best_out = out;
+        } else {
+            i += 1;
+        }
+    }
+    let mut i = 0;
+    while i < best.faults.len() {
+        let mut candidate = best.clone();
+        candidate.faults.remove(i);
+        if let Some(out) = same_bug(&candidate) {
+            best = candidate;
+            best_out = out;
+        } else {
+            i += 1;
+        }
+    }
+
+    (best, best_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Injection, InjectionKind};
+
+    #[test]
+    fn minimize_ties_finds_the_two_load_bearing_positions() {
+        // Synthetic bug: fails iff ties[3] > 0 and ties[7] > 0.
+        let fails =
+            |t: &[u64]| t.get(3).copied().unwrap_or(0) > 0 && t.get(7).copied().unwrap_or(0) > 0;
+        let noisy: Vec<u64> = vec![2, 0, 1, 3, 2, 1, 0, 2, 1, 2, 3, 1];
+        assert!(fails(&noisy));
+        let minimal = minimize_ties(&noisy, |t| fails(t));
+        assert_eq!(minimal.len(), 8, "prefix ends at the last load-bearing tie");
+        assert_eq!(minimal.iter().filter(|&&t| t != 0).count(), 2);
+        assert!(minimal[3] > 0 && minimal[7] > 0);
+        assert!(fails(&minimal));
+    }
+
+    #[test]
+    fn minimize_ties_handles_always_failing_input() {
+        // A failure independent of every tie shrinks to the empty script.
+        let minimal = minimize_ties(&[3, 1, 2], |_| true);
+        assert!(minimal.is_empty());
+    }
+
+    #[test]
+    fn shrinks_an_injected_failure_to_a_tiny_repro() {
+        // A chaos scenario under a seeded order, with a deliberate
+        // counter skew: the shrinker must strip the order, the second job
+        // and both faults — the injection alone reproduces.
+        let s = Scenario::small_chaos()
+            .with_order(OrderSpec::Seeded {
+                seed: 7,
+                amplitude: 2,
+                delay_us: 0,
+            })
+            .with_injection(Injection {
+                at_ms: 30,
+                kind: InjectionKind::CompletedSkew,
+            });
+        let out = run_scenario_caught(&s);
+        assert!(out.failed());
+        let (minimal, min_out) = shrink(&s, &out);
+        assert!(min_out.failed());
+        assert_eq!(
+            min_out.violation.as_ref().unwrap().oracle,
+            out.violation.as_ref().unwrap().oracle
+        );
+        assert!(
+            minimal.event_count() <= 2,
+            "repro still carries {} events: {minimal:?}",
+            minimal.event_count()
+        );
+        assert!(minimal.horizon_ms <= 31);
+    }
+}

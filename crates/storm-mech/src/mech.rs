@@ -208,6 +208,23 @@ impl FaultPlan {
     pub fn is_inert(&self) -> bool {
         self.xfer_error_prob == 0.0 && self.caw_drop_prob == 0.0 && self.bursts.is_empty()
     }
+
+    /// Alias for [`FaultPlan::is_inert`] under the name the DST harness
+    /// uses: a *quiet* plan consumes no RNG anywhere in the mechanism
+    /// layer, so a run with one installed is bit-identical to a run with
+    /// no plan at all. The per-operation gates
+    /// ([`FaultPlan::caw_can_drop`], [`FaultPlan::xfer_error_prob_at`])
+    /// are what enforce it operation by operation.
+    pub fn is_quiet(&self) -> bool {
+        self.is_inert()
+    }
+
+    /// True when a COMPARE-AND-WRITE issued now may be dropped — the exact
+    /// gate [`Mechanisms::compare_and_write_faulty`] uses to decide
+    /// whether to consume RNG. A quiet plan never drops.
+    pub fn caw_can_drop(&self) -> bool {
+        self.caw_drop_prob > 0.0
+    }
 }
 
 /// The mechanism layer for one cluster.
@@ -447,8 +464,7 @@ impl Mechanisms {
         load: BackgroundLoad,
         rng: &mut DeterministicRng,
     ) -> Option<CawResult> {
-        let p = self.fault.caw_drop_prob;
-        if p > 0.0 && rng.uniform() < p {
+        if self.fault.caw_can_drop() && rng.uniform() < self.fault.caw_drop_prob {
             self.caw_count += 1; // issued, then lost
             return None;
         }
@@ -777,6 +793,170 @@ mod tests {
                 assert_eq!(sched.arrival(base, rank), fan.arrival(rank));
             }
         }
+    }
+
+    #[test]
+    fn caw_drop_accounting_counts_lost_queries() {
+        let mut m = Mechanisms::qsnet(8);
+        m.fault.caw_drop_prob = 1.0;
+        assert!(!m.fault.is_quiet());
+        let v = m.memory.alloc_var(0);
+        let all = NodeSet::All(8);
+        let mut r = rng();
+        for _ in 0..5 {
+            let res = m.compare_and_write_faulty(
+                SimTime::ZERO,
+                &all,
+                v,
+                CmpOp::Ge,
+                0,
+                Some((v, 9)),
+                BackgroundLoad::NONE,
+                &mut r,
+            );
+            assert_eq!(res, None, "certain drop loses the query");
+        }
+        // Every lost query was still *issued*: the counter reflects it,
+        // and atomicity means no write half was applied anywhere.
+        assert_eq!(m.caw_count(), 5);
+        assert_eq!(m.memory.gather(&all, v), vec![0; 8]);
+    }
+
+    #[test]
+    fn caw_retry_path_converges_under_partial_drops() {
+        // p = 0.5: the initiator re-polls until a query gets through; the
+        // survivor must observe exactly one applied write and a caw_count
+        // equal to drops + the successful issue.
+        let mut m = Mechanisms::qsnet(4);
+        m.fault.caw_drop_prob = 0.5;
+        let v = m.memory.alloc_var(0);
+        let all = NodeSet::All(4);
+        let mut r = rng();
+        let mut polls = 0u64;
+        let result = loop {
+            polls += 1;
+            assert!(polls < 1_000, "retry loop must converge");
+            if let Some(res) = m.compare_and_write_faulty(
+                SimTime::ZERO,
+                &all,
+                v,
+                CmpOp::Eq,
+                0,
+                Some((v, 7)),
+                BackgroundLoad::NONE,
+                &mut r,
+            ) {
+                break res;
+            }
+        };
+        assert!(result.satisfied);
+        assert_eq!(m.memory.gather(&all, v), vec![7; 4]);
+        assert_eq!(m.caw_count(), polls, "drops + the success are all issues");
+    }
+
+    #[test]
+    fn quiet_plan_gating_is_exact() {
+        // A quiet plan must consume no RNG: the next draw after a faulty
+        // CAW equals the first draw of a fresh same-seed stream. A non-
+        // quiet plan must consume exactly one draw per query.
+        assert!(FaultPlan::default().is_quiet());
+        assert!(!FaultPlan {
+            caw_drop_prob: 0.1,
+            ..FaultPlan::default()
+        }
+        .is_quiet());
+        assert!(!FaultPlan {
+            xfer_error_prob: 0.1,
+            ..FaultPlan::default()
+        }
+        .is_quiet());
+        let mut m = Mechanisms::qsnet(4);
+        assert!(m.fault.is_quiet());
+        assert!(!m.fault.caw_can_drop());
+        let v = m.memory.alloc_var(0);
+        let all = NodeSet::All(4);
+        let mut used = rng();
+        let res = m.compare_and_write_faulty(
+            SimTime::ZERO,
+            &all,
+            v,
+            CmpOp::Ge,
+            0,
+            None,
+            BackgroundLoad::NONE,
+            &mut used,
+        );
+        assert!(res.is_some(), "a quiet plan never drops");
+        assert_eq!(
+            used.uniform(),
+            rng().uniform(),
+            "quiet plan consumed RNG it must not touch"
+        );
+        // Flip the plan on: exactly one draw per query is consumed.
+        m.fault.caw_drop_prob = 1e-9; // can drop, in principle
+        assert!(m.fault.caw_can_drop() && !m.fault.is_quiet());
+        let mut used = rng();
+        let res = m.compare_and_write_faulty(
+            SimTime::ZERO,
+            &all,
+            v,
+            CmpOp::Ge,
+            0,
+            None,
+            BackgroundLoad::NONE,
+            &mut used,
+        );
+        assert!(res.is_some(), "p = 1e-9 effectively never fires");
+        let mut fresh = rng();
+        fresh.uniform(); // the one draw the gate spent
+        assert_eq!(used.uniform(), fresh.uniform());
+    }
+
+    #[test]
+    fn caw_audit_catches_torn_writes() {
+        let mut m = Mechanisms::qsnet(4);
+        m.memory.enable_caw_audit();
+        let cond = m.memory.alloc_var(0);
+        let target = m.memory.alloc_var(0);
+        let set = NodeSet::Range { start: 1, len: 3 };
+        m.compare_and_write(
+            SimTime::ZERO,
+            &set,
+            cond,
+            CmpOp::Eq,
+            0,
+            Some((target, 5)),
+            BackgroundLoad::NONE,
+        );
+        let audits: Vec<_> = m.memory.caw_audits().collect();
+        assert_eq!(audits.len(), 1);
+        let (var, audit) = &audits[0];
+        assert_eq!(*var, target);
+        assert_eq!(audit.value, 5);
+        // Intact: every node of the set reads the audited value.
+        assert!(audit.set.iter().all(|n| m.memory.read(n, target) == 5));
+        // A later per-node write retires the entry (nodes may diverge).
+        m.memory.write(NodeId(2), target, 6);
+        assert_eq!(m.memory.caw_audits().count(), 0);
+        // A poke does not: the torn state stays audited — and detectable.
+        m.compare_and_write(
+            SimTime::ZERO,
+            &set,
+            cond,
+            CmpOp::Eq,
+            0,
+            Some((target, 8)),
+            BackgroundLoad::NONE,
+        );
+        m.memory.poke(NodeId(2), target, 0);
+        let (_, audit) = m.memory.caw_audits().next().unwrap();
+        assert!(
+            !audit
+                .set
+                .iter()
+                .all(|n| m.memory.read(n, target) == audit.value),
+            "the tear is visible to the audit"
+        );
     }
 
     #[test]

@@ -13,7 +13,21 @@
 //! keeps TEST-EVENT causally correct inside the discrete-event simulation.
 
 use crate::types::{EventId, NodeId, NodeSet, VarId};
+use std::collections::BTreeMap;
 use storm_sim::SimTime;
+
+/// Audit record of the most recent set-wide (COMPARE-AND-WRITE) write
+/// applied to a variable: the node set it covered and the value it wrote.
+/// While no later per-node write supersedes it, sequential consistency
+/// demands every node of the set still reads exactly this value — the
+/// all-or-nothing visibility probe the DST `CawVisibility` oracle checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CawAudit {
+    /// The node set the write half covered.
+    pub set: NodeSet,
+    /// The value written to every node of the set.
+    pub value: i64,
+}
 
 /// Per-node global variables and events for a whole cluster.
 #[derive(Debug, Clone)]
@@ -23,6 +37,11 @@ pub struct GlobalMemory {
     vars: Vec<Vec<i64>>,
     /// `events[node][event]` — the instant the event was signalled, if any.
     events: Vec<Vec<Option<SimTime>>>,
+    /// When enabled, the last set-wide write per variable (keyed by var
+    /// id), invalidated by any later per-node write to that variable.
+    /// Disabled by default: the audit trail costs a map insert per CAW
+    /// write half, so only DST harnesses turn it on.
+    caw_audit: Option<BTreeMap<u32, CawAudit>>,
 }
 
 impl GlobalMemory {
@@ -33,7 +52,26 @@ impl GlobalMemory {
             nodes,
             vars: vec![Vec::new(); nodes as usize],
             events: vec![Vec::new(); nodes as usize],
+            caw_audit: None,
         }
+    }
+
+    /// Enable the CAW write-visibility audit trail (see [`CawAudit`]).
+    /// Idempotent; the trail starts empty. DST harnesses call this before
+    /// running so the `CawVisibility` oracle has state to check; the
+    /// default-off trail keeps production hot paths at a single branch.
+    pub fn enable_caw_audit(&mut self) {
+        if self.caw_audit.is_none() {
+            self.caw_audit = Some(BTreeMap::new());
+        }
+    }
+
+    /// The live CAW audit entries — `(var, audit)` in var order — or an
+    /// empty iterator when auditing is disabled.
+    pub fn caw_audits(&self) -> impl Iterator<Item = (VarId, &CawAudit)> {
+        self.caw_audit
+            .iter()
+            .flat_map(|m| m.iter().map(|(&v, a)| (VarId(v), a)))
     }
 
     /// Number of nodes.
@@ -65,25 +103,53 @@ impl GlobalMemory {
         self.vars[node.index()][var.0 as usize]
     }
 
-    /// Write a variable on one node.
+    /// Write a variable on one node. A per-node write supersedes any
+    /// audited set-wide write of the same variable (the nodes are free to
+    /// diverge again), so it retires the audit entry.
     pub fn write(&mut self, node: NodeId, var: VarId, value: i64) {
+        if let Some(audit) = &mut self.caw_audit {
+            audit.remove(&var.0);
+        }
         self.vars[node.index()][var.0 as usize] = value;
     }
 
     /// Write a variable on a set of nodes (the COMPARE-AND-WRITE write half;
     /// sequentially consistent because the simulation applies it as one
-    /// indivisible action).
+    /// indivisible action). Records the audit entry when auditing is on.
     pub fn write_set(&mut self, set: &NodeSet, var: VarId, value: i64) {
         for node in set.iter() {
-            self.write(node, var, value);
+            self.vars[node.index()][var.0 as usize] = value;
+        }
+        if let Some(audit) = &mut self.caw_audit {
+            audit.insert(
+                var.0,
+                CawAudit {
+                    set: set.clone(),
+                    value,
+                },
+            );
         }
     }
 
     /// Add `delta` to a variable on one node, returning the new value.
+    /// Retires any audit entry for the variable, like [`GlobalMemory::
+    /// write`].
     pub fn add(&mut self, node: NodeId, var: VarId, delta: i64) -> i64 {
+        if let Some(audit) = &mut self.caw_audit {
+            audit.remove(&var.0);
+        }
         let slot = &mut self.vars[node.index()][var.0 as usize];
         *slot += delta;
         *slot
+    }
+
+    /// Audit-invisible single-node write: changes one node's copy of `var`
+    /// *without* retiring the audit entry — the tamper a DST harness uses
+    /// to simulate a torn COMPARE-AND-WRITE (partial write application)
+    /// and prove the `CawVisibility` oracle catches it. Never called by
+    /// production code.
+    pub fn poke(&mut self, node: NodeId, var: VarId, value: i64) {
+        self.vars[node.index()][var.0 as usize] = value;
     }
 
     /// Is `event` visible as signalled to an observer on `node` at `now`?
@@ -204,6 +270,29 @@ mod tests {
         assert_eq!(m.add(NodeId(1), v, 5), 15);
         assert_eq!(m.add(NodeId(1), v, -3), 12);
         assert_eq!(m.read(NodeId(0), v), 10);
+    }
+
+    #[test]
+    fn caw_audit_records_and_retires() {
+        let mut m = GlobalMemory::new(4);
+        let v = m.alloc_var(0);
+        // Disabled by default: set writes leave no trail.
+        m.write_set(&NodeSet::All(4), v, 1);
+        assert_eq!(m.caw_audits().count(), 0);
+        m.enable_caw_audit();
+        m.enable_caw_audit(); // idempotent
+        m.write_set(&NodeSet::All(4), v, 2);
+        let (var, audit) = m.caw_audits().next().unwrap();
+        assert_eq!((var, audit.value), (v, 2));
+        // `add` is a per-node write: it retires the entry.
+        m.add(NodeId(3), v, 1);
+        assert_eq!(m.caw_audits().count(), 0);
+        // A newer set write replaces an older audit for the same var.
+        m.write_set(&NodeSet::All(4), v, 7);
+        m.write_set(&NodeSet::Range { start: 0, len: 2 }, v, 9);
+        let audits: Vec<_> = m.caw_audits().collect();
+        assert_eq!(audits.len(), 1);
+        assert_eq!(audits[0].1.value, 9);
     }
 
     #[test]

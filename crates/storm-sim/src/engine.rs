@@ -11,7 +11,7 @@
 //! engine delivers them in `(time, insertion-sequence)` order, so any two
 //! runs with the same inputs and seed produce identical traces.
 
-use crate::queue::{EventQueue, QueueBackend, QueueStats};
+use crate::queue::{DeliveryOrder, EventQueue, QueueBackend, QueueStats};
 use crate::rng::DeterministicRng;
 use crate::time::{SimSpan, SimTime};
 use crate::trace::Tracer;
@@ -486,6 +486,23 @@ impl<W, M> Simulation<W, M> {
         self.queue.backend()
     }
 
+    /// Install (or remove) a [`DeliveryOrder`] hook on the event queue —
+    /// the DST entry point for exploring same-timestamp delivery
+    /// permutations. Install before posting the first event so every
+    /// insertion is keyed; `None` (the default) keeps the engine's classic
+    /// `(time, seq)` order bit-identical.
+    pub fn set_delivery_order(&mut self, order: Option<DeliveryOrder>) {
+        self.queue.set_delivery_order(order);
+    }
+
+    /// The queue's interleaving digest: FNV-1a over every `(time, seq)`
+    /// pair delivered so far. Accumulated only while a [`DeliveryOrder`]
+    /// hook is installed — the DST explorer's measure of *which* delivery
+    /// interleaving a run actually executed.
+    pub fn interleaving_digest(&self) -> u64 {
+        self.queue.pop_digest()
+    }
+
     /// Logical messages awaiting delivery (see
     /// [`Context::pending_messages`]); identical across delivery modes.
     pub fn pending_messages(&self) -> u64 {
@@ -653,6 +670,30 @@ mod tests {
                 Msg::Stop => ctx.halt(),
             }
         }
+    }
+
+    #[test]
+    fn delivery_order_permutes_same_instant_posts() {
+        // Three same-instant posts; a scripted order reverses their
+        // delivery while an inert hook (and no hook) keeps posting order.
+        let run = |order: Option<DeliveryOrder>| {
+            let mut sim = Simulation::new(World::new(), 1);
+            let c = sim.add_component(Counter::default());
+            sim.set_delivery_order(order);
+            let t = SimTime::from_millis(3);
+            for n in [10u32, 20, 30] {
+                sim.post(t, c, Msg::Tick(n));
+            }
+            sim.run_to_completion();
+            sim.world().iter().map(|&(_, n)| n).collect::<Vec<_>>()
+        };
+        let plain = run(None);
+        assert_eq!(&plain[..3], &[10, 20, 30]);
+        assert_eq!(plain, run(Some(DeliveryOrder::seeded(9, 0))), "inert hook");
+        let reversed = run(Some(DeliveryOrder::script(vec![2, 1, 0])));
+        assert_eq!(&reversed[..3], &[30, 20, 10]);
+        // Every post is still delivered exactly once, at the same instant.
+        assert_eq!(plain.len(), reversed.len());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod trace;
 pub use engine::{
     tree_depth, Component, ComponentId, Context, GroupSchedule, GroupTargets, Simulation,
 };
-pub use queue::{EventQueue, QueueBackend, QueueStats};
+pub use queue::{DeliveryOrder, EventQueue, QueueBackend, QueueStats};
 pub use rng::DeterministicRng;
 pub use time::{SimSpan, SimTime};
 pub use trace::{TraceRecord, Tracer};

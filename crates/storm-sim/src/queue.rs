@@ -1,11 +1,16 @@
 //! The deterministic event queue.
 //!
-//! Two interchangeable backends hide behind one total order, `(time,
+//! Two interchangeable backends hide behind one total order, `(time, tie,
 //! sequence)`, where the sequence number is a monotonically increasing
-//! insertion counter. Two events scheduled for the same instant therefore
-//! fire in insertion order, which makes the whole simulation a pure
-//! function of its inputs and seed — the property the determinism tests in
-//! `engine.rs` assert.
+//! insertion counter and the *tie* is an optional reordering key drawn by a
+//! [`DeliveryOrder`] hook (always zero when no hook is installed, which
+//! reduces the order to the classic `(time, seq)`). Two events scheduled
+//! for the same instant therefore fire in insertion order by default,
+//! which makes the whole simulation a pure function of its inputs and
+//! seed — the property the determinism tests in `engine.rs` assert. A DST
+//! harness installs a [`DeliveryOrder`] to *permute* same-instant events
+//! deterministically, exploring legal schedules the fixed insertion order
+//! never produces (see DESIGN.md §14).
 //!
 //! * [`QueueBackend::Heap`] — the reference `BinaryHeap`, O(log n) per
 //!   operation. Kept as the executable specification the wheel is
@@ -27,13 +32,16 @@ use std::collections::{BTreeMap, BinaryHeap};
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    /// Reordering key drawn by the [`DeliveryOrder`] hook; 0 when no hook
+    /// is installed, so the default order degenerates to `(time, seq)`.
+    tie: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -50,7 +58,138 @@ impl<E> Ord for Entry<E> {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.tie.cmp(&self.tie))
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// SplitMix64 step — the statelessly seedable generator the tie stream is
+/// drawn from, so a failing seeded run can be regenerated as an explicit
+/// script without ever recording it.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OrderMode {
+    /// Draw ties from a SplitMix64 stream: tie `i` is a pure function of
+    /// `(seed, i)`, uniform over `0..=amplitude`.
+    Seeded { state: u64, amplitude: u64 },
+    /// Replay an explicit tie script (one value per insertion, in
+    /// insertion order); zero once the script is exhausted.
+    Script(Vec<u64>),
+}
+
+/// A pluggable delivery-order hook: assigns each inserted event a *tie*
+/// key that permutes same-timestamp delivery (the queue's total order is
+/// `(time, tie, seq)`), and optionally a bounded random delivery delay.
+///
+/// Legality: ties never move an event across a timestamp boundary, so
+/// time order — the only ordering the simulation contract guarantees — is
+/// preserved; only the arbitrary same-instant insertion order is explored.
+/// The optional delay only ever *increases* an event's delivery instant
+/// (never below the scheduling instant), so causality holds too.
+///
+/// Determinism: the hook owns all its randomness (SplitMix64 over its own
+/// seed); it never touches the simulation RNG, so with amplitude 0 and no
+/// delay a hooked run is byte-identical to an un-hooked one. Tie `i` of a
+/// seeded hook is a pure function of `(seed, i)` where `i` is the queue's
+/// lifetime insertion index — [`DeliveryOrder::regenerate_ties`] turns any
+/// seeded (undelayed) run into an equivalent explicit [`DeliveryOrder::
+/// script`] using only the run's final push count, which is what the DST
+/// shrinker delta-debugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryOrder {
+    mode: OrderMode,
+    max_delay: SimSpan,
+    draws: u64,
+}
+
+impl DeliveryOrder {
+    /// A seeded hook: tie `i` is uniform over `0..=amplitude`, drawn from
+    /// SplitMix64 over `seed`. Amplitude 0 draws all-zero ties (identity
+    /// order — useful to prove the hook itself is inert).
+    pub fn seeded(seed: u64, amplitude: u64) -> Self {
+        DeliveryOrder {
+            mode: OrderMode::Seeded {
+                state: seed,
+                amplitude,
+            },
+            max_delay: SimSpan::ZERO,
+            draws: 0,
+        }
+    }
+
+    /// An explicit tie script: insertion `i` gets `ties[i]`, or 0 once the
+    /// script is exhausted. `script(vec![])` is the identity order.
+    pub fn script(ties: Vec<u64>) -> Self {
+        DeliveryOrder {
+            mode: OrderMode::Script(ties),
+            max_delay: SimSpan::ZERO,
+            draws: 0,
+        }
+    }
+
+    /// Builder: also delay each event by a bounded random span (uniform
+    /// over `0..=max_delay`, drawn from the same per-insertion SplitMix64
+    /// value as the tie). Delays only ever push deliveries *later*, so
+    /// time-order legality is preserved; scripts never delay. A delayed
+    /// run is not script-regenerable (the delays change event times), so
+    /// the DST explorer keeps delays off and uses pure tie permutation.
+    pub fn with_max_delay(mut self, max_delay: SimSpan) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// The first `n` ties a seeded hook with this `(seed, amplitude)`
+    /// draws — converts a finished seeded run (its queue reports how many
+    /// events were pushed) into the equivalent explicit script.
+    pub fn regenerate_ties(seed: u64, amplitude: u64, n: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                let x = splitmix64(&mut state);
+                if amplitude == 0 {
+                    0
+                } else {
+                    x % (amplitude + 1)
+                }
+            })
+            .collect()
+    }
+
+    /// Number of insertions this hook has keyed so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// The `(tie, delay)` pair for the next insertion.
+    fn next(&mut self) -> (u64, SimSpan) {
+        self.draws += 1;
+        match &mut self.mode {
+            OrderMode::Seeded { state, amplitude } => {
+                let x = splitmix64(state);
+                let tie = if *amplitude == 0 {
+                    0
+                } else {
+                    x % (*amplitude + 1)
+                };
+                let delay = if self.max_delay.is_zero() {
+                    SimSpan::ZERO
+                } else {
+                    SimSpan::from_nanos((x >> 32) % (self.max_delay.as_nanos() + 1))
+                };
+                (tie, delay)
+            }
+            OrderMode::Script(ties) => (
+                ties.get((self.draws - 1) as usize).copied().unwrap_or(0),
+                SimSpan::ZERO,
+            ),
+        }
     }
 }
 
@@ -290,10 +429,11 @@ enum Inner<E> {
 
 /// A deterministic priority queue of timestamped events.
 ///
-/// Pop order is total: by time, then by insertion sequence. The queue never
-/// reuses sequence numbers, so `(time, seq)` is unique per entry. The
-/// backend (reference heap or timing wheel) changes only the asymptotics,
-/// never the pop order.
+/// Pop order is total: by time, then by the [`DeliveryOrder`] tie (always
+/// zero unless a hook is installed), then by insertion sequence. The queue
+/// never reuses sequence numbers, so `(time, tie, seq)` is unique per
+/// entry. The backend (reference heap or timing wheel) changes only the
+/// asymptotics, never the pop order.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     inner: Inner<E>,
@@ -301,6 +441,8 @@ pub struct EventQueue<E> {
     pushed: u64,
     popped: u64,
     peak: usize,
+    order: Option<DeliveryOrder>,
+    pop_digest: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -356,6 +498,30 @@ impl<E> EventQueue<E> {
             pushed: 0,
             popped: 0,
             peak: 0,
+            order: None,
+            pop_digest: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Install (or remove) the delivery-order hook. Applies to events
+    /// pushed from now on; install before scheduling anything for full
+    /// coverage. `None` (the default) keeps the classic `(time, seq)`
+    /// insertion order bit-identical.
+    pub fn set_delivery_order(&mut self, order: Option<DeliveryOrder>) {
+        self.order = order;
+    }
+
+    /// The installed delivery-order hook, if any.
+    pub fn delivery_order(&self) -> Option<&DeliveryOrder> {
+        self.order.as_ref()
+    }
+
+    /// The `(tie, delay)` keys for the next insertion: `(0, ZERO)` unless
+    /// a hook is installed.
+    fn draw_order(&mut self) -> (u64, SimSpan) {
+        match &mut self.order {
+            None => (0, SimSpan::ZERO),
+            Some(o) => o.next(),
         }
     }
 
@@ -376,11 +542,18 @@ impl<E> EventQueue<E> {
         self.peak = self.peak.max(self.len());
     }
 
-    /// Schedule `event` at absolute instant `time`.
+    /// Schedule `event` at absolute instant `time` (plus the hook's
+    /// bounded delay, if a delaying [`DeliveryOrder`] is installed).
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.insert(Entry { time, seq, event });
+        let (tie, delay) = self.draw_order();
+        self.insert(Entry {
+            time: time + delay,
+            tie,
+            seq,
+            event,
+        });
     }
 
     /// Reserve `width` consecutive sequence numbers without inserting
@@ -395,10 +568,19 @@ impl<E> EventQueue<E> {
         first
     }
 
-    /// Insert `event` at `time` under a previously reserved sequence number.
+    /// Insert `event` at `time` under a previously reserved sequence
+    /// number. Draws a fresh tie (and delay) like [`EventQueue::push`], so
+    /// re-parked group-delivery remainders are reordered against their
+    /// same-instant peers just as per-member pushes would be.
     pub fn push_at_seq(&mut self, time: SimTime, seq: u64, event: E) {
         debug_assert!(seq < self.next_seq, "sequence number was never reserved");
-        self.insert(Entry { time, seq, event });
+        let (tie, delay) = self.draw_order();
+        self.insert(Entry {
+            time: time + delay,
+            tie,
+            seq,
+            event,
+        });
     }
 
     /// Remove and return the earliest event, or `None` if empty.
@@ -408,7 +590,29 @@ impl<E> EventQueue<E> {
             Inner::Wheel(w) => w.pop_min()?,
         };
         self.popped += 1;
+        // Fold the delivered `(time, seq)` pair into the interleaving
+        // digest — but only when a DST hook is installed, so production
+        // pops stay branch-plus-nothing. The digest identifies the *pop
+        // sequence itself*: two runs deliver the same events in the same
+        // order iff their digests match.
+        if self.order.is_some() {
+            for word in [e.time.as_nanos(), e.seq] {
+                for byte in word.to_le_bytes() {
+                    self.pop_digest ^= u64::from(byte);
+                    self.pop_digest = self.pop_digest.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
         Some((e.time, e.event))
+    }
+
+    /// FNV-1a digest over every `(time, seq)` pair popped so far — the
+    /// identity of the delivery interleaving. Only accumulated while a
+    /// [`DeliveryOrder`] hook is installed (it is the DST explorer's
+    /// distinct-interleaving counter); without one it stays at the FNV
+    /// offset basis.
+    pub fn pop_digest(&self) -> u64 {
+        self.pop_digest
     }
 
     /// The instant of the earliest pending event without removing it.
@@ -716,5 +920,130 @@ mod tests {
             }
             assert_eq!(heap.stats(), wheel.stats());
         }
+    }
+
+    #[test]
+    fn script_ties_permute_same_instant_events() {
+        on_all_backends(|mut q: EventQueue<&str>| {
+            // Ties reverse the insertion order of a same-instant burst.
+            q.set_delivery_order(Some(DeliveryOrder::script(vec![2, 1, 0])));
+            let t = SimTime::from_micros(9);
+            q.push(t, "first-in");
+            q.push(t, "second-in");
+            q.push(t, "third-in");
+            assert_eq!(q.pop(), Some((t, "third-in")));
+            assert_eq!(q.pop(), Some((t, "second-in")));
+            assert_eq!(q.pop(), Some((t, "first-in")));
+        });
+    }
+
+    #[test]
+    fn ties_never_cross_timestamp_boundaries() {
+        on_all_backends(|mut q: EventQueue<u32>| {
+            // Even a huge tie cannot move an event past a later timestamp.
+            q.set_delivery_order(Some(DeliveryOrder::script(vec![u64::MAX, 0])));
+            q.push(SimTime::from_micros(1), 1);
+            q.push(SimTime::from_micros(2), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+        });
+    }
+
+    #[test]
+    fn disabled_and_inert_hooks_are_identity() {
+        // No hook, an empty script, and a seeded hook with amplitude 0 all
+        // produce the classic (time, seq) order, pop for pop.
+        let build = |order: Option<DeliveryOrder>| {
+            let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+            q.set_delivery_order(order);
+            for i in 0..500u64 {
+                q.push(SimTime::from_nanos((i * 37) % 900), i);
+            }
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        let plain = build(None);
+        assert_eq!(plain, build(Some(DeliveryOrder::script(Vec::new()))));
+        assert_eq!(plain, build(Some(DeliveryOrder::seeded(42, 0))));
+    }
+
+    #[test]
+    fn seeded_orders_match_across_backends() {
+        // The same seeded hook must reorder identically on heap and wheel:
+        // the tie is part of the total order, not a backend detail.
+        for seed in 0..4u64 {
+            let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+            let mut wheel = EventQueue::with_backend(QueueBackend::Wheel);
+            heap.set_delivery_order(Some(DeliveryOrder::seeded(seed, 7)));
+            wheel.set_delivery_order(Some(DeliveryOrder::seeded(seed, 7)));
+            for i in 0..5_000u64 {
+                let t = SimTime::from_micros((i * 13) % 97);
+                heap.push(t, i);
+                wheel.push(t, i);
+            }
+            loop {
+                let (h, w) = (heap.pop(), wheel.pop());
+                assert_eq!(h, w);
+                if h.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regenerated_script_replays_a_seeded_run() {
+        // A seeded run is convertible to an explicit script knowing only
+        // (seed, amplitude, pushed-count): tie i is a pure function of
+        // (seed, i).
+        let ops: Vec<u64> = (0..800).map(|i| (i * 29) % 131).collect();
+        let run = |order: DeliveryOrder| {
+            let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+            q.set_delivery_order(Some(order));
+            for (i, &t) in ops.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i as u64);
+            }
+            let pushed = q.stats().pushed;
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            (out, pushed)
+        };
+        let (seeded, pushed) = run(DeliveryOrder::seeded(0xDE57, 5));
+        let script = DeliveryOrder::regenerate_ties(0xDE57, 5, pushed);
+        let (replayed, _) = run(DeliveryOrder::script(script));
+        assert_eq!(seeded, replayed);
+    }
+
+    #[test]
+    fn bounded_delay_preserves_time_order_and_never_delivers_early() {
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        q.set_delivery_order(Some(
+            DeliveryOrder::seeded(3, 3).with_max_delay(SimSpan::from_micros(50)),
+        ));
+        let mut scheduled = Vec::new();
+        for i in 0..1_000u64 {
+            let t = SimTime::from_micros((i * 7) % 300);
+            scheduled.push((i, t));
+            q.push(t, i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut delivered = 0u64;
+        while let Some((t, i)) = q.pop() {
+            assert!(t >= last, "pops stay time-ordered");
+            let (_, at) = scheduled[i as usize];
+            assert!(t >= at, "delay never delivers before the scheduled instant");
+            assert!(
+                t <= at + SimSpan::from_micros(50),
+                "delay is bounded by max_delay"
+            );
+            last = t;
+            delivered += 1;
+        }
+        assert_eq!(delivered, 1_000, "no event is lost");
     }
 }

@@ -4,6 +4,8 @@
 use proptest::prelude::*;
 use storm::core::prelude::*;
 use storm::core::{BuddyAllocator, GangMatrix};
+use storm::mech::{NodeId, NodeSet};
+use storm::sim::{ComponentId, GroupTargets};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -220,6 +222,133 @@ proptest! {
         }
         prop_assert!(m.rejoin_node(victim));
         prop_assert!(m.can_place(nodes), "full capacity restored after rejoin");
+    }
+
+    /// After every allocation is freed — in arbitrary order — the buddy
+    /// tree must have coalesced all the way back: the free count equals the
+    /// full capacity *and* a full-width block can be carved again, which
+    /// only works if every split pair merged.
+    #[test]
+    fn buddy_coalesces_back_to_the_full_tree(
+        total_log in 1u32..=8,
+        sizes in prop::collection::vec(0u32..=6, 1..32),
+        free_order in prop::collection::vec(0u32..=255, 32..33),
+    ) {
+        let total = 1u32 << total_log;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<std::ops::Range<u32>> = Vec::new();
+        for s in sizes {
+            let want = (1u32 << (s % 6)).min(total);
+            if let Some(r) = buddy.alloc(want) {
+                live.push(r);
+            }
+        }
+        for pick in free_order {
+            if live.is_empty() {
+                break;
+            }
+            let r = live.swap_remove(pick as usize % live.len());
+            buddy.free(r.start);
+        }
+        for r in live.drain(..) {
+            buddy.free(r.start);
+        }
+        prop_assert_eq!(buddy.free_nodes(), total);
+        prop_assert_eq!(buddy.alloc(total), Some(0..total), "full block re-forms");
+    }
+
+    /// Degenerate requests are rejected without disturbing the tree: a
+    /// zero-node request and any request wider than the machine both return
+    /// `None` and leave the free count untouched — at any fill level.
+    #[test]
+    fn buddy_rejects_zero_and_oversized_requests(
+        total_log in 0u32..=8,
+        sizes in prop::collection::vec(0u32..=6, 0..8),
+        over in 1u32..=1024,
+    ) {
+        let total = 1u32 << total_log;
+        let mut buddy = BuddyAllocator::new(total);
+        for s in sizes {
+            let _ = buddy.alloc((1u32 << (s % 6)).min(total));
+        }
+        let before = buddy.free_nodes();
+        prop_assert_eq!(buddy.alloc(0), None, "zero-node request");
+        prop_assert_eq!(buddy.alloc(total + over), None, "oversized request");
+        prop_assert_eq!(buddy.free_nodes(), before, "rejections are side-effect free");
+    }
+
+    /// The allocation-free `NodeSet` iterator must agree exactly with the
+    /// naive expansion through `get(rank)` — for every variant, including
+    /// the empty and single-node edges — and `len`/`contains` must tell
+    /// the same story.
+    #[test]
+    fn node_set_iteration_matches_naive_expansion(
+        variant in 0u8..=2,
+        n in 0u32..=64,
+        start in 0u32..=1000,
+        raw in prop::collection::vec(0u32..=100, 0..32),
+    ) {
+        let set = match variant {
+            0 => NodeSet::All(n),
+            1 => NodeSet::Range { start, len: n },
+            _ => NodeSet::from_list(raw.iter().map(|&i| NodeId(i)).collect()),
+        };
+        let naive: Vec<NodeId> = (0..set.len()).map(|rank| set.get(rank)).collect();
+        let iterated: Vec<NodeId> = set.iter().collect();
+        prop_assert_eq!(&iterated, &naive, "iterator vs get(rank) expansion");
+        prop_assert_eq!(iterated.len(), set.len() as usize);
+        prop_assert_eq!(set.is_empty(), iterated.is_empty());
+        prop_assert!(
+            iterated.windows(2).all(|w| w[0] < w[1]),
+            "ascending, duplicate-free order"
+        );
+        for &node in &iterated {
+            prop_assert!(set.contains(node), "iterated member {node:?} not contained");
+        }
+        // Probe a few non-members too: contains must not over-approximate.
+        for probe in 0..=1101 {
+            let node = NodeId(probe);
+            prop_assert_eq!(
+                set.contains(node),
+                naive.contains(&node),
+                "contains({probe}) disagrees with the expansion"
+            );
+        }
+    }
+
+    /// `GroupTargets::get` must enumerate exactly the arithmetic
+    /// progression (strided) or the backing list, for every rank — the
+    /// engine delivers group messages by ranked lookup, so an off-by-one
+    /// here would misroute a fan-out. Empty and single-recipient edges
+    /// included.
+    #[test]
+    fn group_targets_ranked_lookup_matches_naive_expansion(
+        first in 0u32..=1000,
+        stride in 0u32..=64,
+        len in 0u32..=64,
+        raw in prop::collection::vec(0u32..=10_000, 0..32),
+    ) {
+        let strided = GroupTargets::Strided {
+            first: ComponentId::from_index(first),
+            stride,
+            len,
+        };
+        prop_assert_eq!(strided.len(), len);
+        prop_assert_eq!(strided.is_empty(), len == 0);
+        for rank in 0..len {
+            prop_assert_eq!(
+                strided.get(rank),
+                ComponentId::from_index(first + stride * rank)
+            );
+        }
+
+        let ids: Vec<ComponentId> = raw.iter().map(|&i| ComponentId::from_index(i)).collect();
+        let list = GroupTargets::List(ids.clone().into());
+        prop_assert_eq!(list.len() as usize, ids.len());
+        prop_assert_eq!(list.is_empty(), ids.is_empty());
+        for (rank, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(list.get(rank as u32), id, "rank {rank}");
+        }
     }
 
     /// Killing a job at an arbitrary instant always terminates the cluster
