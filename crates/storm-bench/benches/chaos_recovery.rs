@@ -71,7 +71,7 @@ fn run_one(seed: u64, policy: FailurePolicy) -> PolicyRow {
         let start = match *ev {
             FaultEvent::Crash { at, .. } => at,
             FaultEvent::Stall { from, .. } => from,
-            FaultEvent::Rejoin { .. } => continue,
+            FaultEvent::Rejoin { .. } | FaultEvent::MmCrash { .. } => continue,
         };
         let node = ev.node();
         let Some(&(_, detected)) = w.stats.failures_detected.iter().find(|&&(n, _)| n == node)

@@ -51,25 +51,52 @@ impl Cluster {
             }
             pls.push(node_pls);
         }
+        // Standby MM replicas are appended *after* every NM and PL so that a
+        // standby-free cluster's component ids are untouched — one of the two
+        // levers behind the byte-identity guarantee for fault-free runs.
+        let mut mms = vec![mm];
+        for rank in 1..=cfg.mm_standbys {
+            mms.push(sim.add_component(MachineManager::standby(rank)));
+        }
         {
             let w = sim.world_mut();
             w.wiring.mm = Some(mm);
+            w.wiring.mms = mms.clone();
             w.wiring.nms = nms;
             w.wiring.pls = pls;
+            if cfg.mm_standbys > 0 {
+                // Allocate the epoch fence variable eagerly so the promotion
+                // path never has to mutate the memory layout mid-run.
+                w.mm_epoch_var = Some(w.mech.memory.alloc_var(0));
+            }
         }
-        // Fault detection needs the MM heartbeat loop running from t = 0.
+        // Fault detection needs the MM heartbeat loop running from t = 0,
+        // and every standby's watchdog armed alongside it.
         if cfg.fault_detection {
             sim.post(SimTime::ZERO, mm, Msg::Tick);
+            for &standby in &mms[1..] {
+                sim.post(SimTime::ZERO, standby, Msg::MmWatchdog);
+            }
         }
         // Post the fault schedule's timed events (the probabilistic faults
         // were installed in the mechanism layer by `World::new`).
         for ev in &cfg.faults.events {
-            let nm = sim.world().wiring.nms[ev.node() as usize];
             match *ev {
-                FaultEvent::Crash { at, .. } => sim.post(at, nm, Msg::FailNode),
-                FaultEvent::Rejoin { at, .. } => sim.post(at, nm, Msg::RejoinNode),
-                FaultEvent::Stall { from, until, .. } => {
-                    sim.post(from, nm, Msg::StallNode { until })
+                FaultEvent::Crash { at, node } => {
+                    let nm = sim.world().wiring.nms[node as usize];
+                    sim.post(at, nm, Msg::FailNode);
+                }
+                FaultEvent::Rejoin { at, node } => {
+                    let nm = sim.world().wiring.nms[node as usize];
+                    sim.post(at, nm, Msg::RejoinNode);
+                }
+                FaultEvent::Stall { from, until, node } => {
+                    let nm = sim.world().wiring.nms[node as usize];
+                    sim.post(from, nm, Msg::StallNode { until });
+                }
+                FaultEvent::MmCrash { at, rank } => {
+                    let target = sim.world().wiring.mms[rank as usize];
+                    sim.post(at, target, Msg::MmFail);
                 }
             }
         }
@@ -178,6 +205,21 @@ impl Cluster {
     pub fn stall_node(&mut self, node: u32, from: SimTime, until: SimTime) {
         let nm = self.nm_of(node);
         self.sim.post(from, nm, Msg::StallNode { until });
+    }
+
+    /// Kill an MM replica at `at`. Rank 0 is the primary; killing the
+    /// currently active replica triggers the regroup protocol (standby
+    /// watchdogs detect the silence, the lowest surviving rank promotes
+    /// itself and fences the old epoch off the cluster).
+    pub fn fail_mm_at(&mut self, at: SimTime, rank: u32) {
+        let mms = &self.sim.world().wiring.mms;
+        assert!(
+            (rank as usize) < mms.len(),
+            "MM rank {rank} out of range ({} replicas)",
+            mms.len()
+        );
+        let target = mms[rank as usize];
+        self.sim.post(at, target, Msg::MmFail);
     }
 
     /// Run until all submitted jobs are terminal and the event queue

@@ -148,6 +148,13 @@ pub struct ClusterConfig {
     pub faults: FaultSchedule,
     /// What the MM does with jobs lost to a detected node failure.
     pub failure_policy: FailurePolicy,
+    /// Number of standby MM replicas (0 = the classic single-MM cluster).
+    /// Standbys mirror the active MM's scheduling state via a decision log
+    /// plus periodic checkpoints, and the lowest surviving rank promotes
+    /// itself when the active MM's beats stop. A fault-free run with
+    /// standbys configured is byte-identical (trace, stats, jobs) to a
+    /// standby-free run.
+    pub mm_standbys: u32,
     /// Deliver MM fan-outs (strobes, heartbeats, launch commands, fragment
     /// notifications) as single group-delivery events expanded lazily by
     /// the engine, instead of one queue entry per destination NM. Both
@@ -219,6 +226,7 @@ impl ClusterConfig {
             heartbeat_every: 8,
             faults: FaultSchedule::default(),
             failure_policy: FailurePolicy::default(),
+            mm_standbys: 0,
             group_delivery: true,
             telemetry: false,
             queue_backend: None,
@@ -291,6 +299,12 @@ impl ClusterConfig {
     /// Builder: failure-recovery policy.
     pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
         self.failure_policy = policy;
+        self
+    }
+
+    /// Builder: configure `n` standby MM replicas.
+    pub fn with_mm_standbys(mut self, n: u32) -> Self {
+        self.mm_standbys = n;
         self
     }
 
@@ -389,7 +403,7 @@ impl ClusterConfig {
         if self.heartbeat_every == 0 {
             return Err("heartbeat_every must be ≥ 1".into());
         }
-        self.faults.validate(self.nodes)?;
+        self.faults.validate(self.nodes, self.mm_standbys + 1)?;
         self.load.validate()?;
         Ok(())
     }

@@ -58,15 +58,26 @@ pub enum FaultEvent {
         /// Stall end (processing resumes).
         until: SimTime,
     },
+    /// An MM replica dies at `at`. Killing the active replica triggers the
+    /// regroup protocol: standbys detect the missing beats and the lowest
+    /// surviving rank promotes itself in a new epoch.
+    MmCrash {
+        /// Injection instant.
+        at: SimTime,
+        /// Victim MM replica rank (0 = primary).
+        rank: u32,
+    },
 }
 
 impl FaultEvent {
-    /// The node this event targets.
+    /// The node this event targets. For [`FaultEvent::MmCrash`] this is the
+    /// MM replica *rank*, not a cluster node.
     pub fn node(&self) -> u32 {
         match *self {
             FaultEvent::Crash { node, .. }
             | FaultEvent::Rejoin { node, .. }
             | FaultEvent::Stall { node, .. } => node,
+            FaultEvent::MmCrash { rank, .. } => rank,
         }
     }
 }
@@ -119,6 +130,12 @@ impl FaultSchedule {
         self
     }
 
+    /// Schedule an MM replica crash (rank 0 kills the active primary).
+    pub fn mm_crash(mut self, at: SimTime, rank: u32) -> Self {
+        self.events.push(FaultEvent::MmCrash { at, rank });
+        self
+    }
+
     /// Steady-state XFER-AND-SIGNAL error probability.
     pub fn with_xfer_errors(mut self, prob: f64) -> Self {
         self.xfer_error_prob = prob;
@@ -152,8 +169,9 @@ impl FaultSchedule {
             && self.heartbeat_drop_prob == 0.0
     }
 
-    /// Validate against a cluster of `nodes` nodes.
-    pub fn validate(&self, nodes: u32) -> Result<(), String> {
+    /// Validate against a cluster of `nodes` nodes running `mm_replicas`
+    /// MM replicas (standbys + 1).
+    pub fn validate(&self, nodes: u32, mm_replicas: u32) -> Result<(), String> {
         let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
         if !prob_ok(self.xfer_error_prob) {
             return Err(format!(
@@ -182,8 +200,19 @@ impl FaultSchedule {
             }
         }
         for ev in &self.events {
-            if ev.node() >= nodes {
-                return Err(format!("fault event targets node {} of {nodes}", ev.node()));
+            match *ev {
+                FaultEvent::MmCrash { rank, .. } => {
+                    if rank >= mm_replicas {
+                        return Err(format!(
+                            "MM crash targets rank {rank} of {mm_replicas} replicas"
+                        ));
+                    }
+                }
+                _ => {
+                    if ev.node() >= nodes {
+                        return Err(format!("fault event targets node {} of {nodes}", ev.node()));
+                    }
+                }
             }
             if let FaultEvent::Stall { from, until, .. } = ev {
                 if from >= until {
@@ -293,40 +322,40 @@ mod tests {
         assert_eq!(s.events.len(), 3);
         assert_eq!(s.bursts.len(), 1);
         assert!(!s.is_empty());
-        assert!(s.validate(64).is_ok());
+        assert!(s.validate(64, 1).is_ok());
     }
 
     #[test]
     fn empty_schedule_is_empty() {
         assert!(FaultSchedule::new().is_empty());
-        assert!(FaultSchedule::default().validate(1).is_ok());
+        assert!(FaultSchedule::default().validate(1, 1).is_ok());
     }
 
     #[test]
     fn validation_catches_bad_probabilities_and_windows() {
         assert!(FaultSchedule::new()
             .with_xfer_errors(1.5)
-            .validate(4)
+            .validate(4, 1)
             .is_err());
         assert!(FaultSchedule::new()
             .with_caw_drops(-0.1)
-            .validate(4)
+            .validate(4, 1)
             .is_err());
         assert!(FaultSchedule::new()
             .with_heartbeat_drops(2.0)
-            .validate(4)
+            .validate(4, 1)
             .is_err());
         assert!(FaultSchedule::new()
             .with_burst(SimTime::from_millis(5), SimTime::from_millis(5), 0.1)
-            .validate(4)
+            .validate(4, 1)
             .is_err());
         assert!(FaultSchedule::new()
             .stall(0, SimTime::from_millis(9), SimTime::from_millis(3))
-            .validate(4)
+            .validate(4, 1)
             .is_err());
         assert!(FaultSchedule::new()
             .crash(SimTime::ZERO, 9)
-            .validate(4)
+            .validate(4, 1)
             .is_err());
     }
 
@@ -335,7 +364,7 @@ mod tests {
         let a = FaultSchedule::randomized(7, 64, SimSpan::from_secs(1));
         let b = FaultSchedule::randomized(7, 64, SimSpan::from_secs(1));
         assert_eq!(a, b, "same seed, same schedule");
-        assert!(a.validate(64).is_ok());
+        assert!(a.validate(64, 1).is_ok());
         assert!(!a.events.is_empty(), "always at least one crash");
         let c = FaultSchedule::randomized(8, 64, SimSpan::from_secs(1));
         assert_ne!(a, c, "different seeds diverge");

@@ -260,6 +260,12 @@ pub struct JobRecord {
     pub start_reports: u32,
     /// Nodes whose "all local ranks exited" report has arrived.
     pub done_reports: u32,
+    /// Nodes that already contributed a Started report this attempt
+    /// (exactly-once counting: after an MM failover the resync protocol
+    /// makes nodes re-announce, and duplicates must not double-count).
+    pub reported_started: Vec<u32>,
+    /// Nodes that already contributed a Done report this attempt.
+    pub reported_done: Vec<u32>,
     /// When the final flow-control COMPARE-AND-WRITE confirmed all
     /// fragments written everywhere (the MM records `transfer_done` at the
     /// following collection boundary).
@@ -288,6 +294,8 @@ impl JobRecord {
             transfer: TransferState::default(),
             start_reports: 0,
             done_reports: 0,
+            reported_started: Vec::new(),
+            reported_done: Vec::new(),
             transfer_confirmed: None,
             app_done_max: None,
             attempt: 0,
@@ -314,6 +322,8 @@ impl JobRecord {
         self.transfer = TransferState::default();
         self.start_reports = 0;
         self.done_reports = 0;
+        self.reported_started.clear();
+        self.reported_done.clear();
         self.transfer_confirmed = None;
         self.app_done_max = None;
         self.attempt += 1;

@@ -68,6 +68,7 @@ pub mod msg;
 pub mod nm;
 pub mod pl;
 pub mod policy;
+pub mod replica;
 pub mod world;
 
 pub use buddy::BuddyAllocator;
@@ -76,6 +77,7 @@ pub use config::{ClusterConfig, DaemonCosts, SchedulerKind};
 pub use fault::{FailurePolicy, FaultEvent, FaultSchedule};
 pub use job::{JobId, JobMetrics, JobSpec, JobState};
 pub use matrix::GangMatrix;
+pub use replica::{Decision, MmCoreState, MmRole, ReplStats, ReplicaState};
 pub use world::{ClusterStats, World};
 
 /// The telemetry crate, re-exported so consumers need no direct dependency.
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use crate::config::{ClusterConfig, DaemonCosts, SchedulerKind};
     pub use crate::fault::{FailurePolicy, FaultEvent, FaultSchedule};
     pub use crate::job::{JobId, JobMetrics, JobSpec, JobState};
+    pub use crate::replica::{Decision, MmCoreState, MmRole, ReplStats, ReplicaState};
     pub use crate::world::ClusterStats;
     pub use storm_apps::AppSpec;
     pub use storm_fs::FsKind;

@@ -20,6 +20,7 @@ use crate::fault::FailurePolicy;
 use crate::job::{Allocation, JobId, JobState};
 use crate::msg::{Msg, ReportKind};
 use crate::policy::{self, QueuedJob, RunningJob};
+use crate::replica::{Decision, MmRole};
 use crate::world::{IdleLeap, World};
 use std::collections::HashSet;
 use storm_mech::{CmpOp, NodeId, NodeSet};
@@ -29,6 +30,17 @@ use storm_telemetry::{JobSpan, Phase};
 /// Size of a control multicast (strobe, launch command, heartbeat) in
 /// bytes.
 const CONTROL_MSG_BYTES: u64 = 64;
+
+/// Size of a shipped decision-log record in bytes.
+const REPL_MSG_BYTES: u64 = 128;
+
+/// Size of a shipped full checkpoint in bytes.
+const REPL_CKPT_BYTES: u64 = 4096;
+
+/// Hard cap on a single requeue backoff delay: extreme
+/// `max_retries × backoff` configurations saturate here instead of
+/// overflowing or parking a retry past any plausible horizon.
+const MAX_REQUEUE_DELAY: SimSpan = SimSpan::from_secs(60);
 
 /// The Machine Manager dæmon.
 #[derive(Debug, Default)]
@@ -43,12 +55,33 @@ pub struct MachineManager {
     last_tick_at: Option<SimTime>,
     /// Nodes whose failure has been detected by the heartbeat protocol.
     detected_failed: HashSet<u32>,
+    /// This replica's rank (0 = the primary).
+    rank: u32,
+    /// Current role: the primary starts Active, the rest Standby.
+    role: MmRole,
+    /// The epoch this replica believes is current. Bumped on promotion and
+    /// fenced into every node's global memory so stale-epoch multicasts
+    /// are rejected.
+    epoch: u64,
+    /// When this standby last heard a liveness beat from the active MM.
+    last_beat_seen: Option<SimTime>,
+    /// Liveness beats this replica has sent while active.
+    beats_sent: u64,
 }
 
 impl MachineManager {
-    /// A fresh MM.
+    /// A fresh (primary, active) MM.
     pub fn new() -> Self {
         MachineManager::default()
+    }
+
+    /// A standby replica with the given rank (≥ 1).
+    pub fn standby(rank: u32) -> Self {
+        MachineManager {
+            rank,
+            role: MmRole::Standby,
+            ..MachineManager::default()
+        }
     }
 
     /// Ticks issued so far.
@@ -185,6 +218,360 @@ impl MachineManager {
         }
     }
 
+    // ------------------------------------------------------- replication —
+
+    /// The component ids of every *live* standby other than this replica.
+    fn live_standbys(&self, ctx: &Context<'_, World, Msg>) -> Vec<storm_sim::ComponentId> {
+        let w = ctx.world_ref();
+        (0..w.mm_roles.len())
+            .filter(|&r| {
+                r as u32 != self.rank && w.mm_roles[r] == MmRole::Standby && !w.mm_failed[r]
+            })
+            .map(|r| w.wiring.mms[r])
+            .collect()
+    }
+
+    /// Record one scheduling decision in the active MM's replicated state
+    /// and ship it (in sequence order, at a fixed point-to-point latency,
+    /// so standbys receive the log in the order it was written) to every
+    /// live standby. A no-op without standbys: replication draws no RNG,
+    /// writes no trace, and touches no `ClusterStats`, which is what keeps
+    /// a fault-free standby run byte-identical to a standby-free run.
+    fn log_decision(&mut self, ctx: &mut Context<'_, World, Msg>, d: Decision) {
+        if !ctx.world_ref().repl_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        let seq = ctx.world_ref().mm_core.log_len;
+        ctx.world().mm_core.apply(&d);
+        ctx.world().repl.log_records += 1;
+        let lat = ctx.world_ref().qsnet.ptp_span(REPL_MSG_BYTES);
+        for target in self.live_standbys(ctx) {
+            ctx.send_at(
+                target,
+                now + lat,
+                Msg::ReplLog {
+                    epoch: self.epoch,
+                    seq,
+                    decision: d.clone(),
+                },
+            );
+        }
+    }
+
+    /// Ship a liveness beat — and, every fourth round, a full checkpoint —
+    /// to every live standby. Runs at the end of each heartbeat round, so
+    /// beats share the round cadence the standby watchdogs are armed on.
+    fn ship_beats(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        if !ctx.world_ref().repl_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        ctx.world().mm_core.ticks = self.ticks;
+        self.beats_sent += 1;
+        let ship_ckpt = self.beats_sent % 4 == 1;
+        let beat_lat = ctx.world_ref().qsnet.ptp_span(CONTROL_MSG_BYTES);
+        let ckpt_lat = ctx.world_ref().qsnet.ptp_span(REPL_CKPT_BYTES);
+        let (epoch, ticks, log_len) = (self.epoch, self.ticks, ctx.world_ref().mm_core.log_len);
+        let targets = self.live_standbys(ctx);
+        if targets.is_empty() {
+            return;
+        }
+        ctx.world().repl.beats += 1;
+        if ship_ckpt {
+            ctx.world().repl.checkpoints += 1;
+        }
+        for target in targets {
+            ctx.send_at(
+                target,
+                now + beat_lat,
+                Msg::MmBeat {
+                    epoch,
+                    ticks,
+                    log_len,
+                },
+            );
+            if ship_ckpt {
+                let state = Box::new(ctx.world_ref().mm_core.clone());
+                ctx.send_at(target, now + ckpt_lat, Msg::ReplCheckpoint { epoch, state });
+            }
+        }
+    }
+
+    /// This replica dies: mark it failed in the shared membership record
+    /// and stop participating (see `handle_failed` for what a dead MM
+    /// still trampolines).
+    fn die(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        self.role = MmRole::Failed;
+        let r = self.rank as usize;
+        let w = ctx.world();
+        w.mm_failed[r] = true;
+        w.mm_failed_at[r] = Some(now);
+        if r < w.mm_roles.len() {
+            w.mm_roles[r] = MmRole::Failed;
+        }
+        w.metric_inc("mm.replica_failures");
+        ctx.trace("mm.replica_failed", || format!("rank {}", self.rank));
+    }
+
+    /// Standby watchdog: fires every heartbeat period. If the active MM's
+    /// beats have been silent for more than one full period, the active is
+    /// presumed dead; the deterministic successor — the lowest surviving
+    /// rank — promotes itself. Every other standby keeps watching.
+    fn watchdog(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let (beat_period, detection) = {
+            let w = ctx.world_ref();
+            (
+                w.cfg.collect_period() * u64::from(w.cfg.heartbeat_every),
+                w.cfg.fault_detection,
+            )
+        };
+        if !detection {
+            return;
+        }
+        let now = ctx.now();
+        let last = self.last_beat_seen.unwrap_or(SimTime::ZERO);
+        let silent = now.since(last) > beat_period;
+        let successor = {
+            let w = ctx.world_ref();
+            (0..w.mm_failed.len())
+                .find(|&r| !w.mm_failed[r])
+                .map(|r| r as u32)
+        };
+        if silent && successor == Some(self.rank) {
+            self.promote(ctx);
+            return; // the active MM runs no watchdog
+        }
+        ctx.send_self(beat_period, Msg::MmWatchdog);
+    }
+
+    /// Regroup: this standby becomes the active MM in a new epoch. The
+    /// epoch is fenced into every node's global memory with a single
+    /// COMPARE-AND-WRITE, so multicasts from the dead epoch are rejected;
+    /// jobs mid-transfer are requeued (their pipeline events died with the
+    /// old MM), armed requeue timers are re-posted, a Resync multicast
+    /// makes every node re-announce its local job status, and the tick
+    /// chain is realigned to the collect-period boundaries so the
+    /// heartbeat-round cadence continues exactly where the old MM left it.
+    fn promote(&mut self, ctx: &mut Context<'_, World, Msg>) {
+        let now = ctx.now();
+        let self_id = ctx.self_id();
+        let old_active = ctx.world_ref().mm_active_rank as usize;
+        let epoch = ctx.world_ref().mm_epoch + 1;
+        self.epoch = epoch;
+        self.role = MmRole::Active;
+        self.beats_sent = 0;
+        let adopted = ctx.world_ref().mm_replicas[self.rank as usize]
+            .state
+            .clone();
+        {
+            let w = ctx.world();
+            w.mm_epoch = epoch;
+            w.mm_active_rank = self.rank;
+            w.mm_roles[self.rank as usize] = MmRole::Active;
+            w.wiring.mm = Some(self_id);
+            w.mm_core = adopted;
+            w.repl.promotions += 1;
+            w.repl.failovers.push((self.rank, now));
+        }
+        // The quarantine set in shared memory is ground truth for the
+        // allocator; adopt it (the repl_consistency oracle separately
+        // verifies the replicated mirror agrees).
+        self.detected_failed = {
+            let w = ctx.world_ref();
+            (0..w.cfg.nodes)
+                .filter(|&n| w.quarantined[n as usize])
+                .collect()
+        };
+        // Epoch fence: one CAW writes the new epoch into every node's
+        // memory (condition `old ≥ 0` always holds — the write is the
+        // point). Deterministic: the non-faulty primitive draws no RNG.
+        let (nodes, load) = {
+            let w = ctx.world_ref();
+            (w.cfg.nodes, w.cfg.load)
+        };
+        let var = ctx
+            .world_ref()
+            .mm_epoch_var
+            .expect("epoch var allocated when standbys are configured");
+        let fence = ctx.world().mech.compare_and_write(
+            now,
+            &NodeSet::All(nodes),
+            var,
+            CmpOp::Ge,
+            0,
+            Some((var, i64::try_from(epoch).expect("epoch fits"))),
+            load,
+        );
+        {
+            let w = ctx.world();
+            if let Some(at) = w.mm_failed_at[old_active] {
+                w.telemetry
+                    .metrics
+                    .observe_span("failover.detection_latency_us", now.since(at));
+                w.telemetry
+                    .metrics
+                    .observe_span("failover.promotion_latency_us", fence.complete.since(at));
+            }
+            w.telemetry
+                .metrics
+                .set_gauge("mm.epoch", i64::try_from(epoch).expect("epoch fits"));
+            w.metric_inc("mm.promotions");
+        }
+        ctx.trace("mm.promoted", || {
+            format!("rank {} epoch {epoch}", self.rank)
+        });
+        // The old MM's parked fast-forward tick died with it: replay any
+        // settled arithmetic and disarm.
+        ctx.world().settle_leap_through(now);
+        ctx.world().leap = None;
+        // Jobs mid-transfer lost their pipeline (ReadDone/BcastFreed/
+        // FlowPoll targeted the dead component): requeue them. The attempt
+        // bump kills the ghost pipeline; a failover burns one retry.
+        let backoff = match ctx.world_ref().cfg.failure_policy {
+            FailurePolicy::Requeue { backoff, .. } => backoff,
+            _ => SimSpan::from_millis(5),
+        };
+        let transferring: Vec<JobId> = ctx
+            .world_ref()
+            .jobs
+            .iter()
+            .filter(|r| r.state == JobState::Transferring)
+            .map(|r| r.id)
+            .collect();
+        for job in transferring {
+            self.requeue_job(job, now, backoff, ctx);
+        }
+        // Armed requeue timers were self-messages on the dead MM: re-post
+        // them here (the admission handler deduplicates).
+        let pending: Vec<(JobId, SimTime)> = ctx.world_ref().requeue_pending.clone();
+        for (job, at) in pending {
+            ctx.send_self_at(at.max(now), Msg::RequeueJob(job));
+        }
+        // Resync: every node clears its buffered reports and re-announces
+        // the status of each live local job incarnation — reports that
+        // died buffered in (or in flight to) the old MM are thereby
+        // re-collected; per-node exactly-once counting absorbs duplicates.
+        let lat = ctx.world_ref().qsnet.ptp_span(CONTROL_MSG_BYTES);
+        self.fan_out(
+            ctx,
+            &NodeSet::All(nodes),
+            now + lat,
+            GroupSchedule::Simultaneous,
+            Msg::Resync { epoch },
+        );
+        // Bring the surviving standbys up to this replica's state at once.
+        let ckpt_lat = ctx.world_ref().qsnet.ptp_span(REPL_CKPT_BYTES);
+        for target in self.live_standbys(ctx) {
+            let state = Box::new(ctx.world_ref().mm_core.clone());
+            ctx.send_at(target, now + ckpt_lat, Msg::ReplCheckpoint { epoch, state });
+        }
+        // Realign the tick chain: the next tick fires at the next
+        // collect-period boundary with the tick number an unbroken chain
+        // would have there, so quantum rotation and heartbeat rounds keep
+        // their absolute cadence across the failover.
+        let period = ctx.world_ref().cfg.collect_period();
+        let next = now.next_boundary(period);
+        self.ticks = next.boundaries_since(SimTime::ZERO, period);
+        self.last_tick_at = None;
+        self.tick_scheduled = false;
+        self.collect_scheduled = false;
+        ctx.send_self_at(next, Msg::Tick);
+        self.tick_scheduled = true;
+    }
+
+    /// Standby-role message handling: apply the replication stream, watch
+    /// for the active MM's death. Anything else is stale traffic from a
+    /// previous role and is dropped.
+    fn handle_standby(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+        match msg {
+            Msg::MmBeat { epoch, ticks, .. } => {
+                if epoch < self.epoch {
+                    return;
+                }
+                self.epoch = epoch;
+                self.last_beat_seen = Some(ctx.now());
+                let r = &mut ctx.world().mm_replicas[self.rank as usize];
+                r.state.ticks = r.state.ticks.max(ticks);
+            }
+            Msg::ReplLog { seq, decision, .. } => {
+                // Sequence contiguity, not epoch, is the apply criterion:
+                // a promoted successor continues the same log.
+                let w = ctx.world();
+                let r = &mut w.mm_replicas[self.rank as usize];
+                match seq.cmp(&r.applied) {
+                    std::cmp::Ordering::Equal => {
+                        r.state.apply(&decision);
+                        r.applied += 1;
+                    }
+                    std::cmp::Ordering::Greater => w.repl.log_gaps += 1,
+                    std::cmp::Ordering::Less => {} // duplicate
+                }
+            }
+            Msg::ReplCheckpoint { epoch, state } => {
+                if epoch < self.epoch {
+                    return;
+                }
+                self.epoch = epoch;
+                let r = &mut ctx.world().mm_replicas[self.rank as usize];
+                if state.log_len >= r.applied {
+                    r.applied = state.log_len;
+                    r.state = *state;
+                }
+            }
+            Msg::MmWatchdog => self.watchdog(ctx),
+            Msg::MmFail => self.die(ctx),
+            // Submissions landing on a standby are trampolined to the
+            // active MM (a client may address any replica).
+            Msg::Submit(_) | Msg::Kill(_) => {
+                let target = ctx.world_ref().wiring.mm.expect("MM wired");
+                if target != ctx.self_id() {
+                    let now = ctx.now();
+                    ctx.send_at(target, now, msg);
+                }
+            }
+            _ => {} // stale traffic from a previous role; drop
+        }
+    }
+
+    /// Failed-role message handling: a dead MM drops everything, except
+    /// that client-facing submissions are trampolined to the current
+    /// active MM (or re-posted until a successor exists).
+    fn handle_failed(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+        match msg {
+            Msg::Submit(_) | Msg::Kill(_) => {
+                let target = ctx.world_ref().wiring.mm;
+                match target {
+                    Some(mm) if mm != ctx.self_id() => {
+                        let now = ctx.now();
+                        ctx.send_at(mm, now, msg);
+                    }
+                    _ => {
+                        // Still the registered active (no successor yet):
+                        // hold the message unless every replica is dead.
+                        if ctx.world_ref().mm_failed.iter().all(|&f| f) {
+                            return;
+                        }
+                        let period = ctx.world_ref().cfg.collect_period();
+                        ctx.send_self(period, msg);
+                    }
+                }
+            }
+            _ => {} // dead: drop ticks, reports, timers, replication
+        }
+    }
+
+    /// Linear backoff with saturating arithmetic, capped at
+    /// [`MAX_REQUEUE_DELAY`]: extreme `max_retries`/`backoff`
+    /// configurations can neither overflow `u64` nanoseconds nor stall
+    /// the queue behind an astronomically distant timer.
+    fn requeue_delay(backoff: SimSpan, retry_no: u32) -> SimSpan {
+        backoff
+            .saturating_mul(u64::from(retry_no))
+            .min(MAX_REQUEUE_DELAY)
+    }
+
     // ------------------------------------------------------------ policy —
 
     fn run_policy(&mut self, ctx: &mut Context<'_, World, Msg>) {
@@ -282,6 +669,13 @@ impl MachineManager {
         ctx.trace("mm.transfer_start", || {
             format!("{job}: {binary} B in {total_chunks} chunks")
         });
+        self.log_decision(
+            ctx,
+            Decision::Place {
+                job,
+                slot: u32::try_from(slot).expect("slot index"),
+            },
+        );
         self.try_start_read(job, ctx);
     }
 
@@ -569,6 +963,7 @@ impl MachineManager {
             }
             ctx.trace("mm.launch_cmd", || format!("{job}"));
             let attempt = ctx.world_ref().job(job).attempt;
+            self.log_decision(ctx, Decision::Launch { job, attempt });
             // Launch commands arrive with the network's per-rank skew
             // (simultaneous on hardware multicast, staggered down the
             // emulation tree).
@@ -635,12 +1030,18 @@ impl MachineManager {
         // whole strobe multicast has completed, not at its own arrival.
         let arrival = fan.all_arrived();
         let slot = u32::try_from(next).expect("slot index");
+        if next != current {
+            self.log_decision(ctx, Decision::Slot { slot });
+        }
         self.fan_out(
             ctx,
             &set,
             arrival,
             GroupSchedule::Simultaneous,
-            Msg::Strobe { slot },
+            Msg::Strobe {
+                slot,
+                epoch: self.epoch,
+            },
         );
     }
 
@@ -668,7 +1069,7 @@ impl MachineManager {
         // it back so its capacity is reused every collection instead of
         // reallocated from scratch.
         let mut reports = std::mem::take(&mut self.pending_reports);
-        for (_node, job, attempt, kind) in reports.drain(..) {
+        for (node, job, attempt, kind) in reports.drain(..) {
             {
                 let w = ctx.world();
                 w.stats.reports += 1;
@@ -680,26 +1081,39 @@ impl MachineManager {
             if ctx.world_ref().job(job).attempt != attempt {
                 continue; // report from a lost incarnation
             }
+            // Per-node exactly-once counting: after an MM failover the
+            // resync protocol makes every node re-announce its local
+            // status, so duplicates are expected and must not double-count.
             match kind {
                 ReportKind::Started => {
                     let node_count = ctx.world_ref().job(job).alloc().active_node_count();
                     let rec = ctx.world().job_mut(job);
-                    rec.start_reports += 1;
-                    if rec.start_reports == node_count {
+                    if !rec.reported_started.contains(&node) {
+                        rec.reported_started.push(node);
+                        rec.start_reports += 1;
+                    }
+                    if rec.state == JobState::Launching && rec.start_reports >= node_count {
                         rec.state = JobState::Running;
-                        rec.metrics.started = Some(now);
+                        if rec.metrics.started.is_none() {
+                            rec.metrics.started = Some(now);
+                        }
                     }
                 }
                 ReportKind::Done { app_done } => {
                     let node_count = ctx.world_ref().job(job).alloc().active_node_count();
                     let finished = {
                         let rec = ctx.world().job_mut(job);
-                        rec.done_reports += 1;
-                        rec.app_done_max = Some(match rec.app_done_max {
-                            Some(prev) => prev.max(app_done),
-                            None => app_done,
-                        });
-                        rec.done_reports == node_count
+                        if rec.reported_done.contains(&node) {
+                            false
+                        } else {
+                            rec.reported_done.push(node);
+                            rec.done_reports += 1;
+                            rec.app_done_max = Some(match rec.app_done_max {
+                                Some(prev) => prev.max(app_done),
+                                None => app_done,
+                            });
+                            rec.done_reports >= node_count
+                        }
                     };
                     if finished {
                         self.complete_job(job, now, JobState::Completed, ctx);
@@ -778,6 +1192,7 @@ impl MachineManager {
             });
         }
         ctx.trace("mm.job_done", || format!("{job} -> {state:?}"));
+        self.log_decision(ctx, Decision::Complete { job });
         // Freed space may unblock queued jobs.
         self.ensure_tick(ctx);
     }
@@ -815,6 +1230,7 @@ impl MachineManager {
                     w.stats.rejoins.push((node, now));
                     w.metric_inc("fault.rejoins");
                     ctx.trace("mm.node_rejoined", || format!("node {node}"));
+                    self.log_decision(ctx, Decision::Rejoin { node });
                     // Restored capacity may unblock queued jobs.
                     self.ensure_tick(ctx);
                 }
@@ -881,10 +1297,13 @@ impl MachineManager {
                             // Evict the victims first: quarantining requires
                             // the node's leaf to be free in every slot.
                             self.fail_jobs_on(node, now, ctx);
-                            let w = ctx.world();
-                            let ok = w.matrix.quarantine_node(node);
-                            debug_assert!(ok, "victim eviction must free the node");
-                            w.quarantined[node as usize] = true;
+                            {
+                                let w = ctx.world();
+                                let ok = w.matrix.quarantine_node(node);
+                                debug_assert!(ok, "victim eviction must free the node");
+                                w.quarantined[node as usize] = true;
+                            }
+                            self.log_decision(ctx, Decision::Quarantine { node });
                         }
                     }
                 }
@@ -920,19 +1339,26 @@ impl MachineManager {
                     .metrics
                     .observe_span("hb.round_latency_us", fan.all_arrived().since(now));
             }
+            self.log_decision(ctx, Decision::Round { round: new_round });
             let (base, schedule) = fan.delivery_schedule();
             self.fan_out(
                 ctx,
                 &set,
                 base,
                 schedule,
-                Msg::Heartbeat { round: new_round },
+                Msg::Heartbeat {
+                    round: new_round,
+                    epoch: self.epoch,
+                },
             );
         } else {
             let w = ctx.world();
             w.stats.xfer_retries += 1;
             w.metric_inc("fault.xfer_retries");
         }
+        // Replication plane: beats (and periodic checkpoints) ride the
+        // same round cadence the standby watchdogs are armed on.
+        self.ship_beats(ctx);
     }
 
     /// Apply the configured [`FailurePolicy`] to every live job whose
@@ -999,7 +1425,16 @@ impl MachineManager {
             w.job(job).retries
         };
         ctx.trace("mm.requeue", || format!("{job} retry {retry_no}"));
-        ctx.send_self_at(now + backoff * u64::from(retry_no), Msg::RequeueJob(job));
+        let fire_at = now + Self::requeue_delay(backoff, retry_no);
+        ctx.world().requeue_pending.push((job, fire_at));
+        self.log_decision(
+            ctx,
+            Decision::Requeue {
+                job,
+                retry: retry_no,
+            },
+        );
+        ctx.send_self_at(fire_at, Msg::RequeueJob(job));
     }
 
     /// Under [`FailurePolicy::Shrink`], re-size a job being re-admitted to
@@ -1031,6 +1466,21 @@ impl MachineManager {
 
 impl Component<World, Msg> for MachineManager {
     fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, World, Msg>) {
+        match self.role {
+            MmRole::Active => {}
+            MmRole::Standby => return self.handle_standby(msg, ctx),
+            MmRole::Failed => return self.handle_failed(msg, ctx),
+        }
+        // Active-role replication traffic: the injected kill, plus stale
+        // leftovers from this replica's time as a standby.
+        match msg {
+            Msg::MmFail => return self.die(ctx),
+            Msg::MmBeat { .. }
+            | Msg::MmWatchdog
+            | Msg::ReplLog { .. }
+            | Msg::ReplCheckpoint { .. } => return,
+            _ => {}
+        }
         match msg {
             Msg::Submit(job) => {
                 let now = ctx.now();
@@ -1044,6 +1494,7 @@ impl Component<World, Msg> for MachineManager {
                 w.queue.push_back(job);
                 w.metric_inc("jobs.submitted");
                 ctx.trace("mm.submit", || format!("{job}"));
+                self.log_decision(ctx, Decision::Submit { job });
                 self.ensure_tick(ctx);
             }
             Msg::Tick => {
@@ -1152,6 +1603,10 @@ impl Component<World, Msg> for MachineManager {
                 self.ensure_collect(ctx);
             }
             Msg::RequeueJob(job) => {
+                // Disarm the pending-timer record first: after a failover
+                // both the re-posted and any surviving original timer fire,
+                // and the admission guard below makes the second a no-op.
+                ctx.world().requeue_pending.retain(|&(j, _)| j != job);
                 {
                     let w = ctx.world_ref();
                     let rec = w.job(job);
@@ -1165,6 +1620,7 @@ impl Component<World, Msg> for MachineManager {
                 }
                 ctx.world().queue.push_back(job);
                 ctx.trace("mm.requeue_admitted", || format!("{job}"));
+                self.log_decision(ctx, Decision::Admit { job });
                 self.ensure_tick(ctx);
             }
             Msg::Kill(job) => {
@@ -1180,5 +1636,40 @@ impl Component<World, Msg> for MachineManager {
 
     fn name(&self) -> &str {
         "MM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requeue_delay_boundary_values() {
+        let b = SimSpan::from_millis(5);
+        // Retry 0 (shouldn't happen, but must be well-defined) and a normal case.
+        assert_eq!(MachineManager::requeue_delay(b, 0), SimSpan::ZERO);
+        assert_eq!(
+            MachineManager::requeue_delay(b, 3),
+            SimSpan::from_millis(15)
+        );
+        // Products that would overflow u64 nanoseconds saturate, then cap.
+        assert_eq!(
+            MachineManager::requeue_delay(SimSpan::MAX, u32::MAX),
+            MAX_REQUEUE_DELAY
+        );
+        assert_eq!(
+            MachineManager::requeue_delay(SimSpan::from_nanos(u64::MAX / 2 + 1), 2),
+            MAX_REQUEUE_DELAY
+        );
+        // Large but non-overflowing products still hit the ceiling.
+        assert_eq!(
+            MachineManager::requeue_delay(SimSpan::from_secs(30), 1000),
+            MAX_REQUEUE_DELAY
+        );
+        // The cap itself passes through unchanged.
+        assert_eq!(
+            MachineManager::requeue_delay(SimSpan::from_secs(60), 1),
+            MAX_REQUEUE_DELAY
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! its own ghost.
 
 use crate::job::JobId;
+use crate::replica::{Decision, MmCoreState};
 use storm_sim::SimTime;
 
 /// What a Node Manager reports to the Machine Manager (buffered locally and
@@ -120,11 +121,16 @@ pub enum Msg {
     Strobe {
         /// Newly active matrix time slot.
         slot: u32,
+        /// MM epoch the strobe was issued in; nodes drop strobes from a
+        /// fenced-off (stale) epoch.
+        epoch: u64,
     },
     /// Fault-detection heartbeat (round counter).
     Heartbeat {
         /// Monotonic round number.
         round: i64,
+        /// MM epoch the round was issued in; stale-epoch rounds are dropped.
+        epoch: u64,
     },
     /// A Program Launcher finished forking a rank.
     ForkDone {
@@ -157,6 +163,45 @@ pub enum Msg {
     /// Flush buffered reports to the MM (self-message at a collection
     /// boundary).
     FlushReports,
+    /// Post-failover resynchronisation: the newly promoted MM (epoch
+    /// `epoch`) asks every node to clear buffered reports and re-announce
+    /// the status of each locally known job incarnation.
+    Resync {
+        /// The promoting MM's epoch.
+        epoch: u64,
+    },
+
+    // ------------------------------------------------------- replication —
+    /// Active-MM liveness beat to a standby (replication plane).
+    MmBeat {
+        /// The sender's epoch.
+        epoch: u64,
+        /// The sender's scheduler tick counter at send time.
+        ticks: u64,
+        /// Length of the sender's decision log at send time.
+        log_len: u64,
+    },
+    /// Standby self-timer: check whether the active MM's beats stopped and
+    /// promote if this replica is the deterministic successor.
+    MmWatchdog,
+    /// Injected MM crash: this replica stops participating.
+    MmFail,
+    /// One replicated scheduling decision, shipped in sequence order.
+    ReplLog {
+        /// The sender's epoch.
+        epoch: u64,
+        /// Log sequence number of this record (0-based).
+        seq: u64,
+        /// The decision itself.
+        decision: Decision,
+    },
+    /// A full checkpoint of the active MM's private state.
+    ReplCheckpoint {
+        /// The sender's epoch.
+        epoch: u64,
+        /// The checkpointed state (boxed: it is by far the largest variant).
+        state: Box<MmCoreState>,
+    },
 
     // ---------------------------------------------------------------- PL —
     /// Fork one rank of this job.

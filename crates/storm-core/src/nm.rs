@@ -36,6 +36,9 @@ struct LocalJob {
     started_at: Option<SimTime>,
     cursor: WorkloadCursor,
     done: bool,
+    /// When the job finished locally; lets a post-failover resync re-report
+    /// the original completion time instead of the resync instant.
+    done_at: Option<SimTime>,
     /// Launch attempt this local state belongs to; stale entries (from an
     /// incarnation lost to a node failure) are ignored everywhere.
     attempt: u32,
@@ -100,6 +103,19 @@ impl NodeManager {
         match self.local.binary_search_by_key(&job, |&(j, _)| j) {
             Ok(pos) => self.local[pos].1 = state,
             Err(pos) => self.local.insert(pos, (job, state)),
+        }
+    }
+
+    /// True when a control message carries an epoch older than the one the
+    /// promoted MM fenced into this node's global memory. Without standbys
+    /// there is no fence variable and nothing is ever stale.
+    fn epoch_stale(&self, epoch: u64, ctx: &mut Context<'_, World, Msg>) -> bool {
+        match ctx.world_ref().mm_epoch_var {
+            Some(var) => {
+                let fenced = ctx.world_ref().mech.memory.read(self.node_id(), var);
+                (epoch as i64) < fenced
+            }
+            None => false,
         }
     }
 
@@ -199,7 +215,9 @@ impl NodeManager {
                 if local.cursor.finished(workload) {
                     local.done = true;
                     // The fair-share grant maps back onto wall time ×m.
-                    Some(from + used * m)
+                    let exit_at = from + used * m;
+                    local.done_at = Some(exit_at.min(now));
+                    Some(exit_at)
                 } else {
                     None
                 }
@@ -284,7 +302,9 @@ impl NodeManager {
                 let used = local.cursor.advance(workload, grant, comm);
                 if local.cursor.finished(workload) {
                     local.done = true;
-                    Some(from + overhead + used)
+                    let exit_at = from + overhead + used;
+                    local.done_at = Some(exit_at);
+                    Some(exit_at)
                 } else {
                     None
                 }
@@ -391,6 +411,7 @@ impl Component<World, Msg> for NodeManager {
                         started_at: None,
                         cursor: ctx.world_ref().job(job).workload.cursor(),
                         done: false,
+                        done_at: None,
                         attempt,
                     },
                 );
@@ -436,10 +457,14 @@ impl Component<World, Msg> for NodeManager {
                 local.exited += 1;
                 if local.exited == local.ranks && !local.done {
                     local.done = true;
+                    local.done_at = Some(now);
                     self.buffer_report(job, attempt, ReportKind::Done { app_done: now }, ctx);
                 }
             }
-            Msg::Strobe { slot } => {
+            Msg::Strobe { slot, epoch } => {
+                if self.epoch_stale(epoch, ctx) {
+                    return; // strobe from a deposed MM, fenced off
+                }
                 let now = ctx.now();
                 // NM strobe processing occupies the management CPU; quanta
                 // shorter than the service time melt the NM down (§3.2.1's
@@ -473,7 +498,10 @@ impl Component<World, Msg> for NodeManager {
                     self.switch_pending = switched;
                 }
             }
-            Msg::Heartbeat { round } => {
+            Msg::Heartbeat { round, epoch } => {
+                if self.epoch_stale(epoch, ctx) {
+                    return; // heartbeat from a deposed MM, fenced off
+                }
                 let node = self.node_id();
                 let drop_prob = ctx.world_ref().cfg.faults.heartbeat_drop_prob;
                 if drop_prob > 0.0 {
@@ -528,6 +556,33 @@ impl Component<World, Msg> for NodeManager {
                 }
                 reports.append(&mut self.pending_reports);
                 self.pending_reports = reports;
+            }
+            Msg::Resync { epoch } => {
+                if self.epoch_stale(epoch, ctx) {
+                    return;
+                }
+                let now = ctx.now();
+                // In-flight and buffered reports addressed to the dead MM may
+                // be lost; drop the buffer and re-announce the status of every
+                // live incarnation so the promoted MM's per-node exactly-once
+                // counters converge.
+                self.pending_reports.clear();
+                let mut announce = Vec::new();
+                for &(job, ref local) in &self.local {
+                    let rec = ctx.world_ref().job(job);
+                    if rec.state.is_terminal() || rec.attempt != local.attempt {
+                        continue;
+                    }
+                    if local.done {
+                        let app_done = local.done_at.unwrap_or(now);
+                        announce.push((job, local.attempt, ReportKind::Done { app_done }));
+                    } else if local.forked == local.ranks && local.started_at.is_some() {
+                        announce.push((job, local.attempt, ReportKind::Started));
+                    }
+                }
+                for (job, attempt, kind) in announce {
+                    self.buffer_report(job, attempt, kind, ctx);
+                }
             }
             Msg::FailNode => {
                 self.failed = true;

@@ -1,0 +1,278 @@
+//! MM replication: the state machine that standby Machine Managers mirror.
+//!
+//! The active MM drives the cluster through two kinds of state:
+//!
+//! * **Shared state** — the Ousterhout matrix, buddy tree, and global-memory
+//!   variables all live in the simulated *global memory* (the paper's
+//!   replicated-memory substrate), so any MM replica can read them the
+//!   instant it is promoted. They need no explicit shipping.
+//! * **Private state** — the job queue, heartbeat round, quarantine set,
+//!   active slot, and tick counter live inside the MM process. These are
+//!   captured here as [`MmCoreState`] and replicated to standbys as a
+//!   decision log ([`Decision`]) plus periodic full checkpoints.
+//!
+//! A standby applies log records strictly in sequence (`seq == applied`);
+//! anything else is a gap or a duplicate and is counted, not applied. A
+//! checkpoint replaces the standby's state wholesale when it is at least as
+//! new as what the standby has applied. The rolling FNV-1a digest over the
+//! encoded decision stream lets the `repl_consistency` oracle compare an
+//! up-to-date standby against the active mirror in O(1).
+
+use crate::job::JobId;
+use storm_sim::SimTime;
+
+/// Which role an MM replica currently plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MmRole {
+    /// The single MM that schedules, strobes, and heartbeats.
+    #[default]
+    Active,
+    /// A warm replica: applies the decision log, watches for beats.
+    Standby,
+    /// A dead replica: drops everything except submit trampolining.
+    Failed,
+}
+
+/// One replicated scheduling decision, shipped from the active MM to every
+/// live standby in sequence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// A job entered the queue for the first time.
+    Submit {
+        /// The submitted job.
+        job: JobId,
+    },
+    /// A job left the queue and was placed into a matrix slot.
+    Place {
+        /// The placed job.
+        job: JobId,
+        /// The timeslice slot it landed in.
+        slot: u32,
+    },
+    /// A previously requeued job was re-admitted to the queue.
+    Admit {
+        /// The re-admitted job.
+        job: JobId,
+    },
+    /// A launch broadcast went out for this attempt of the job.
+    Launch {
+        /// The launched job.
+        job: JobId,
+        /// The attempt (incarnation) number broadcast.
+        attempt: u32,
+    },
+    /// The job reached a terminal Completed state.
+    Complete {
+        /// The completed job.
+        job: JobId,
+    },
+    /// A retry timer was armed for the job.
+    Requeue {
+        /// The requeued job.
+        job: JobId,
+        /// Which retry this is (1-based).
+        retry: u32,
+    },
+    /// A node was declared failed and quarantined.
+    Quarantine {
+        /// The quarantined node.
+        node: u32,
+    },
+    /// A quarantined node rejoined the membership.
+    Rejoin {
+        /// The rejoined node.
+        node: u32,
+    },
+    /// The heartbeat round advanced.
+    Round {
+        /// The new round number.
+        round: i64,
+    },
+    /// The active timeslice slot rotated.
+    Slot {
+        /// The new active slot.
+        slot: u32,
+    },
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The MM-private scheduling state that replication must preserve across a
+/// failover. `PartialEq` + the rolling digest make divergence detection
+/// cheap for the DST oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmCoreState {
+    /// Scheduler ticks executed so far (mirrors `MachineManager::ticks`).
+    pub ticks: u64,
+    /// Last completed heartbeat round.
+    pub hb_round: i64,
+    /// Quarantined nodes, kept sorted for canonical comparison.
+    pub detected_failed: Vec<u32>,
+    /// Mirror of the job queue (pending, unplaced jobs) in order.
+    pub queue: Vec<JobId>,
+    /// Currently active timeslice slot.
+    pub active_slot: u32,
+    /// Number of decisions applied to this state.
+    pub log_len: u64,
+    /// Rolling FNV-1a digest over the encoded decision stream.
+    pub digest: u64,
+}
+
+impl Default for MmCoreState {
+    fn default() -> Self {
+        MmCoreState {
+            ticks: 0,
+            hb_round: 0,
+            detected_failed: Vec::new(),
+            queue: Vec::new(),
+            active_slot: 0,
+            log_len: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+}
+
+impl MmCoreState {
+    /// Apply one decision, updating the mirrored state, the log length, and
+    /// the rolling digest. Deterministic and side-effect free: the active MM
+    /// and every standby run the exact same function over the exact same
+    /// sequence, so equal `log_len` must imply equal `digest` and state.
+    pub fn apply(&mut self, d: &Decision) {
+        let (tag, a, b): (u8, u64, u64) = match *d {
+            Decision::Submit { job } => {
+                self.queue.push(job);
+                (1, u64::from(job.0), 0)
+            }
+            Decision::Place { job, slot } => {
+                self.queue.retain(|&j| j != job);
+                (2, u64::from(job.0), u64::from(slot))
+            }
+            Decision::Admit { job } => {
+                self.queue.push(job);
+                (3, u64::from(job.0), 0)
+            }
+            Decision::Launch { job, attempt } => (4, u64::from(job.0), u64::from(attempt)),
+            Decision::Complete { job } => {
+                // A killed job can be completed straight out of the queue.
+                self.queue.retain(|&j| j != job);
+                (5, u64::from(job.0), 0)
+            }
+            Decision::Requeue { job, retry } => {
+                self.queue.retain(|&j| j != job);
+                (6, u64::from(job.0), u64::from(retry))
+            }
+            Decision::Quarantine { node } => {
+                if let Err(pos) = self.detected_failed.binary_search(&node) {
+                    self.detected_failed.insert(pos, node);
+                }
+                (7, u64::from(node), 0)
+            }
+            Decision::Rejoin { node } => {
+                self.detected_failed.retain(|&n| n != node);
+                (8, u64::from(node), 0)
+            }
+            Decision::Round { round } => {
+                self.hb_round = round;
+                (9, round as u64, 0)
+            }
+            Decision::Slot { slot } => {
+                self.active_slot = slot;
+                (10, u64::from(slot), 0)
+            }
+        };
+        self.digest = fnv_step(self.digest, &[tag]);
+        self.digest = fnv_step(self.digest, &a.to_le_bytes());
+        self.digest = fnv_step(self.digest, &b.to_le_bytes());
+        self.log_len += 1;
+    }
+}
+
+/// A standby's view of the replicated state: how far through the decision
+/// log it has applied, and the resulting mirrored state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplicaState {
+    /// Next log sequence number this replica expects (== records applied).
+    pub applied: u64,
+    /// The mirrored MM-private state.
+    pub state: MmCoreState,
+}
+
+/// Replication-plane counters. Kept separate from [`crate::ClusterStats`] so
+/// that a standbys-configured, fault-free run stays *byte-identical* to a
+/// standby-free run in everything the determinism tests compare.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Decision-log records shipped by active MMs.
+    pub log_records: u64,
+    /// Full checkpoints shipped.
+    pub checkpoints: u64,
+    /// MM-to-standby liveness beats sent.
+    pub beats: u64,
+    /// Log records dropped by standbys because a gap preceded them.
+    pub log_gaps: u64,
+    /// Standby promotions performed.
+    pub promotions: u64,
+    /// `(rank, at)` for every promotion, in order.
+    pub failovers: Vec<(u32, SimTime)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_mirrors_queue_and_membership() {
+        let mut s = MmCoreState::default();
+        s.apply(&Decision::Submit { job: JobId(1) });
+        s.apply(&Decision::Submit { job: JobId(2) });
+        assert_eq!(s.queue, vec![JobId(1), JobId(2)]);
+        s.apply(&Decision::Place {
+            job: JobId(1),
+            slot: 0,
+        });
+        assert_eq!(s.queue, vec![JobId(2)]);
+        s.apply(&Decision::Quarantine { node: 7 });
+        s.apply(&Decision::Quarantine { node: 3 });
+        s.apply(&Decision::Quarantine { node: 7 });
+        assert_eq!(s.detected_failed, vec![3, 7]);
+        s.apply(&Decision::Rejoin { node: 3 });
+        assert_eq!(s.detected_failed, vec![7]);
+        s.apply(&Decision::Round { round: 5 });
+        assert_eq!(s.hb_round, 5);
+        assert_eq!(s.log_len, 8);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_deterministic() {
+        let seq = [
+            Decision::Submit { job: JobId(1) },
+            Decision::Place {
+                job: JobId(1),
+                slot: 2,
+            },
+        ];
+        let mut a = MmCoreState::default();
+        let mut b = MmCoreState::default();
+        for d in &seq {
+            a.apply(d);
+            b.apply(d);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.digest, b.digest);
+        let mut c = MmCoreState::default();
+        for d in seq.iter().rev() {
+            c.apply(d);
+        }
+        assert_ne!(a.digest, c.digest, "digest must see ordering");
+    }
+}

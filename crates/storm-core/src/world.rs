@@ -5,6 +5,7 @@
 use crate::config::ClusterConfig;
 use crate::job::{JobId, JobRecord};
 use crate::matrix::GangMatrix;
+use crate::replica::{MmCoreState, MmRole, ReplStats, ReplicaState};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use storm_mech::{Mechanisms, NodeSet};
@@ -15,8 +16,10 @@ use storm_telemetry::Telemetry;
 /// Component wiring: where each dæmon lives in the simulation.
 #[derive(Debug, Clone, Default)]
 pub struct Wiring {
-    /// The Machine Manager.
+    /// The *currently active* Machine Manager (repointed on failover).
     pub mm: Option<ComponentId>,
+    /// Every MM replica, indexed by rank; `mms[0]` is the primary.
+    pub mms: Vec<ComponentId>,
     /// One Node Manager per node.
     pub nms: Vec<ComponentId>,
     /// Program Launchers per node (`cpus_per_node × mpl_max` each).
@@ -126,6 +129,32 @@ pub struct World {
     pub hb_var: Option<storm_mech::VarId>,
     /// Current heartbeat round.
     pub hb_round: i64,
+    /// The active MM's authoritative mirror of its replicated private
+    /// state. Maintained only when standbys are configured.
+    pub mm_core: MmCoreState,
+    /// Per-rank standby replica state (entry 0, the primary, is unused).
+    pub mm_replicas: Vec<ReplicaState>,
+    /// Per-rank MM roles. Always length `mm_standbys + 1`.
+    pub mm_roles: Vec<MmRole>,
+    /// Per-rank MM failure flags (injected `MmFail`).
+    pub mm_failed: Vec<bool>,
+    /// When each MM replica's failure was injected.
+    pub mm_failed_at: Vec<Option<SimTime>>,
+    /// Rank of the currently active MM.
+    pub mm_active_rank: u32,
+    /// Current MM epoch; bumped (and CAW-fenced into every node's memory)
+    /// on each promotion.
+    pub mm_epoch: u64,
+    /// Global-memory variable holding the fenced epoch, when standbys are
+    /// configured.
+    pub mm_epoch_var: Option<storm_mech::VarId>,
+    /// Outstanding requeue timers `(job, fire_at)` — armed backoffs whose
+    /// `RequeueJob` has not yet been admitted. A promoted MM re-posts
+    /// these, because the dead MM's self-timers die with it.
+    pub requeue_pending: Vec<(JobId, SimTime)>,
+    /// Replication-plane counters (separate from [`ClusterStats`] so the
+    /// standby-free byte-identity contract holds).
+    pub repl: ReplStats,
     /// Component wiring.
     pub wiring: Wiring,
     /// Counters.
@@ -192,6 +221,22 @@ impl World {
             bcast_dev: Nic::new(),
             hb_var: None,
             hb_round: 0,
+            mm_core: MmCoreState::default(),
+            mm_replicas: (0..=cfg.mm_standbys)
+                .map(|_| ReplicaState::default())
+                .collect(),
+            mm_roles: {
+                let mut r = vec![MmRole::Active];
+                r.extend((0..cfg.mm_standbys).map(|_| MmRole::Standby));
+                r
+            },
+            mm_failed: vec![false; cfg.mm_standbys as usize + 1],
+            mm_failed_at: vec![None; cfg.mm_standbys as usize + 1],
+            mm_active_rank: 0,
+            mm_epoch: 0,
+            mm_epoch_var: None,
+            requeue_pending: Vec::new(),
+            repl: ReplStats::default(),
             wiring: Wiring::default(),
             stats: ClusterStats::default(),
             telemetry: Telemetry::new(cfg.telemetry),
@@ -249,6 +294,11 @@ impl World {
         } else {
             base
         }
+    }
+
+    /// Is MM replication configured (any standby replicas)?
+    pub fn repl_enabled(&self) -> bool {
+        self.cfg.mm_standbys > 0
     }
 
     /// Are all jobs terminal and the queue empty (cluster idle)?

@@ -11,7 +11,11 @@
 //! `explore` runs the bounded-exhaustive tier then a seeded swarm; on the
 //! first oracle violation it shrinks the failure and writes a
 //! `DST_repro_*.json` artifact, exiting 1. `replay` re-executes an
-//! artifact twice and verifies oracle, instant and digest. `selftest`
+//! artifact twice and verifies oracle, instant and digest; its exit code
+//! distinguishes the outcomes so CI can triage without parsing output:
+//! 10 = the artifact's oracle violation reproduced faithfully (the oracle
+//! name is printed), 11 = the artifact could not be read or parsed,
+//! 12 = the replay ran but diverged from the artifact. `selftest`
 //! seeds a deliberate violation, shrinks it, writes the artifact, replays
 //! it, and checks the repro is ≤ 10 events — the full pipeline in one
 //! command.
@@ -19,12 +23,21 @@
 use std::process::ExitCode;
 use storm_dst::prelude::*;
 
+/// `replay`: the artifact's violation reproduced faithfully.
+const EXIT_VIOLATION_REPRODUCED: u8 = 10;
+/// `replay`: the artifact could not be read or parsed.
+const EXIT_ARTIFACT_UNREADABLE: u8 = 11;
+/// `replay`: the replay executed but diverged from the artifact.
+const EXIT_REPLAY_DIVERGED: u8 = 12;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: storm-dst explore [--scenario NAME] [--amplitude A] [--prefix P] \
          [--seeds N] [--delay-us D] [--out DIR] [--backend heap|wheel]\n       \
-         storm-dst replay <DST_repro_*.json>\n       \
-         storm-dst selftest [--out DIR]"
+         storm-dst replay <DST_repro_*.json>  \
+         (exit 10: violation reproduced, 11: bad artifact, 12: diverged)\n       \
+         storm-dst selftest [--out DIR]\n\
+scenarios: two-node-launch, small-chaos, mm-failover"
     );
     ExitCode::from(2)
 }
@@ -84,6 +97,7 @@ fn base_scenario(flags: &Flags) -> Result<Scenario, String> {
     let mut s = match flags.scenario.as_str() {
         "two-node-launch" => Scenario::two_node_launch(),
         "small-chaos" => Scenario::small_chaos(),
+        "mm-failover" => Scenario::mm_failover(),
         other => return Err(format!("unknown scenario {other:?}")),
     };
     if let Some(b) = flags.backend {
@@ -141,22 +155,38 @@ fn cmd_explore(flags: &Flags) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_replay(path: &str) -> Result<ExitCode, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let repro = Repro::from_json_str(&text)?;
+fn cmd_replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("storm-dst: cannot read artifact: {path}: {e}");
+            return ExitCode::from(EXIT_ARTIFACT_UNREADABLE);
+        }
+    };
+    let repro = match Repro::from_json_str(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("storm-dst: cannot parse artifact: {path}: {e}");
+            return ExitCode::from(EXIT_ARTIFACT_UNREADABLE);
+        }
+    };
     let report = replay(&repro);
     if report.faithful() {
         let v = &repro.violation;
         println!(
-            "replayed faithfully: {} at {} (digest {:#018x}, {} events)",
-            v.oracle, v.at, repro.digest, repro.event_count
+            "violation reproduced: {} at {} — {} (digest {:#018x}, {} events)",
+            v.oracle, v.at, v.detail, repro.digest, repro.event_count
         );
-        Ok(ExitCode::SUCCESS)
+        ExitCode::from(EXIT_VIOLATION_REPRODUCED)
     } else {
         for m in &report.mismatches {
             eprintln!("mismatch: {m}");
         }
-        Ok(ExitCode::FAILURE)
+        eprintln!(
+            "storm-dst: replay diverged from artifact (expected {} at {})",
+            repro.violation.oracle, repro.violation.at
+        );
+        ExitCode::from(EXIT_REPLAY_DIVERGED)
     }
 }
 
@@ -199,7 +229,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("explore") => parse_flags(&args[1..]).and_then(|f| cmd_explore(&f)),
         Some("replay") => match args.get(1) {
-            Some(path) => cmd_replay(path),
+            Some(path) => return cmd_replay(path),
             None => return usage(),
         },
         Some("selftest") => parse_flags(&args[1..]).and_then(|f| cmd_selftest(&f.out)),

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 use storm_core::job::JobState;
-use storm_core::World;
+use storm_core::{MmRole, World};
 use storm_sim::SimTime;
 
 /// A violated invariant: which oracle fired, when, and why.
@@ -41,6 +41,9 @@ pub fn standard_suite() -> Vec<Box<dyn Oracle>> {
         Box::new(CawVisibility),
         Box::new(HeartbeatMonotonic::default()),
         Box::new(QuarantineSafety),
+        Box::new(SingleActiveMm::default()),
+        Box::new(NoJobLost),
+        Box::new(ReplConsistency),
     ]
 }
 
@@ -332,6 +335,162 @@ impl Oracle for QuarantineSafety {
     }
 }
 
+// ---------------------------------------------------- single active MM —
+
+/// Membership safety for the replicated MM: the epoch never regresses, at
+/// most one live replica plays the Active role at any boundary, and the
+/// cluster's command path (`wiring.mm`) always points at the replica the
+/// membership believes is active. Holds trivially for standby-free runs.
+#[derive(Default)]
+pub struct SingleActiveMm {
+    last_epoch: Option<u64>,
+}
+
+impl Oracle for SingleActiveMm {
+    fn name(&self) -> &'static str {
+        "single_active_mm"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        if let Some(prev) = self.last_epoch {
+            if world.mm_epoch < prev {
+                return Err(format!("MM epoch regressed: {prev} -> {}", world.mm_epoch));
+            }
+        }
+        self.last_epoch = Some(world.mm_epoch);
+        let active: Vec<u32> = (0..world.mm_roles.len() as u32)
+            .filter(|&r| {
+                world.mm_roles[r as usize] == MmRole::Active && !world.mm_failed[r as usize]
+            })
+            .collect();
+        if active.len() > 1 {
+            return Err(format!(
+                "{} live MM replicas are Active in epoch {}: ranks {active:?}",
+                active.len(),
+                world.mm_epoch
+            ));
+        }
+        if let Some(&rank) = active.first() {
+            if rank != world.mm_active_rank {
+                return Err(format!(
+                    "active role held by rank {rank} but membership says {}",
+                    world.mm_active_rank
+                ));
+            }
+        }
+        if !world.wiring.mms.is_empty() {
+            let expected = world.wiring.mms[world.mm_active_rank as usize];
+            if world.wiring.mm != Some(expected) {
+                return Err(format!(
+                    "command path {:?} does not point at active rank {}",
+                    world.wiring.mm, world.mm_active_rank
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------- no job lost —
+
+/// No job falls through the cracks across a failover: every submitted,
+/// non-terminal job either holds a matrix allocation, sits in the MM's
+/// queue, or has a pending requeue timer. A job in none of those places
+/// has been lost — nothing will ever run it again.
+pub struct NoJobLost;
+
+impl Oracle for NoJobLost {
+    fn name(&self) -> &'static str {
+        "no_job_lost"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        for rec in &world.jobs {
+            if rec.metrics.submitted.is_none()
+                || rec.state.is_terminal()
+                || rec.allocation.is_some()
+            {
+                continue;
+            }
+            let queued = world.queue.contains(&rec.id);
+            let pending = world.requeue_pending.iter().any(|&(j, _)| j == rec.id);
+            if !queued && !pending {
+                return Err(format!(
+                    "{} ({:?}) is submitted and live but held by nothing: \
+                     not allocated, not queued, no requeue timer",
+                    rec.id, rec.state
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------- replica consistency —
+
+/// Decision-log / checkpoint consistency: a standby never runs ahead of
+/// the active mirror, and a standby that has applied the full log holds
+/// *exactly* the active's state — same digest, queue, quarantine set,
+/// heartbeat round and active slot. This is the determinism contract that
+/// makes promotion safe from any prefix of the log.
+pub struct ReplConsistency;
+
+impl Oracle for ReplConsistency {
+    fn name(&self) -> &'static str {
+        "repl_consistency"
+    }
+
+    fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
+        let core = &world.mm_core;
+        for (rank, replica) in world.mm_replicas.iter().enumerate().skip(1) {
+            if world.mm_roles[rank] != MmRole::Standby || world.mm_failed[rank] {
+                continue;
+            }
+            let s = &replica.state;
+            if replica.applied > core.log_len {
+                return Err(format!(
+                    "standby {rank} applied {} records, active only logged {}",
+                    replica.applied, core.log_len
+                ));
+            }
+            if s.ticks > core.ticks {
+                return Err(format!(
+                    "standby {rank} tick mirror {} ahead of active {}",
+                    s.ticks, core.ticks
+                ));
+            }
+            if replica.applied == core.log_len {
+                if s.digest != core.digest {
+                    return Err(format!(
+                        "standby {rank} applied the full log ({}) but digests differ: \
+                         {:#x} ≠ {:#x}",
+                        core.log_len, s.digest, core.digest
+                    ));
+                }
+                if s.queue != core.queue
+                    || s.detected_failed != core.detected_failed
+                    || s.hb_round != core.hb_round
+                    || s.active_slot != core.active_slot
+                {
+                    return Err(format!(
+                        "standby {rank} digest matches but state diverged: \
+                         queue {:?}/{:?} quarantine {:?}/{:?} round {}/{} slot {}/{}",
+                        s.queue,
+                        core.queue,
+                        s.detected_failed,
+                        core.detected_failed,
+                        s.hb_round,
+                        core.hb_round,
+                        s.active_slot,
+                        core.active_slot
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +569,81 @@ mod tests {
         let mut suite = standard_suite();
         let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
         assert_eq!(v.oracle, "caw_visibility");
+    }
+
+    #[test]
+    fn single_active_mm_catches_a_dual_active() {
+        let mut c = Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_nodes(4)
+                .with_mm_standbys(1)
+                .with_seed(0xDE57),
+        );
+        let mut suite = standard_suite();
+        assert_eq!(check_all(&mut suite, c.world(), c.now()), None);
+        c.with_world_mut(|w| w.mm_roles[1] = MmRole::Active);
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "single_active_mm");
+    }
+
+    #[test]
+    fn single_active_mm_catches_an_epoch_regression() {
+        let mut c = Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_nodes(4)
+                .with_mm_standbys(1),
+        );
+        let mut suite = standard_suite();
+        c.with_world_mut(|w| w.mm_epoch = 3);
+        assert_eq!(check_all(&mut suite, c.world(), c.now()), None);
+        c.with_world_mut(|w| w.mm_epoch = 2);
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "single_active_mm");
+    }
+
+    #[test]
+    fn no_job_lost_catches_a_vanished_queue_entry() {
+        let mut c = tiny();
+        let mpl = c.world().cfg.mpl_max;
+        let full = c.world().cfg.nodes * c.world().cfg.cpus_per_node;
+        for _ in 0..=mpl {
+            c.submit(JobSpec::new(AppSpec::SpinLoop, full));
+        }
+        c.run_until(SimTime::from_millis(5));
+        assert!(
+            !c.world().queue.is_empty(),
+            "setup: a job must be waiting in the queue"
+        );
+        let mut suite = standard_suite();
+        assert_eq!(check_all(&mut suite, c.world(), c.now()), None);
+        c.with_world_mut(|w| w.queue.clear());
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "no_job_lost");
+    }
+
+    #[test]
+    fn repl_consistency_catches_a_skewed_replica() {
+        let mut c = Cluster::new(
+            ClusterConfig::paper_cluster()
+                .with_nodes(4)
+                .with_mm_standbys(1)
+                .with_fault_detection(2),
+        );
+        c.submit(JobSpec::new(AppSpec::do_nothing_mb(1), 4));
+        c.run_until(SimTime::from_millis(20));
+        let mut suite = standard_suite();
+        assert_eq!(check_all(&mut suite, c.world(), c.now()), None);
+        // A replica that claims to be caught up but mirrors a different
+        // queue is exactly the divergence the digest contract forbids.
+        c.with_world_mut(|w| {
+            let core = w.mm_core.clone();
+            let r = &mut w.mm_replicas[1];
+            r.applied = core.log_len;
+            r.state = core;
+            r.state.queue.push(JobId(999));
+        });
+        let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
+        assert_eq!(v.oracle, "repl_consistency");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use storm_apps::AppSpec;
 use storm_core::prelude::*;
 use storm_core::Cluster;
+use storm_core::MmRole;
 use storm_mech::{CmpOp, NodeId, NodeSet};
 use storm_sim::DeliveryOrder;
 
@@ -72,6 +73,7 @@ fn build_cluster(s: &Scenario) -> Cluster {
     cfg.mpl_max = s.mpl_max;
     cfg.queue_backend = s.backend.or(cfg.queue_backend);
     cfg.delivery_order = delivery_order(&s.order);
+    cfg = cfg.with_mm_standbys(s.mm_standbys);
     if s.heartbeat_every > 0 {
         cfg = cfg
             .with_fault_detection(s.heartbeat_every)
@@ -98,6 +100,8 @@ fn build_cluster(s: &Scenario) -> Cluster {
             FaultKind::Stall { until_ms } => {
                 c.stall_node(f.node, at, SimTime::from_millis(until_ms))
             }
+            // For MM kills the spec's `node` is the replica rank.
+            FaultKind::MmKill => c.fail_mm_at(at, f.node),
         }
     }
     c
@@ -126,6 +130,19 @@ fn apply_injection(c: &mut Cluster, kind: &InjectionKind) {
                 storm_net::BackgroundLoad::NONE,
             );
             w.mech.memory.poke(NodeId(node), var, 0);
+        }
+        InjectionKind::JobVanish => {
+            w.queue.pop_front();
+        }
+        InjectionKind::ReplicaSkew { rank } => {
+            let core = w.mm_core.clone();
+            let r = &mut w.mm_replicas[rank as usize];
+            r.applied = core.log_len;
+            r.state = core;
+            r.state.queue.push(JobId(u32::MAX));
+        }
+        InjectionKind::DualActive => {
+            w.mm_roles[1] = MmRole::Active;
         }
     });
 }
@@ -234,6 +251,16 @@ mod tests {
     }
 
     #[test]
+    fn failover_scenario_passes_all_oracles_and_replays() {
+        let s = Scenario::mm_failover();
+        let a = run_scenario(&s);
+        assert!(!a.failed(), "violation: {:?}", a.violation);
+        assert_eq!(a.completed, 2, "both jobs survive the failover");
+        let b = run_scenario(&s);
+        assert_eq!(a, b, "failover run must replay bit-identically");
+    }
+
+    #[test]
     fn every_injection_kind_is_caught_by_its_oracle() {
         let cases = [
             (InjectionKind::CompletedSkew, "job_accounting"),
@@ -262,6 +289,29 @@ mod tests {
         });
         let v = run_scenario(&s).violation.expect("hb regress not caught");
         assert_eq!(v.oracle, "heartbeat_monotonic");
+        // JobVanish needs a job still sitting in the queue at injection
+        // time: inject right at the submission boundary.
+        let s = Scenario::two_node_launch().with_injection(Injection {
+            at_ms: 0,
+            kind: InjectionKind::JobVanish,
+        });
+        let v = run_scenario(&s).violation.expect("job vanish not caught");
+        assert_eq!(v.oracle, "no_job_lost");
+        // The replication injections need a replicated-MM scenario.
+        for (kind, oracle) in [
+            (InjectionKind::ReplicaSkew { rank: 1 }, "repl_consistency"),
+            (InjectionKind::DualActive, "single_active_mm"),
+        ] {
+            let mut s = Scenario::mm_failover().with_injection(Injection {
+                at_ms: 20,
+                kind: kind.clone(),
+            });
+            s.faults.clear(); // corrupt a healthy replicated cluster
+            let v = run_scenario(&s)
+                .violation
+                .unwrap_or_else(|| panic!("{kind:?} not caught"));
+            assert_eq!(v.oracle, oracle, "for {kind:?}");
+        }
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub enum FaultKind {
         /// End of the stall window, milliseconds.
         until_ms: u64,
     },
+    /// An MM replica dies. For this kind the spec's `node` field is the
+    /// replica *rank* (0 = primary); killing the active replica exercises
+    /// the regroup/failover protocol.
+    MmKill,
 }
 
 /// The delivery order a scenario runs under.
@@ -121,6 +125,18 @@ pub enum InjectionKind {
         /// The node whose copy is torn.
         node: u32,
     },
+    /// Pop a live job out of the MM queue without completing it — a lost
+    /// job, caught by `NoJobLost`.
+    JobVanish,
+    /// Make a standby claim it applied the full decision log while holding
+    /// a diverged queue mirror — caught by `ReplConsistency`.
+    ReplicaSkew {
+        /// The standby rank to skew (≥ 1).
+        rank: u32,
+    },
+    /// Flip a standby to the Active role without a promotion — a split
+    /// brain, caught by `SingleActiveMm`.
+    DualActive,
 }
 
 /// A complete DST scenario.
@@ -138,6 +154,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Heartbeat fault round every `k` ticks; 0 disables fault detection.
     pub heartbeat_every: u32,
+    /// Standby MM replicas (0 = classic single-MM cluster).
+    pub mm_standbys: u32,
     /// Run deadline, milliseconds.
     pub horizon_ms: u64,
     /// Pinned event-queue backend; `None` follows the environment default.
@@ -163,6 +181,7 @@ impl Scenario {
             mpl_max: 2,
             seed: 0x5702_2002,
             heartbeat_every: 0,
+            mm_standbys: 0,
             horizon_ms: 40,
             backend: None,
             jobs: vec![JobEvent {
@@ -187,6 +206,7 @@ impl Scenario {
             mpl_max: 2,
             seed: 0xD15C,
             heartbeat_every: 4,
+            mm_standbys: 0,
             horizon_ms: 120,
             backend: None,
             jobs: vec![
@@ -213,6 +233,42 @@ impl Scenario {
                     kind: FaultKind::Rejoin,
                 },
             ],
+            order: OrderSpec::Default,
+            injection: None,
+        }
+    }
+
+    /// The failover scenario: a replicated-MM cluster that loses its
+    /// active MM mid-run, with one job in flight and one arriving after
+    /// the kill — the regroup protocol under the full oracle suite.
+    pub fn mm_failover() -> Self {
+        Scenario {
+            name: "mm-failover".into(),
+            nodes: 4,
+            cpus_per_node: 2,
+            mpl_max: 2,
+            seed: 0xFA11,
+            heartbeat_every: 4,
+            mm_standbys: 2,
+            horizon_ms: 200,
+            backend: None,
+            jobs: vec![
+                JobEvent {
+                    at_ms: 0,
+                    ranks: 4,
+                    app: AppKind::Binary { mb: 1 },
+                },
+                JobEvent {
+                    at_ms: 5,
+                    ranks: 2,
+                    app: AppKind::Compute { ms: 30 },
+                },
+            ],
+            faults: vec![FaultSpec {
+                at_ms: 40,
+                node: 0,
+                kind: FaultKind::MmKill,
+            }],
             order: OrderSpec::Default,
             injection: None,
         }
@@ -249,7 +305,15 @@ impl Scenario {
             }
         }
         for f in &self.faults {
-            if f.node >= self.nodes {
+            if matches!(f.kind, FaultKind::MmKill) {
+                if f.node > self.mm_standbys {
+                    return Err(format!(
+                        "MM kill targets rank {} of {} replicas",
+                        f.node,
+                        self.mm_standbys + 1
+                    ));
+                }
+            } else if f.node >= self.nodes {
                 return Err(format!("fault targets node {} of {}", f.node, self.nodes));
             }
         }
@@ -308,6 +372,9 @@ impl Scenario {
                         members.push(("kind".into(), Value::Str("stall".into())));
                         members.push(("until_ms".into(), num(until_ms)));
                     }
+                    FaultKind::MmKill => {
+                        members.push(("kind".into(), Value::Str("mm_kill".into())))
+                    }
                 }
                 Value::Obj(members)
             })
@@ -351,6 +418,16 @@ impl Scenario {
                         members.push(("kind".into(), Value::Str("caw_tear".into())));
                         members.push(("node".into(), num(node)));
                     }
+                    InjectionKind::JobVanish => {
+                        members.push(("kind".into(), Value::Str("job_vanish".into())))
+                    }
+                    InjectionKind::ReplicaSkew { rank } => {
+                        members.push(("kind".into(), Value::Str("replica_skew".into())));
+                        members.push(("rank".into(), num(rank)));
+                    }
+                    InjectionKind::DualActive => {
+                        members.push(("kind".into(), Value::Str("dual_active".into())))
+                    }
                 }
                 Value::Obj(members)
             }
@@ -362,6 +439,7 @@ impl Scenario {
             ("mpl_max".into(), num(self.mpl_max)),
             ("seed".into(), num(self.seed)),
             ("heartbeat_every".into(), num(self.heartbeat_every)),
+            ("mm_standbys".into(), num(self.mm_standbys)),
             ("horizon_ms".into(), num(self.horizon_ms)),
             (
                 "backend".into(),
@@ -415,6 +493,7 @@ impl Scenario {
                     "stall" => FaultKind::Stall {
                         until_ms: f.req_u64("until_ms")?,
                     },
+                    "mm_kill" => FaultKind::MmKill,
                     other => return Err(format!("unknown fault kind {other:?}")),
                 };
                 Ok(FaultSpec {
@@ -456,6 +535,11 @@ impl Scenario {
                     "caw_tear" => InjectionKind::CawTear {
                         node: inj.req_u64("node")? as u32,
                     },
+                    "job_vanish" => InjectionKind::JobVanish,
+                    "replica_skew" => InjectionKind::ReplicaSkew {
+                        rank: inj.req_u64("rank")? as u32,
+                    },
+                    "dual_active" => InjectionKind::DualActive,
                     other => return Err(format!("unknown injection kind {other:?}")),
                 };
                 Some(Injection {
@@ -471,6 +555,9 @@ impl Scenario {
             mpl_max: v.req_u64("mpl_max")? as usize,
             seed: v.req_u64("seed")?,
             heartbeat_every: v.req_u64("heartbeat_every")? as u32,
+            // Optional for backward compatibility with pre-replication
+            // artifacts.
+            mm_standbys: v.get("mm_standbys").and_then(Value::as_u64).unwrap_or(0) as u32,
             horizon_ms: v.req_u64("horizon_ms")?,
             backend: match v.req("backend")? {
                 Value::Null => None,
@@ -501,6 +588,7 @@ mod tests {
     fn builtin_scenarios_validate() {
         assert!(Scenario::two_node_launch().validate().is_ok());
         assert!(Scenario::small_chaos().validate().is_ok());
+        assert!(Scenario::mm_failover().validate().is_ok());
     }
 
     #[test]
@@ -518,11 +606,18 @@ mod tests {
         let back = Scenario::from_json(&json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, s);
         // Every injection kind survives the trip.
+        // The failover scenario (standbys + MM kill) round-trips too.
+        let s = Scenario::mm_failover();
+        let back = Scenario::from_json(&json::parse(&s.to_json_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
         for kind in [
             InjectionKind::CompletedSkew,
             InjectionKind::QuarantineDesync { node: 2 },
             InjectionKind::HbRegress,
             InjectionKind::MatrixTear,
+            InjectionKind::JobVanish,
+            InjectionKind::ReplicaSkew { rank: 1 },
+            InjectionKind::DualActive,
         ] {
             let s = Scenario::two_node_launch().with_injection(Injection { at_ms: 5, kind });
             let back = Scenario::from_json(&json::parse(&s.to_json_string()).unwrap()).unwrap();
@@ -540,6 +635,10 @@ mod tests {
         assert!(s.validate().is_err());
         let mut s = Scenario::two_node_launch();
         s.horizon_ms = 0;
+        assert!(s.validate().is_err());
+        // An MM kill aimed past the replica set is rejected.
+        let mut s = Scenario::mm_failover();
+        s.faults[0].node = 3; // ranks 0..=2 exist
         assert!(s.validate().is_err());
     }
 

@@ -234,6 +234,13 @@ impl SimSpan {
     pub fn saturating_sub(self, other: SimSpan) -> SimSpan {
         SimSpan(self.0.saturating_sub(other.0))
     }
+    /// Saturating scalar multiplication: clamps to `SimSpan::MAX` instead of
+    /// overflowing, so retry-backoff arithmetic with extreme configurations
+    /// stays well-defined.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimSpan {
+        SimSpan(self.0.saturating_mul(k))
+    }
     /// Multiply by a non-negative scalar.
     #[inline]
     pub fn mul_f64(self, k: f64) -> SimSpan {
@@ -441,6 +448,21 @@ mod tests {
         );
         let total: SimSpan = vec![a, a, a].into_iter().sum();
         assert_eq!(total, SimSpan::from_millis(30));
+    }
+
+    #[test]
+    fn saturating_mul_clamps_at_max() {
+        assert_eq!(
+            SimSpan::from_millis(10).saturating_mul(3),
+            SimSpan::from_millis(30)
+        );
+        assert_eq!(SimSpan::MAX.saturating_mul(2), SimSpan::MAX);
+        assert_eq!(
+            SimSpan::from_nanos(u64::MAX / 2 + 1).saturating_mul(2),
+            SimSpan::MAX
+        );
+        assert_eq!(SimSpan::MAX.saturating_mul(0), SimSpan::ZERO);
+        assert_eq!(SimSpan::MAX.saturating_mul(1), SimSpan::MAX);
     }
 
     #[test]

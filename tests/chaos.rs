@@ -83,7 +83,8 @@ fn fault_starts(schedule: &FaultSchedule) -> Vec<(u32, SimTime)> {
         .filter_map(|ev| match *ev {
             FaultEvent::Crash { at, node } => Some((node, at)),
             FaultEvent::Stall { node, from, .. } => Some((node, from)),
-            FaultEvent::Rejoin { .. } => None,
+            // MM crashes target a replica rank, not a compute node.
+            FaultEvent::Rejoin { .. } | FaultEvent::MmCrash { .. } => None,
         })
         .collect()
 }
@@ -270,4 +271,195 @@ fn scripted_crash_and_rejoin_recovers_every_job_across_8_seeds() {
         assert_eq!(again.3, rejoins, "seed {seed}: rejoins diverged");
         assert_eq!(again.4, requeues, "seed {seed}: requeues diverged");
     }
+}
+
+/// Satellite: MM failover. Killing the active MM mid-run must (a) be
+/// detected by the standby watchdogs within two beat periods, (b) lose no
+/// job — everything still reaches `Completed` under the promoted MM — and
+/// (c) replay identically under the same seed. Heartbeat-round
+/// monotonicity and quarantine safety (no live node falsely condemned
+/// during the regroup) ride along.
+#[test]
+fn mm_failover_detects_promotes_and_replays() {
+    let kill_at = SimTime::from_millis(150);
+    let run = |seed: u64| {
+        let cfg = ClusterConfig::paper_cluster()
+            .with_seed(seed)
+            .with_mm_standbys(2)
+            .with_fault_detection(HEARTBEAT_EVERY)
+            .with_failure_policy(FailurePolicy::requeue())
+            .with_faults(FaultSchedule::new().mm_crash(kill_at, 0));
+        let mut c = Cluster::new(cfg);
+        let mut jobs = Vec::new();
+        for i in 0..4u64 {
+            jobs.push(
+                c.submit_at(
+                    SimTime::from_millis(60 * i), // job 3 arrives after the kill
+                    JobSpec::new(
+                        AppSpec::Synthetic {
+                            compute: SimSpan::from_millis(200),
+                        },
+                        8 * 4,
+                    )
+                    .named(format!("failover-{i}")),
+                ),
+            );
+        }
+        c.run_until(SimTime::from_secs(3));
+        let states: Vec<_> = jobs.iter().map(|&j| c.job(j).state).collect();
+        let completions: Vec<_> = jobs.iter().map(|&j| c.job(j).metrics.completed).collect();
+        let w = c.world();
+        (
+            states,
+            completions,
+            w.repl.clone(),
+            w.mm_epoch,
+            w.mm_active_rank,
+            w.mm_core.hb_round,
+            w.stats.failures_detected.clone(),
+        )
+    };
+
+    let (states, completions, repl, epoch, active_rank, hb_round, failures) = run(11);
+    for (i, s) in states.iter().enumerate() {
+        assert_eq!(*s, JobState::Completed, "job {i} lost across failover");
+    }
+    assert!(completions.iter().all(Option::is_some));
+    // Exactly one promotion: the lowest surviving rank (1).
+    assert_eq!(repl.promotions, 1, "repl: {repl:?}");
+    assert_eq!(repl.failovers.len(), 1);
+    let (rank, promoted_at) = repl.failovers[0];
+    assert_eq!(rank, 1, "successor must be the lowest surviving rank");
+    assert_eq!(epoch, 1);
+    assert_eq!(active_rank, 1);
+    // Detection ≤ 2 beat periods (beat period = heartbeat_every × collect
+    // period = 4 ms) plus one period of watchdog phase slack.
+    let beat = SimSpan::from_millis(u64::from(HEARTBEAT_EVERY));
+    let latency = promoted_at.since(kill_at);
+    assert!(
+        latency <= beat * 2 + SimSpan::from_millis(1),
+        "failover took {latency} (beat period {beat})"
+    );
+    // Heartbeat rounds stay monotone across the promotion: the adopted
+    // round is past the one current at the kill, and kept advancing.
+    let kill_round = i64::try_from(kill_at.as_nanos() / beat.as_nanos()).unwrap();
+    assert!(
+        hb_round > kill_round,
+        "hb_round {hb_round} did not advance past the kill round {kill_round}"
+    );
+    // Quarantine safety: the regroup never condemned a live compute node.
+    assert!(failures.is_empty(), "false positives: {failures:?}");
+    // Determinism: the same seed replays the identical failover.
+    let again = run(11);
+    assert_eq!(
+        again,
+        (
+            states,
+            completions,
+            repl,
+            epoch,
+            active_rank,
+            hb_round,
+            failures
+        ),
+        "same-seed failover run diverged"
+    );
+}
+
+/// The acceptance bar with teeth: configuring standbys must cost *nothing*
+/// observable while no MM fault occurs — trace, cluster stats and per-job
+/// metrics are byte-identical to a standby-free run. The replication
+/// plane's own counters live in `World::repl` precisely so they can differ
+/// here without breaking this.
+#[test]
+fn standbys_without_faults_are_byte_identical() {
+    let run = |standbys: u32| {
+        let cfg = ClusterConfig::paper_cluster()
+            .with_seed(7)
+            .with_mm_standbys(standbys)
+            .with_fault_detection(HEARTBEAT_EVERY)
+            .with_failure_policy(FailurePolicy::requeue());
+        let mut c = Cluster::new(cfg);
+        c.enable_tracing();
+        let mut jobs = Vec::new();
+        for i in 0..3u64 {
+            jobs.push(
+                c.submit_at(
+                    SimTime::from_millis(40 * i),
+                    JobSpec::new(
+                        AppSpec::Synthetic {
+                            compute: SimSpan::from_millis(120),
+                        },
+                        8 * 4,
+                    )
+                    .named(format!("ident-{i}")),
+                ),
+            );
+        }
+        c.run_until(SimTime::from_secs(2));
+        let metrics: Vec<_> = jobs
+            .iter()
+            .map(|&j| (c.job(j).state, c.job(j).metrics.clone()))
+            .collect();
+        (c.trace(), c.world().stats.clone(), metrics)
+    };
+
+    let bare = run(0);
+    let replicated = run(2);
+    assert_eq!(bare.1, replicated.1, "cluster stats diverged");
+    assert_eq!(bare.2, replicated.2, "job outcomes diverged");
+    assert_eq!(bare.0, replicated.0, "trace diverged");
+    // And the replication plane really was active in the second run.
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(7)
+        .with_mm_standbys(2)
+        .with_fault_detection(HEARTBEAT_EVERY);
+    let mut c = Cluster::new(cfg);
+    c.submit(JobSpec::new(
+        AppSpec::Synthetic {
+            compute: SimSpan::from_millis(50),
+        },
+        8,
+    ));
+    c.run_until(SimTime::from_millis(200));
+    let repl = &c.world().repl;
+    assert!(repl.beats > 0, "standbys never received a beat");
+    assert!(repl.log_records > 0, "no decisions were shipped");
+    assert_eq!(repl.promotions, 0);
+}
+
+/// Failover telemetry: a killed-and-replaced MM records its detection and
+/// promotion latencies, bumps the promotion counter, and moves the epoch
+/// gauge — the observability half of the failover contract.
+#[test]
+fn mm_failover_records_detection_and_promotion_metrics() {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(3)
+        .with_mm_standbys(1)
+        .with_fault_detection(HEARTBEAT_EVERY)
+        .with_failure_policy(FailurePolicy::requeue())
+        .with_telemetry(true)
+        .with_faults(FaultSchedule::new().mm_crash(SimTime::from_millis(50), 0));
+    let mut c = Cluster::new(cfg);
+    c.submit(JobSpec::new(
+        AppSpec::Synthetic {
+            compute: SimSpan::from_millis(100),
+        },
+        8 * 4,
+    ));
+    c.run_until(SimTime::from_secs(1));
+    let snap = c.metrics_snapshot();
+    assert_eq!(snap.counter("mm.promotions"), Some(1));
+    assert_eq!(snap.counter("mm.replica_failures"), Some(1));
+    assert_eq!(snap.gauge("mm.epoch"), Some(1));
+    let detect = snap
+        .histogram("failover.detection_latency_us")
+        .expect("detection latency recorded");
+    assert_eq!(detect.count(), 1);
+    let promote = snap
+        .histogram("failover.promotion_latency_us")
+        .expect("promotion latency recorded");
+    assert_eq!(promote.count(), 1);
+    // Promotion includes the CAW epoch fence on top of detection.
+    assert!(promote.sum() >= detect.sum());
 }

@@ -158,3 +158,38 @@ fn seeded_violation_shrinks_to_tiny_replayable_artifact() {
         report.mismatches
     );
 }
+
+/// Acceptance criterion for the replicated MM: kill the active MM at
+/// *every* timeslice boundary of the two-node launch window and the full
+/// oracle suite — including `single_active_mm`, `no_job_lost` and
+/// `repl_consistency` — holds at every boundary of every run, with the
+/// launch completing under the promoted standby each time.
+#[test]
+fn mm_kill_at_every_boundary_never_violates_an_oracle() {
+    use storm_dst::prelude::{FaultKind, FaultSpec};
+    let base = Scenario::two_node_launch();
+    // Replicate the MM and turn the heartbeat/watchdog machinery on; give
+    // the run enough horizon to detect, promote, resync and finish.
+    for kill_ms in 0..=base.horizon_ms {
+        let mut s = base.clone();
+        s.name = format!("mm-kill-at-{kill_ms}ms");
+        s.heartbeat_every = 4;
+        s.mm_standbys = 1;
+        s.horizon_ms = 160;
+        s.faults.push(FaultSpec {
+            at_ms: kill_ms,
+            node: 0, // rank 0 = the active primary
+            kind: FaultKind::MmKill,
+        });
+        let out = run_scenario(&s);
+        assert!(
+            out.violation.is_none(),
+            "kill at {kill_ms} ms: {:?}",
+            out.violation
+        );
+        assert_eq!(
+            out.completed, 1,
+            "kill at {kill_ms} ms: launch did not complete under the new MM"
+        );
+    }
+}
