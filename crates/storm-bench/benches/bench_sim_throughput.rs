@@ -22,7 +22,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use storm_bench::{check, derive_seed, parallel_sweep};
+use storm_bench::{check, derive_seed, parallel_sweep, write_json_artifact};
 use storm_core::prelude::*;
 
 struct Row {
@@ -33,6 +33,8 @@ struct Row {
     strobes: u64,
     queue_pushed: u64,
     queue_peak: usize,
+    arena_peak: usize,
+    arena_bytes: usize,
     wall_s: f64,
 }
 
@@ -67,6 +69,7 @@ fn run(nodes: u32, group: bool) -> Row {
     c.run_until_idle();
     let wall_s = t0.elapsed().as_secs_f64();
     let qs = c.queue_stats();
+    let ar = c.arena_stats();
     Row {
         nodes,
         group,
@@ -75,6 +78,8 @@ fn run(nodes: u32, group: bool) -> Row {
         strobes: c.world().stats.strobes,
         queue_pushed: qs.pushed,
         queue_peak: qs.peak,
+        arena_peak: ar.peak,
+        arena_bytes: ar.payload_bytes,
         wall_s,
     }
 }
@@ -118,7 +123,7 @@ fn main() {
     };
     println!("Simulator throughput: group delivery vs per-NM events");
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12} {:>10} {:>11}",
+        "{:>6} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>10} {:>11}",
         "nodes",
         "mode",
         "events",
@@ -126,6 +131,7 @@ fn main() {
         "ev/slice",
         "q.pushed",
         "q.peak",
+        "ar.peak",
         "events/sec",
         "wall"
     );
@@ -134,7 +140,7 @@ fn main() {
     let rows = parallel_sweep(configs, |&(n, group)| run(n, group));
     for row in &rows {
         println!(
-            "{:>6} {:>8} {:>12} {:>12} {:>9.1} {:>12} {:>12} {:>10.0} {:>9.3} s",
+            "{:>6} {:>8} {:>12} {:>12} {:>9.1} {:>12} {:>12} {:>9} {:>10.0} {:>9.3} s",
             row.nodes,
             if row.group { "group" } else { "unicast" },
             row.events,
@@ -142,6 +148,7 @@ fn main() {
             row.events_per_timeslice(),
             row.queue_pushed,
             row.queue_peak,
+            row.arena_peak,
             row.events_per_sec(),
             row.wall_s,
         );
@@ -252,7 +259,8 @@ fn main() {
             json,
             "    {{\"nodes\": {}, \"group_delivery\": {}, \"events_delivered\": {}, \
              \"messages_handled\": {}, \"strobes\": {}, \"queue_pushed\": {}, \
-             \"queue_peak\": {}, \"wall_seconds\": {:.6}, \
+             \"queue_peak\": {}, \"arena_peak\": {}, \"arena_payload_bytes\": {}, \
+             \"wall_seconds\": {:.6}, \
              \"events_per_sec\": {:.1}, \"events_per_timeslice\": {:.2}}}{}",
             r.nodes,
             r.group,
@@ -261,6 +269,8 @@ fn main() {
             r.strobes,
             r.queue_pushed,
             r.queue_peak,
+            r.arena_peak,
+            r.arena_bytes,
             r.wall_s,
             r.events_per_sec(),
             r.events_per_timeslice(),
@@ -300,7 +310,6 @@ fn main() {
          \"parallel_sweep_speedup\": {sweep_speedup:.2},\n    \
          \"parallel_sweep_threads\": {threads}\n  }}\n}}"
     );
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_simcore.json".into());
-    std::fs::write(&out, json).expect("write bench json");
-    println!("bench_sim_throughput: all checks passed; wrote {out}");
+    write_json_artifact("BENCH_OUT", "BENCH_simcore.json", &json);
+    println!("bench_sim_throughput: all checks passed");
 }

@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
-use storm_bench::{check, derive_seed, write_artifact};
+use storm_bench::{check, derive_seed, write_json_artifact};
 use storm_sim::{EventQueue, QueueBackend, SimTime};
 
 /// Reschedule horizon for the hold pattern: up to ~10 ms ahead, spanning
@@ -169,7 +169,7 @@ fn queue_ops(c: &mut Criterion) {
         );
     }
     let _ = writeln!(json, "  ]\n}}");
-    write_artifact("BENCH_QUEUE_OUT", "BENCH_queue.json", &json);
+    write_json_artifact("BENCH_QUEUE_OUT", "BENCH_queue.json", &json);
 }
 
 criterion_group! {

@@ -1,0 +1,181 @@
+//! Bench-regression gate: compare a freshly produced `BENCH_simcore.json`
+//! against a committed baseline and fail (exit 1) when simulator-core
+//! throughput regresses.
+//!
+//! Usage: `bench_gate <baseline.json> <current.json>`
+//!
+//! For every `(nodes, group_delivery)` row present in both files the gate
+//! compares `events_per_sec`; the pass bar is applied at the **largest
+//! common node count** (4096 on a full run, 256 under
+//! `STORM_BENCH_SMOKE=1`), where per-event cost dominates and wall-clock
+//! noise is smallest relative to the run length. A row fails when current
+//! throughput drops more than the tolerance below baseline
+//! (`STORM_BENCH_GATE_TOLERANCE`, default `0.15`). Smaller rows are
+//! reported but advisory — sub-second runs on shared CI runners are too
+//! noisy to gate on.
+//!
+//! The artifacts are the hand-rolled JSON the benches emit (the repo
+//! vendors no serde); rows are one object per line, which is what this
+//! parser leans on.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+/// One parsed throughput row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Row {
+    nodes: u64,
+    group: bool,
+    events_per_sec: f64,
+}
+
+/// Pull `"key": <number>` out of a row line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull `"key": true|false` out of a row line.
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn parse_rows(contents: &str) -> Vec<Row> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            Some(Row {
+                nodes: field_num(line, "nodes")? as u64,
+                group: field_bool(line, "group_delivery")?,
+                events_per_sec: field_num(line, "events_per_sec")?,
+            })
+        })
+        .collect()
+}
+
+fn load_rows(path: &str) -> Vec<Row> {
+    let contents =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("bench_gate: read {path}: {e}"));
+    let rows = parse_rows(&contents);
+    assert!(!rows.is_empty(), "bench_gate: no throughput rows in {path}");
+    rows
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    }
+    let tolerance: f64 = std::env::var("STORM_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let baseline = load_rows(&args[1]);
+    let current = load_rows(&args[2]);
+
+    let gate_nodes = baseline
+        .iter()
+        .filter(|b| current.iter().any(|c| c.nodes == b.nodes))
+        .map(|b| b.nodes)
+        .max()
+        .expect("bench_gate: no common node count between baseline and current");
+
+    println!(
+        "bench_gate: tolerance {:.0}% | gating at {} nodes",
+        tolerance * 100.0,
+        gate_nodes
+    );
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>8}  verdict",
+        "nodes", "mode", "baseline ev/s", "current ev/s", "ratio"
+    );
+    let mut failed = false;
+    for b in &baseline {
+        let Some(c) = current
+            .iter()
+            .find(|c| c.nodes == b.nodes && c.group == b.group)
+        else {
+            continue;
+        };
+        let ratio = c.events_per_sec / b.events_per_sec;
+        let gated = b.nodes == gate_nodes;
+        let ok = ratio >= 1.0 - tolerance;
+        let verdict = match (gated, ok) {
+            (true, true) => "ok",
+            (true, false) => {
+                failed = true;
+                "REGRESSION"
+            }
+            (false, true) => "ok (advisory)",
+            (false, false) => "slow (advisory)",
+        };
+        println!(
+            "{:>6} {:>8} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            b.nodes,
+            if b.group { "group" } else { "unicast" },
+            b.events_per_sec,
+            c.events_per_sec,
+            ratio,
+            verdict
+        );
+    }
+    if failed {
+        println!("bench_gate: FAIL — events/sec regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: pass");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "simcore",
+  "rows": [
+    {"nodes": 64, "group_delivery": false, "events_per_sec": 1000000.0, "events_per_timeslice": 9.1},
+    {"nodes": 64, "group_delivery": true, "events_per_sec": 2000000.0, "events_per_timeslice": 4.2},
+    {"nodes": 4096, "group_delivery": false, "events_per_sec": 4235481.0, "events_per_timeslice": 700.0}
+  ]
+}"#;
+
+    #[test]
+    fn rows_parse_from_the_bench_artifact_shape() {
+        let rows = parse_rows(SAMPLE);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows[0],
+            Row {
+                nodes: 64,
+                group: false,
+                events_per_sec: 1_000_000.0
+            }
+        );
+        assert!(rows[1].group);
+        assert_eq!(rows[2].nodes, 4096);
+        assert!((rows[2].events_per_sec - 4_235_481.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_row_lines_are_ignored() {
+        assert!(parse_rows("{\n  \"bench\": \"simcore\",\n  \"rows\": []\n}").is_empty());
+    }
+}

@@ -160,6 +160,21 @@ pub fn write_artifact(env_var: &str, default_path: &str, contents: &str) {
     println!("   [artifact] {path} ({} bytes)", contents.len());
 }
 
+/// [`write_artifact`] for JSON payloads: the contents are validated with
+/// the telemetry crate's [`validate_json`] first, so a bench emitting a
+/// malformed hand-rolled document fails its own process instead of
+/// poisoning the CI artifact corpus (and the regression gate that parses
+/// it downstream).
+///
+/// [`validate_json`]: storm_core::prelude::validate_json
+pub fn write_json_artifact(env_var: &str, default_path: &str, json: &str) {
+    if let Err(e) = storm_core::prelude::validate_json(json) {
+        println!("   [SHAPE VIOLATION] artifact {default_path} is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    write_artifact(env_var, default_path, json);
+}
+
 /// Geometric x-axis helper: powers of two from `lo` to `hi` inclusive.
 pub fn pow2_range(lo: u32, hi: u32) -> Vec<u32> {
     let mut v = Vec::new();
@@ -217,6 +232,20 @@ mod tests {
             (0..100).map(|i| derive_seed(7, i)).collect::<Vec<_>>()
         );
         assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn json_artifact_roundtrips_through_validation() {
+        let path = std::env::temp_dir().join("storm_bench_artifact_test.json");
+        std::env::set_var("STORM_BENCH_TEST_OUT", &path);
+        write_json_artifact(
+            "STORM_BENCH_TEST_OUT",
+            "unused-default.json",
+            "{\"rows\": [1, 2, 3]}",
+        );
+        let back = std::fs::read_to_string(&path).expect("artifact written");
+        assert_eq!(back, "{\"rows\": [1, 2, 3]}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl Cluster {
         // is posted so every insertion of the run is keyed (which is what
         // makes a seeded run regenerable as an explicit tie script).
         sim.set_delivery_order(cfg.delivery_order.clone());
+        sim.set_event_batching(cfg.resolved_event_batching());
         let mm = sim.add_component(MachineManager::new());
         let mut nms = Vec::with_capacity(cfg.nodes as usize);
         let mut pls = Vec::with_capacity(cfg.nodes as usize);
@@ -311,6 +312,18 @@ impl Cluster {
     /// across delivery modes.
     pub fn queue_stats(&self) -> QueueStats {
         self.sim.queue_stats()
+    }
+
+    /// Payload-arena accounting (live/peak interned payloads, capacity,
+    /// resident bytes) merged across the unicast and group arenas.
+    pub fn arena_stats(&self) -> storm_sim::ArenaStats {
+        self.sim.arena_stats()
+    }
+
+    /// Whether the engine is batching same-timeslice events (the resolved
+    /// [`ClusterConfig::event_batching`] / `STORM_BATCH` setting).
+    pub fn event_batching(&self) -> bool {
+        self.sim.event_batching()
     }
 
     /// The engine's interleaving digest (see

@@ -176,6 +176,13 @@ pub struct ClusterConfig {
     /// Pop order — and so traces, stats, and telemetry — is byte-identical
     /// either way.
     pub queue_backend: Option<QueueBackend>,
+    /// Same-timeslice event batching in the engine. `None` (the default)
+    /// resolves to the `STORM_BATCH` environment variable (`off`/`0`/
+    /// `false` disables it) if set, otherwise on; `Some(_)` pins the
+    /// choice explicitly. Batching is byte-identical to per-message
+    /// delivery — the off switch exists to prove that in tests and to
+    /// measure the win, mirroring `queue_backend`.
+    pub event_batching: Option<bool>,
     /// Deterministic-simulation-testing hook: permute same-timestamp event
     /// delivery (and optionally add bounded delivery delay) under the
     /// hook's own seeded stream. `None` — the default — keeps the engine's
@@ -230,6 +237,7 @@ impl ClusterConfig {
             group_delivery: true,
             telemetry: false,
             queue_backend: None,
+            event_batching: None,
             delivery_order: None,
             fast_forward: true,
             daemon: DaemonCosts::default(),
@@ -353,6 +361,26 @@ impl ClusterConfig {
             Ok("wheel") => QueueBackend::Wheel,
             _ => QueueBackend::default(),
         }
+    }
+
+    /// Builder: pin same-timeslice event batching on or off (overrides
+    /// the `STORM_BATCH` environment default).
+    pub fn with_event_batching(mut self, on: bool) -> Self {
+        self.event_batching = Some(on);
+        self
+    }
+
+    /// Whether a [`crate::Cluster`] built from this config batches
+    /// same-timeslice events: the pinned choice, else the `STORM_BATCH`
+    /// environment variable (`off`, `0`, or `false` disables), else on.
+    pub fn resolved_event_batching(&self) -> bool {
+        if let Some(on) = self.event_batching {
+            return on;
+        }
+        !matches!(
+            std::env::var("STORM_BATCH").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
     }
 
     /// Builder: enable heartbeat fault detection with a fault round every

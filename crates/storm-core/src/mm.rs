@@ -22,7 +22,6 @@ use crate::msg::{Msg, ReportKind};
 use crate::policy::{self, QueuedJob, RunningJob};
 use crate::replica::{Decision, MmRole};
 use crate::world::{IdleLeap, World};
-use std::collections::HashSet;
 use storm_mech::{CmpOp, NodeId, NodeSet};
 use storm_sim::{Component, Context, GroupSchedule, SimSpan, SimTime};
 use storm_telemetry::{JobSpan, Phase};
@@ -42,6 +41,62 @@ const REPL_CKPT_BYTES: u64 = 4096;
 /// overflowing or parking a retry past any plausible horizon.
 const MAX_REQUEUE_DELAY: SimSpan = SimSpan::from_secs(60);
 
+/// Detected-failed nodes as a dense flag array with a live count: the
+/// per-round membership tests and the ascending-order candidate scan are
+/// cache-linear, and — unlike a hash set — iteration order is the node
+/// order itself, no collect-and-sort.
+#[derive(Debug, Default)]
+struct DetectedSet {
+    flags: Vec<bool>,
+    count: u32,
+}
+
+impl DetectedSet {
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn contains(&self, node: u32) -> bool {
+        self.flags.get(node as usize).copied().unwrap_or(false)
+    }
+
+    /// Mark `node` detected; `true` when newly inserted.
+    fn insert(&mut self, node: u32) -> bool {
+        let ix = node as usize;
+        if self.flags.len() <= ix {
+            self.flags.resize(ix + 1, false);
+        }
+        if self.flags[ix] {
+            return false;
+        }
+        self.flags[ix] = true;
+        self.count += 1;
+        true
+    }
+
+    fn remove(&mut self, node: u32) {
+        let ix = node as usize;
+        if ix < self.flags.len() && self.flags[ix] {
+            self.flags[ix] = false;
+            self.count -= 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.flags.clear();
+        self.count = 0;
+    }
+
+    /// Detected nodes in ascending node order.
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f)
+            .map(|(n, _)| n as u32)
+    }
+}
+
 /// The Machine Manager dæmon.
 #[derive(Debug, Default)]
 pub struct MachineManager {
@@ -54,7 +109,7 @@ pub struct MachineManager {
     /// idle fast-forward leap.
     last_tick_at: Option<SimTime>,
     /// Nodes whose failure has been detected by the heartbeat protocol.
-    detected_failed: HashSet<u32>,
+    detected_failed: DetectedSet,
     /// This replica's rank (0 = the primary).
     rank: u32,
     /// Current role: the primary starts Active, the rest Standby.
@@ -209,7 +264,7 @@ impl MachineManager {
     ) {
         if ctx.world_ref().cfg.group_delivery {
             let targets = ctx.world_ref().wiring.nm_targets(set);
-            ctx.multicast(targets, base, schedule, msg);
+            ctx.multicast(&targets, base, schedule, msg);
         } else {
             for rank in 0..set.len() {
                 let nm = ctx.world_ref().wiring.nms[set.get(rank).index()];
@@ -378,12 +433,13 @@ impl MachineManager {
         // The quarantine set in shared memory is ground truth for the
         // allocator; adopt it (the repl_consistency oracle separately
         // verifies the replicated mirror agrees).
-        self.detected_failed = {
+        self.detected_failed.clear();
+        {
             let w = ctx.world_ref();
-            (0..w.cfg.nodes)
-                .filter(|&n| w.quarantined[n as usize])
-                .collect()
-        };
+            for n in (0..w.cfg.nodes).filter(|&n| w.nodes.is_quarantined(n)) {
+                self.detected_failed.insert(n);
+            }
+        }
         // Epoch fence: one CAW writes the new epoch into every node's
         // memory (condition `old ≥ 0` always holds — the write is the
         // point). Deterministic: the non-faulty primitive draws no RNG.
@@ -1216,15 +1272,15 @@ impl MachineManager {
         // catches up on the round counter in a single beat — when its value
         // reaches the current round, it rejoins the allocator.
         if round > 0 && !self.detected_failed.is_empty() {
-            let mut candidates: Vec<u32> = self.detected_failed.iter().copied().collect();
-            candidates.sort_unstable();
+            // Dense-flag iteration is already in ascending node order.
+            let candidates: Vec<u32> = self.detected_failed.iter().collect();
             let cand_set = NodeSet::from_list(candidates.iter().map(|&n| NodeId(n)).collect());
             let values = ctx.world_ref().mech.memory.gather(&cand_set, hb_var);
             for (&node, v) in candidates.iter().zip(values) {
                 if v >= round {
-                    self.detected_failed.remove(&node);
+                    self.detected_failed.remove(node);
                     let w = ctx.world();
-                    w.quarantined[node as usize] = false;
+                    w.nodes.set_quarantined(node, false);
                     let ok = w.matrix.rejoin_node(node);
                     debug_assert!(ok, "re-admitted node must have been quarantined");
                     w.stats.rejoins.push((node, now));
@@ -1243,7 +1299,7 @@ impl MachineManager {
         } else {
             NodeSet::from_list(
                 (0..nodes)
-                    .filter(|n| !self.detected_failed.contains(n))
+                    .filter(|&n| !self.detected_failed.contains(n))
                     .map(NodeId)
                     .collect(),
             )
@@ -1287,7 +1343,7 @@ impl MachineManager {
                                 let w = ctx.world();
                                 w.stats.failures_detected.push((node, now));
                                 w.metric_inc("fault.detections");
-                                if let Some(at) = w.failed_at[node as usize] {
+                                if let Some(at) = w.nodes.failed_since(node) {
                                     w.telemetry
                                         .metrics
                                         .observe_span("fault.detection_latency_us", now.since(at));
@@ -1301,7 +1357,7 @@ impl MachineManager {
                                 let w = ctx.world();
                                 let ok = w.matrix.quarantine_node(node);
                                 debug_assert!(ok, "victim eviction must free the node");
-                                w.quarantined[node as usize] = true;
+                                w.nodes.set_quarantined(node, true);
                             }
                             self.log_decision(ctx, Decision::Quarantine { node });
                         }
@@ -1534,7 +1590,7 @@ impl Component<World, Msg> for MachineManager {
                     let qs = ctx.queue_stats();
                     let w = ctx.world();
                     let queued = w.queue.len() as i64;
-                    let quarantined = w.quarantined.iter().filter(|&&q| q).count() as i64;
+                    let quarantined = i64::from(w.nodes.quarantined_count());
                     let alive = i64::from(w.cfg.nodes) - quarantined;
                     let slots = w.matrix.slot_count();
                     let mut used: u64 = 0;
@@ -1636,6 +1692,45 @@ impl Component<World, Msg> for MachineManager {
 
     fn name(&self) -> &str {
         "MM"
+    }
+
+    /// NM reports are pure buffer appends on the active MM — the
+    /// highest-volume message class it receives (one per node per job
+    /// event), and the classic same-instant pile-up: a whole allocation's
+    /// reports landing on one collection boundary.
+    fn batchable(&self, msg: &Msg) -> bool {
+        self.role == MmRole::Active && matches!(msg, Msg::NmReport { .. })
+    }
+
+    /// Drain a same-instant report batch into the buffer in one pass and
+    /// arm the collect boundary once. Byte-identical to the per-message
+    /// path: `ensure_collect` calls after the first at one instant are
+    /// no-ops (the tick is already scheduled at this very boundary), and
+    /// buffering pushes nothing to the event queue, so sequence numbers
+    /// are untouched.
+    fn handle_batch(&mut self, msgs: &mut Vec<Msg>, ctx: &mut Context<'_, World, Msg>) {
+        let mut buffered = false;
+        for msg in msgs.drain(..) {
+            ctx.next_batch_message();
+            match msg {
+                Msg::NmReport {
+                    node,
+                    job,
+                    kind,
+                    attempt,
+                } if self.role == MmRole::Active => {
+                    self.pending_reports.push((node, job, attempt, kind));
+                    buffered = true;
+                }
+                // `batchable` only admits active-role reports, and the
+                // role cannot change mid-batch (no batchable handler
+                // mutates it) — but stay correct if it ever does.
+                other => self.handle(other, ctx),
+            }
+        }
+        if buffered {
+            self.ensure_collect(ctx);
+        }
     }
 }
 

@@ -59,6 +59,110 @@ impl Wiring {
     }
 }
 
+/// Struct-of-arrays per-node health state: failure flags, failure
+/// instants, and quarantine flags live in parallel dense arrays keyed by
+/// node index, so the sweeps the MM runs every timeslice (quarantine
+/// census at each health sample, promotion-time quarantine adoption) are
+/// linear scans — and the quarantine count itself is maintained
+/// incrementally, making the per-tick census O(1). This is also the
+/// layout the planned sharded MM partitions by node range.
+#[derive(Debug, Clone)]
+pub struct NodeTable {
+    failed: Vec<bool>,
+    failed_at: Vec<Option<SimTime>>,
+    quarantined: Vec<bool>,
+    quarantined_count: u32,
+}
+
+impl NodeTable {
+    /// A table of `nodes` healthy nodes.
+    pub fn new(nodes: u32) -> Self {
+        NodeTable {
+            failed: vec![false; nodes as usize],
+            failed_at: vec![None; nodes as usize],
+            quarantined: vec![false; nodes as usize],
+            quarantined_count: 0,
+        }
+    }
+
+    /// Number of nodes in the table.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// True when the table is empty (zero-node clusters are rejected by
+    /// config validation, but the type stands alone).
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Is `node` currently failed (fault injected, not yet rejoined)?
+    pub fn is_failed(&self, node: u32) -> bool {
+        self.failed[node as usize]
+    }
+
+    /// When `node`'s current failure was injected (`None` while healthy).
+    /// The base instant for the fault-detection latency metric;
+    /// stall-based detections have no injection instant and record no
+    /// latency.
+    pub fn failed_since(&self, node: u32) -> Option<SimTime> {
+        self.failed_at[node as usize]
+    }
+
+    /// Record an injected failure of `node` at `at`.
+    pub fn mark_failed(&mut self, node: u32, at: SimTime) {
+        self.failed[node as usize] = true;
+        self.failed_at[node as usize] = Some(at);
+    }
+
+    /// Clear `node`'s failure record (the node rejoined).
+    pub fn clear_failed(&mut self, node: u32) {
+        self.failed[node as usize] = false;
+        self.failed_at[node as usize] = None;
+    }
+
+    /// Is `node` quarantined out of the allocator?
+    pub fn is_quarantined(&self, node: u32) -> bool {
+        self.quarantined[node as usize]
+    }
+
+    /// Set or clear `node`'s quarantine flag, keeping the census current.
+    pub fn set_quarantined(&mut self, node: u32, on: bool) {
+        let flag = &mut self.quarantined[node as usize];
+        if *flag != on {
+            *flag = on;
+            if on {
+                self.quarantined_count += 1;
+            } else {
+                self.quarantined_count -= 1;
+            }
+        }
+    }
+
+    /// Flip `node`'s quarantine flag (DST desync injection), returning the
+    /// new value.
+    pub fn toggle_quarantined(&mut self, node: u32) -> bool {
+        let on = !self.quarantined[node as usize];
+        self.set_quarantined(node, on);
+        on
+    }
+
+    /// Nodes currently quarantined — maintained incrementally, so the
+    /// per-tick health sample pays one load instead of a full scan.
+    pub fn quarantined_count(&self) -> u32 {
+        self.quarantined_count
+    }
+
+    /// Quarantined node indices, ascending.
+    pub fn quarantined_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q)
+            .map(|(n, _)| n as u32)
+    }
+}
+
 /// Cluster-wide counters, for tests, reports and the benches.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusterStats {
@@ -111,16 +215,9 @@ pub struct World {
     pub slot_jobs: Vec<Vec<JobId>>,
     /// Currently active time slot.
     pub active_slot: usize,
-    /// Per-node failure flags (set by injected failures).
-    pub failed: Vec<bool>,
-    /// When each node's current failure was injected (`None` while the
-    /// node is healthy) — the base instant for the fault-detection
-    /// latency metric. Stall-based detections have no injection instant
-    /// and record no latency.
-    pub failed_at: Vec<Option<SimTime>>,
-    /// Per-node quarantine flags: set when the MM detects a failure and
-    /// carves the node out of the allocator, cleared on re-admission.
-    pub quarantined: Vec<bool>,
+    /// Per-node health state (failure flags/instants, quarantine census)
+    /// in struct-of-arrays layout — see [`NodeTable`].
+    pub nodes: NodeTable,
     /// The management node's filesystem read device (serialises reads).
     pub read_dev: Nic,
     /// The source NIC + helper process (serialises broadcasts).
@@ -214,9 +311,7 @@ impl World {
             slot_jobs: Vec::new(),
             matrix,
             active_slot: 0,
-            failed: vec![false; cfg.nodes as usize],
-            failed_at: vec![None; cfg.nodes as usize],
-            quarantined: vec![false; cfg.nodes as usize],
+            nodes: NodeTable::new(cfg.nodes),
             read_dev: Nic::new(),
             bcast_dev: Nic::new(),
             hb_var: None,
@@ -384,7 +479,8 @@ mod tests {
     #[test]
     fn world_builds_for_paper_cluster() {
         let w = World::new(ClusterConfig::paper_cluster());
-        assert_eq!(w.failed.len(), 64);
+        assert_eq!(w.nodes.len(), 64);
+        assert_eq!(w.nodes.quarantined_count(), 0);
         assert_eq!(w.mech.memory.nodes(), 64);
         assert!(w.is_idle());
     }

@@ -306,7 +306,7 @@ impl Oracle for QuarantineSafety {
 
     fn check(&mut self, world: &World, _now: SimTime) -> Result<(), String> {
         for node in 0..world.cfg.nodes {
-            let flag = world.quarantined[node as usize];
+            let flag = world.nodes.is_quarantined(node);
             let in_matrix = world.matrix.is_quarantined(node);
             if flag != in_matrix {
                 return Err(format!(
@@ -541,7 +541,7 @@ mod tests {
     #[test]
     fn quarantine_safety_catches_a_desynced_flag() {
         let mut c = tiny();
-        c.with_world_mut(|w| w.quarantined[2] = true);
+        c.with_world_mut(|w| w.nodes.set_quarantined(2, true));
         let mut suite = standard_suite();
         let v = check_all(&mut suite, c.world(), c.now()).expect("must fire");
         assert_eq!(v.oracle, "quarantine_safety");

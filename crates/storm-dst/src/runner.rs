@@ -112,8 +112,7 @@ fn apply_injection(c: &mut Cluster, kind: &InjectionKind) {
     c.with_world_mut(|w| match *kind {
         InjectionKind::CompletedSkew => w.stats.completed_jobs += 1,
         InjectionKind::QuarantineDesync { node } => {
-            let flag = &mut w.quarantined[node as usize];
-            *flag = !*flag;
+            w.nodes.toggle_quarantined(node);
         }
         InjectionKind::HbRegress => w.hb_round -= 1,
         InjectionKind::MatrixTear => w.slot_jobs_add(0, JobId(u32::MAX)),

@@ -3,14 +3,31 @@
 //! A [`Simulation`] owns a set of [`Component`]s (in STORM: the Machine
 //! Manager, one Node Manager per node, Program Launchers, application
 //! processes, baseline launchers, …), a deterministic [`EventQueue`] of
-//! `(time, target, message)` deliveries, a shared mutable *world* `W`
-//! (network occupancy, global variables, filesystem state, metrics), and a
+//! timestamped deliveries, a shared mutable *world* `W` (network
+//! occupancy, global variables, filesystem state, metrics), and a
 //! deterministic RNG.
 //!
 //! Components communicate exclusively through timestamped messages; the
 //! engine delivers them in `(time, insertion-sequence)` order, so any two
 //! runs with the same inputs and seed produce identical traces.
+//!
+//! ## The batched, arena-backed hot loop (DESIGN.md §16)
+//!
+//! The queue itself carries only a dense [`EventRef`] — target component
+//! index plus a generational [`PayloadId`] into a slab arena — so heap
+//! sifts and wheel bucket moves shuffle a few machine words per entry no
+//! matter how large the message type is. Components live in a flat
+//! dispatch table indexed by that component index (no per-delivery
+//! checkout/check-in), and a component may opt messages into same-instant
+//! batching via [`Component::batchable`]: the maximal run of consecutive
+//! pops at one instant bound for one component is drained into a reusable
+//! scratch vector and applied through a single [`Component::handle_batch`]
+//! call, preserving `(time, tie, seq)` order exactly. Batching
+//! auto-disables while a [`DeliveryOrder`] hook is installed (nonzero
+//! ties may legally interleave a freshly-pushed event *between* already
+//! drained ones), which also keeps the interleaving digest untouched.
 
+use crate::arena::{ArenaStats, EventArena, PayloadId};
 use crate::queue::{DeliveryOrder, EventQueue, QueueBackend, QueueStats};
 use crate::rng::DeterministicRng;
 use crate::time::{SimSpan, SimTime};
@@ -70,7 +87,9 @@ pub fn tree_depth(rank: u64, fanout: u64) -> u64 {
 ///
 /// Both variants are O(1)-sized: a strided arithmetic progression of
 /// component ids (how regularly-wired per-node components lay out), or a
-/// shared slice for irregular sets.
+/// shared slice for irregular sets. Cloning is allocation-free (a field
+/// copy or an `Arc` refcount bump), which is what lets
+/// [`Context::multicast`] borrow the caller's targets.
 #[derive(Clone, Debug)]
 pub enum GroupTargets {
     /// `len` components at ids `first, first+stride, first+2·stride, …`.
@@ -164,11 +183,37 @@ impl<M> GroupDelivery<M> {
     }
 }
 
-/// One queue entry: a single message, or a group standing in for many.
-#[derive(Debug)]
-enum Delivery<M> {
-    One(ComponentId, M),
-    Group(GroupDelivery<M>),
+/// Component index standing in for "this entry is a group delivery".
+/// Real components are capped one below it at registration.
+const GROUP_TARGET: u32 = u32::MAX;
+
+/// One queue entry: the target component's dense index (or the group
+/// sentinel) plus the generational arena handle of the payload. `Copy`
+/// and a few machine words — this is all the wheel and heap ever move.
+#[derive(Clone, Copy, Debug)]
+struct EventRef {
+    target: u32,
+    payload: PayloadId,
+}
+
+impl EventRef {
+    fn one(target: ComponentId, payload: PayloadId) -> Self {
+        EventRef {
+            target: target.0,
+            payload,
+        }
+    }
+
+    fn group(payload: PayloadId) -> Self {
+        EventRef {
+            target: GROUP_TARGET,
+            payload,
+        }
+    }
+
+    fn is_group(self) -> bool {
+        self.target == GROUP_TARGET
+    }
 }
 
 /// A simulated actor. `W` is the shared world type, `M` the message type.
@@ -180,21 +225,50 @@ pub trait Component<W, M> {
     fn name(&self) -> &str {
         std::any::type_name::<Self>()
     }
+
+    /// Opt `msg` into same-instant batching: when this returns `true`
+    /// (default `false`), the engine may drain the maximal run of
+    /// consecutive same-instant pops bound for this component into one
+    /// [`Component::handle_batch`] call instead of one [`Component::
+    /// handle`] call each.
+    ///
+    /// Contract for batchable messages — what keeps a batched run
+    /// byte-identical to the unbatched one: their handlers must not halt
+    /// the simulation and must not read queue observables
+    /// ([`Context::peek_next_event`], [`Context::queue_stats`]) — drained
+    /// messages are no longer *in* the queue while the batch runs.
+    /// [`Context::pending_messages`] stays exact as long as the batch
+    /// handler calls [`Context::next_batch_message`] before each message
+    /// (the default [`Component::handle_batch`] does).
+    fn batchable(&self, _msg: &M) -> bool {
+        false
+    }
+
+    /// Handle a same-instant batch of messages, in delivery order. The
+    /// default drains the vector through [`Component::handle`] one
+    /// message at a time — components overriding this amortize per-batch
+    /// work but must preserve exactly that per-message order (and drain
+    /// `msgs` completely).
+    fn handle_batch(&mut self, msgs: &mut Vec<M>, ctx: &mut Context<'_, W, M>) {
+        for msg in msgs.drain(..) {
+            ctx.next_batch_message();
+            self.handle(msg, ctx);
+        }
+    }
 }
 
-/// Logical messages pending in the queue: a unicast entry counts one, a
-/// group entry counts its undelivered members. Heap order is arbitrary,
-/// but a sum over it is order-insensitive, so the result is
-/// deterministic — and, unlike the raw queue length, identical whether
-/// fan-outs travel grouped or per-member.
-fn logical_pending<M>(queue: &EventQueue<Delivery<M>>) -> u64 {
-    queue
-        .values()
-        .map(|d| match d {
-            Delivery::One(..) => 1,
-            Delivery::Group(g) => u64::from(g.targets.len() - g.cursor),
-        })
-        .sum()
+/// Logical messages pending across the payload arenas: each interned
+/// unicast payload counts one, each interned group counts its undelivered
+/// members. Arena slot order is arbitrary, but a sum over it is
+/// order-insensitive, so the result is deterministic — and, unlike the
+/// raw queue length, identical whether fan-outs travel grouped or
+/// per-member.
+fn logical_pending<M>(msgs: &EventArena<M>, groups: &EventArena<GroupDelivery<M>>) -> u64 {
+    msgs.live() as u64
+        + groups
+            .iter()
+            .map(|g| u64::from(g.targets.len() - g.cursor))
+            .sum::<u64>()
 }
 
 /// Everything a component may touch while handling a message.
@@ -202,14 +276,17 @@ pub struct Context<'a, W, M> {
     now: SimTime,
     self_id: ComponentId,
     world: &'a mut W,
-    queue: &'a mut EventQueue<Delivery<M>>,
+    queue: &'a mut EventQueue<EventRef>,
+    msgs: &'a mut EventArena<M>,
+    groups: &'a mut EventArena<GroupDelivery<M>>,
     rng: &'a mut DeterministicRng,
     tracer: &'a mut Tracer,
     halt: &'a mut bool,
-    /// Members of the group currently being expanded that have not run
-    /// yet — they live in neither the queue nor a handler, so
-    /// [`Context::pending_messages`] must add them back in.
-    group_pending: u64,
+    /// Messages delivered out of the queue but not yet handled: the
+    /// undelivered members of a group mid-expansion, or the not-yet-handled
+    /// remainder of the current batch. They live in neither the queue nor a
+    /// handler, so [`Context::pending_messages`] must add them back in.
+    in_flight: u64,
 }
 
 impl<W, M> Context<'_, W, M> {
@@ -237,13 +314,15 @@ impl<W, M> Context<'_, W, M> {
     /// past are clamped to *now* (delivery still happens, never time travel).
     pub fn send_at(&mut self, target: ComponentId, at: SimTime, msg: M) {
         let at = at.max(self.now);
-        self.queue.push(at, Delivery::One(target, msg));
+        let payload = self.msgs.alloc(msg);
+        self.queue.push(at, EventRef::one(target, payload));
     }
 
     /// Deliver `msg` to `target` after `delay`.
     pub fn send(&mut self, target: ComponentId, delay: SimSpan, msg: M) {
+        let payload = self.msgs.alloc(msg);
         self.queue
-            .push(self.now + delay, Delivery::One(target, msg));
+            .push(self.now + delay, EventRef::one(target, payload));
     }
 
     /// Deliver one `msg` to every member of `targets`, member `rank`
@@ -255,10 +334,11 @@ impl<W, M> Context<'_, W, M> {
     /// lazily at delivery time, in ascending rank order, so the delivered
     /// trace — order, timestamps and tie-breaks against every other event —
     /// is byte-identical to the equivalent loop of per-member `send_at`
-    /// calls.
+    /// calls. Targets are borrowed: the internal copy is a field copy or
+    /// an `Arc` refcount bump, never a per-member allocation.
     pub fn multicast(
         &mut self,
-        targets: GroupTargets,
+        targets: &GroupTargets,
         base: SimTime,
         schedule: GroupSchedule,
         msg: M,
@@ -269,7 +349,7 @@ impl<W, M> Context<'_, W, M> {
         }
         let base_seq = self.queue.reserve_seqs(u64::from(len));
         let group = GroupDelivery {
-            targets,
+            targets: targets.clone(),
             schedule,
             base,
             floor: self.now,
@@ -278,7 +358,9 @@ impl<W, M> Context<'_, W, M> {
             msg,
         };
         let at = group.arrival(0);
-        self.queue.push_at_seq(at, base_seq, Delivery::Group(group));
+        let payload = self.groups.alloc(group);
+        self.queue
+            .push_at_seq(at, base_seq, EventRef::group(payload));
     }
 
     /// Deliver `msg` to self after `delay` (a timer).
@@ -306,14 +388,22 @@ impl<W, M> Context<'_, W, M> {
         (self.world, self.rng)
     }
 
-    /// Logical messages awaiting delivery: each unicast queue entry
-    /// counts one, each group entry counts its undelivered members, plus
-    /// any members of the group currently being expanded that have not
-    /// run yet. The count is therefore identical whether fan-outs travel
-    /// grouped or per-member — unlike the raw queue length — so
-    /// telemetry built on it stays byte-identical across delivery modes.
+    /// Logical messages awaiting delivery: each unicast payload counts
+    /// one, each group counts its undelivered members, plus whatever the
+    /// engine has popped but not yet handled (a group mid-expansion, the
+    /// rest of the current batch). The count is therefore identical
+    /// whether fan-outs travel grouped or per-member and whether batching
+    /// is on or off — unlike the raw queue length — so telemetry built on
+    /// it stays byte-identical across delivery modes.
     pub fn pending_messages(&self) -> u64 {
-        self.group_pending + logical_pending(self.queue)
+        self.in_flight + logical_pending(self.msgs, self.groups)
+    }
+
+    /// Mark the next message of the current batch as handled — called by
+    /// [`Component::handle_batch`] implementations before each message so
+    /// [`Context::pending_messages`] matches the unbatched run exactly.
+    pub fn next_batch_message(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
     }
 
     /// The instant of the earliest pending event, if any — lets a periodic
@@ -345,8 +435,22 @@ impl<W, M> Context<'_, W, M> {
 pub struct Simulation<W, M> {
     now: SimTime,
     world: W,
-    components: Vec<Option<Box<dyn Component<W, M>>>>,
-    queue: EventQueue<Delivery<M>>,
+    /// The dispatch table: components in registration order, indexed
+    /// directly by the dense component index every [`EventRef`] carries.
+    /// No per-delivery checkout — the borrow is split from the rest of
+    /// the engine state, so dispatch is one bounds check and one call.
+    components: Vec<Box<dyn Component<W, M>>>,
+    queue: EventQueue<EventRef>,
+    /// Interned unicast payloads.
+    msgs: EventArena<M>,
+    /// Interned group deliveries (rare, large; kept out of the unicast
+    /// arena so its slots stay message-sized).
+    groups: EventArena<GroupDelivery<M>>,
+    /// Reusable batch scratch buffer (capacity persists across batches).
+    scratch: Vec<M>,
+    /// Same-instant batching enabled? (Configuration; the engine
+    /// additionally requires no [`DeliveryOrder`] hook to be installed.)
+    batching: bool,
     rng: DeterministicRng,
     tracer: Tracer,
     halt: bool,
@@ -384,12 +488,16 @@ impl<W, M> Simulation<W, M> {
         )
     }
 
-    fn with_queue(world: W, seed: u64, queue: EventQueue<Delivery<M>>) -> Self {
+    fn with_queue(world: W, seed: u64, queue: EventQueue<EventRef>) -> Self {
         Simulation {
             now: SimTime::ZERO,
             world,
             components: Vec::new(),
             queue,
+            msgs: EventArena::new(),
+            groups: EventArena::new(),
+            scratch: Vec::new(),
+            batching: true,
             rng: DeterministicRng::new(seed),
             tracer: Tracer::disabled(),
             halt: false,
@@ -415,23 +523,37 @@ impl<W, M> Simulation<W, M> {
         self.max_events = cap;
     }
 
+    /// Toggle same-instant batching (on by default). Purely a throughput
+    /// knob: batched and unbatched runs are byte-identical in trace,
+    /// stats, and digest. Batching is additionally suspended — regardless
+    /// of this setting — while a [`DeliveryOrder`] hook is installed.
+    pub fn set_event_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// Whether same-instant batching is configured on (see
+    /// [`Simulation::set_event_batching`]).
+    pub fn event_batching(&self) -> bool {
+        self.batching
+    }
+
     /// Register a component, returning its id.
     pub fn add_component(&mut self, c: impl Component<W, M> + 'static) -> ComponentId {
-        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
-        self.components.push(Some(Box::new(c)));
-        id
+        self.add_boxed(Box::new(c))
     }
 
     /// Register a boxed component.
     pub fn add_boxed(&mut self, c: Box<dyn Component<W, M>>) -> ComponentId {
-        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
-        self.components.push(Some(c));
-        id
+        let ix = u32::try_from(self.components.len()).expect("too many components");
+        assert!(ix < GROUP_TARGET, "too many components");
+        self.components.push(c);
+        ComponentId(ix)
     }
 
     /// Schedule an initial message delivery.
     pub fn post(&mut self, at: SimTime, target: ComponentId, msg: M) {
-        self.queue.push(at, Delivery::One(target, msg));
+        let payload = self.msgs.alloc(msg);
+        self.queue.push(at, EventRef::one(target, payload));
     }
 
     /// Current simulated time.
@@ -481,6 +603,14 @@ impl<W, M> Simulation<W, M> {
         self.queue.stats()
     }
 
+    /// Payload-arena accounting: live and peak interned payloads plus the
+    /// resident bytes of the slot tables, summed over the message and
+    /// group arenas. After a run drains the queue, `live` is zero — every
+    /// payload is taken exactly once.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.msgs.stats().merged(self.groups.stats())
+    }
+
     /// The event-queue backend this simulation runs on.
     pub fn queue_backend(&self) -> QueueBackend {
         self.queue.backend()
@@ -490,7 +620,9 @@ impl<W, M> Simulation<W, M> {
     /// the DST entry point for exploring same-timestamp delivery
     /// permutations. Install before posting the first event so every
     /// insertion is keyed; `None` (the default) keeps the engine's classic
-    /// `(time, seq)` order bit-identical.
+    /// `(time, seq)` order bit-identical. While a hook is installed,
+    /// same-instant batching is suspended (ties may legally order a
+    /// freshly-pushed event between already-drained ones).
     pub fn set_delivery_order(&mut self, order: Option<DeliveryOrder>) {
         self.queue.set_delivery_order(order);
     }
@@ -506,7 +638,7 @@ impl<W, M> Simulation<W, M> {
     /// Logical messages awaiting delivery (see
     /// [`Context::pending_messages`]); identical across delivery modes.
     pub fn pending_messages(&self) -> u64 {
-        logical_pending(&self.queue)
+        logical_pending(&self.msgs, &self.groups)
     }
 
     /// The recorded trace (empty unless tracing was enabled).
@@ -515,20 +647,13 @@ impl<W, M> Simulation<W, M> {
     }
 
     /// Borrow a component back out (e.g. to read final state after a run).
-    ///
-    /// Panics if the id is stale or the component is mid-delivery (cannot
-    /// happen between `run_*` calls).
     pub fn component(&self, id: ComponentId) -> &dyn Component<W, M> {
-        self.components[id.index()]
-            .as_deref()
-            .expect("component checked out")
+        &*self.components[id.index()]
     }
 
     /// Mutable access to a component between runs.
     pub fn component_mut(&mut self, id: ComponentId) -> &mut (dyn Component<W, M> + 'static) {
-        self.components[id.index()]
-            .as_deref_mut()
-            .expect("component checked out")
+        &mut *self.components[id.index()]
     }
 
     /// True once [`Context::halt`] has been called.
@@ -545,68 +670,167 @@ impl<W, M: Clone> Simulation<W, M> {
     /// order; members whose arrival instant lies beyond the popped entry's
     /// (a fan-out tree's deeper ranks) are re-inserted as one entry at
     /// their own reserved `(time, seq)` slot, so interleaving with every
-    /// other pending event matches per-member sends exactly.
+    /// other pending event matches per-member sends exactly. A unicast
+    /// entry whose component opted the message into batching additionally
+    /// drains its same-instant run (see [`Component::batchable`]).
     pub fn step(&mut self) -> bool {
         if self.halt {
             return false;
         }
-        let Some((time, delivery)) = self.queue.pop() else {
+        let Some((time, eref)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(time >= self.now, "event queue violated time order");
         self.now = time;
         self.delivered += 1;
-        match delivery {
-            Delivery::One(target, msg) => self.deliver(target, msg, 0),
-            Delivery::Group(mut group) => {
-                let len = group.targets.len();
-                while group.cursor < len {
-                    let rank = group.cursor;
-                    let at = group.arrival(rank);
-                    if at > time || self.halt {
-                        // Later arrival (or halt mid-group): park the
-                        // remainder at its reserved slot and stop here.
-                        let seq = group.base_seq + u64::from(rank);
-                        self.queue.push_at_seq(at, seq, Delivery::Group(group));
-                        break;
-                    }
-                    group.cursor += 1;
-                    let target = group.targets.get(rank);
-                    let msg = group.msg.clone();
-                    // The undelivered rest of this group is in-flight, not
-                    // queued; tell the handler's context about it so
-                    // pending-message counts match per-member sends.
-                    self.deliver(target, msg, u64::from(len - group.cursor));
-                }
-            }
+        if !eref.is_group() && self.batching && self.queue.delivery_order().is_none() {
+            self.deliver_maybe_batched(time, eref);
+        } else {
+            self.apply(time, eref);
         }
         true
     }
 
-    fn deliver(&mut self, target: ComponentId, msg: M, group_pending: u64) {
-        self.handled += 1;
+    /// Deliver one already-popped entry: take its payload back out of the
+    /// arena and dispatch (expanding a group member by member).
+    fn apply(&mut self, time: SimTime, eref: EventRef) {
+        if eref.is_group() {
+            let group = self.groups.take(eref.payload);
+            self.expand_group(time, group);
+        } else {
+            let msg = self.msgs.take(eref.payload);
+            self.deliver(ComponentId(eref.target), msg, 0);
+        }
+    }
+
+    /// Unicast delivery with the same-instant batch fast path. With no
+    /// [`DeliveryOrder`] hook installed (the caller checked), every tie is
+    /// zero and anything a handler pushes at this instant receives a later
+    /// sequence number than everything already queued — so the maximal run
+    /// of consecutive same-instant, same-target, batchable pops drained
+    /// here is exactly the run the unbatched engine would deliver
+    /// back-to-back, and handling it as one batch preserves the delivery
+    /// order byte for byte.
+    fn deliver_maybe_batched(&mut self, time: SimTime, eref: EventRef) {
+        let target = ComponentId(eref.target);
+        let ix = eref.target as usize;
+        let msg = self.msgs.take(eref.payload);
+        if !self.components[ix].batchable(&msg) {
+            self.deliver(target, msg, 0);
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.scratch);
+        batch.push(msg);
+        // The first same-instant pop that is *not* part of the run is
+        // already out of the queue; it is applied right after the batch,
+        // exactly where the unbatched engine would have delivered it.
+        let mut carry = None;
+        while self.queue.peek_time() == Some(time) {
+            let Some((_, next)) = self.queue.pop() else {
+                break;
+            };
+            self.delivered += 1;
+            let same_run = !next.is_group()
+                && next.target == eref.target
+                && self.components[ix].batchable(self.msgs.get(next.payload));
+            if !same_run {
+                carry = Some(next);
+                break;
+            }
+            batch.push(self.msgs.take(next.payload));
+        }
+        self.handled += batch.len() as u64;
         assert!(
             self.handled <= self.max_events,
             "event cap exceeded ({} events): runaway simulation?",
             self.max_events
         );
-        let mut comp = self.components[target.index()]
-            .take()
-            .unwrap_or_else(|| panic!("message to unknown/checked-out component {target}"));
         {
             let mut ctx = Context {
                 now: self.now,
                 self_id: target,
                 world: &mut self.world,
                 queue: &mut self.queue,
+                msgs: &mut self.msgs,
+                groups: &mut self.groups,
                 rng: &mut self.rng,
                 tracer: &mut self.tracer,
                 halt: &mut self.halt,
-                group_pending,
+                in_flight: batch.len() as u64,
             };
-            comp.handle(msg, &mut ctx);
+            self.components[ix].handle_batch(&mut batch, &mut ctx);
         }
-        self.components[target.index()] = Some(comp);
+        debug_assert!(batch.is_empty(), "handle_batch must drain its input");
+        batch.clear();
+        self.scratch = batch;
+        if let Some(next) = carry {
+            if self.halt {
+                // Batchable handlers are contractually halt-free; if one
+                // halts anyway, hand the already-popped successor back to
+                // the queue (fresh sequence number — unobservable after a
+                // halt) rather than deliver past the halt.
+                self.queue.push(time, next);
+            } else {
+                self.apply(time, next);
+            }
+        }
+    }
+
+    /// Expand a popped group delivery member by member. The final member
+    /// receives the message by move — a group of N costs N-1 clones, and
+    /// none of them allocate for the fan-out message types the cluster
+    /// uses (asserted by the allocation-free expansion test).
+    fn expand_group(&mut self, time: SimTime, mut group: GroupDelivery<M>) {
+        let len = group.targets.len();
+        loop {
+            let rank = group.cursor;
+            let at = group.arrival(rank);
+            if at > time || self.halt {
+                // Later arrival (or halt mid-group): park the remainder at
+                // its reserved slot and stop here.
+                let seq = group.base_seq + u64::from(rank);
+                let payload = self.groups.alloc(group);
+                self.queue.push_at_seq(at, seq, EventRef::group(payload));
+                return;
+            }
+            group.cursor += 1;
+            let target = group.targets.get(rank);
+            if group.cursor == len {
+                self.deliver(target, group.msg, 0);
+                return;
+            }
+            let msg = group.msg.clone();
+            // The undelivered rest of this group is in-flight, not queued;
+            // tell the handler's context about it so pending-message
+            // counts match per-member sends.
+            self.deliver(target, msg, u64::from(len - group.cursor));
+        }
+    }
+
+    fn deliver(&mut self, target: ComponentId, msg: M, in_flight: u64) {
+        self.handled += 1;
+        assert!(
+            self.handled <= self.max_events,
+            "event cap exceeded ({} events): runaway simulation?",
+            self.max_events
+        );
+        assert!(
+            target.index() < self.components.len(),
+            "message to unknown component {target}"
+        );
+        let mut ctx = Context {
+            now: self.now,
+            self_id: target,
+            world: &mut self.world,
+            queue: &mut self.queue,
+            msgs: &mut self.msgs,
+            groups: &mut self.groups,
+            rng: &mut self.rng,
+            tracer: &mut self.tracer,
+            halt: &mut self.halt,
+            in_flight,
+        };
+        self.components[target.index()].handle(msg, &mut ctx);
     }
 
     /// Run until the queue drains or the simulation halts. Returns the final
@@ -760,6 +984,21 @@ mod tests {
     }
 
     #[test]
+    fn arena_drains_to_zero_after_a_run() {
+        let mut sim = Simulation::new(World::new(), 3);
+        let c = sim.add_component(Counter::default());
+        let d = sim.add_component(Counter::default());
+        sim.post(SimTime::ZERO, c, Msg::Tick(40));
+        sim.post(SimTime::ZERO, d, Msg::Tick(40));
+        sim.run_to_completion();
+        let s = sim.arena_stats();
+        assert_eq!(s.live, 0, "every payload taken exactly once");
+        assert!(s.peak >= 2);
+        assert!(s.payload_bytes > 0);
+        assert!(s.capacity <= s.peak, "slab reuse: capacity bounded by peak");
+    }
+
+    #[test]
     #[should_panic(expected = "event cap exceeded")]
     fn event_cap_guards_runaway() {
         let mut sim = Simulation::new(World::new(), 1);
@@ -805,7 +1044,7 @@ mod tests {
                     ctx.send_at(self.targets.get(rank), at, msg);
                 }
             } else {
-                ctx.multicast(self.targets.clone(), base, self.schedule, msg);
+                ctx.multicast(&self.targets, base, self.schedule, msg);
             }
             // A competing event scheduled *after* the fan-out must stay
             // after every member in tie-break order.
@@ -881,14 +1120,14 @@ mod tests {
                 let now = ctx.now();
                 let list: Arc<[ComponentId]> = [ComponentId(2), ComponentId(1)].into();
                 ctx.multicast(
-                    GroupTargets::List(list),
+                    &GroupTargets::List(list),
                     now,
                     GroupSchedule::Simultaneous,
                     11,
                 );
                 // Empty group: no-op, no reserved entry popped.
                 ctx.multicast(
-                    GroupTargets::Strided {
+                    &GroupTargets::Strided {
                         first: ComponentId(1),
                         stride: 1,
                         len: 0,
@@ -932,7 +1171,7 @@ mod tests {
             fn handle(&mut self, _msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
                 let now = ctx.now();
                 ctx.multicast(
-                    GroupTargets::Strided {
+                    &GroupTargets::Strided {
                         first: ComponentId(1),
                         stride: 1,
                         len: 4,
@@ -999,6 +1238,104 @@ mod tests {
         ] {
             assert_eq!(run(false, schedule), run(true, schedule));
         }
+    }
+
+    /// A batching component: records deliveries like [`Recorder`] plus the
+    /// batch sizes its `handle_batch` override observed, and counts
+    /// pending messages per delivery so batched/unbatched equivalence of
+    /// the compensated pending count is checked too.
+    struct BatchRecorder {
+        batch_sizes: Vec<usize>,
+    }
+    impl Component<RecWorld, u32> for BatchRecorder {
+        fn handle(&mut self, msg: u32, ctx: &mut Context<'_, RecWorld, u32>) {
+            let now = ctx.now();
+            let id = ctx.self_id().0;
+            let pending = u32::try_from(ctx.pending_messages()).unwrap();
+            ctx.world().push((now, id, msg * 1000 + pending));
+            if msg == 7 {
+                // Push more same-instant work from inside a batch: new
+                // events get later sequence numbers, so they sort after
+                // the drained run in both modes.
+                ctx.send_self_at(now, 8);
+            }
+        }
+
+        fn batchable(&self, msg: &u32) -> bool {
+            *msg < 100
+        }
+
+        fn handle_batch(&mut self, msgs: &mut Vec<u32>, ctx: &mut Context<'_, RecWorld, u32>) {
+            self.batch_sizes.push(msgs.len());
+            for msg in msgs.drain(..) {
+                ctx.next_batch_message();
+                self.handle(msg, ctx);
+            }
+        }
+    }
+
+    fn batch_run(batching: bool) -> (RecWorld, u64, u64) {
+        let mut sim = Simulation::new(RecWorld::new(), 11);
+        let a = sim.add_component(BatchRecorder {
+            batch_sizes: Vec::new(),
+        });
+        let b = sim.add_component(BatchRecorder {
+            batch_sizes: Vec::new(),
+        });
+        sim.set_event_batching(batching);
+        let t = SimTime::from_micros(50);
+        // A run for a, one non-batchable interloper (>= 100), a run for b,
+        // then more for a at the same instant, plus a later singleton.
+        for (target, msg) in [(a, 1u32), (a, 2), (a, 300), (b, 3), (b, 7), (a, 4), (a, 5)] {
+            sim.post(t, target, msg);
+        }
+        sim.post(t + SimSpan::from_micros(5), b, 6);
+        sim.run_to_completion();
+        let delivered = sim.events_delivered();
+        let handled = sim.messages_handled();
+        assert_eq!(sim.arena_stats().live, 0);
+        (sim.into_world(), delivered, handled)
+    }
+
+    #[test]
+    fn batching_is_byte_identical_and_counts_match() {
+        let (on, delivered_on, handled_on) = batch_run(true);
+        let (off, delivered_off, handled_off) = batch_run(false);
+        assert_eq!(on, off, "trace identical with batching on and off");
+        assert_eq!(delivered_on, delivered_off, "pops identical");
+        assert_eq!(handled_on, handled_off, "handler invocations identical");
+    }
+
+    #[test]
+    fn batching_suspends_under_a_delivery_order_hook() {
+        // With a permuting hook installed the engine must fall back to
+        // per-message delivery (ties can reorder same-instant events), and
+        // the hooked trace must be independent of the batching toggle.
+        let run = |batching: bool| {
+            let mut sim = Simulation::new(RecWorld::new(), 2);
+            let a = sim.add_component(BatchRecorder {
+                batch_sizes: Vec::new(),
+            });
+            sim.set_event_batching(batching);
+            sim.set_delivery_order(Some(DeliveryOrder::script(vec![2, 1, 0])));
+            let t = SimTime::from_micros(9);
+            for msg in [1u32, 2, 3] {
+                sim.post(t, a, msg);
+            }
+            sim.run_to_completion();
+            let digest = sim.interleaving_digest();
+            (sim.into_world(), digest)
+        };
+        let (on, digest_on) = run(true);
+        let (off, digest_off) = run(false);
+        assert_eq!(on, off);
+        assert_eq!(digest_on, digest_off);
+        // The scripted ties actually permuted (batching did not flatten
+        // the permutation away).
+        assert_eq!(
+            on.iter().map(|&(_, _, v)| v / 1000).collect::<Vec<_>>(),
+            vec![3, 2, 1]
+        );
     }
 
     #[test]

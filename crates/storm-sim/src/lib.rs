@@ -10,7 +10,10 @@
 //! * [`EventQueue`] — an event queue with a total (time, sequence) order,
 //!   which makes every run bit-for-bit reproducible for a given seed. Two
 //!   backends — a hierarchical timing wheel (default) and the reference
-//!   binary heap — pop in bit-identical order.
+//!   binary heap — pop in bit-identical order. Entries carry only a dense
+//!   event reference; payloads are interned in [`EventArena`].
+//! * [`EventArena`] — a generational slab arena for in-flight message
+//!   payloads, so queue reshuffles move machine words, not messages.
 //! * [`Simulation`] / [`Component`] / [`Context`] — a small actor framework:
 //!   components (the STORM dæmons, application processes, baseline launchers)
 //!   exchange timestamped messages and share a mutable *world* (network
@@ -58,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod queue;
 pub mod rng;
@@ -65,6 +69,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use arena::{ArenaStats, EventArena, PayloadId};
 pub use engine::{
     tree_depth, Component, ComponentId, Context, GroupSchedule, GroupTargets, Simulation,
 };

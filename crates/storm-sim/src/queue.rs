@@ -52,6 +52,14 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+impl<E> Entry<E> {
+    /// Pop-order key: ascending `(time, tie, seq)` — the natural order,
+    /// unlike the reversed `Ord` below that serves the max-heap.
+    fn key(&self) -> (SimTime, u64, u64) {
+        (self.time, self.tie, self.seq)
+    }
+}
+
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
@@ -261,9 +269,16 @@ struct Wheel<E> {
     shift: u32,
     /// Absolute L0 bucket index of the front position.
     cursor: u64,
-    /// Entries of the current bucket plus any pushed at or before it
-    /// (late pushes land here so pop order matches the reference heap).
+    /// Late pushes at or before the cursor bucket (so pop order matches
+    /// the reference heap) plus any drained bucket that was not already
+    /// in pop order.
     front: BinaryHeap<Entry<E>>,
+    /// The current bucket when it drained already sorted — the common
+    /// case: a same-instant fan-out is pushed in seq order, so the whole
+    /// slice pops straight off this vector (stored in reverse pop order)
+    /// without paying the heap's O(log n) sift per event. `pop_min` /
+    /// `peek` take the global min of this run's tail and the heap top.
+    run: Vec<Entry<E>>,
     /// Same L0 page as the cursor: absolute buckets `b` with
     /// `b >> 8 == cursor >> 8` and `b > cursor`, indexed by `b & 255`.
     l0: Vec<Vec<Entry<E>>>,
@@ -278,6 +293,9 @@ struct Wheel<E> {
     /// cascades into `l1` when the cursor wraps past the page boundary.
     overflow: BTreeMap<u64, Vec<Entry<E>>>,
     overflow_len: usize,
+    /// Drained overflow-page buffers, kept for reuse so the periodic
+    /// L1-page crossing in a long steady-state run allocates nothing.
+    spare: Vec<Vec<Entry<E>>>,
 }
 
 impl<E> Wheel<E> {
@@ -286,6 +304,7 @@ impl<E> Wheel<E> {
             shift,
             cursor: 0,
             front: BinaryHeap::new(),
+            run: Vec::new(),
             l0: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
             l0_occ: [0; 4],
             l0_len: 0,
@@ -294,6 +313,7 @@ impl<E> Wheel<E> {
             l1_len: 0,
             overflow: BTreeMap::new(),
             overflow_len: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -302,13 +322,33 @@ impl<E> Wheel<E> {
     }
 
     fn len(&self) -> usize {
-        self.front.len() + self.l0_len + self.l1_len + self.overflow_len
+        self.front.len() + self.run.len() + self.l0_len + self.l1_len + self.overflow_len
     }
 
     fn insert(&mut self, e: Entry<E>) {
         let b = self.bucket_of(e.time);
-        if b <= self.cursor {
+        if b < self.cursor || (b == self.cursor && !(self.run.is_empty() && self.front.is_empty()))
+        {
+            // A late push: the entry's bucket is already being (or has
+            // been) drained, so it must merge with whatever is still
+            // pending — the heap keeps it in `(time, tie, seq)` order
+            // relative to the run.
             self.front.push(e);
+            return;
+        }
+        if b == self.cursor {
+            // The wheel is locally drained (run and front both empty), so
+            // nothing pops before this bucket re-drains: park the entry
+            // back in the cursor bucket instead of paying heap sifts. The
+            // next pop's lazy `advance` re-drains it — `next_set_bit` is
+            // inclusive of the cursor slot. This is the hot fan-out path:
+            // a handler at the only pending instant pushes a same-bucket
+            // burst, which lands here in seq order and is served as a
+            // sorted run.
+            let slot = (b & LEVEL_MASK) as usize;
+            self.l0[slot].push(e);
+            set_bit(&mut self.l0_occ, slot);
+            self.l0_len += 1;
             return;
         }
         if b >> LEVEL_BITS == self.cursor >> LEVEL_BITS {
@@ -324,23 +364,17 @@ impl<E> Wheel<E> {
         } else {
             self.overflow
                 .entry(b >> (2 * LEVEL_BITS))
-                .or_default()
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
                 .push(e);
             self.overflow_len += 1;
-        }
-        // Invariant: `front` is non-empty whenever the wheel is. Advancing
-        // the cursor early (before any pop reaches this bucket) is safe —
-        // entries later pushed at or before the new cursor simply join
-        // `front`, where the heap keeps them in `(time, seq)` order.
-        if self.front.is_empty() {
-            self.advance();
         }
     }
 
     /// Move the cursor to the next occupied bucket and drain it into
-    /// `front`, cascading L1 pages and overflow pages inward as needed.
+    /// `run` (already sorted — the fast path) or `front`, cascading L1
+    /// pages and overflow pages inward as needed.
     fn advance(&mut self) {
-        debug_assert!(self.front.is_empty());
+        debug_assert!(self.front.is_empty() && self.run.is_empty());
         if self.l0_len == 0 && self.l1_len == 0 && self.overflow_len == 0 {
             return;
         }
@@ -354,6 +388,9 @@ impl<E> Wheel<E> {
                     self.l1[slot].push(e);
                     set_bit(&mut self.l1_occ, slot);
                     self.l1_len += 1;
+                }
+                if self.spare.len() < 8 {
+                    self.spare.push(entries); // hand the buffer back
                 }
             }
             let cur = ((self.cursor >> LEVEL_BITS) & LEVEL_MASK) as usize;
@@ -377,27 +414,80 @@ impl<E> Wheel<E> {
         let mut entries = std::mem::take(&mut self.l0[slot]);
         self.l0_len -= entries.len();
         self.cursor = (self.cursor & !LEVEL_MASK) | slot as u64;
-        for e in entries.drain(..) {
-            self.front.push(e);
-        }
+        // Serve the drained bucket as a sorted run: sort descending by
+        // key so pops come off the tail in ascending pop order. The
+        // common bucket — a same-instant fan-out pushed in seq order —
+        // is already one ascending run, which the pattern-defeating
+        // quicksort detects and reverses in O(n); a polluted bucket
+        // (interleaved pushes for different instants) pays a real sort,
+        // still far cheaper than per-entry heap sifts. The emptied old
+        // run buffer takes the bucket's place, keeping the buffer cycle
+        // allocation-free.
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        std::mem::swap(&mut self.run, &mut entries);
         self.l0[slot] = entries;
     }
 
     fn pop_min(&mut self) -> Option<Entry<E>> {
-        let e = self.front.pop()?;
-        if self.front.is_empty() {
+        if self.run.is_empty() && self.front.is_empty() {
+            // Lazy advance: the cursor moves only when a pop actually
+            // needs the next bucket, never eagerly after the last pop —
+            // so a handler's same-bucket pushes park in L0 (above)
+            // instead of raining into the front heap.
             self.advance();
         }
+        // Keys are unique (seq is unique), so strict `<` fully decides
+        // which side holds the global minimum.
+        let from_run = match (self.run.last(), self.front.peek()) {
+            (Some(r), Some(f)) => r.key() < f.key(),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let e = if from_run {
+            self.run.pop()
+        } else {
+            self.front.pop()
+        }?;
         Some(e)
     }
 
     fn peek(&self) -> Option<&Entry<E>> {
-        self.front.peek()
+        match (self.run.last(), self.front.peek()) {
+            (Some(r), Some(f)) => Some(if r.key() < f.key() { r } else { f }),
+            (Some(r), None) => Some(r),
+            (None, Some(f)) => Some(f),
+            (None, None) => self.peek_parked(),
+        }
+    }
+
+    /// The head entry while the wheel is locally drained but not empty —
+    /// entries are parked in buckets at or past the cursor, waiting for
+    /// the next pop's lazy `advance`. One linear scan of the next
+    /// occupied bucket; the pop that follows sorts that bucket into the
+    /// run, so a parked episode pays at most one scan.
+    fn peek_parked(&self) -> Option<&Entry<E>> {
+        if self.l0_len > 0 {
+            let cur0 = (self.cursor & LEVEL_MASK) as usize;
+            let slot = next_set_bit(&self.l0_occ, cur0)?;
+            return self.l0[slot].iter().min_by_key(|e| e.key());
+        }
+        if self.l1_len > 0 {
+            let cur1 = ((self.cursor >> LEVEL_BITS) & LEVEL_MASK) as usize;
+            let slot = next_set_bit(&self.l1_occ, cur1)?;
+            return self.l1[slot].iter().min_by_key(|e| e.key());
+        }
+        self.overflow
+            .first_key_value()?
+            .1
+            .iter()
+            .min_by_key(|e| e.key())
     }
 
     fn values(&self) -> impl Iterator<Item = &E> {
         self.front
             .iter()
+            .chain(self.run.iter())
             .chain(self.l0.iter().flatten())
             .chain(self.l1.iter().flatten())
             .chain(self.overflow.values().flatten())
@@ -406,6 +496,7 @@ impl<E> Wheel<E> {
 
     fn clear(&mut self) {
         self.front.clear();
+        self.run.clear();
         for v in &mut self.l0 {
             v.clear();
         }
@@ -422,6 +513,11 @@ impl<E> Wheel<E> {
 }
 
 #[derive(Debug)]
+// One queue exists per simulation and never moves after construction,
+// so the size spread between the inline wheel and the heap variant
+// costs nothing — boxing the wheel would add a pointer chase to every
+// push and pop instead.
+#[allow(clippy::large_enum_variant)]
 enum Inner<E> {
     Heap(BinaryHeap<Entry<E>>),
     Wheel(Wheel<E>),

@@ -49,7 +49,10 @@ impl SimTime {
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative instant");
-        SimTime((s * 1e9).round() as u64)
+        // `+ 0.5` then truncate == `.round()` for non-negative values
+        // below 2^52 ns (the whole simulated range), without the libm
+        // `round` call the hot paths would otherwise pay per event.
+        SimTime((s * 1e9 + 0.5) as u64)
     }
 
     /// Nanoseconds since the epoch.
@@ -164,7 +167,9 @@ impl SimSpan {
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative span: {s}");
-        SimSpan((s * 1e9).round() as u64)
+        // See `SimTime::from_secs_f64` — round-half-up by add-truncate
+        // avoids the libm `round` call on the per-event path.
+        SimSpan((s * 1e9 + 0.5) as u64)
     }
     /// Construct from fractional milliseconds.
     #[inline]
@@ -245,7 +250,7 @@ impl SimSpan {
     #[inline]
     pub fn mul_f64(self, k: f64) -> SimSpan {
         debug_assert!(k >= 0.0, "negative scale");
-        SimSpan((self.0 as f64 * k).round() as u64)
+        SimSpan((self.0 as f64 * k + 0.5) as u64)
     }
     /// Integer division rounding up: how many `chunk`-long pieces cover this
     /// span.

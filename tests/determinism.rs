@@ -202,6 +202,65 @@ fn wheel_backend_is_byte_identical_to_heap() {
     assert_eq!(wheel.events, heap.events, "queue pops");
 }
 
+/// Same-timeslice event batching is a *dispatch* change in the engine, not
+/// a semantic one: when a run of same-instant events targets one component,
+/// the engine drains them into a single `handle_batch` call instead of
+/// dispatching each through the component table. With the same seed a
+/// batched run must be byte-identical — trace, statistics, job metrics,
+/// handler invocations, queue pops — to the per-message run, on both queue
+/// backends, on the mixed launch + gang + fault workload.
+#[test]
+fn event_batching_is_byte_identical_to_per_message_delivery() {
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let batched = mixed_workload_run_cfg(
+            mixed_workload_cfg(true)
+                .with_queue_backend(backend)
+                .with_event_batching(true),
+        );
+        let single = mixed_workload_run_cfg(
+            mixed_workload_cfg(true)
+                .with_queue_backend(backend)
+                .with_event_batching(false),
+        );
+        assert_eq!(batched.trace, single.trace, "event traces ({backend:?})");
+        assert_eq!(
+            batched.stats, single.stats,
+            "cluster statistics ({backend:?})"
+        );
+        assert_eq!(
+            batched.jobs, single.jobs,
+            "job states and metrics ({backend:?})"
+        );
+        assert_eq!(
+            batched.messages, single.messages,
+            "handler invocations ({backend:?})"
+        );
+        assert_eq!(batched.events, single.events, "queue pops ({backend:?})");
+    }
+}
+
+/// Under a DST delivery-order hook the engine suspends batching (the hook
+/// may interleave targets within an instant), so a hooked run must be
+/// byte-identical whatever the batching setting says.
+#[test]
+fn event_batching_defers_to_a_delivery_order_hook() {
+    use storm::sim::DeliveryOrder;
+    let hook = |on| {
+        mixed_workload_run_cfg(
+            mixed_workload_cfg(true)
+                .with_delivery_order(DeliveryOrder::seeded(0x9E37, 3))
+                .with_event_batching(on),
+        )
+    };
+    let on = hook(true);
+    let off = hook(false);
+    assert_eq!(on.trace, off.trace, "event traces");
+    assert_eq!(on.stats, off.stats, "cluster statistics");
+    assert_eq!(on.jobs, off.jobs, "job states and metrics");
+    assert_eq!(on.messages, off.messages, "handler invocations");
+    assert_eq!(on.events, off.events, "queue pops");
+}
+
 /// Idle fast-forward leaps the clock over quiescent timeslices instead of
 /// strobing them; every *simulation* observable — trace, statistics, job
 /// metrics — must still match the fully-strobed run bit for bit. Only the
