@@ -166,6 +166,22 @@ impl WorkloadCursor {
     pub fn total_consumed(&self) -> SimSpan {
         self.total_consumed
     }
+
+    /// Time consumed inside the current (partial) step.
+    pub fn consumed_in_step(&self) -> SimSpan {
+        self.consumed_in_step
+    }
+
+    /// Rebuild a cursor from checkpointed parts (`steps_done`,
+    /// `consumed_in_step`, `total_consumed`). The cursor resumes mid-step
+    /// exactly where the exported one stood.
+    pub fn from_parts(step: usize, consumed_in_step: SimSpan, total_consumed: SimSpan) -> Self {
+        WorkloadCursor {
+            step,
+            consumed_in_step,
+            total_consumed,
+        }
+    }
 }
 
 #[cfg(test)]

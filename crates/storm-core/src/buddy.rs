@@ -223,6 +223,52 @@ impl BuddyAllocator {
         v.sort_by_key(|r| r.start);
         v
     }
+
+    /// Checkpoint image: the usable width, every live allocation (start,
+    /// order — excluding the reserved tail, which reconstruction re-carves),
+    /// and the quarantined node set.
+    pub fn export_state(&self) -> BuddyState {
+        let mut allocated: Vec<(u32, u32)> = self
+            .allocated
+            .iter()
+            .filter(|&(&s, _)| s < self.usable)
+            .map(|(&s, &o)| (s, o))
+            .collect();
+        allocated.sort_unstable();
+        BuddyState {
+            usable: self.usable,
+            allocated,
+            quarantined: self.quarantined.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuild an allocator from an exported image by replaying quarantines
+    /// and re-carving each allocation. Free blocks always sit in the unique
+    /// maximal buddy decomposition of the unallocated space (eager
+    /// coalescing in [`BuddyAllocator::free`] maintains it), so replay
+    /// reproduces the free lists exactly.
+    pub fn import_state(state: BuddyState) -> Self {
+        let mut b = BuddyAllocator::new(state.usable);
+        for node in state.quarantined {
+            assert!(b.quarantine(node), "checkpointed quarantine must replay");
+        }
+        for (start, order) in state.allocated {
+            b.carve(start, order);
+        }
+        b
+    }
+}
+
+/// Serializable image of a [`BuddyAllocator`], produced by
+/// [`BuddyAllocator::export_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuddyState {
+    /// Usable node count (internal capacity is derived).
+    pub usable: u32,
+    /// Live allocations as `(start, order)` pairs, ascending by start.
+    pub allocated: Vec<(u32, u32)>,
+    /// Quarantined nodes, ascending.
+    pub quarantined: Vec<u32>,
 }
 
 #[cfg(test)]

@@ -138,6 +138,24 @@ impl Cluster {
         self.telemetry().spans.spans()
     }
 
+    /// Register a named continuous query, evaluated at every timeslice
+    /// boundary from the next MM tick on (see [`crate::cq`]). Firings
+    /// append to the bounded alert log ([`Cluster::alerts`]) and bump the
+    /// labelled `cq.alerts` telemetry counter.
+    pub fn register_query(&mut self, name: impl Into<String>, cond: crate::cq::Condition) {
+        self.sim.world_mut().cq.register(name, cond);
+    }
+
+    /// The continuous-query alert log, oldest first.
+    pub fn alerts(&self) -> &[crate::cq::Alert] {
+        self.sim.world().cq.alerts()
+    }
+
+    /// The continuous-query registry (queries, firing counts, log bound).
+    pub fn continuous_queries(&self) -> &crate::cq::ContinuousQueries {
+        &self.sim.world().cq
+    }
+
     /// A Chrome trace-event JSON document combining the simulator trace
     /// (instant events per dæmon) with the job lifecycle spans (complete
     /// events per job) — loadable in `chrome://tracing` or Perfetto.
@@ -148,6 +166,26 @@ impl Cluster {
 
     fn mm(&self) -> storm_sim::ComponentId {
         self.sim.world().wiring.mm.expect("MM wired at build")
+    }
+
+    /// The underlying simulation (checkpoint codec access).
+    pub(crate) fn sim(&self) -> &Simulation<World, Msg> {
+        &self.sim
+    }
+
+    /// Mutable simulation access (checkpoint codec access).
+    pub(crate) fn sim_mut(&mut self) -> &mut Simulation<World, Msg> {
+        &mut self.sim
+    }
+
+    /// The next job id to hand out (checkpoint codec access).
+    pub(crate) fn next_job_counter(&self) -> u32 {
+        self.next_job
+    }
+
+    /// Overwrite the job-id counter (checkpoint codec access).
+    pub(crate) fn set_next_job_counter(&mut self, n: u32) {
+        self.next_job = n;
     }
 
     /// Submit a job at the current simulated time.

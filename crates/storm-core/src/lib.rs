@@ -58,8 +58,10 @@
 #![warn(missing_docs)]
 
 pub mod buddy;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
+pub mod cq;
 pub mod fault;
 pub mod job;
 pub mod matrix;
@@ -87,6 +89,7 @@ pub use storm_telemetry as telemetry;
 pub mod prelude {
     pub use crate::cluster::{Cluster, Report};
     pub use crate::config::{ClusterConfig, DaemonCosts, SchedulerKind};
+    pub use crate::cq::{Alert, Condition};
     pub use crate::fault::{FailurePolicy, FaultEvent, FaultSchedule};
     pub use crate::job::{JobId, JobMetrics, JobSpec, JobState};
     pub use crate::replica::{Decision, MmCoreState, MmRole, ReplStats, ReplicaState};

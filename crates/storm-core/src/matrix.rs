@@ -249,6 +249,42 @@ impl GangMatrix {
                 .is_some()
     }
 
+    /// Checkpoint image: cluster width, MPL cap, per-slot buddy + job
+    /// rows, and the matrix-level quarantine set.
+    pub fn export_state(&self) -> MatrixState {
+        MatrixState {
+            nodes: self.nodes,
+            mpl_max: self.mpl_max,
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotState {
+                    buddy: s.buddy.export_state(),
+                    jobs: s.jobs.clone(),
+                })
+                .collect(),
+            quarantined: self.quarantined.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuild a matrix from an exported image. See
+    /// [`GangMatrix::export_state`].
+    pub fn import_state(state: MatrixState) -> Self {
+        GangMatrix {
+            nodes: state.nodes,
+            mpl_max: state.mpl_max,
+            slots: state
+                .slots
+                .into_iter()
+                .map(|s| Slot {
+                    buddy: BuddyAllocator::import_state(s.buddy),
+                    jobs: s.jobs,
+                })
+                .collect(),
+            quarantined: state.quarantined.into_iter().collect(),
+        }
+    }
+
     /// Check the one-to-one mapping invariant: within every slot, no two
     /// jobs overlap. (Debug/testing aid.)
     pub fn check_invariants(&self) {
@@ -265,6 +301,29 @@ impl GangMatrix {
             }
         }
     }
+}
+
+/// Serializable image of a [`GangMatrix`], produced by
+/// [`GangMatrix::export_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixState {
+    /// Cluster width.
+    pub nodes: u32,
+    /// Maximum multiprogramming level.
+    pub mpl_max: usize,
+    /// Open slots in slot order.
+    pub slots: Vec<SlotState>,
+    /// Nodes quarantined out of every slot, ascending.
+    pub quarantined: Vec<u32>,
+}
+
+/// One checkpointed matrix slot: its allocator image plus the job rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotState {
+    /// The slot's buddy-allocator image.
+    pub buddy: crate::buddy::BuddyState,
+    /// Jobs in the slot, sorted by id.
+    pub jobs: Vec<(JobId, Range<u32>)>,
 }
 
 #[cfg(test)]

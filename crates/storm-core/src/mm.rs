@@ -1588,6 +1588,7 @@ impl Component<World, Msg> for MachineManager {
                     // delivery modes.
                     let pending = ctx.pending_messages();
                     let qs = ctx.queue_stats();
+                    let ar = ctx.arena_stats();
                     let w = ctx.world();
                     let queued = w.queue.len() as i64;
                     let quarantined = i64::from(w.nodes.quarantined_count());
@@ -1608,10 +1609,19 @@ impl Component<World, Msg> for MachineManager {
                     m.set_gauge("engine.pending_messages", pending as i64);
                     m.set_gauge("sim.queue.depth", qs.len as i64);
                     m.set_gauge("sim.queue.peak", qs.peak as i64);
+                    m.set_gauge("sim.arena.payload_bytes", ar.payload_bytes as i64);
+                    m.set_gauge("sim.arena.live", ar.live as i64);
+                    m.set_gauge("sim.arena.peak", ar.peak as i64);
                     m.observe("engine.pending_messages_per_tick", pending);
                     if let Some(pct) = (used * 100).checked_div(cells) {
                         m.observe("sched.matrix_utilization_pct", pct);
                     }
+                }
+                // Continuous queries observe the same boundary the health
+                // sample does. A single branch when none are registered.
+                if !ctx.world_ref().cq.is_empty() {
+                    let slice = self.ticks;
+                    ctx.world().evaluate_continuous_queries(slice, tick_now);
                 }
                 let keep_going = !ctx.world_ref().is_idle() || ctx.world_ref().cfg.fault_detection;
                 if keep_going && !self.try_leap(ctx) {
@@ -1730,6 +1740,85 @@ impl Component<World, Msg> for MachineManager {
         }
         if buffered {
             self.ensure_collect(ctx);
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A machine manager's private state, exported for checkpointing.
+///
+/// Every field of [`MachineManager`] is represented; `detected_failed` is
+/// flattened to the ascending node list (the dense flag array is rebuilt
+/// on import).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmState {
+    /// Whether a `Tick` is in flight.
+    pub tick_scheduled: bool,
+    /// Whether a `Collect` is in flight.
+    pub collect_scheduled: bool,
+    /// Buffered `(node, job, attempt, kind)` NM reports.
+    pub pending_reports: Vec<(u32, JobId, u32, ReportKind)>,
+    /// Ticks executed so far.
+    pub ticks: u64,
+    /// Instant of the last executed tick.
+    pub last_tick_at: Option<SimTime>,
+    /// Detected-failed nodes in ascending order.
+    pub detected_failed: Vec<u32>,
+    /// Replica rank (0 = primary).
+    pub rank: u32,
+    /// Current replica role.
+    pub role: MmRole,
+    /// The epoch this replica believes is current.
+    pub epoch: u64,
+    /// When this standby last heard a liveness beat.
+    pub last_beat_seen: Option<SimTime>,
+    /// Liveness beats sent while active.
+    pub beats_sent: u64,
+}
+
+impl MachineManager {
+    /// Snapshot the dæmon's private state for a checkpoint.
+    pub fn export_state(&self) -> MmState {
+        MmState {
+            tick_scheduled: self.tick_scheduled,
+            collect_scheduled: self.collect_scheduled,
+            pending_reports: self.pending_reports.clone(),
+            ticks: self.ticks,
+            last_tick_at: self.last_tick_at,
+            detected_failed: self.detected_failed.iter().collect(),
+            rank: self.rank,
+            role: self.role,
+            epoch: self.epoch,
+            last_beat_seen: self.last_beat_seen,
+            beats_sent: self.beats_sent,
+        }
+    }
+
+    /// Rebuild a dæmon from a checkpointed [`MmState`].
+    pub fn import_state(state: MmState) -> Self {
+        let mut detected_failed = DetectedSet::default();
+        for node in state.detected_failed {
+            detected_failed.insert(node);
+        }
+        MachineManager {
+            tick_scheduled: state.tick_scheduled,
+            collect_scheduled: state.collect_scheduled,
+            pending_reports: state.pending_reports,
+            ticks: state.ticks,
+            last_tick_at: state.last_tick_at,
+            detected_failed,
+            rank: state.rank,
+            role: state.role,
+            epoch: state.epoch,
+            last_beat_seen: state.last_beat_seen,
+            beats_sent: state.beats_sent,
         }
     }
 }

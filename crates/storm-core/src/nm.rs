@@ -675,4 +675,134 @@ impl Component<World, Msg> for NodeManager {
     fn name(&self) -> &str {
         "NM"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// One resident job's local state, exported for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NmLocalJobState {
+    /// Job id.
+    pub job: crate::job::JobId,
+    /// Ranks hosted on this node.
+    pub ranks: u32,
+    /// Ranks forked so far.
+    pub forked: u32,
+    /// Ranks exited so far.
+    pub exited: u32,
+    /// When all local ranks were running.
+    pub started_at: Option<SimTime>,
+    /// Workload cursor position: `(step, consumed_in_step, total_consumed)`.
+    pub cursor: (usize, SimSpan, SimSpan),
+    /// Whether the job has finished locally.
+    pub done: bool,
+    /// When the job finished locally.
+    pub done_at: Option<SimTime>,
+    /// Launch attempt this local state belongs to.
+    pub attempt: u32,
+}
+
+/// A node manager's private state, exported for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NmState {
+    /// Node index.
+    pub node: u32,
+    /// Whether the node is dead.
+    pub failed: bool,
+    /// Management-CPU busy horizon.
+    pub busy_until: SimTime,
+    /// Local filesystem write device horizon.
+    pub write_free: SimTime,
+    /// Slot currently running on this node.
+    pub current_slot: usize,
+    /// Instant of the last strobe.
+    pub last_strobe: SimTime,
+    /// Whether the current interval opened with a context switch.
+    pub switch_pending: bool,
+    /// Resident jobs, sorted by id.
+    pub local: Vec<NmLocalJobState>,
+    /// Buffered `(job, attempt, kind)` reports.
+    pub pending_reports: Vec<(crate::job::JobId, u32, ReportKind)>,
+    /// Whether a `FlushReports` is in flight.
+    pub flush_scheduled: bool,
+    /// End of an injected dæmon stall, if one is active.
+    pub stalled_until: Option<SimTime>,
+}
+
+impl NodeManager {
+    /// Snapshot the dæmon's private state for a checkpoint.
+    pub fn export_state(&self) -> NmState {
+        NmState {
+            node: self.node,
+            failed: self.failed,
+            busy_until: self.busy_until,
+            write_free: self.write_free,
+            current_slot: self.current_slot,
+            last_strobe: self.last_strobe,
+            switch_pending: self.switch_pending,
+            local: self
+                .local
+                .iter()
+                .map(|&(job, ref l)| NmLocalJobState {
+                    job,
+                    ranks: l.ranks,
+                    forked: l.forked,
+                    exited: l.exited,
+                    started_at: l.started_at,
+                    cursor: (
+                        l.cursor.steps_done(),
+                        l.cursor.consumed_in_step(),
+                        l.cursor.total_consumed(),
+                    ),
+                    done: l.done,
+                    done_at: l.done_at,
+                    attempt: l.attempt,
+                })
+                .collect(),
+            pending_reports: self.pending_reports.clone(),
+            flush_scheduled: self.flush_scheduled,
+            stalled_until: self.stalled_until,
+        }
+    }
+
+    /// Rebuild a dæmon from a checkpointed [`NmState`].
+    pub fn import_state(state: NmState) -> Self {
+        NodeManager {
+            node: state.node,
+            failed: state.failed,
+            busy_until: state.busy_until,
+            write_free: state.write_free,
+            current_slot: state.current_slot,
+            last_strobe: state.last_strobe,
+            switch_pending: state.switch_pending,
+            local: state
+                .local
+                .into_iter()
+                .map(|l| {
+                    (
+                        l.job,
+                        LocalJob {
+                            ranks: l.ranks,
+                            forked: l.forked,
+                            exited: l.exited,
+                            started_at: l.started_at,
+                            cursor: WorkloadCursor::from_parts(l.cursor.0, l.cursor.1, l.cursor.2),
+                            done: l.done,
+                            done_at: l.done_at,
+                            attempt: l.attempt,
+                        },
+                    )
+                })
+                .collect(),
+            pending_reports: state.pending_reports,
+            flush_scheduled: state.flush_scheduled,
+            stalled_until: state.stalled_until,
+        }
+    }
 }

@@ -32,6 +32,11 @@ impl ProgramLauncher {
     pub fn fork_count(&self) -> u64 {
         self.forks
     }
+
+    /// Restore the lifetime fork counter from a checkpoint.
+    pub fn restore_forks(&mut self, forks: u64) {
+        self.forks = forks;
+    }
 }
 
 impl Component<World, Msg> for ProgramLauncher {
@@ -83,5 +88,13 @@ impl Component<World, Msg> for ProgramLauncher {
 
     fn name(&self) -> &str {
         "PL"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }

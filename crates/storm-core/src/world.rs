@@ -259,6 +259,9 @@ pub struct World {
     /// Telemetry sink (metrics registry + job lifecycle spans); disabled
     /// unless [`ClusterConfig::telemetry`] is set.
     pub telemetry: Telemetry,
+    /// Continuous queries evaluated at each timeslice boundary, plus
+    /// their bounded alert log (see [`crate::cq`]). Empty by default.
+    pub cq: crate::cq::ContinuousQueries,
     /// Armed idle fast-forward, if any (see [`IdleLeap`]).
     pub(crate) leap: Option<IdleLeap>,
     /// Number of idle fast-forward leaps taken.
@@ -335,6 +338,7 @@ impl World {
             wiring: Wiring::default(),
             stats: ClusterStats::default(),
             telemetry: Telemetry::new(cfg.telemetry),
+            cq: crate::cq::ContinuousQueries::new(),
             leap: None,
             sim_leaps: 0,
             sim_leaped_slices: 0,
@@ -389,6 +393,34 @@ impl World {
         } else {
             base
         }
+    }
+
+    /// Evaluate every registered continuous query against the cluster
+    /// state at a timeslice boundary (`slice` = MM tick counter). Called
+    /// by the active MM's tick handler; a no-op single branch when no
+    /// queries are registered, preserving the zero-cost contract.
+    pub fn evaluate_continuous_queries(&mut self, slice: u64, now: SimTime) {
+        if self.cq.is_empty() {
+            return;
+        }
+        let failed_nodes = (0..self.cfg.nodes)
+            .filter(|&n| self.nodes.is_failed(n))
+            .count() as u32;
+        let quarantined = self.nodes.quarantined_count();
+        let sample = crate::cq::ClusterSample {
+            slice,
+            now,
+            queue_depth: self.queue.len() as u64,
+            quarantined,
+            failed_nodes,
+            alive_nodes: self.cfg.nodes.saturating_sub(failed_nodes + quarantined),
+            running_jobs: self
+                .jobs
+                .iter()
+                .filter(|j| j.state == crate::job::JobState::Running)
+                .count() as u32,
+        };
+        self.cq.evaluate(&sample, &mut self.telemetry.metrics);
     }
 
     /// Is MM replication configured (any standby replicas)?

@@ -4,7 +4,7 @@
 //! storm-dst explore  [--scenario two-node-launch|small-chaos] [--amplitude A]
 //!                    [--prefix P] [--seeds N] [--delay-us D] [--out DIR]
 //!                    [--backend heap|wheel]
-//! storm-dst replay   <DST_repro_*.json>
+//! storm-dst replay   <DST_repro_*.json | CKPT_*.json>
 //! storm-dst selftest [--out DIR]
 //! ```
 //!
@@ -15,7 +15,11 @@
 //! distinguishes the outcomes so CI can triage without parsing output:
 //! 10 = the artifact's oracle violation reproduced faithfully (the oracle
 //! name is printed), 11 = the artifact could not be read or parsed,
-//! 12 = the replay ran but diverged from the artifact. `selftest`
+//! 12 = the replay ran but diverged from the artifact. `replay` also
+//! accepts a cluster checkpoint (`CKPT_*.json`, written by
+//! `Cluster::checkpoint()`): the checkpoint is restored twice, both runs
+//! resume over the same horizon, and exit 0 means they agreed
+//! byte-for-byte (11/12 keep their meanings). `selftest`
 //! seeds a deliberate violation, shrinks it, writes the artifact, replays
 //! it, and checks the repro is ≤ 10 events — the full pipeline in one
 //! command.
@@ -34,8 +38,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: storm-dst explore [--scenario NAME] [--amplitude A] [--prefix P] \
          [--seeds N] [--delay-us D] [--out DIR] [--backend heap|wheel]\n       \
-         storm-dst replay <DST_repro_*.json>  \
-         (exit 10: violation reproduced, 11: bad artifact, 12: diverged)\n       \
+         storm-dst replay <DST_repro_*.json | CKPT_*.json>  \
+         (exit 10: violation reproduced, 0: checkpoint replayed, 11: bad artifact, 12: diverged)\n       \
          storm-dst selftest [--out DIR]\n\
 scenarios: two-node-launch, small-chaos, mm-failover"
     );
@@ -163,6 +167,15 @@ fn cmd_replay(path: &str) -> ExitCode {
             return ExitCode::from(EXIT_ARTIFACT_UNREADABLE);
         }
     };
+    // A cluster checkpoint (`CKPT_*.json`) is also a replayable starting
+    // state: restore it twice, resume both runs over the same horizon,
+    // and verify they agree byte-for-byte. Exit codes keep their repro
+    // meanings (11 = unreadable, 12 = diverged, 0 = replayed cleanly).
+    if let Ok(doc) = storm_dst::json::parse(&text) {
+        if doc.get("kind").and_then(|k| k.as_str()) == Some("storm-checkpoint") {
+            return replay_checkpoint(path, &text);
+        }
+    }
     let repro = match Repro::from_json_str(&text) {
         Ok(repro) => repro,
         Err(e) => {
@@ -185,6 +198,53 @@ fn cmd_replay(path: &str) -> ExitCode {
         eprintln!(
             "storm-dst: replay diverged from artifact (expected {} at {})",
             repro.violation.oracle, repro.violation.at
+        );
+        ExitCode::from(EXIT_REPLAY_DIVERGED)
+    }
+}
+
+/// Resume a cluster checkpoint twice over the same horizon and verify
+/// the runs agree exactly: same delivered-event count, same final
+/// checkpoint bytes. Divergence means the artifact (or the build
+/// replaying it) is not deterministic — the same triage signal a repro
+/// divergence gives, so it shares exit code 12.
+fn replay_checkpoint(path: &str, text: &str) -> ExitCode {
+    use storm_core::cluster::Cluster;
+    use storm_sim::SimSpan;
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut c = match Cluster::restore(text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("storm-dst: cannot restore checkpoint: {path}: {e}");
+                return ExitCode::from(EXIT_ARTIFACT_UNREADABLE);
+            }
+        };
+        let from = c.now();
+        let horizon = from + SimSpan::from_millis(2_000);
+        c.run_until(horizon);
+        runs.push((from, c.now(), c.events_delivered(), c.checkpoint()));
+    }
+    let (from, until, events, ref final_ckpt) = runs[0];
+    if runs[1].2 == events && &runs[1].3 == final_ckpt {
+        println!(
+            "checkpoint replayed: resumed at {from}, ran to {until} \
+             ({events} events delivered, final state {} bytes, both runs \
+             byte-identical)",
+            final_ckpt.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "storm-dst: checkpoint replay diverged: {} vs {} events \
+             delivered, final states {}",
+            events,
+            runs[1].2,
+            if runs[1].3 == *final_ckpt {
+                "equal"
+            } else {
+                "differ"
+            }
         );
         ExitCode::from(EXIT_REPLAY_DIVERGED)
     }

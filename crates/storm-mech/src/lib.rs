@@ -35,5 +35,5 @@ pub mod types;
 pub use mech::{
     CawResult, ErrorBurst, FaultPlan, MechanismImpl, Mechanisms, XferError, XferFanout, XferTiming,
 };
-pub use memory::{CawAudit, GlobalMemory};
+pub use memory::{CawAudit, GlobalMemory, MemoryState};
 pub use types::{CmpOp, EventId, NodeId, NodeSet, NodeSetIter, VarId};

@@ -271,6 +271,13 @@ impl Mechanisms {
         self.caw_count
     }
 
+    /// Overwrite the lifetime operation counters — the checkpoint/restore
+    /// path uses this so counters continue from the checkpointed values.
+    pub fn restore_counters(&mut self, xfer_count: u64, caw_count: u64) {
+        self.xfer_count = xfer_count;
+        self.caw_count = caw_count;
+    }
+
     /// **XFER-AND-SIGNAL** — PUT `bytes` from the initiator to `dests`,
     /// optionally signalling a local event (on the initiating node
     /// `src_node`) and/or a remote event (on every destination).

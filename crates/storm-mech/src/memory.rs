@@ -193,6 +193,45 @@ impl GlobalMemory {
     pub fn gather(&self, set: &NodeSet, var: VarId) -> Vec<i64> {
         set.iter().map(|n| self.read(n, var)).collect()
     }
+
+    /// Full-fidelity image of the memory for checkpointing: every node's
+    /// variable and event tables plus the CAW audit trail (if enabled).
+    pub fn export_state(&self) -> MemoryState {
+        MemoryState {
+            nodes: self.nodes,
+            vars: self.vars.clone(),
+            events: self.events.clone(),
+            caw_audit: self
+                .caw_audit
+                .as_ref()
+                .map(|m| m.iter().map(|(&v, a)| (v, a.clone())).collect()),
+        }
+    }
+
+    /// Rebuild a memory from an exported image. See
+    /// [`GlobalMemory::export_state`].
+    pub fn import_state(state: MemoryState) -> Self {
+        GlobalMemory {
+            nodes: state.nodes,
+            vars: state.vars,
+            events: state.events,
+            caw_audit: state.caw_audit.map(|v| v.into_iter().collect()),
+        }
+    }
+}
+
+/// Serializable image of a [`GlobalMemory`], produced by
+/// [`GlobalMemory::export_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryState {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// `vars[node][var]` values.
+    pub vars: Vec<Vec<i64>>,
+    /// `events[node][event]` signal instants.
+    pub events: Vec<Vec<Option<SimTime>>>,
+    /// The CAW audit trail in var order, `None` when auditing is off.
+    pub caw_audit: Option<Vec<(u32, CawAudit)>>,
 }
 
 #[cfg(test)]

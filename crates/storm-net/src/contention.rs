@@ -42,6 +42,12 @@ impl Nic {
     pub fn reset(&mut self) {
         self.next_free = SimTime::ZERO;
     }
+
+    /// Rebuild a NIC whose current reservation ends at `next_free` — the
+    /// checkpoint/restore path's counterpart of [`Nic::next_free`].
+    pub fn from_state(next_free: SimTime) -> Self {
+        Nic { next_free }
+    }
 }
 
 /// Background load on the cluster during an experiment.

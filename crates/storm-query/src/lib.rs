@@ -1,0 +1,40 @@
+//! Queryable cluster state for STORM (the paper's §4 "cluster
+//! monitoring" use case, made first-class).
+//!
+//! Two surfaces:
+//!
+//! - **Relational views** ([`tables`]): point-in-time [`Table`]s over a
+//!   running [`Cluster`](storm_core::cluster::Cluster) — `jobs`,
+//!   `nodes`, `slots`, `allocs`, `replicas` — with filters, projections,
+//!   stable sorts, inner joins on job/node ids, and
+//!   count/sum/min/max/group-by aggregates ([`table`]). No external
+//!   dependencies; every operator is a deterministic scan.
+//! - **Continuous queries** (re-exported from
+//!   [`storm_core::cq`]): named [`Condition`]s registered on the
+//!   cluster and evaluated by the active Machine Manager at every
+//!   timeslice boundary, firing bounded [`Alert`] records and labelled
+//!   `cq.alerts` telemetry counters. Registration lives in the core
+//!   (the MM hook needs it); this crate re-exports the types so
+//!   monitoring code has one import surface.
+//!
+//! Snapshots read simulation state but never mutate it; taking a table
+//! between runs cannot perturb a deterministic run. Checkpoints
+//! ([`storm_core::checkpoint`]) serialize the continuous-query registry,
+//! so a restored run raises exactly the alerts the original would have.
+//!
+//! (See `examples/cluster_monitoring.rs` at the workspace root for a
+//! full live-query walkthrough: top-N jobs by wait time, per-state
+//! aggregates, a jobs×allocs join, and alert-driven quarantine
+//! monitoring.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod tables;
+
+pub use storm_core::cq::{
+    Alert, ClusterSample, Condition, ContinuousQueries, ContinuousQuery, DEFAULT_ALERT_CAP,
+};
+pub use table::{Agg, Datum, Row, Table};
+pub use tables::{allocs, jobs, nodes, replicas, slots};

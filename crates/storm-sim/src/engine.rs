@@ -27,11 +27,13 @@
 //! ties may legally interleave a freshly-pushed event *between* already
 //! drained ones), which also keeps the interleaving digest untouched.
 
-use crate::arena::{ArenaStats, EventArena, PayloadId};
-use crate::queue::{DeliveryOrder, EventQueue, QueueBackend, QueueStats};
+use crate::arena::{ArenaState, ArenaStats, EventArena, PayloadId};
+use crate::queue::{
+    DeliveryOrder, DeliveryOrderState, EventQueue, QueueAccounting, QueueBackend, QueueStats,
+};
 use crate::rng::DeterministicRng;
 use crate::time::{SimSpan, SimTime};
-use crate::trace::Tracer;
+use crate::trace::{TraceRecord, Tracer};
 use std::fmt;
 use std::sync::Arc;
 
@@ -164,7 +166,7 @@ impl GroupSchedule {
 /// numbers reserved at multicast time, so when delivery pauses (a later
 /// arrival instant, or a halt) the remainder is re-inserted at exactly the
 /// `(time, seq)` slot its per-recipient equivalent would have occupied.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupDelivery<M> {
     targets: GroupTargets,
     schedule: GroupSchedule,
@@ -175,6 +177,54 @@ struct GroupDelivery<M> {
     base_seq: u64,
     cursor: u32,
     msg: M,
+}
+
+/// Serializable image of one pending group delivery — the public mirror
+/// of the engine's internal group-entry payload, for checkpointing.
+#[derive(Debug, Clone)]
+pub struct GroupState<M> {
+    /// Recipients in rank order.
+    pub targets: GroupTargets,
+    /// Per-rank arrival schedule.
+    pub schedule: GroupSchedule,
+    /// Base instant arrivals are computed from.
+    pub base: SimTime,
+    /// Clamp floor (the multicast call's instant).
+    pub floor: SimTime,
+    /// First of the reserved sequence numbers.
+    pub base_seq: u64,
+    /// Next undelivered rank.
+    pub cursor: u32,
+    /// The message (cloned per member at delivery).
+    pub msg: M,
+}
+
+impl<M> From<GroupDelivery<M>> for GroupState<M> {
+    fn from(g: GroupDelivery<M>) -> Self {
+        GroupState {
+            targets: g.targets,
+            schedule: g.schedule,
+            base: g.base,
+            floor: g.floor,
+            base_seq: g.base_seq,
+            cursor: g.cursor,
+            msg: g.msg,
+        }
+    }
+}
+
+impl<M> From<GroupState<M>> for GroupDelivery<M> {
+    fn from(g: GroupState<M>) -> Self {
+        GroupDelivery {
+            targets: g.targets,
+            schedule: g.schedule,
+            base: g.base,
+            floor: g.floor,
+            base_seq: g.base_seq,
+            cursor: g.cursor,
+            msg: g.msg,
+        }
+    }
 }
 
 impl<M> GroupDelivery<M> {
@@ -254,6 +304,19 @@ pub trait Component<W, M> {
             ctx.next_batch_message();
             self.handle(msg, ctx);
         }
+    }
+
+    /// Downcast support for checkpointing: components whose internal
+    /// state participates in checkpoint/restore return `Some(self)` so a
+    /// harness can reach their concrete type through the dispatch table.
+    /// Defaults to `None` — opaque components simply aren't captured.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable variant of [`Component::as_any`].
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
     }
 }
 
@@ -416,6 +479,13 @@ impl<W, M> Context<'_, W, M> {
     /// Raw queue accounting (see [`Simulation::queue_stats`]).
     pub fn queue_stats(&self) -> QueueStats {
         self.queue.stats()
+    }
+
+    /// Payload-arena accounting (see [`Simulation::arena_stats`]): the
+    /// message and group arenas summed, available to components so health
+    /// samples can export allocator gauges without reaching the engine.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.msgs.stats().merged(self.groups.stats())
     }
 
     /// Record a trace event (no-op unless tracing is enabled).
@@ -856,6 +926,167 @@ impl<W, M: Clone> Simulation<W, M> {
         }
         self.now
     }
+
+    /// Full image of the engine's mutable state for checkpointing: clock,
+    /// run flags, counters, every pending queue entry with its `(time,
+    /// tie, seq)` key, both payload arenas (including free-list order and
+    /// generations, so the raw handles inside queue entries stay valid),
+    /// the RNG stream, the delivery-order hook mid-stream, and the trace.
+    ///
+    /// Component and world state are *not* included — they are the
+    /// caller's to capture (see `Component::as_any`). Call between
+    /// deliveries only (never from inside a handler).
+    pub fn export_engine_state(&self) -> EngineState<M> {
+        let groups_src = self.groups.export_state();
+        EngineState {
+            now: self.now,
+            halt: self.halt,
+            delivered: self.delivered,
+            handled: self.handled,
+            max_events: self.max_events,
+            batching: self.batching,
+            entries: self
+                .queue
+                .entries()
+                .map(|(time, tie, seq, eref)| QueuedEventState {
+                    time,
+                    tie,
+                    seq,
+                    target: eref.target,
+                    payload: eref.payload.to_raw(),
+                })
+                .collect(),
+            accounting: self.queue.export_accounting(),
+            order: self.queue.delivery_order().map(DeliveryOrder::export_state),
+            msgs: self.msgs.export_state(),
+            groups: ArenaState {
+                slots: groups_src
+                    .slots
+                    .into_iter()
+                    .map(|(gen, val)| (gen, val.map(GroupState::from)))
+                    .collect(),
+                free: groups_src.free,
+                peak: groups_src.peak,
+                reserve: groups_src.reserve,
+            },
+            rng_seed: self.rng.seed(),
+            rng_state: self.rng.state(),
+            trace_enabled: self.tracer.is_enabled(),
+            trace_capacity: self.tracer.capacity(),
+            trace_records: self.tracer.records().to_vec(),
+            trace_dropped: self.tracer.dropped(),
+        }
+    }
+
+    /// Overwrite this simulation's mutable state with a checkpointed
+    /// image. The simulation should be freshly constructed on the desired
+    /// queue backend with its components registered in the original
+    /// order; any events posted during that construction are discarded
+    /// and replaced by the image's pending entries. After this call the
+    /// run continues byte-identically to the run the image was exported
+    /// from — pop order, RNG draws, digests, and trace all resume
+    /// mid-stream.
+    pub fn import_engine_state(&mut self, state: EngineState<M>) {
+        self.now = state.now;
+        self.halt = state.halt;
+        self.delivered = state.delivered;
+        self.handled = state.handled;
+        self.max_events = state.max_events;
+        self.batching = state.batching;
+        self.msgs = EventArena::import_state(state.msgs);
+        self.groups = EventArena::import_state(ArenaState {
+            slots: state
+                .groups
+                .slots
+                .into_iter()
+                .map(|(gen, val)| (gen, val.map(GroupDelivery::from)))
+                .collect(),
+            free: state.groups.free,
+            peak: state.groups.peak,
+            reserve: state.groups.reserve,
+        });
+        self.queue.clear();
+        self.queue
+            .set_delivery_order(state.order.map(DeliveryOrder::import_state));
+        for e in state.entries {
+            let (ix, gen) = e.payload;
+            self.queue.restore_entry(
+                e.time,
+                e.tie,
+                e.seq,
+                EventRef {
+                    target: e.target,
+                    payload: PayloadId::from_raw(ix, gen),
+                },
+            );
+        }
+        self.queue.import_accounting(state.accounting);
+        self.rng = DeterministicRng::from_parts(state.rng_seed, state.rng_state);
+        self.tracer = Tracer::import_state(
+            state.trace_enabled,
+            state.trace_capacity,
+            state.trace_records,
+            state.trace_dropped,
+        );
+    }
+}
+
+/// One pending queue entry in an [`EngineState`]: the full `(time, tie,
+/// seq)` pop key plus the raw event reference.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedEventState {
+    /// Delivery instant (including any order-hook delay already applied).
+    pub time: SimTime,
+    /// Delivery-order tie key.
+    pub tie: u64,
+    /// Insertion sequence number.
+    pub seq: u64,
+    /// Raw target component index; `u32::MAX` marks a group entry whose
+    /// payload lives in the group arena.
+    pub target: u32,
+    /// Raw `(slot, generation)` payload handle into the matching arena.
+    pub payload: (u32, u32),
+}
+
+/// Serializable image of a [`Simulation`]'s mutable engine state,
+/// produced by [`Simulation::export_engine_state`]. World and component
+/// state are captured separately by the embedding harness.
+#[derive(Debug, Clone)]
+pub struct EngineState<M> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Halt flag.
+    pub halt: bool,
+    /// Queue entries popped so far.
+    pub delivered: u64,
+    /// Handler invocations so far.
+    pub handled: u64,
+    /// Runaway-guard cap on handler invocations.
+    pub max_events: u64,
+    /// Same-instant batching configuration.
+    pub batching: bool,
+    /// Every pending queue entry.
+    pub entries: Vec<QueuedEventState>,
+    /// Queue lifetime counters and interleaving digest.
+    pub accounting: QueueAccounting,
+    /// Delivery-order hook mid-stream, if installed.
+    pub order: Option<DeliveryOrderState>,
+    /// The unicast payload arena.
+    pub msgs: ArenaState<M>,
+    /// The group-delivery arena.
+    pub groups: ArenaState<GroupState<M>>,
+    /// RNG root seed (stream derivations depend on it).
+    pub rng_seed: u64,
+    /// RNG state after all draws so far.
+    pub rng_state: [u64; 4],
+    /// Whether tracing is on.
+    pub trace_enabled: bool,
+    /// Trace record cap, if bounded.
+    pub trace_capacity: Option<usize>,
+    /// Kept trace records.
+    pub trace_records: Vec<TraceRecord>,
+    /// Trace records dropped over the cap.
+    pub trace_dropped: u64,
 }
 
 #[cfg(test)]
@@ -1351,6 +1582,62 @@ mod tests {
         assert_eq!(tree_depth(3, 2), 2);
         assert_eq!(tree_depth(6, 2), 2);
         assert_eq!(tree_depth(7, 2), 3);
+    }
+
+    #[test]
+    fn engine_state_roundtrip_resumes_byte_identically() {
+        // Run to a midpoint (with a group mid-flight and traces on),
+        // export, import into a freshly built simulation, and finish
+        // both: worlds, counters, and traces must match exactly.
+        let build = |batching: bool| {
+            let mut sim = Simulation::new(RecWorld::new(), 23);
+            let fan = sim.add_component(FanOut {
+                targets: GroupTargets::Strided {
+                    first: ComponentId(1),
+                    stride: 1,
+                    len: 6,
+                },
+                schedule: GroupSchedule::FanoutTree {
+                    per_hop: SimSpan::from_micros(3),
+                    fanout: 2,
+                },
+                unicast: false,
+            });
+            for _ in 0..6 {
+                sim.add_component(Recorder);
+            }
+            sim.set_event_batching(batching);
+            sim.enable_tracing();
+            sim.post(SimTime::ZERO, fan, 7);
+            sim.post(SimTime::from_micros(10), fan, 900);
+            sim
+        };
+        let mut orig = build(true);
+        let mut half = build(true);
+        // Stop mid-run, with fan-out remainders still parked.
+        orig.run_until(SimTime::from_micros(12));
+        half.run_until(SimTime::from_micros(12));
+        let state = half.export_engine_state();
+        // Import into a fresh sim that was built differently (events
+        // posted at construction get discarded, batching differs). The
+        // world is the harness's to carry — copy it across.
+        let mut restored = build(false);
+        *restored.world_mut() = half.world().clone();
+        restored.import_engine_state(state);
+        assert_eq!(restored.now(), orig.now());
+        assert_eq!(restored.pending_messages(), orig.pending_messages());
+        orig.run_to_completion();
+        restored.run_to_completion();
+        assert_eq!(restored.now(), orig.now());
+        assert_eq!(restored.world(), orig.world());
+        assert_eq!(restored.events_delivered(), orig.events_delivered());
+        assert_eq!(restored.messages_handled(), orig.messages_handled());
+        assert_eq!(
+            restored.tracer().records(),
+            orig.tracer().records(),
+            "trace resumes mid-stream"
+        );
+        assert_eq!(restored.queue_stats(), orig.queue_stats());
     }
 
     #[test]

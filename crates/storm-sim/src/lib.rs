@@ -69,11 +69,15 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use arena::{ArenaStats, EventArena, PayloadId};
+pub use arena::{ArenaState, ArenaStats, EventArena, PayloadId};
 pub use engine::{
-    tree_depth, Component, ComponentId, Context, GroupSchedule, GroupTargets, Simulation,
+    tree_depth, Component, ComponentId, Context, EngineState, GroupSchedule, GroupState,
+    GroupTargets, QueuedEventState, Simulation,
 };
-pub use queue::{DeliveryOrder, EventQueue, QueueBackend, QueueStats};
+pub use queue::{
+    DeliveryOrder, DeliveryOrderState, EventQueue, OrderModeState, QueueAccounting, QueueBackend,
+    QueueStats,
+};
 pub use rng::DeterministicRng;
 pub use time::{SimSpan, SimTime};
-pub use trace::{TraceRecord, Tracer};
+pub use trace::{intern_label, TraceRecord, Tracer};

@@ -7,7 +7,28 @@
 
 use crate::engine::ComponentId;
 use crate::time::SimTime;
+use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Mutex;
+
+/// Intern a label as `&'static str`.
+///
+/// Trace labels (and metric names) are `&'static str` by design — in a
+/// live run they come from string literals. A checkpointed artifact only
+/// has owned strings, so restore routes every label through this table:
+/// the first sighting of a label leaks one small allocation, repeats
+/// reuse it. The set of distinct labels in a run is tiny and fixed, so
+/// the leak is bounded and amortised to nothing across restores.
+pub fn intern_label(label: &str) -> &'static str {
+    static TABLE: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut table = TABLE.lock().expect("label intern table poisoned");
+    if let Some(&hit) = table.get(label) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(label.to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
 
 /// One trace record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -136,6 +157,24 @@ impl Tracer {
     /// True if no records were kept.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Rebuild a tracer from checkpointed parts: configuration, the kept
+    /// records (labels should come through [`intern_label`]), and the
+    /// drop count. A disabled tracer restores as `disabled()` regardless
+    /// of `records`.
+    pub fn import_state(
+        enabled: bool,
+        capacity: Option<usize>,
+        records: Vec<TraceRecord>,
+        dropped: u64,
+    ) -> Self {
+        Tracer {
+            enabled,
+            records,
+            capacity,
+            dropped,
+        }
     }
 
     /// Render the whole trace, one record per line.

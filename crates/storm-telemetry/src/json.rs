@@ -1,7 +1,10 @@
 //! Minimal hand-rolled JSON support (the repo vendors no serde): a
-//! string escaper used by the exporters and a recursive-descent validator
+//! string escaper used by the exporters, a recursive-descent validator
 //! used by tests and the CI smoke bench to assert emitted artifacts
-//! actually parse.
+//! actually parse, and a [`Value`] model with a parser and writer for the
+//! self-contained artifacts the workspace emits and replays (DST repro
+//! files, cluster checkpoints). Numbers keep their source token so 64-bit
+//! seeds round-trip without `f64` precision loss.
 
 /// Append `s` to `out` with JSON string escaping (quotes, backslashes,
 /// and control characters).
@@ -205,9 +208,339 @@ impl Parser<'_> {
     }
 }
 
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its source token (integer-exact round-trips).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Required-member helpers for artifact decoding: error out with the
+    /// member path instead of panicking on malformed input.
+    pub fn req(&self, key: &str) -> Result<&Value, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing member {key:?}"))
+    }
+
+    /// Required `u64` member.
+    pub fn req_u64(&self, key: &str) -> Result<u64, String> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| format!("member {key:?} is not a u64"))
+    }
+
+    /// Required string member.
+    pub fn req_str(&self, key: &str) -> Result<&str, String> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| format!("member {key:?} is not a string"))
+    }
+}
+
+/// Parse a JSON document. Recursive descent over the full value grammar
+/// (escapes decoded, whitespace tolerated); errors carry a byte offset.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    p_skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn p_skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn p_expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    p_skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", char::from(byte)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    p_skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(bytes, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("empty number at byte {start}"));
+    }
+    Ok(Value::Num(
+        std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| "non-utf8 number".to_string())?
+            .to_string(),
+    ))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    p_expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (possibly multi-byte).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-utf8 string")?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    p_expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    p_skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        p_skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    p_expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    p_skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        p_skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        p_expect(bytes, pos, b':')?;
+        members.push((key, parse_value(bytes, pos)?));
+        p_skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// Escape and quote a string for JSON output.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Render a [`Value`] as compact JSON (deterministic: member order is the
+/// order held in the value).
+pub fn render(value: &Value) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(tok) => out.push_str(tok),
+        Value::Str(s) => out.push_str(&quote(s)),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&quote(k));
+                out.push(':');
+                render_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Convenience constructor for a JSON number from any displayable value.
+pub fn num(n: impl std::fmt::Display) -> Value {
+    Value::Num(n.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_round_trips_a_document() {
+        let doc = Value::Obj(vec![
+            ("name".into(), Value::Str("two-node \"launch\"".into())),
+            ("seed".into(), num(u64::MAX)),
+            ("delta".into(), num(-42)),
+            (
+                "ties".into(),
+                Value::Arr(vec![num(0), num(3), Value::Null, Value::Bool(true)]),
+            ),
+            ("empty".into(), Value::Obj(vec![])),
+        ]);
+        let text = render(&doc);
+        validate_json(&text).unwrap();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // 64-bit integers survive exactly (no f64 round-trip).
+        assert_eq!(back.req_u64("seed").unwrap(), u64::MAX);
+        assert_eq!(back.get("delta").unwrap().as_i64(), Some(-42));
+        assert_eq!(back.req_str("name").unwrap(), "two-node \"launch\"");
+    }
+
+    #[test]
+    fn value_parser_rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        let missing = Value::Obj(vec![]);
+        assert!(missing.req_u64("absent").is_err());
+    }
 
     #[test]
     fn accepts_well_formed_json() {

@@ -42,7 +42,7 @@ pub mod registry;
 pub mod span;
 
 pub use export::chrome_trace;
-pub use json::validate_json;
+pub use json::{validate_json, Value};
 pub use registry::{Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use span::{spans_jsonl, JobSpan, Phase, SpanLog};
 

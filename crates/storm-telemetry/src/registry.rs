@@ -135,6 +135,30 @@ impl Histogram {
             .filter(|(_, &n)| n > 0)
             .map(|(b, &n)| (b, n))
     }
+
+    /// The full bucket array, for checkpointing.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from checkpointed parts. `min` is the value
+    /// [`Histogram::min`] reported (0 for an empty histogram — the empty
+    /// sentinel is reconstructed internally).
+    pub fn from_parts(
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
 }
 
 /// A metric identity: a static name plus a (possibly empty) label set.
@@ -275,6 +299,16 @@ impl MetricsRegistry {
         span: SimSpan,
     ) {
         self.observe_with(name, labels, span.as_nanos() / 1_000);
+    }
+
+    /// Rebuild a registry from checkpointed entries (key order need not be
+    /// sorted; the map re-establishes it). Static key names should come
+    /// through `storm_sim::intern_label` when decoded from an artifact.
+    pub fn import(on: bool, entries: Vec<(MetricKey, MetricValue)>) -> Self {
+        Self {
+            enabled: on,
+            metrics: entries.into_iter().collect(),
+        }
     }
 
     /// An ordered, immutable copy of the current registry contents.

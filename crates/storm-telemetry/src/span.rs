@@ -153,6 +153,11 @@ impl SpanLog {
         &self.spans
     }
 
+    /// Rebuild a log from checkpointed spans.
+    pub fn import(on: bool, spans: Vec<JobSpan>) -> Self {
+        Self { enabled: on, spans }
+    }
+
     /// Number of collected spans.
     pub fn len(&self) -> usize {
         self.spans.len()

@@ -1,4 +1,4 @@
-//! Cluster monitoring through the telemetry registry (§4):
+//! Cluster monitoring through queryable state (§4):
 //!
 //! "Another possible use of the STORM mechanisms is to implement a
 //! graphical interface for cluster monitoring. As before, the master can
@@ -6,17 +6,25 @@
 //! all of the slaves."
 //!
 //! Where the paper polls the mechanisms by hand, this example runs a full
-//! instrumented cluster — telemetry and tracing enabled — and renders what
-//! a monitoring GUI would: a live per-interval health table sampled while
-//! the simulation advances (queue depth, alive/quarantined nodes, matrix
-//! utilization, pending simulator messages), the end-of-run metrics
-//! snapshot with histogram percentiles, the per-job lifecycle spans, and a
-//! Chrome trace-event timeline (`TRACE_monitoring.json`) loadable in
-//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//! instrumented cluster and drives the `storm-query` surface against it —
+//! everything a monitoring GUI would show, as relational queries over live
+//! state:
+//!
+//! * a live per-interval health table sampled while the simulation runs,
+//! * continuous queries ("alert when more than 2 nodes are quarantined",
+//!   "alert when the queue keeps growing") evaluated at every timeslice
+//!   boundary, with the resulting alert log,
+//! * "top 5 jobs by queue wait" via sort + limit on the jobs view,
+//! * job counts per state via group-by, and the allocation map as a
+//!   join of the allocs and jobs views,
+//! * the end-of-run metrics snapshot and a Chrome trace-event timeline
+//!   (`TRACE_monitoring.json`) loadable in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>.
 //!
 //! Run with: `cargo run --release --example cluster_monitoring`
 
 use storm::core::prelude::*;
+use storm::query::{allocs, jobs, nodes, Agg, Datum};
 
 fn main() {
     let cfg = ClusterConfig::paper_cluster()
@@ -27,58 +35,126 @@ fn main() {
     let mut c = Cluster::new(cfg);
     c.enable_tracing_with_capacity(100_000);
 
-    // The workload: a 12 MB binary launched on 256 PEs, two gang-scheduled
-    // synthetic jobs, and a node crash + revival for the health panel to
-    // catch.
-    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
-    c.submit_at(
-        SimTime::from_millis(10),
-        JobSpec::new(
-            AppSpec::Synthetic {
-                compute: SimSpan::from_millis(120),
-            },
-            64,
-        ),
-    );
-    c.submit_at(
-        SimTime::from_millis(20),
-        JobSpec::new(
-            AppSpec::Synthetic {
-                compute: SimSpan::from_millis(120),
-            },
-            128,
-        ),
-    );
-    c.fail_node_at(SimTime::from_millis(40), 9);
-    c.rejoin_node_at(SimTime::from_millis(120), 9);
+    // Standing queries, registered before anything runs. Evaluation is
+    // pure observation: registering them does not perturb the schedule.
+    c.register_query("quarantine-storm", Condition::QuarantinedAbove(2));
+    c.register_query("backlog-growing", Condition::QueueDepthGrowingFor(2));
+
+    // The workload: a 12 MB binary on 256 PEs, a stream of gang-scheduled
+    // synthetic jobs, and three node crashes (later revived) so the
+    // quarantine alert has something to fire on.
+    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256).named("ppm-render"));
+    for (i, (ms, ranks)) in [(10u64, 64u32), (20, 128), (30, 32), (45, 64), (55, 16)]
+        .iter()
+        .enumerate()
+    {
+        c.submit_at(
+            SimTime::from_millis(*ms),
+            JobSpec::new(
+                AppSpec::Synthetic {
+                    compute: SimSpan::from_millis(120),
+                },
+                *ranks,
+            )
+            .named(format!("synth-{i}")),
+        );
+    }
+    for (ms, node) in [(40u64, 9u32), (48, 21), (56, 33)] {
+        c.fail_node_at(SimTime::from_millis(ms), node);
+        c.rejoin_node_at(SimTime::from_millis(ms + 200), node);
+    }
 
     // ------------------------------------------------- live health table —
     // Advance the simulation in 25 ms display frames and read the gauges
     // the MM refreshes every timeslice — exactly what a GUI would poll.
     println!("live cluster health (25 ms refresh):");
     println!(
-        "  {:>6}  {:>5}  {:>5}  {:>6}  {:>6}  {:>7}  {:>8}",
-        "time", "queue", "alive", "quar", "util%", "pending", "done"
+        "  {:>6}  {:>5}  {:>5}  {:>6}  {:>7}  {:>8}  {:>6}",
+        "time", "queue", "alive", "quar", "pending", "done", "alerts"
     );
     for frame in 1..=16u64 {
         let deadline = SimTime::from_millis(25 * frame);
         c.run_until(deadline);
         let snap = c.metrics_snapshot();
-        let util = snap
-            .histogram("sched.matrix_utilization_pct")
-            .map(|h| h.max())
-            .unwrap_or(0);
         println!(
-            "  {:>6}  {:>5}  {:>5}  {:>6}  {:>6}  {:>7}  {:>8}",
+            "  {:>6}  {:>5}  {:>5}  {:>6}  {:>7}  {:>8}  {:>6}",
             format!("{}ms", 25 * frame),
             snap.gauge("sched.queue_depth").unwrap_or(0),
             snap.gauge("nodes.alive").unwrap_or(0),
             snap.gauge("nodes.quarantined").unwrap_or(0),
-            util,
             snap.gauge("engine.pending_messages").unwrap_or(0),
             snap.counter("jobs.completed").unwrap_or(0),
+            c.alerts().len(),
         );
     }
+    // ------------------------------------------------------ allocation map —
+    // Queried mid-run, while jobs still hold their buddy blocks: the
+    // allocs view joined with the jobs view on job id.
+    println!("\nallocation map at {} (allocs ⋈ jobs on job id):", c.now());
+    let live = allocs(&c);
+    if live.is_empty() {
+        println!("  (no live allocations — cluster drained)");
+    } else {
+        let map = live
+            .join(&jobs(&c), "job", "job")
+            .unwrap()
+            .select(&[
+                "allocs.slot",
+                "allocs.job",
+                "jobs.name",
+                "allocs.node_start",
+                "allocs.node_end",
+                "allocs.width",
+            ])
+            .unwrap();
+        println!("{}", map.render());
+    }
+
+    c.run_until(SimTime::from_millis(600));
+
+    // ---------------------------------------------------- standing alerts —
+    // Conditions are level-triggered: one alert per slice while true.
+    // A GUI would coalesce the steady state, and so does this panel.
+    println!("\ncontinuous-query alert log:");
+    if c.alerts().is_empty() {
+        println!("  (no alerts raised)");
+    }
+    for a in c.alerts().iter().take(4) {
+        println!(
+            "  slice {:>4} at {:>10}  {:<17} observed {}",
+            a.slice, a.at, a.query, a.observed
+        );
+    }
+    if c.alerts().len() > 4 {
+        let last = c.alerts().last().unwrap();
+        println!(
+            "  … {} more, last at {} (slice {})",
+            c.alerts().len() - 4,
+            last.at,
+            last.slice
+        );
+    }
+    for q in c.continuous_queries().queries() {
+        println!("  query {:<17} fired {} time(s)", q.name, q.firings);
+    }
+
+    // ------------------------------------------------------- query panels —
+    let j = jobs(&c);
+    println!("\ntop 5 jobs by queue wait:");
+    let top = j
+        .select(&["job", "name", "state", "ranks", "wait_us"])
+        .unwrap()
+        .sort_by("wait_us", true)
+        .unwrap()
+        .limit(5);
+    println!("{}", top.render());
+
+    println!("jobs per state:");
+    let per_state = j.group_by("state", &[(Agg::Count, "job")]).unwrap();
+    println!("{}", per_state.render());
+
+    let failed = nodes(&c).filter(|r| r.get("failed") == &Datum::Bool(true));
+    println!("nodes still failed at end of run: {}", failed.len());
 
     // -------------------------------------------------- end-of-run panel —
     let snap = c.metrics_snapshot();

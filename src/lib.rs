@@ -12,6 +12,11 @@
 //!   deterministic discrete-event engine underneath everything.
 //! * [`telemetry`] — deterministic metrics registry, per-job lifecycle
 //!   spans, and Chrome-trace timeline export for any instrumented run.
+//! * [`query`] — relational views over a running cluster (jobs, nodes,
+//!   slots, allocations, MM replicas) with filters/sorts/joins/aggregates,
+//!   plus continuous queries firing alerts at timeslice boundaries; see
+//!   also [`core::checkpoint`] for checkpoint/restore of a running
+//!   cluster.
 //! * [`apps`] — workload models (SWEEP3D, synthetic, hogs, job streams);
 //!   [`baselines`] — rsh/RMS/GLUnix/Cplant/BProc and the Table 8 scheduler
 //!   models; [`model`] — the paper's closed-form scalability models.
@@ -37,5 +42,6 @@ pub use storm_fs as fs;
 pub use storm_mech as mech;
 pub use storm_model as model;
 pub use storm_net as net;
+pub use storm_query as query;
 pub use storm_sim as sim;
 pub use storm_telemetry as telemetry;

@@ -389,8 +389,8 @@ fn fast_forward_telemetry_matches_full_strobing() {
             .with_fast_forward(false),
     );
     assert_eq!(
-        strip_metric_lines(&leaped.0, &["sim.time.", "sim.queue."]),
-        strip_metric_lines(&strobed.0, &["sim.time.", "sim.queue."]),
+        strip_metric_lines(&leaped.0, &["sim.time.", "sim.queue.", "sim.arena."]),
+        strip_metric_lines(&strobed.0, &["sim.time.", "sim.queue.", "sim.arena."]),
         "metrics snapshots (modulo leap accounting and raw queue gauges)"
     );
     assert_eq!(leaped.1, strobed.1, "job span logs");
@@ -416,12 +416,13 @@ fn fast_forward_telemetry_matches_full_strobing() {
 fn telemetry_is_byte_identical_across_modes_and_replays() {
     let grouped = instrumented_run(true);
     let unicast = instrumented_run(false);
-    // `sim.queue.*` gauges sample *raw* queue entries, which by design
-    // count a group fan-out once and a unicast fan-out N times — they are
-    // the one metric family allowed to differ across delivery modes.
+    // `sim.queue.*` gauges sample *raw* queue entries, and `sim.arena.*`
+    // raw interned payloads; both by design count a group fan-out once
+    // and a unicast fan-out N times — they are the metric families
+    // allowed to differ across delivery modes.
     assert_eq!(
-        strip_metric_lines(&grouped.0, &["sim.queue."]),
-        strip_metric_lines(&unicast.0, &["sim.queue."]),
+        strip_metric_lines(&grouped.0, &["sim.queue.", "sim.arena."]),
+        strip_metric_lines(&unicast.0, &["sim.queue.", "sim.arena."]),
         "metrics snapshots (modulo raw queue-depth gauges)"
     );
     assert_eq!(grouped.1, unicast.1, "job span logs");
@@ -475,4 +476,168 @@ fn gang_runs_are_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// Checkpoint/restore must be seamless: pausing a run mid-flight with
+/// `Cluster::checkpoint()` and resuming the artifact with
+/// `Cluster::restore()` must reproduce the uninterrupted run *exactly* —
+/// same trace, same stats, same telemetry, same interleaving digest,
+/// same final checkpoint bytes — under both event-queue backends.
+fn checkpoint_resume_roundtrip(backend: QueueBackend) {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(41)
+        .with_queue_backend(backend)
+        .with_telemetry(true)
+        .with_fault_detection(4);
+    let mut live = Cluster::new(cfg);
+    live.enable_tracing();
+    live.register_query("health", Condition::QuarantinedAbove(0));
+    live.submit(JobSpec::new(AppSpec::do_nothing_mb(8), 128));
+    live.submit_at(
+        SimTime::from_millis(20),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(150),
+            },
+            32,
+        ),
+    );
+    live.fail_node_at(SimTime::from_millis(70), 5);
+
+    // Pause mid-transfer, with a queued job and a pending fault event.
+    live.run_until(SimTime::from_millis(45));
+    let artifact = live.checkpoint();
+    let mut resumed = Cluster::restore(&artifact).expect("restore");
+    assert_eq!(resumed.now(), live.now());
+
+    live.run_until(SimTime::from_millis(600));
+    resumed.run_until(SimTime::from_millis(600));
+    assert_eq!(
+        live.interleaving_digest(),
+        resumed.interleaving_digest(),
+        "interleaving digest after resume"
+    );
+    assert_eq!(live.trace(), resumed.trace(), "event traces");
+    assert_eq!(
+        live.metrics_snapshot().to_json(),
+        resumed.metrics_snapshot().to_json(),
+        "telemetry snapshots"
+    );
+    assert_eq!(live.alerts(), resumed.alerts(), "continuous-query alerts");
+    assert_eq!(live.world().stats, resumed.world().stats, "cluster stats");
+    assert_eq!(
+        live.checkpoint(),
+        resumed.checkpoint(),
+        "final checkpoints must be byte-identical"
+    );
+}
+
+#[test]
+fn checkpoint_restore_resume_is_byte_identical_on_heap() {
+    checkpoint_resume_roundtrip(QueueBackend::Heap);
+}
+
+#[test]
+fn checkpoint_restore_resume_is_byte_identical_on_wheel() {
+    checkpoint_resume_roundtrip(QueueBackend::Wheel);
+}
+
+/// The continuous-query zero-cost contract: with no queries registered
+/// the boundary hook is a single branch, so a run on a cluster that
+/// never touches the query surface is byte-identical to one that has it
+/// wired in but empty — and registering queries changes observations
+/// only (alerts, counters), never the simulation.
+#[test]
+fn zero_queries_are_byte_identical_and_registered_queries_only_observe() {
+    let run = |register: bool| {
+        let cfg = ClusterConfig::paper_cluster()
+            .with_seed(53)
+            .with_fault_detection(4);
+        let mut c = Cluster::new(cfg);
+        c.enable_tracing();
+        if register {
+            c.register_query("health", Condition::QuarantinedAbove(0));
+            c.register_query("backlog", Condition::QueueDepthGrowingFor(3));
+        }
+        c.submit(JobSpec::new(AppSpec::do_nothing_mb(6), 128));
+        c.fail_node_at(SimTime::from_millis(40), 11);
+        c.run_until(SimTime::from_millis(300));
+        (
+            c.interleaving_digest(),
+            c.trace(),
+            c.events_delivered(),
+            c.world().stats.clone(),
+            c.alerts().to_vec(),
+        )
+    };
+    let bare = run(false);
+    let watched = run(true);
+    assert_eq!(bare.0, watched.0, "interleaving digest");
+    assert_eq!(bare.1, watched.1, "event trace");
+    assert_eq!(bare.2, watched.2, "events delivered");
+    assert_eq!(bare.3, watched.3, "cluster stats");
+    assert!(bare.4.is_empty(), "no queries, no alerts");
+    assert!(!watched.4.is_empty(), "quarantine fires the health query");
+}
+
+/// The Chrome trace exporter in full: the document a real instrumented
+/// run produces must be valid JSON with the expected event stream —
+/// metadata tracks, instant events for simulator trace records, complete
+/// (`"ph": "X"`) events for job phases — and the *event ordering* must
+/// be deterministic: two same-seed runs emit the identical sequence of
+/// (name, phase, timestamp, track) tuples, and instants appear in
+/// non-decreasing time order (the order the simulation handled them).
+#[test]
+fn chrome_trace_is_valid_and_ordering_is_deterministic() {
+    use storm::telemetry::json;
+
+    let events = |doc: &str| -> Vec<(String, String, String, u64, u64)> {
+        let v = json::parse(doc).expect("chrome trace parses");
+        v.req("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| {
+                (
+                    e.req("name").unwrap().as_str().unwrap().to_string(),
+                    e.req("ph").unwrap().as_str().unwrap().to_string(),
+                    match e.get("ts") {
+                        Some(json::Value::Num(tok)) => tok.clone(),
+                        _ => String::new(),
+                    },
+                    e.req("pid").unwrap().as_u64().unwrap(),
+                    e.get("tid").and_then(|t| t.as_u64()).unwrap_or(0),
+                )
+            })
+            .collect()
+    };
+
+    let first = instrumented_run(true);
+    let second = instrumented_run(true);
+    validate_json(&first.2).unwrap();
+    assert_eq!(first.2, second.2, "same-seed chrome traces byte-identical");
+
+    let evs = events(&first.2);
+    assert_eq!(evs, events(&second.2), "event sequences identical");
+    // Both process tracks are named, and both event kinds are present.
+    let metas: Vec<_> = evs.iter().filter(|e| e.1 == "M").collect();
+    assert_eq!(
+        metas.iter().filter(|e| e.0 == "process_name").count(),
+        2,
+        "daemon + job process metadata"
+    );
+    assert!(evs.iter().any(|e| e.1 == "i" && e.3 == 0), "instant events");
+    assert!(evs.iter().any(|e| e.1 == "X" && e.3 == 1), "phase events");
+    // Instant events replay the trace log: strictly chronological.
+    let instant_ts: Vec<f64> = evs
+        .iter()
+        .filter(|e| e.1 == "i")
+        .map(|e| e.2.parse().unwrap())
+        .collect();
+    assert!(!instant_ts.is_empty());
+    assert!(
+        instant_ts.windows(2).all(|w| w[0] <= w[1]),
+        "instants non-decreasing in time"
+    );
 }

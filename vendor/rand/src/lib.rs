@@ -181,6 +181,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from previously captured state words.
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ and can
+        /// never be produced by [`SeedableRng::seed_from_u64`]; it is
+        /// remapped the same way seeding would remap it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            let mut s = s;
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;
