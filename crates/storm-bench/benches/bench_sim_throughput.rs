@@ -22,12 +22,13 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use storm_bench::{check, derive_seed, parallel_sweep, write_json_artifact};
+use storm_bench::{check, derive_seed, parallel_sweep, sweep_workers, write_json_artifact};
 use storm_core::prelude::*;
 
 struct Row {
     nodes: u32,
     group: bool,
+    threads: u32,
     events: u64,
     messages: u64,
     strobes: u64,
@@ -36,6 +37,8 @@ struct Row {
     arena_peak: usize,
     arena_bytes: usize,
     wall_s: f64,
+    digest: u64,
+    par_windows: u64,
 }
 
 impl Row {
@@ -48,14 +51,37 @@ impl Row {
     }
 }
 
+/// FNV-1a over a run's full observable surface — queue/arena accounting,
+/// cluster stats, and the telemetry snapshot. (The queue's own
+/// `interleaving_digest` only accumulates under a DST hook, which
+/// auto-suspends parallel windows, so it cannot distinguish these runs.)
+fn observables_digest(c: &Cluster) -> u64 {
+    let text = format!(
+        "{:?}|{:?}|{}|{}|{:?}|{}",
+        c.queue_stats(),
+        c.arena_stats(),
+        c.events_delivered(),
+        c.messages_handled(),
+        c.world().stats,
+        c.metrics_snapshot().to_json(),
+    );
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// A fixed-size MPL-2 workload (launch + transfer + gang rotation) on an
 /// `nodes`-wide machine: the job-side work is constant, so any growth in
 /// event counts is pure fan-out overhead.
-fn run(nodes: u32, group: bool) -> Row {
+fn run(nodes: u32, group: bool, threads: u32) -> Row {
     let cfg = ClusterConfig::paper_cluster()
         .with_nodes(nodes)
         .with_seed(0x51_C0DE)
-        .with_group_delivery(group);
+        .with_group_delivery(group)
+        .with_threads(threads);
     let mut c = Cluster::new(cfg);
     for _ in 0..2 {
         c.submit(JobSpec::new(
@@ -73,6 +99,7 @@ fn run(nodes: u32, group: bool) -> Row {
     Row {
         nodes,
         group,
+        threads,
         events: c.events_delivered(),
         messages: c.messages_handled(),
         strobes: c.world().stats.strobes,
@@ -81,6 +108,8 @@ fn run(nodes: u32, group: bool) -> Row {
         arena_peak: ar.peak,
         arena_bytes: ar.payload_bytes,
         wall_s,
+        digest: observables_digest(&c),
+        par_windows: c.parallel_windows(),
     }
 }
 
@@ -123,9 +152,10 @@ fn main() {
     };
     println!("Simulator throughput: group delivery vs per-NM events");
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>10} {:>11}",
+        "{:>6} {:>8} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>10} {:>11}",
         "nodes",
         "mode",
+        "threads",
         "events",
         "messages",
         "ev/slice",
@@ -137,12 +167,13 @@ fn main() {
     );
 
     let configs: Vec<(u32, bool)> = axis.iter().flat_map(|&n| [(n, false), (n, true)]).collect();
-    let rows = parallel_sweep(configs, |&(n, group)| run(n, group));
+    let rows = parallel_sweep(configs, |&(n, group)| run(n, group, 1));
     for row in &rows {
         println!(
-            "{:>6} {:>8} {:>12} {:>12} {:>9.1} {:>12} {:>12} {:>9} {:>10.0} {:>9.3} s",
+            "{:>6} {:>8} {:>8} {:>12} {:>12} {:>9.1} {:>12} {:>12} {:>9} {:>10.0} {:>9.3} s",
             row.nodes,
             if row.group { "group" } else { "unicast" },
+            row.threads,
             row.events,
             row.messages,
             row.events_per_timeslice(),
@@ -195,6 +226,62 @@ fn main() {
         &format!("grouped events/timeslice flat across sizes ({lo:.1}-{hi:.1})"),
     );
 
+    // Warning rows accumulated into the artifact: conditions that make a
+    // recorded number unrepresentative rather than wrong.
+    let mut warnings: Vec<String> = Vec::new();
+
+    // --------------------------------------- parallel engine section —
+    // Deterministic intra-timeslice parallelism on the unicast workload
+    // at the largest size: the serial baseline and the 4-thread run must
+    // produce the same interleaving digest and handler counts (the
+    // zero-perturbation contract), and on multi-core hardware the
+    // parallel run must be faster. Both runs are standalone (not inside
+    // `parallel_sweep`) so neither wall-clock is polluted by sweep
+    // neighbours.
+    let par_threads: u32 = 4;
+    let hw_threads = sweep_workers(usize::MAX);
+    println!("parallel engine at {max_n} nodes, unicast: serial vs {par_threads} threads");
+    let ser = run(max_n, false, 1);
+    let par = run(max_n, false, par_threads);
+    let speedup = par.events_per_sec() / ser.events_per_sec();
+    println!(
+        "  serial   {:>10.0} events/sec (digest {:#018x})",
+        ser.events_per_sec(),
+        ser.digest
+    );
+    println!(
+        "  parallel {:>10.0} events/sec (digest {:#018x}, {} parallel windows, {speedup:.2}x)",
+        par.events_per_sec(),
+        par.digest,
+        par.par_windows
+    );
+    check(
+        ser.digest == par.digest,
+        "serial and parallel runs produce identical observables digests",
+    );
+    check(
+        ser.messages == par.messages && ser.events == par.events,
+        "serial and parallel runs handle identical event counts",
+    );
+    check(
+        par.par_windows > 0,
+        "the parallel run actually exercised the parallel window path",
+    );
+    if hw_threads >= 2 {
+        check(
+            speedup >= 1.5,
+            &format!("parallel engine >= 1.5x serial at {max_n} nodes ({speedup:.2}x)"),
+        );
+    } else {
+        let w = format!(
+            "parallel speedup unmeasurable: 1 hardware thread available; \
+             {par_threads}-thread run recorded {speedup:.2}x (coordination \
+             overhead only, no parallelism possible)"
+        );
+        println!("   [warning] {w}");
+        warnings.push(w);
+    }
+
     // ------------------------------------------------ fig5 sweep section —
     // The four Figure-5 series at one large size, legacy core vs current
     // defaults. Simulated results must agree exactly; wall-clock must not.
@@ -241,12 +328,26 @@ fn main() {
     let optimized_serial: f64 = optimized.iter().map(|r| r.1).sum();
     let improvement = legacy_serial / optimized_serial;
     let sweep_speedup = optimized_serial / parallel_wall;
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // The worker count the sweep driver actually used — NOT a fresh
+    // available_parallelism probe, whose fallback used to disagree with
+    // the driver's and silently record 1 (or 4) for a sweep that ran
+    // with the other.
+    let threads = sweep_workers(series.len());
     println!(
         "fig5 sweep at {fig5_nodes} nodes: legacy {legacy_serial:.3} s, optimized \
          {optimized_serial:.3} s serial ({improvement:.1}x), parallel wall \
          {parallel_wall:.3} s ({sweep_speedup:.1}x over serial on {threads} threads)"
     );
+    if threads == 1 {
+        let w = format!(
+            "parallel_sweep ran serially (1 worker for {} configs): \
+             parallel_sweep_speedup {sweep_speedup:.2} is a no-op baseline, \
+             not a parallelism measurement",
+            series.len()
+        );
+        println!("   [warning] {w}");
+        warnings.push(w);
+    }
     check(
         improvement >= 2.0,
         &format!("optimized core >= 2x faster on the fig5 sweep at {fig5_nodes} nodes ({improvement:.1}x)"),
@@ -257,13 +358,15 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"nodes\": {}, \"group_delivery\": {}, \"events_delivered\": {}, \
+            "    {{\"nodes\": {}, \"group_delivery\": {}, \"threads\": {}, \
+             \"events_delivered\": {}, \
              \"messages_handled\": {}, \"strobes\": {}, \"queue_pushed\": {}, \
              \"queue_peak\": {}, \"arena_peak\": {}, \"arena_payload_bytes\": {}, \
              \"wall_seconds\": {:.6}, \
              \"events_per_sec\": {:.1}, \"events_per_timeslice\": {:.2}}}{}",
             r.nodes,
             r.group,
+            r.threads,
             r.events,
             r.messages,
             r.strobes,
@@ -280,6 +383,27 @@ fn main() {
     let _ = writeln!(
         json,
         "  ],\n  \"events_per_timeslice_reduction_at_{max_n}\": {ratio:.1},"
+    );
+    let _ = writeln!(json, "  \"parallel_engine\": {{");
+    let _ = writeln!(json, "    \"nodes\": {max_n},");
+    let _ = writeln!(json, "    \"threads\": {par_threads},");
+    let _ = writeln!(json, "    \"hw_threads\": {hw_threads},");
+    let _ = writeln!(
+        json,
+        "    \"serial_events_per_sec\": {:.1},",
+        ser.events_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_events_per_sec\": {:.1},",
+        par.events_per_sec()
+    );
+    let _ = writeln!(json, "    \"parallel_windows\": {},", par.par_windows);
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "    \"digests_match\": {}\n  }},",
+        ser.digest == par.digest
     );
     let _ = writeln!(json, "  \"fig5_sweep\": {{");
     let _ = writeln!(json, "    \"nodes\": {fig5_nodes},");
@@ -308,8 +432,18 @@ fn main() {
          \"wall_clock_improvement\": {improvement:.2},\n    \
          \"parallel_sweep_wall_seconds\": {parallel_wall:.6},\n    \
          \"parallel_sweep_speedup\": {sweep_speedup:.2},\n    \
-         \"parallel_sweep_threads\": {threads}\n  }}\n}}"
+         \"parallel_sweep_threads\": {threads}\n  }},"
     );
+    let _ = writeln!(json, "  \"warnings\": [");
+    for (i, w) in warnings.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\"{}",
+            w.replace('\\', "\\\\").replace('"', "\\\""),
+            if i + 1 == warnings.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]\n}}");
     write_json_artifact("BENCH_OUT", "BENCH_simcore.json", &json);
     println!("bench_sim_throughput: all checks passed");
 }

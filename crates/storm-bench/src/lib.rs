@@ -107,19 +107,31 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The exact worker count [`parallel_sweep`] uses for `n_configs`
+/// configurations: `available_parallelism` capped by the configuration
+/// count, falling back to **1** (a serial sweep) when the runtime cannot
+/// report core counts. Benches must report this value instead of
+/// re-deriving `available_parallelism` themselves — the two used to
+/// disagree on fallback, so an artifact could claim a parallel sweep
+/// (or silently record `1`) while the driver did the opposite.
+pub fn sweep_workers(n_configs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n_configs.max(1))
+}
+
 /// Run independent experiment configurations in parallel across threads
 /// (each simulation is single-threaded and deterministic; the sweep across
-/// configurations is embarrassingly parallel).
+/// configurations is embarrassingly parallel). The worker count is exactly
+/// [`sweep_workers`]`(configs.len())`.
 pub fn parallel_sweep<C, R>(configs: Vec<C>, f: impl Fn(&C) -> R + Sync) -> Vec<R>
 where
     C: Send + Sync,
     R: Send,
 {
     let n = configs.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let threads = sweep_workers(n);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let done = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
     std::thread::scope(|scope| {
@@ -218,6 +230,15 @@ mod tests {
         let configs: Vec<u64> = (0..50).collect();
         let results = parallel_sweep(configs, |&c| c * 2);
         assert_eq!(results, (0..50).map(|c| c * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_workers_is_capped_by_config_count() {
+        assert_eq!(sweep_workers(1), 1);
+        assert_eq!(sweep_workers(0), 1);
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(sweep_workers(1_000_000), hw);
+        assert!(sweep_workers(2) <= 2);
     }
 
     #[test]

@@ -419,6 +419,7 @@ fn enc_config(cfg: &ClusterConfig) -> Value {
             }),
         ),
         ("event_batching", boolean(cfg.resolved_event_batching())),
+        ("threads", num(cfg.resolved_threads())),
         (
             "delivery_order",
             opt(cfg.delivery_order.as_ref(), |o| {
@@ -486,6 +487,7 @@ fn dec_config(v: &Value) -> R<ClusterConfig> {
             other => return Err(format!("unknown queue backend {other:?}")),
         }),
         event_batching: Some(dbool(v.req("event_batching")?)?),
+        threads: Some(du32(v.req("threads")?)?),
         delivery_order: dopt(v.req("delivery_order")?)
             .map(|o| Ok::<_, String>(DeliveryOrder::import_state(dec_order_state(o)?)))
             .transpose()?,
@@ -911,6 +913,15 @@ fn enc_engine(e: &EngineState<Msg>) -> Value {
             "rng_state",
             Value::Arr(e.rng_state.iter().map(|&x| num(x)).collect()),
         ),
+        (
+            "streams",
+            Value::Arr(
+                e.streams
+                    .iter()
+                    .map(|st| Value::Arr(st.iter().map(|&x| num(x)).collect()))
+                    .collect(),
+            ),
+        ),
         ("trace_enabled", boolean(e.trace_enabled)),
         ("trace_capacity", opt(e.trace_capacity, num)),
         (
@@ -971,6 +982,14 @@ fn dec_engine(v: &Value) -> R<EngineState<Msg>> {
         groups: dec_arena(v.req("groups")?, dec_group)?,
         rng_seed: v.req_u64("rng_seed")?,
         rng_state,
+        streams: elems(v, "streams")?
+            .iter()
+            .map(|row| {
+                let st = dvec(row, du64)?;
+                st.try_into()
+                    .map_err(|_| "stream state must have exactly 4 words".to_string())
+            })
+            .collect::<R<_>>()?,
         trace_enabled: dbool(v.req("trace_enabled")?)?,
         trace_capacity: dopt(v.req("trace_capacity")?).map(dusize).transpose()?,
         trace_records: elems(v, "trace_records")?
@@ -2192,6 +2211,7 @@ impl Cluster {
         let mut cfg = w.cfg.clone();
         cfg.queue_backend = Some(cfg.resolved_queue_backend());
         cfg.event_batching = Some(cfg.resolved_event_batching());
+        cfg.threads = Some(cfg.resolved_threads());
         let mms: Vec<Value> = w
             .wiring
             .mms

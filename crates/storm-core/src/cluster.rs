@@ -40,6 +40,10 @@ impl Cluster {
         // makes a seeded run regenerable as an explicit tie script).
         sim.set_delivery_order(cfg.delivery_order.clone());
         sim.set_event_batching(cfg.resolved_event_batching());
+        // Parallel window execution is byte-identical to serial, so the
+        // thread count never perturbs a run — the engine auto-suspends it
+        // while a delivery-order hook is installed.
+        sim.set_threads(cfg.resolved_threads() as usize);
         let mm = sim.add_component(MachineManager::new());
         let mut nms = Vec::with_capacity(cfg.nodes as usize);
         let mut pls = Vec::with_capacity(cfg.nodes as usize);
@@ -362,6 +366,28 @@ impl Cluster {
     /// [`ClusterConfig::event_batching`] / `STORM_BATCH` setting).
     pub fn event_batching(&self) -> bool {
         self.sim.event_batching()
+    }
+
+    /// Worker threads for parallel window execution (the resolved
+    /// [`ClusterConfig::threads`] / `STORM_THREADS` setting; 1 = serial).
+    pub fn threads(&self) -> usize {
+        self.sim.threads()
+    }
+
+    /// Windows executed on the parallel path so far (see
+    /// [`Simulation::parallel_windows`]).
+    ///
+    /// [`Simulation::parallel_windows`]: storm_sim::Simulation::parallel_windows
+    pub fn parallel_windows(&self) -> u64 {
+        self.sim.parallel_windows()
+    }
+
+    /// Lower the minimum window size for parallel execution (test/bench
+    /// hook — small clusters can't form the default 128-event windows, and
+    /// the lock-step identity suites need the parallel path to actually
+    /// run, not vacuously fall back to serial).
+    pub fn set_parallel_window_min(&mut self, min: usize) {
+        self.sim.set_parallel_window_min(min);
     }
 
     /// The engine's interleaving digest (see

@@ -191,6 +191,13 @@ pub struct ClusterConfig {
     /// run keys every insertion of the simulation's lifetime. See
     /// DESIGN.md §14.
     pub delivery_order: Option<DeliveryOrder>,
+    /// Worker threads for parallel intra-timeslice window execution
+    /// (DESIGN.md §18). `None` (the default) resolves to the
+    /// `STORM_THREADS` environment variable if set, otherwise 1 (serial);
+    /// `Some(n)` pins the count explicitly. Any value is byte-identical
+    /// to serial execution — the engine merges worker outputs back in
+    /// canonical pop order — so this is purely a wall-clock knob.
+    pub threads: Option<u32>,
     /// Idle fast-forward: when fault detection keeps the MM ticking but
     /// the cluster is quiescent (no queued or running jobs) and no event
     /// is due before the next heartbeat round, leap the clock straight to
@@ -239,6 +246,7 @@ impl ClusterConfig {
             queue_backend: None,
             event_batching: None,
             delivery_order: None,
+            threads: None,
             fast_forward: true,
             daemon: DaemonCosts::default(),
             seed: 0x5702_2002,
@@ -381,6 +389,28 @@ impl ClusterConfig {
             std::env::var("STORM_BATCH").as_deref(),
             Ok("off") | Ok("0") | Ok("false")
         )
+    }
+
+    /// Builder: pin the worker-thread count for parallel window execution
+    /// (overrides the `STORM_THREADS` environment default). Clamped to a
+    /// minimum of 1 at resolution time.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The worker-thread count a [`crate::Cluster`] built from this config
+    /// will use: the pinned choice, else the `STORM_THREADS` environment
+    /// variable, else 1 (serial). Never less than 1.
+    pub fn resolved_threads(&self) -> u32 {
+        let raw = match self.threads {
+            Some(t) => t,
+            None => std::env::var("STORM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+        };
+        raw.max(1)
     }
 
     /// Builder: enable heartbeat fault detection with a fault round every

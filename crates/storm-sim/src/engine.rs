@@ -32,10 +32,16 @@ use crate::queue::{
     DeliveryOrder, DeliveryOrderState, EventQueue, QueueAccounting, QueueBackend, QueueStats,
 };
 use crate::rng::DeterministicRng;
+use crate::shard::{ParallelExec, ShardContext, ShardWorld, WindowExec, WindowOutput};
 use crate::time::{SimSpan, SimTime};
 use crate::trace::{TraceRecord, Tracer};
 use std::fmt;
 use std::sync::Arc;
+
+/// Windows shorter than this run serially even with threads configured:
+/// the scoped-pool spawn cost would eat the win. Exposed for the shard
+/// property tests, which need to force both paths.
+pub(crate) const PAR_WINDOW_MIN: usize = 128;
 
 /// Identifies a component within one [`Simulation`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -306,6 +312,35 @@ pub trait Component<W, M> {
         }
     }
 
+    /// Opt `msg` into parallel window execution: when this returns `true`
+    /// (default `false`), the engine may hand the message to
+    /// [`Component::handle_shard`] on a worker thread as part of a
+    /// same-instant window, instead of delivering it through
+    /// [`Component::handle`] / [`Component::handle_batch`].
+    ///
+    /// Contract for shardable messages — what keeps a parallel window
+    /// byte-identical to the serial run (DESIGN.md §18): handlers must
+    /// mutate only the component's own state and the world shard carved
+    /// out by [`ShardWorld::extract_shard`](crate::shard::ShardWorld),
+    /// read the rest of the world as an immutable snapshot, never halt,
+    /// never read queue observables or pending-message counts, and keep
+    /// per-message semantics independent of how the window is grouped.
+    /// The shardable set must be a superset of the batchable set — the
+    /// window drain crosses targets, so a batchable-but-unshardable
+    /// message would split a run the serial engine batches.
+    fn shardable(&self, _msg: &M) -> bool {
+        false
+    }
+
+    /// Handle one target's slice of a parallel window, in pop order.
+    /// Implementations must call [`ShardContext::next_message`] before
+    /// each message and drain `msgs` completely. Only invoked for
+    /// messages that opted in via [`Component::shardable`]; the default
+    /// panics to surface a missing implementation.
+    fn handle_shard(&mut self, _msgs: &mut Vec<M>, _ctx: &mut ShardContext<'_, W, M>) {
+        unimplemented!("component declared shardable messages but no handle_shard")
+    }
+
     /// Downcast support for checkpointing: components whose internal
     /// state participates in checkpoint/restore return `Some(self)` so a
     /// harness can reach their concrete type through the dispatch table.
@@ -438,8 +473,10 @@ impl<W, M> Context<'_, W, M> {
         self.send_at(id, at, msg);
     }
 
-    /// The deterministic RNG (shared by all components; still deterministic
-    /// because the engine is single-threaded with a total delivery order).
+    /// The handling component's own deterministic RNG stream (derived
+    /// from the root seed and the component index at registration).
+    /// Per-component streams are what keep draw sequences identical
+    /// between serial and parallel window execution.
     pub fn rng(&mut self) -> &mut DeterministicRng {
         self.rng
     }
@@ -509,7 +546,15 @@ pub struct Simulation<W, M> {
     /// directly by the dense component index every [`EventRef`] carries.
     /// No per-delivery checkout — the borrow is split from the rest of
     /// the engine state, so dispatch is one bounds check and one call.
-    components: Vec<Box<dyn Component<W, M>>>,
+    /// `Send` so parallel windows can lend `&mut` slices to scoped
+    /// workers (the table itself never leaves the engine thread).
+    components: Vec<Box<dyn Component<W, M> + Send>>,
+    /// One deterministic RNG stream per component, derived from the root
+    /// seed at registration ([`DeterministicRng::stream`] is a pure
+    /// function of `(seed, index)`). Every delivery — serial or parallel
+    /// — draws from the target's own stream, so concurrent handlers
+    /// cannot perturb each other's draw sequences.
+    streams: Vec<DeterministicRng>,
     queue: EventQueue<EventRef>,
     /// Interned unicast payloads.
     msgs: EventArena<M>,
@@ -531,6 +576,16 @@ pub struct Simulation<W, M> {
     /// Hard cap on handler invocations; guards against accidental event
     /// storms.
     max_events: u64,
+    /// Worker count for parallel window execution (1 = serial).
+    threads: usize,
+    /// Minimum window length worth fanning out (see [`PAR_WINDOW_MIN`]).
+    par_min: usize,
+    /// Windows actually executed in parallel (not replayed serially) —
+    /// lets tests and benches assert the parallel path was exercised.
+    par_windows: u64,
+    /// The type-erased window executor, installed by
+    /// [`Simulation::set_threads`] when `threads > 1`.
+    window_exec: Option<Box<dyn WindowExec<W, M>>>,
 }
 
 impl<W, M> Simulation<W, M> {
@@ -563,6 +618,7 @@ impl<W, M> Simulation<W, M> {
             now: SimTime::ZERO,
             world,
             components: Vec::new(),
+            streams: Vec::new(),
             queue,
             msgs: EventArena::new(),
             groups: EventArena::new(),
@@ -574,6 +630,10 @@ impl<W, M> Simulation<W, M> {
             delivered: 0,
             handled: 0,
             max_events: u64::MAX,
+            threads: 1,
+            par_min: PAR_WINDOW_MIN,
+            par_windows: 0,
+            window_exec: None,
         }
     }
 
@@ -607,17 +667,40 @@ impl<W, M> Simulation<W, M> {
         self.batching
     }
 
-    /// Register a component, returning its id.
-    pub fn add_component(&mut self, c: impl Component<W, M> + 'static) -> ComponentId {
+    /// Register a component, returning its id. Components are `Send` so
+    /// parallel windows can execute them on scoped workers; a component
+    /// never migrates threads mid-handler and needs no synchronisation.
+    pub fn add_component(&mut self, c: impl Component<W, M> + Send + 'static) -> ComponentId {
         self.add_boxed(Box::new(c))
     }
 
     /// Register a boxed component.
-    pub fn add_boxed(&mut self, c: Box<dyn Component<W, M>>) -> ComponentId {
+    pub fn add_boxed(&mut self, c: Box<dyn Component<W, M> + Send>) -> ComponentId {
         let ix = u32::try_from(self.components.len()).expect("too many components");
         assert!(ix < GROUP_TARGET, "too many components");
         self.components.push(c);
+        self.streams.push(self.rng.stream(u64::from(ix)));
         ComponentId(ix)
+    }
+
+    /// Worker count for parallel window execution (see
+    /// [`Simulation::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many windows executed on the parallel path so far. Zero in
+    /// serial mode; tests use this to prove byte-identity runs were not
+    /// vacuously serial.
+    pub fn parallel_windows(&self) -> u64 {
+        self.par_windows
+    }
+
+    /// Tune the minimum same-instant window length worth fanning out to
+    /// workers; shorter windows run serially. Exists for tests and
+    /// benches that need to force the parallel path on small windows.
+    pub fn set_parallel_window_min(&mut self, min: usize) {
+        self.par_min = min.max(1);
     }
 
     /// Schedule an initial message delivery.
@@ -732,6 +815,28 @@ impl<W, M> Simulation<W, M> {
     }
 }
 
+impl<W, M> Simulation<W, M>
+where
+    W: ShardWorld + Sync + 'static,
+    M: Clone + Send + 'static,
+{
+    /// Configure parallel window execution on `threads` workers
+    /// (`<= 1` restores serial execution). Parallel runs are
+    /// byte-identical to serial ones — trace, stats, digest, telemetry
+    /// — per the DESIGN.md §18 zero-perturbation contract; parallelism
+    /// is additionally suspended, like batching, while a
+    /// [`DeliveryOrder`] hook is installed.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        self.threads = threads;
+        self.window_exec = if threads > 1 {
+            Some(Box::new(ParallelExec::<W, M>::default()))
+        } else {
+            None
+        };
+    }
+}
+
 impl<W, M: Clone> Simulation<W, M> {
     /// Deliver the next event, if any. Returns `false` when the queue is
     /// empty or the simulation has been halted.
@@ -754,11 +859,275 @@ impl<W, M: Clone> Simulation<W, M> {
         self.now = time;
         self.delivered += 1;
         if !eref.is_group() && self.batching && self.queue.delivery_order().is_none() {
-            self.deliver_maybe_batched(time, eref);
+            if self.window_exec.is_some()
+                && self.components[eref.target as usize].shardable(self.msgs.get(eref.payload))
+            {
+                self.deliver_parallel_window(time, eref);
+            } else {
+                self.deliver_maybe_batched(time, eref);
+            }
         } else {
             self.apply(time, eref);
         }
         true
+    }
+
+    /// Drain the maximal run of consecutive same-instant *shardable*
+    /// unicast pops into a window and execute it across worker threads,
+    /// merging outputs back in canonical serial order (see
+    /// [`crate::shard`]). Falls back to an exact serial replay for short
+    /// or single-target windows and when the world refuses shard
+    /// extraction. The first non-window pop is carried and applied right
+    /// after, exactly like the batch path's carry.
+    fn deliver_parallel_window(&mut self, time: SimTime, first: EventRef) {
+        let mut window: Vec<(u32, PayloadId)> = vec![(first.target, first.payload)];
+        let mut carry = None;
+        let mut multi_target = false;
+        while self.queue.peek_time() == Some(time) {
+            let Some((_, next)) = self.queue.pop() else {
+                break;
+            };
+            self.delivered += 1;
+            let shardable = !next.is_group()
+                && self.components[next.target as usize].shardable(self.msgs.get(next.payload));
+            if !shardable {
+                carry = Some(next);
+                break;
+            }
+            multi_target |= next.target != first.target;
+            window.push((next.target, next.payload));
+        }
+        let outs = if multi_target && window.len() >= self.par_min {
+            self.run_window_parallel(&window)
+        } else {
+            None
+        };
+        match outs {
+            Some(outs) => {
+                self.par_windows += 1;
+                self.merge_window(time, &window, outs, carry.is_some());
+            }
+            None => self.replay_window_serially(time, &window, carry.is_some()),
+        }
+        if let Some(next) = carry {
+            if self.halt {
+                // Shardable handlers are contractually halt-free; if one
+                // halts anyway, mirror the batch path: hand the popped
+                // successor back to the queue rather than deliver past
+                // the halt.
+                self.queue.push(time, next);
+            } else {
+                self.apply(time, next);
+            }
+        }
+    }
+
+    /// Clone the window's payloads and hand them to the installed
+    /// executor. Payloads stay live in the arena — the merge takes them
+    /// in serial order so slot reuse and live/peak trajectories match
+    /// serial runs exactly.
+    fn run_window_parallel(&mut self, window: &[(u32, PayloadId)]) -> Option<WindowOutput<M>> {
+        let exec = self.window_exec.take()?;
+        let wmsgs: Vec<(u32, M)> = window
+            .iter()
+            .map(|&(t, p)| (t, self.msgs.get(p).clone()))
+            .collect();
+        let outs = exec.run(
+            self.threads,
+            self.now,
+            self.tracer.is_enabled(),
+            &mut self.world,
+            &mut self.components,
+            &mut self.streams,
+            &wmsgs,
+        );
+        self.window_exec = Some(exec);
+        outs
+    }
+
+    /// Execute an already-drained window serially, reproducing exactly
+    /// what the serial engine would have done with these pops: maximal
+    /// same-target batchable runs go through [`Component::handle_batch`],
+    /// the event after a run is delivered singly (the batch carry), and
+    /// everything else is delivered one message at a time. Because the
+    /// whole window was popped up front, the queue's depth high-water
+    /// mark is biased by the events the serial engine would not yet have
+    /// popped at each step.
+    fn replay_window_serially(
+        &mut self,
+        _time: SimTime,
+        window: &[(u32, PayloadId)],
+        carry_popped: bool,
+    ) {
+        let total = window.len() as u64 + u64::from(carry_popped);
+        let mut virt = 0u64; // events the serial engine has popped by now
+        let mut i = 0usize;
+        while i < window.len() {
+            let (t, p) = window[i];
+            let msg = self.msgs.take(p);
+            if self.components[t as usize].batchable(&msg) {
+                let mut batch = std::mem::take(&mut self.scratch);
+                batch.push(msg);
+                let mut end = i + 1;
+                while end < window.len()
+                    && window[end].0 == t
+                    && self.components[t as usize].batchable(self.msgs.get(window[end].1))
+                {
+                    batch.push(self.msgs.take(window[end].1));
+                    end += 1;
+                }
+                let follower_in_window = end < window.len();
+                virt += (end - i) as u64;
+                if follower_in_window || (carry_popped && end == window.len()) {
+                    // The serial batch drain pops the run's successor
+                    // early (its carry) before the handler pushes.
+                    virt += 1;
+                }
+                self.queue.set_depth_bias((total - virt) as usize);
+                self.handled += batch.len() as u64;
+                assert!(
+                    self.handled <= self.max_events,
+                    "event cap exceeded ({} events): runaway simulation?",
+                    self.max_events
+                );
+                {
+                    let mut ctx = Context {
+                        now: self.now,
+                        self_id: ComponentId(t),
+                        world: &mut self.world,
+                        queue: &mut self.queue,
+                        msgs: &mut self.msgs,
+                        groups: &mut self.groups,
+                        rng: &mut self.streams[t as usize],
+                        tracer: &mut self.tracer,
+                        halt: &mut self.halt,
+                        in_flight: batch.len() as u64,
+                    };
+                    self.components[t as usize].handle_batch(&mut batch, &mut ctx);
+                }
+                debug_assert!(batch.is_empty(), "handle_batch must drain its input");
+                batch.clear();
+                self.scratch = batch;
+                if follower_in_window {
+                    let (ft, fp) = window[end];
+                    let fmsg = self.msgs.take(fp);
+                    self.deliver(ComponentId(ft), fmsg, 0);
+                    i = end + 1;
+                } else {
+                    i = end;
+                }
+            } else {
+                virt += 1;
+                self.queue.set_depth_bias((total - virt) as usize);
+                self.deliver(ComponentId(t), msg, 0);
+                i += 1;
+            }
+        }
+        self.queue.set_depth_bias(0);
+    }
+
+    /// Merge per-event worker outputs back in canonical serial order,
+    /// replaying the serial engine's accounting byte for byte: payload
+    /// takes in serial order (arena slot reuse and live/peak match),
+    /// handler pushes through the real queue (sequence numbers assigned
+    /// exactly as serial handlers would), trace records through the real
+    /// tracer (bounded-cap drops included), and the queue depth biased
+    /// by the not-yet-serially-popped remainder so `peak` matches.
+    fn merge_window(
+        &mut self,
+        _time: SimTime,
+        window: &[(u32, PayloadId)],
+        mut outs: WindowOutput<M>,
+        carry_popped: bool,
+    ) {
+        debug_assert_eq!(outs.len(), window.len());
+        let total = window.len() as u64 + u64::from(carry_popped);
+        let mut virt = 0u64;
+        let mut i = 0usize;
+        while i < window.len() {
+            let (t, p) = window[i];
+            if self.components[t as usize].batchable(self.msgs.get(p)) {
+                let mut end = i + 1;
+                while end < window.len()
+                    && window[end].0 == t
+                    && self.components[t as usize].batchable(self.msgs.get(window[end].1))
+                {
+                    end += 1;
+                }
+                let follower_in_window = end < window.len();
+                virt += (end - i) as u64;
+                if follower_in_window || (carry_popped && end == window.len()) {
+                    virt += 1;
+                }
+                // Serial drains the whole run's payloads before the
+                // batch handler runs, then counts and caps it as one.
+                for &(_, fp) in &window[i..end] {
+                    let _ = self.msgs.take(fp);
+                }
+                self.queue.set_depth_bias((total - virt) as usize);
+                self.handled += (end - i) as u64;
+                assert!(
+                    self.handled <= self.max_events,
+                    "event cap exceeded ({} events): runaway simulation?",
+                    self.max_events
+                );
+                for k in i..end {
+                    self.emit_output(&mut outs, k);
+                }
+                if follower_in_window {
+                    // The run's carry: taken and delivered singly.
+                    let (_, fp) = window[end];
+                    let _ = self.msgs.take(fp);
+                    self.count_one_handled();
+                    self.emit_output(&mut outs, end);
+                    i = end + 1;
+                } else {
+                    i = end;
+                }
+            } else {
+                virt += 1;
+                let _ = self.msgs.take(p);
+                self.queue.set_depth_bias((total - virt) as usize);
+                self.count_one_handled();
+                self.emit_output(&mut outs, i);
+                i += 1;
+            }
+        }
+        self.queue.set_depth_bias(0);
+    }
+
+    /// Replay window position `w`'s buffered sends and traces through the
+    /// real queue and tracer, in emission order.
+    fn emit_output(&mut self, outs: &mut WindowOutput<M>, w: usize) {
+        let msgs = &mut self.msgs;
+        let queue = &mut self.queue;
+        let tracer = &mut self.tracer;
+        outs.emit(
+            w,
+            |to, at, msg| {
+                let payload = msgs.alloc(msg);
+                queue.push(at, EventRef::one(to, payload));
+            },
+            |rec| {
+                let TraceRecord {
+                    time,
+                    component,
+                    label,
+                    detail,
+                } = rec;
+                tracer.record(time, component, label, || detail);
+            },
+        );
+    }
+
+    /// The single-delivery half of [`Simulation::deliver`]'s accounting.
+    fn count_one_handled(&mut self) {
+        self.handled += 1;
+        assert!(
+            self.handled <= self.max_events,
+            "event cap exceeded ({} events): runaway simulation?",
+            self.max_events
+        );
     }
 
     /// Deliver one already-popped entry: take its payload back out of the
@@ -823,7 +1192,7 @@ impl<W, M: Clone> Simulation<W, M> {
                 queue: &mut self.queue,
                 msgs: &mut self.msgs,
                 groups: &mut self.groups,
-                rng: &mut self.rng,
+                rng: &mut self.streams[ix],
                 tracer: &mut self.tracer,
                 halt: &mut self.halt,
                 in_flight: batch.len() as u64,
@@ -895,7 +1264,7 @@ impl<W, M: Clone> Simulation<W, M> {
             queue: &mut self.queue,
             msgs: &mut self.msgs,
             groups: &mut self.groups,
-            rng: &mut self.rng,
+            rng: &mut self.streams[target.index()],
             tracer: &mut self.tracer,
             halt: &mut self.halt,
             in_flight,
@@ -971,6 +1340,7 @@ impl<W, M: Clone> Simulation<W, M> {
             },
             rng_seed: self.rng.seed(),
             rng_state: self.rng.state(),
+            streams: self.streams.iter().map(DeterministicRng::state).collect(),
             trace_enabled: self.tracer.is_enabled(),
             trace_capacity: self.tracer.capacity(),
             trace_records: self.tracer.records().to_vec(),
@@ -1022,6 +1392,23 @@ impl<W, M: Clone> Simulation<W, M> {
         }
         self.queue.import_accounting(state.accounting);
         self.rng = DeterministicRng::from_parts(state.rng_seed, state.rng_state);
+        // Per-component streams: seeds are re-derived from the root seed
+        // (a pure function of `(seed, index)`), mid-run positions come
+        // from the image.
+        assert_eq!(
+            state.streams.len(),
+            self.components.len(),
+            "checkpoint stream count does not match registered components"
+        );
+        self.streams = state
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(ix, &st)| {
+                let derived = self.rng.stream(ix as u64);
+                DeterministicRng::from_parts(derived.seed(), st)
+            })
+            .collect();
         self.tracer = Tracer::import_state(
             state.trace_enabled,
             state.trace_capacity,
@@ -1079,6 +1466,9 @@ pub struct EngineState<M> {
     pub rng_seed: u64,
     /// RNG state after all draws so far.
     pub rng_state: [u64; 4],
+    /// Per-component stream positions, in registration order (seeds are
+    /// re-derived from the root seed at import).
+    pub streams: Vec<[u64; 4]>,
     /// Whether tracing is on.
     pub trace_enabled: bool,
     /// Trace record cap, if bounded.

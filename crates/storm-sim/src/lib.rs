@@ -23,9 +23,13 @@
 //! * [`trace`] — a lightweight event trace used by tests to assert
 //!   determinism and by examples to print timelines.
 //!
-//! The engine is deliberately simple — no threads, no `unsafe`, no wall-clock
-//! time — because reproducibility of the *simulated* timings is the property
-//! every experiment in the paper reproduction depends on.
+//! The engine is deliberately simple — no `unsafe`, no wall-clock time —
+//! because reproducibility of the *simulated* timings is the property
+//! every experiment in the paper reproduction depends on. Parallel
+//! intra-timeslice window execution ([`shard`], opt-in via
+//! `Simulation::set_threads`) keeps that property: worker outputs are
+//! merged back in canonical serial order, byte-identical to a
+//! single-threaded run.
 //!
 //! ## Example
 //!
@@ -65,6 +69,7 @@ pub mod arena;
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -79,5 +84,6 @@ pub use queue::{
     QueueStats,
 };
 pub use rng::DeterministicRng;
+pub use shard::{ShardContext, ShardWorld};
 pub use time::{SimSpan, SimTime};
 pub use trace::{intern_label, TraceRecord, Tracer};

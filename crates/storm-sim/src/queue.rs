@@ -598,6 +598,12 @@ pub struct EventQueue<E> {
     pushed: u64,
     popped: u64,
     peak: usize,
+    /// Transient depth adjustment for the peak high-water mark: during a
+    /// parallel-window merge the engine has already popped events the
+    /// serial engine would still be holding, so pushes credit the depth
+    /// with the not-yet-serially-popped remainder to keep `peak`
+    /// byte-identical to serial runs. Always zero between deliveries.
+    depth_bias: usize,
     order: Option<DeliveryOrder>,
     pop_digest: u64,
 }
@@ -655,9 +661,17 @@ impl<E> EventQueue<E> {
             pushed: 0,
             popped: 0,
             peak: 0,
+            depth_bias: 0,
             order: None,
             pop_digest: 0xCBF2_9CE4_8422_2325,
         }
+    }
+
+    /// Set the transient peak-accounting depth bias (see the field doc).
+    /// Engine-internal: only the parallel-window merge sets a nonzero
+    /// bias, and it resets to zero before the window completes.
+    pub(crate) fn set_depth_bias(&mut self, bias: usize) {
+        self.depth_bias = bias;
     }
 
     /// Install (or remove) the delivery-order hook. Applies to events
@@ -696,7 +710,7 @@ impl<E> EventQueue<E> {
             Inner::Wheel(w) => w.insert(entry),
         }
         self.pushed += 1;
-        self.peak = self.peak.max(self.len());
+        self.peak = self.peak.max(self.len() + self.depth_bias);
     }
 
     /// Schedule `event` at absolute instant `time` (plus the hook's

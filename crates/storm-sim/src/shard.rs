@@ -1,0 +1,525 @@
+//! Deterministic parallel intra-timeslice execution (DESIGN.md §18).
+//!
+//! Within one instant, the engine drains the maximal run of consecutive
+//! *shardable* unicast pops (see [`Component::shardable`]) into a
+//! **window**, partitions the window's events by target component, and
+//! executes each partition on a scoped worker pool. Workers never touch
+//! the queue, the arenas, the tracer, or the shared world mutably:
+//! each runs against an immutable `&W` plus a private per-component
+//! *shard* of world state carved out by [`ShardWorld::extract_shard`],
+//! draws randomness from the component's own derived stream, and buffers
+//! every send and trace record into per-event scratch buckets. The engine
+//! then merges the buckets back in canonical serial pop order, replaying
+//! arena and queue accounting exactly as the serial engine would — so the
+//! trace, the stats, the interleaving digest, and every telemetry
+//! snapshot are byte-identical to a single-threaded run.
+//!
+//! The zero-perturbation contract rests on four properties:
+//!
+//! 1. **Clean seq prefix.** With no [`DeliveryOrder`] hook installed,
+//!    ties are zero and anything a handler pushes at this instant gets a
+//!    higher sequence number than everything already queued — so the
+//!    drained window is a contiguous `(time, seq)` prefix of the instant
+//!    and merged pushes sort after it exactly as serial pushes would.
+//! 2. **Per-component RNG streams.** Every component always draws from
+//!    its own stream (serial mode included), so concurrent handlers
+//!    cannot perturb each other's draws.
+//! 3. **Shard isolation.** A shardable handler mutates only its own
+//!    component state and its own shard; the rest of the world is read
+//!    as an immutable snapshot — which serial same-window handlers do
+//!    not mutate either (they only write *their* shards).
+//! 4. **Replayed accounting.** The merge re-applies arena takes/allocs
+//!    and queue pushes in serial order, biasing the queue's depth
+//!    high-water mark by the events the serial engine would not yet
+//!    have popped, so `peak` gauges match bit for bit.
+//!
+//! [`Component::shardable`]: crate::engine::Component::shardable
+//! [`DeliveryOrder`]: crate::queue::DeliveryOrder
+
+use crate::engine::{Component, ComponentId};
+use crate::rng::DeterministicRng;
+use crate::time::{SimSpan, SimTime};
+use crate::trace::TraceRecord;
+use std::any::Any;
+
+/// A world that can carve out per-component private state for parallel
+/// window execution.
+///
+/// `extract_shard` hands the window executor ownership of everything a
+/// shardable handler of `component` may *mutate* besides the component's
+/// own fields; `restore_shard` merges it back. Returning `None` refuses
+/// the window (e.g. a global audit is observing writes) and the engine
+/// falls back to serial execution — refusal must leave the world
+/// unchanged, and extraction must be rollback-safe: a refusal after some
+/// shards were already extracted restores them verbatim.
+pub trait ShardWorld {
+    /// The per-component private state. Moved onto worker threads.
+    type Shard: Send + 'static;
+
+    /// Detach `component`'s private shard, or `None` to refuse sharding
+    /// (the engine then executes the window serially).
+    fn extract_shard(&mut self, component: ComponentId) -> Option<Self::Shard>;
+
+    /// Re-attach a shard previously returned by
+    /// [`ShardWorld::extract_shard`], folding any buffered deltas (stat
+    /// counters, metric bumps) into the shared world.
+    fn restore_shard(&mut self, component: ComponentId, shard: Self::Shard);
+}
+
+/// What a shardable handler may touch while executing on a worker: the
+/// clock, an immutable world snapshot, its private shard, its own RNG
+/// stream, and buffered send/trace sinks.
+///
+/// Mirrors [`Context`](crate::engine::Context) minus everything that
+/// would be observable mid-window: no queue observables, no
+/// pending-message count, no mutable world, no halt, no multicast.
+/// Implementations of [`Component::handle_shard`] must call
+/// [`ShardContext::next_message`] before handling each message so the
+/// engine can merge sends and traces back per event in serial order.
+pub struct ShardContext<'a, W, M> {
+    now: SimTime,
+    self_id: ComponentId,
+    world: &'a W,
+    shard: &'a mut (dyn Any + Send),
+    rng: &'a mut DeterministicRng,
+    trace_on: bool,
+    sends: Vec<(ComponentId, SimTime, M)>,
+    traces: Vec<TraceRecord>,
+    /// Per-message boundaries into `sends`/`traces`, pushed by
+    /// [`ShardContext::next_message`].
+    cuts: Vec<(u32, u32)>,
+}
+
+impl<'a, W, M> ShardContext<'a, W, M> {
+    /// Build a context for one shard's run over a window partition.
+    pub fn new(
+        now: SimTime,
+        self_id: ComponentId,
+        world: &'a W,
+        shard: &'a mut (dyn Any + Send),
+        rng: &'a mut DeterministicRng,
+        trace_on: bool,
+    ) -> Self {
+        ShardContext {
+            now,
+            self_id,
+            world,
+            shard,
+            rng,
+            trace_on,
+            sends: Vec::new(),
+            traces: Vec::new(),
+            cuts: Vec::new(),
+        }
+    }
+
+    /// Current simulated time (constant across the window).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component handling this partition.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Immutable snapshot of the shared world.
+    pub fn world(&self) -> &W {
+        self.world
+    }
+
+    /// The component's private shard, downcast to its concrete type.
+    /// Panics when `T` is not the world's shard type — a wiring bug,
+    /// never a runtime condition.
+    pub fn shard<T: Any>(&self) -> &T {
+        (*self.shard).downcast_ref().expect("shard type mismatch")
+    }
+
+    /// Mutable access to the private shard (see [`ShardContext::shard`]).
+    pub fn shard_mut<T: Any>(&mut self) -> &mut T {
+        (*self.shard).downcast_mut().expect("shard type mismatch")
+    }
+
+    /// The component's own deterministic RNG stream — the same stream
+    /// serial delivery draws from, so draw sequences are identical.
+    pub fn rng(&mut self) -> &mut DeterministicRng {
+        self.rng
+    }
+
+    /// Mark the start of the next message's output bucket. Must be called
+    /// once per message, *before* handling it.
+    pub fn next_message(&mut self) {
+        self.cuts.push((
+            u32::try_from(self.sends.len()).expect("shard send overflow"),
+            u32::try_from(self.traces.len()).expect("shard trace overflow"),
+        ));
+    }
+
+    /// Buffer `msg` for `target` at absolute instant `at` (clamped to
+    /// *now*, like `Context::send_at`). The engine performs the real
+    /// queue push at merge time, in serial order.
+    pub fn send_at(&mut self, target: ComponentId, at: SimTime, msg: M) {
+        let at = at.max(self.now);
+        self.sends.push((target, at, msg));
+    }
+
+    /// Buffer `msg` for `target` after `delay` (no clamp, like
+    /// `Context::send`).
+    pub fn send(&mut self, target: ComponentId, delay: SimSpan, msg: M) {
+        let at = self.now + delay;
+        self.sends.push((target, at, msg));
+    }
+
+    /// Buffer `msg` to self after `delay` (a timer).
+    pub fn send_self(&mut self, delay: SimSpan, msg: M) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
+    }
+
+    /// Buffer `msg` to self at absolute instant `at`.
+    pub fn send_self_at(&mut self, at: SimTime, msg: M) {
+        let id = self.self_id;
+        self.send_at(id, at, msg);
+    }
+
+    /// Buffer a trace record (no-op unless tracing is enabled). The
+    /// engine appends it through the real tracer at merge time, so
+    /// bounded-capacity drop accounting matches serial runs.
+    pub fn trace(&mut self, label: &'static str, detail: impl FnOnce() -> String) {
+        if self.trace_on {
+            self.traces.push(TraceRecord {
+                time: self.now,
+                component: self.self_id,
+                label,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Tear down into the flat buffers plus the per-message cut offsets.
+    /// Panics unless [`ShardContext::next_message`] was called exactly
+    /// `expected` times.
+    #[allow(clippy::type_complexity)]
+    fn into_raw(
+        self,
+        expected: usize,
+    ) -> (
+        Vec<(ComponentId, SimTime, M)>,
+        Vec<TraceRecord>,
+        Vec<(u32, u32)>,
+    ) {
+        assert_eq!(
+            self.cuts.len(),
+            expected,
+            "handle_shard must call next_message() once per message"
+        );
+        (self.sends, self.traces, self.cuts)
+    }
+}
+
+/// One shard job's buffered output, consumed sequentially at merge time.
+/// Events within a job appear in window pop order, so draining cursors
+/// (rather than per-event `Vec`s) reproduce per-event buckets with zero
+/// per-event allocation.
+struct JobOutput<M> {
+    sends: std::vec::IntoIter<(ComponentId, SimTime, M)>,
+    traces: std::vec::IntoIter<TraceRecord>,
+}
+
+/// A whole window's worth of worker output: one [`JobOutput`] per target
+/// (ascending) and, per window position in pop order, the producing job
+/// plus how many sends/traces that event emitted.
+pub(crate) struct WindowOutput<M> {
+    jobs: Vec<JobOutput<M>>,
+    /// Per window position: (job index, send count, trace count).
+    per_event: Vec<(u32, u32, u32)>,
+}
+
+impl<M> WindowOutput<M> {
+    /// Replay window position `w`'s buffered sends and traces through
+    /// `send` / `trace`, in emission order. Positions must be visited in
+    /// increasing order exactly once — the per-job cursors only move
+    /// forward.
+    pub(crate) fn emit(
+        &mut self,
+        w: usize,
+        mut send: impl FnMut(ComponentId, SimTime, M),
+        mut trace: impl FnMut(TraceRecord),
+    ) {
+        let (j, n_sends, n_traces) = self.per_event[w];
+        let job = &mut self.jobs[j as usize];
+        for _ in 0..n_sends {
+            let (to, at, msg) = job.sends.next().expect("send cursor exhausted");
+            send(to, at, msg);
+        }
+        for _ in 0..n_traces {
+            trace(job.traces.next().expect("trace cursor exhausted"));
+        }
+    }
+
+    /// Number of window positions covered (one per window event).
+    pub(crate) fn len(&self) -> usize {
+        self.per_event.len()
+    }
+}
+
+/// Type-erased window executor stored by the engine. A single
+/// monomorphized implementation ([`ParallelExec`]) exists; the erasure
+/// keeps `Simulation::step` free of `ShardWorld`/`Send` bounds for
+/// worlds that never enable threads.
+pub(crate) trait WindowExec<W, M> {
+    /// Execute `window` (target, message clones in pop order) across up
+    /// to `threads` workers. Returns the window's buffered output (one
+    /// bucket per window event, consumed through [`WindowOutput::emit`]),
+    /// or `None` when the world refused shard extraction (the engine
+    /// falls back to serial execution; the world is left unchanged).
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        threads: usize,
+        now: SimTime,
+        trace_on: bool,
+        world: &mut W,
+        components: &mut [Box<dyn Component<W, M> + Send>],
+        streams: &mut [DeterministicRng],
+        window: &[(u32, M)],
+    ) -> Option<WindowOutput<M>>;
+}
+
+/// The scoped-thread window executor (see module docs).
+pub(crate) struct ParallelExec<W, M>(std::marker::PhantomData<fn() -> (W, M)>);
+
+impl<W, M> Default for ParallelExec<W, M> {
+    fn default() -> Self {
+        ParallelExec(std::marker::PhantomData)
+    }
+}
+
+/// One target's slice of the window, with everything its worker needs.
+struct ShardJob<'s, W: ShardWorld, M> {
+    target: u32,
+    comp: &'s mut (dyn Component<W, M> + Send),
+    stream: &'s mut DeterministicRng,
+    shard: W::Shard,
+    msgs: Vec<M>,
+}
+
+/// One finished job's raw output: its shard back, plus flat send/trace
+/// buffers and the per-event cut offsets into them.
+#[allow(clippy::type_complexity)]
+type ChunkResult<W, M> = Vec<(
+    <W as ShardWorld>::Shard,
+    Vec<(ComponentId, SimTime, M)>,
+    Vec<TraceRecord>,
+    Vec<(u32, u32)>,
+)>;
+
+/// Run one worker's contiguous chunk of jobs, returning each job's shard
+/// and raw output buffers in job order.
+fn run_chunk<W, M>(
+    world: &W,
+    now: SimTime,
+    trace_on: bool,
+    chunk: Vec<ShardJob<'_, W, M>>,
+) -> ChunkResult<W, M>
+where
+    W: ShardWorld,
+{
+    chunk
+        .into_iter()
+        .map(|mut job| {
+            let n = job.msgs.len();
+            let mut ctx = ShardContext::new(
+                now,
+                ComponentId::from_index(job.target),
+                world,
+                &mut job.shard as &mut (dyn Any + Send),
+                job.stream,
+                trace_on,
+            );
+            ctx.cuts.reserve_exact(n);
+            ctx.sends.reserve(n);
+            job.comp.handle_shard(&mut job.msgs, &mut ctx);
+            debug_assert!(job.msgs.is_empty(), "handle_shard must drain its input");
+            let (sends, traces, cuts) = ctx.into_raw(n);
+            (job.shard, sends, traces, cuts)
+        })
+        .collect()
+}
+
+impl<W, M> WindowExec<W, M> for ParallelExec<W, M>
+where
+    W: ShardWorld + Sync,
+    M: Clone + Send,
+{
+    fn run(
+        &self,
+        threads: usize,
+        now: SimTime,
+        trace_on: bool,
+        world: &mut W,
+        components: &mut [Box<dyn Component<W, M> + Send>],
+        streams: &mut [DeterministicRng],
+        window: &[(u32, M)],
+    ) -> Option<WindowOutput<M>> {
+        // Distinct targets, ascending — the shard partition. Fan-out
+        // windows usually arrive in ascending target order (a broadcast
+        // loop pushes targets in id order, and same-instant pops keep
+        // push order), so detect sortedness on the way in and skip the
+        // sort plus every later binary search.
+        let mut targets: Vec<u32> = window.iter().map(|&(t, _)| t).collect();
+        let presorted = targets.windows(2).all(|w| w[0] <= w[1]);
+        if !presorted {
+            targets.sort_unstable();
+        }
+        targets.dedup();
+
+        // Carve out per-target shards; any refusal rolls the rest back
+        // and reports the whole window unshardable.
+        let mut shards: Vec<W::Shard> = Vec::with_capacity(targets.len());
+        for (i, &t) in targets.iter().enumerate() {
+            match world.extract_shard(ComponentId::from_index(t)) {
+                Some(s) => shards.push(s),
+                None => {
+                    for (&u, s) in targets[..i].iter().zip(shards.drain(..)) {
+                        world.restore_shard(ComponentId::from_index(u), s);
+                    }
+                    return None;
+                }
+            }
+        }
+
+        // Partition the window per target (counting pass first, so every
+        // per-target buffer is one exact allocation), remembering each
+        // event's job so outputs merge back in pop order. On a presorted
+        // window the job index just advances with the target walk.
+        let mut counts: Vec<usize> = vec![0; targets.len()];
+        let mut job_of: Vec<u32> = Vec::with_capacity(window.len());
+        let mut walk = 0usize;
+        for (t, _) in window {
+            let j = if presorted {
+                while targets[walk] != *t {
+                    walk += 1;
+                }
+                walk
+            } else {
+                targets.binary_search(t).expect("window target missing")
+            };
+            counts[j] += 1;
+            job_of.push(u32::try_from(j).expect("window too large"));
+        }
+        let mut per_msgs: Vec<Vec<M>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (&j, (_, msg)) in job_of.iter().zip(window) {
+            per_msgs[j as usize].push(msg.clone());
+        }
+
+        // Disjoint `&mut` borrows of each target's component and stream,
+        // via a split walk over the ascending target list.
+        let mut comps: Vec<&mut (dyn Component<W, M> + Send)> = Vec::with_capacity(targets.len());
+        let mut comp_rest = components;
+        let mut rngs: Vec<&mut DeterministicRng> = Vec::with_capacity(targets.len());
+        let mut rng_rest = streams;
+        let mut base = 0usize;
+        for &t in &targets {
+            let at = t as usize - base;
+            let (_, tail) = comp_rest.split_at_mut(at);
+            let (hit, tail) = tail.split_at_mut(1);
+            comps.push(hit[0].as_mut());
+            comp_rest = tail;
+            let (_, tail) = rng_rest.split_at_mut(at);
+            let (hit, tail) = tail.split_at_mut(1);
+            rngs.push(&mut hit[0]);
+            rng_rest = tail;
+            base = t as usize + 1;
+        }
+
+        // Assemble jobs in target order, then slice them into contiguous
+        // chunks balanced by event count.
+        let mut jobs: Vec<ShardJob<'_, W, M>> = Vec::with_capacity(targets.len());
+        for (((&target, comp), stream), (shard, msgs)) in targets
+            .iter()
+            .zip(comps)
+            .zip(rngs)
+            .zip(shards.into_iter().zip(per_msgs))
+        {
+            jobs.push(ShardJob {
+                target,
+                comp,
+                stream,
+                shard,
+                msgs,
+            });
+        }
+        let workers = threads.min(jobs.len()).max(1);
+        let quota = window.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<ShardJob<'_, W, M>>> = Vec::with_capacity(workers);
+        let mut chunk: Vec<ShardJob<'_, W, M>> = Vec::new();
+        let mut events = 0usize;
+        for job in jobs {
+            events += job.msgs.len();
+            chunk.push(job);
+            if events >= quota && chunks.len() + 1 < workers {
+                chunks.push(std::mem::take(&mut chunk));
+                events = 0;
+            }
+        }
+        if !chunk.is_empty() {
+            chunks.push(chunk);
+        }
+
+        // Scoped fan-out: the first chunk runs on the calling thread,
+        // the rest on spawned workers; results keep chunk order.
+        let world_ref: &W = world;
+        let results: Vec<ChunkResult<W, M>> = std::thread::scope(|scope| {
+            let mut rest = chunks.into_iter();
+            let mine = rest.next();
+            let handles: Vec<_> = rest
+                .map(|c| scope.spawn(move || run_chunk(world_ref, now, trace_on, c)))
+                .collect();
+            let mut out = Vec::with_capacity(handles.len() + 1);
+            if let Some(c) = mine {
+                out.push(run_chunk(world_ref, now, trace_on, c));
+            }
+            for h in handles {
+                out.push(h.join().expect("shard worker panicked"));
+            }
+            out
+        });
+
+        // Restore shards (ascending target order) and keep each job's
+        // flat buffers plus per-event cuts; chunks are contiguous in
+        // target order, so flattening restores job order.
+        let mut jobs: Vec<JobOutput<M>> = Vec::with_capacity(targets.len());
+        let mut cuts: Vec<Vec<(u32, u32)>> = Vec::with_capacity(targets.len());
+        let mut ends: Vec<(u32, u32)> = Vec::with_capacity(targets.len());
+        let flat = results.into_iter().flatten();
+        for (&t, (shard, sends, traces, job_cuts)) in targets.iter().zip(flat) {
+            world.restore_shard(ComponentId::from_index(t), shard);
+            ends.push((
+                u32::try_from(sends.len()).expect("shard send overflow"),
+                u32::try_from(traces.len()).expect("shard trace overflow"),
+            ));
+            jobs.push(JobOutput {
+                sends: sends.into_iter(),
+                traces: traces.into_iter(),
+            });
+            cuts.push(job_cuts);
+        }
+
+        // Per window position, how much of its job's buffers it emitted:
+        // the distance between consecutive cuts (or to the buffer end).
+        let mut cursor: Vec<usize> = vec![0; targets.len()];
+        let mut per_event: Vec<(u32, u32, u32)> = Vec::with_capacity(window.len());
+        for &j in &job_of {
+            let k = cursor[j as usize];
+            cursor[j as usize] = k + 1;
+            let (s0, t0) = cuts[j as usize][k];
+            let (s1, t1) = cuts[j as usize]
+                .get(k + 1)
+                .copied()
+                .unwrap_or(ends[j as usize]);
+            per_event.push((j, s1 - s0, t1 - t0));
+        }
+        Some(WindowOutput { jobs, per_event })
+    }
+}

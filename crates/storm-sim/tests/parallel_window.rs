@@ -1,0 +1,326 @@
+//! Lock-step byte-identity for parallel intra-timeslice window execution
+//! (DESIGN.md §18): a thread count of N must reproduce the serial run's
+//! trace, stats, queue/arena accounting, and world state bit for bit —
+//! under both queue backends — while actually exercising the parallel
+//! path (asserted via the engine's window counter).
+
+use storm_sim::{
+    Component, ComponentId, Context, DeliveryOrder, QueueBackend, ShardContext, ShardWorld,
+    SimSpan, SimTime, Simulation,
+};
+
+/// Per-component cells; cell `i` is component `i`'s shard. `refuse`
+/// simulates a world-side veto (like the CAW audit in storm-core).
+#[derive(Debug)]
+struct Grid {
+    cells: Vec<u64>,
+    refuse: bool,
+    serial_hits: u64,
+}
+
+impl ShardWorld for Grid {
+    type Shard = u64;
+
+    fn extract_shard(&mut self, c: ComponentId) -> Option<u64> {
+        if self.refuse {
+            return None;
+        }
+        Some(std::mem::take(&mut self.cells[c.index()]))
+    }
+
+    fn restore_shard(&mut self, c: ComponentId, s: u64) {
+        self.cells[c.index()] = s;
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TMsg {
+    /// Batchable + shardable data path: bumps the cell, fans out.
+    Work { hops: u32 },
+    /// Shardable but NOT batchable (exercises the single-delivery lane
+    /// of the serial replay / merge state machine).
+    Probe,
+    /// Neither: mutates shared world state, so it breaks a window (the
+    /// carry) and always runs serially.
+    Global,
+}
+
+struct Cell {
+    id: u32,
+    n: u32,
+}
+
+impl Cell {
+    /// One `Work` message's effect, written once so the serial and shard
+    /// paths cannot drift: same RNG draws, same cell bump, same sends,
+    /// same trace — only the sinks differ.
+    fn work<S, T>(
+        &mut self,
+        hops: u32,
+        now: SimTime,
+        jitter: f64,
+        cell: &mut u64,
+        mut send_at: S,
+        mut trace: T,
+    ) where
+        S: FnMut(ComponentId, SimTime, TMsg),
+        T: FnMut(&'static str, String),
+    {
+        *cell += 1 + (jitter * 4.0) as u64;
+        if hops > 0 {
+            let to = ComponentId::from_index((self.id + 1 + hops) % self.n);
+            // Half the fan-out stays same-instant (growing the window),
+            // half advances the clock.
+            let at = if jitter < 0.5 {
+                now
+            } else {
+                now + SimSpan::from_micros(1 + (jitter * 3.0) as u64)
+            };
+            send_at(to, at, TMsg::Work { hops: hops - 1 });
+        }
+        trace("work", format!("hops={hops}"));
+    }
+}
+
+impl Component<Grid, TMsg> for Cell {
+    fn handle(&mut self, msg: TMsg, ctx: &mut Context<'_, Grid, TMsg>) {
+        match msg {
+            TMsg::Work { hops } => {
+                let now = ctx.now();
+                let jitter = ctx.rng().uniform();
+                let id = self.id as usize;
+                let mut cell = std::mem::take(&mut ctx.world().cells[id]);
+                let mut sends = Vec::new();
+                let mut traces = Vec::new();
+                self.work(
+                    hops,
+                    now,
+                    jitter,
+                    &mut cell,
+                    |to, at, m| sends.push((to, at, m)),
+                    |l, d| traces.push((l, d)),
+                );
+                ctx.world().cells[id] = cell;
+                for (to, at, m) in sends {
+                    ctx.send_at(to, at, m);
+                }
+                for (l, d) in traces {
+                    ctx.trace(l, || d);
+                }
+            }
+            TMsg::Probe => {
+                ctx.world().cells[self.id as usize] += 100;
+            }
+            TMsg::Global => {
+                let w = ctx.world();
+                w.serial_hits += 1;
+                for c in &mut w.cells {
+                    *c += 1;
+                }
+            }
+        }
+    }
+
+    fn batchable(&self, msg: &TMsg) -> bool {
+        matches!(msg, TMsg::Work { .. })
+    }
+
+    fn handle_batch(&mut self, msgs: &mut Vec<TMsg>, ctx: &mut Context<'_, Grid, TMsg>) {
+        for msg in msgs.drain(..) {
+            ctx.next_batch_message();
+            self.handle(msg, ctx);
+        }
+    }
+
+    fn shardable(&self, msg: &TMsg) -> bool {
+        matches!(msg, TMsg::Work { .. } | TMsg::Probe)
+    }
+
+    fn handle_shard(&mut self, msgs: &mut Vec<TMsg>, sctx: &mut ShardContext<'_, Grid, TMsg>) {
+        for msg in msgs.drain(..) {
+            sctx.next_message();
+            match msg {
+                TMsg::Work { hops } => {
+                    let now = sctx.now();
+                    let jitter = sctx.rng().uniform();
+                    let mut cell = std::mem::take(sctx.shard_mut::<u64>());
+                    let mut sends = Vec::new();
+                    let mut traces = Vec::new();
+                    self.work(
+                        hops,
+                        now,
+                        jitter,
+                        &mut cell,
+                        |to, at, m| sends.push((to, at, m)),
+                        |l, d| traces.push((l, d)),
+                    );
+                    *sctx.shard_mut::<u64>() = cell;
+                    for (to, at, m) in sends {
+                        sctx.send_at(to, at, m);
+                    }
+                    for (l, d) in traces {
+                        sctx.trace(l, || d);
+                    }
+                }
+                TMsg::Probe => {
+                    *sctx.shard_mut::<u64>() += 100;
+                }
+                TMsg::Global => unreachable!("Global is not shardable"),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cell"
+    }
+}
+
+const N: u32 = 12;
+
+fn build(
+    backend: QueueBackend,
+    threads: usize,
+    par_min: usize,
+    refuse: bool,
+) -> Simulation<Grid, TMsg> {
+    let world = Grid {
+        cells: vec![0; N as usize],
+        refuse,
+        serial_hits: 0,
+    };
+    let mut sim = Simulation::new_with_backend(world, 0xC0FFEE, backend, SimSpan::from_micros(10));
+    for i in 0..N {
+        sim.add_component(Cell { id: i, n: N });
+    }
+    sim.set_threads(threads);
+    sim.set_parallel_window_min(par_min);
+    sim.enable_tracing();
+    // Same-instant storm at t=0 across every target (forms windows), a
+    // Probe per component (non-batchable singles inside windows), and
+    // Globals that land mid-instant as window carries.
+    for i in 0..N {
+        sim.post(
+            SimTime::ZERO,
+            ComponentId::from_index(i),
+            TMsg::Work { hops: 6 },
+        );
+        sim.post(SimTime::ZERO, ComponentId::from_index(i), TMsg::Probe);
+    }
+    sim.post(SimTime::ZERO, ComponentId::from_index(0), TMsg::Global);
+    sim.post(
+        SimTime::from_micros(2),
+        ComponentId::from_index(3),
+        TMsg::Global,
+    );
+    sim
+}
+
+/// Every observable the zero-perturbation contract covers, in one string.
+fn fingerprint(sim: &Simulation<Grid, TMsg>) -> String {
+    format!(
+        "now={:?} delivered={} handled={} queue={:?} arena={:?} cells={:?} serial={} traces={:?}",
+        sim.now(),
+        sim.events_delivered(),
+        sim.messages_handled(),
+        sim.queue_stats(),
+        sim.arena_stats(),
+        sim.world().cells,
+        sim.world().serial_hits,
+        sim.tracer().records(),
+    )
+}
+
+fn run(backend: QueueBackend, threads: usize, par_min: usize, refuse: bool) -> (String, u64) {
+    let mut sim = build(backend, threads, par_min, refuse);
+    sim.run_to_completion();
+    (fingerprint(&sim), sim.parallel_windows())
+}
+
+#[test]
+fn parallel_matches_serial_byte_for_byte_both_backends() {
+    for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+        let (serial, w0) = run(backend, 1, 4, false);
+        assert_eq!(w0, 0, "threads=1 must never take the parallel path");
+        for threads in [2, 4, 8] {
+            let (par, wn) = run(backend, threads, 4, false);
+            assert!(
+                wn > 0,
+                "parallel path must actually run ({backend:?} t={threads})"
+            );
+            assert_eq!(serial, par, "{backend:?} threads={threads} diverged");
+        }
+    }
+}
+
+#[test]
+fn backends_agree_under_parallel_execution() {
+    let (heap, _) = run(QueueBackend::Heap, 4, 4, false);
+    let (wheel, _) = run(QueueBackend::Wheel, 4, 4, false);
+    assert_eq!(heap, wheel);
+}
+
+#[test]
+fn delivery_order_hook_suspends_parallel_execution() {
+    let go = |threads: usize| {
+        let mut sim = build(QueueBackend::Wheel, threads, 4, false);
+        sim.set_delivery_order(Some(DeliveryOrder::seeded(7, 3)));
+        sim.run_to_completion();
+        (
+            fingerprint(&sim),
+            sim.parallel_windows(),
+            sim.interleaving_digest(),
+        )
+    };
+    let (a, w1, d1) = go(1);
+    let (b, w4, d4) = go(4);
+    assert_eq!(w1, 0);
+    assert_eq!(w4, 0, "a DST order hook must auto-suspend parallel windows");
+    assert_eq!(a, b);
+    assert_eq!(d1, d4, "interleaving digests must match");
+}
+
+#[test]
+fn shard_refusal_falls_back_to_serial_replay() {
+    let (serial, _) = run(QueueBackend::Wheel, 1, 4, true);
+    let (par, wn) = run(QueueBackend::Wheel, 4, 4, true);
+    assert_eq!(wn, 0, "a refusing world must force the serial fallback");
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn subthreshold_windows_replay_serially_and_identically() {
+    // Threads on, but the window floor is far above anything this run
+    // forms: every window takes the exact-serial replay lane.
+    let (serial, _) = run(QueueBackend::Wheel, 1, 4, false);
+    let (par, wn) = run(QueueBackend::Wheel, 4, 10_000, false);
+    assert_eq!(wn, 0);
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn engine_state_round_trips_per_component_streams() {
+    let mut sim = build(QueueBackend::Wheel, 4, 4, false);
+    // Run partway, snapshot, and let the original finish.
+    for _ in 0..40 {
+        if !sim.step() {
+            break;
+        }
+    }
+    let state = sim.export_engine_state();
+    assert_eq!(state.streams.len(), N as usize);
+    let cells_mid = sim.world().cells.clone();
+    let serial_mid = sim.world().serial_hits;
+    sim.run_to_completion();
+
+    // Rebuild from the snapshot (engine state + the world the caller
+    // checkpoints separately) and finish; the restored run must land on
+    // the same final world — per-component stream positions included.
+    let mut sim2 = build(QueueBackend::Wheel, 4, 4, false);
+    sim2.import_engine_state(state);
+    sim2.world_mut().cells = cells_mid;
+    sim2.world_mut().serial_hits = serial_mid;
+    sim2.run_to_completion();
+    assert_eq!(sim2.world().cells, sim.world().cells);
+    assert_eq!(sim2.world().serial_hits, sim.world().serial_hits);
+    assert_eq!(sim2.now(), sim.now());
+}

@@ -641,3 +641,120 @@ fn chrome_trace_is_valid_and_ordering_is_deterministic() {
         "instants non-decreasing in time"
     );
 }
+
+/// One unicast (no group delivery) run with everything observable turned
+/// on, for the parallel-execution lock-step comparisons below. The low
+/// window floor makes the 64-node cluster's same-instant fan-outs
+/// (strobes, heartbeats, write completions) form real parallel windows.
+fn threads_run(threads: u32, backend: QueueBackend) -> (String, String, u64) {
+    let mut cfg = ClusterConfig::paper_cluster()
+        .with_seed(909)
+        .with_queue_backend(backend)
+        .with_threads(threads)
+        .with_telemetry(true)
+        .with_group_delivery(false)
+        .with_fault_detection(4);
+    cfg.mpl_max = 2;
+    let mut c = Cluster::new(cfg);
+    c.set_parallel_window_min(8);
+    c.enable_tracing();
+    c.submit(JobSpec::new(AppSpec::do_nothing_mb(12), 256));
+    c.submit_at(
+        SimTime::from_millis(30),
+        JobSpec::new(
+            AppSpec::Synthetic {
+                compute: SimSpan::from_millis(500),
+            },
+            64,
+        ),
+    );
+    c.run_until(SimTime::from_secs(2));
+    let observables = format!(
+        "events={} queue={:?} arena={:?} stats={:?}",
+        c.events_delivered(),
+        c.queue_stats(),
+        c.arena_stats(),
+        c.world().stats,
+    );
+    let telemetry = c.metrics_snapshot().to_json();
+    (
+        format!("{observables} trace={}", c.trace()),
+        telemetry,
+        c.parallel_windows(),
+    )
+}
+
+/// The tentpole contract: any worker-thread count reproduces the serial
+/// run byte for byte — trace, queue/arena accounting (peaks included),
+/// cluster stats, and every telemetry gauge — under both queue backends,
+/// with the parallel path provably exercised (window counter > 0).
+#[test]
+fn parallel_threads_are_byte_identical_across_backends() {
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let (serial, serial_tel, w1) = threads_run(1, backend);
+        assert_eq!(w1, 0, "threads=1 must stay serial");
+        for threads in [2, 4] {
+            let (par, par_tel, wn) = threads_run(threads, backend);
+            assert!(
+                wn > 0,
+                "parallel path must actually run ({backend:?}, threads={threads})"
+            );
+            assert_eq!(
+                serial, par,
+                "{backend:?} threads={threads}: observables diverged"
+            );
+            assert_eq!(
+                serial_tel, par_tel,
+                "{backend:?} threads={threads}: telemetry snapshots diverged"
+            );
+        }
+    }
+}
+
+/// Checkpoints pin the resolved thread count, and a restored cluster —
+/// even one that ends up executing a *different* mix of parallel and
+/// serial windows (the window floor is not checkpointed) — replays the
+/// run byte-identically: the thread count is purely a wall-clock knob.
+#[test]
+fn checkpoint_pins_threads_and_restores_byte_identically() {
+    let cfg = ClusterConfig::paper_cluster()
+        .with_seed(77)
+        .with_threads(4)
+        .with_telemetry(true)
+        .with_group_delivery(false)
+        .with_fault_detection(4);
+    let mut live = Cluster::new(cfg);
+    live.set_parallel_window_min(8);
+    live.enable_tracing();
+    live.submit(JobSpec::new(AppSpec::do_nothing_mb(8), 128));
+    live.run_until(SimTime::from_millis(45));
+    let artifact = live.checkpoint();
+    assert!(
+        artifact.contains("\"threads\": 4") || artifact.contains("\"threads\":4"),
+        "checkpoint must pin the resolved thread count"
+    );
+
+    let mut resumed = Cluster::restore(&artifact).expect("restore");
+    assert_eq!(
+        resumed.threads(),
+        4,
+        "restored cluster resolves pinned threads"
+    );
+    live.run_until(SimTime::from_millis(400));
+    resumed.run_until(SimTime::from_millis(400));
+    assert!(
+        live.parallel_windows() > 0,
+        "live run must exercise parallel windows"
+    );
+    assert_eq!(live.trace(), resumed.trace(), "event traces");
+    assert_eq!(
+        live.metrics_snapshot().to_json(),
+        resumed.metrics_snapshot().to_json(),
+        "telemetry snapshots"
+    );
+    assert_eq!(
+        live.checkpoint(),
+        resumed.checkpoint(),
+        "final checkpoints must be byte-identical"
+    );
+}
